@@ -1,0 +1,63 @@
+//! Criterion benchmark backing Table II's runtime comparison: fitting and
+//! querying Bagging with 10 REPTrees (this paper) versus 100 RandomTrees
+//! (the conference version's RandomForest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_ml::{Bagging, Dataset, RandomTreeLearner, RepTreeLearner};
+
+/// Synthetic pair-classification-like dataset: a distance-dominated signal
+/// with noisy secondary features, similar in shape to the attack's samples.
+fn training_set(n: usize) -> Dataset {
+    let mut ds = Dataset::new(9);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for _ in 0..n {
+        let label = rng.gen_bool(0.5);
+        let d: f64 = if label { rng.gen_range(0.0..0.3) } else { rng.gen_range(0.1..1.0) };
+        let mut x = vec![d, d * 0.6, d * 1.6];
+        for _ in 0..6 {
+            x.push(rng.gen_range(0.0..1.0) + if label { 0.05 } else { 0.0 });
+        }
+        ds.push(&x, label).expect("9 features");
+    }
+    ds
+}
+
+fn bench_fit(c: &mut Criterion) {
+    // Small enough that a 100-tree unpruned forest fits a benchmark
+    // iteration budget; the harness binaries measure the full-size gap.
+    let ds = training_set(6_000);
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function(BenchmarkId::new("bagging", "rep_tree_x10"), |b| {
+        b.iter(|| Bagging::fit(&ds, &RepTreeLearner::default(), 10, 1).expect("fit"));
+    });
+    group.bench_function(BenchmarkId::new("bagging", "random_tree_x100"), |b| {
+        b.iter(|| Bagging::fit(&ds, &RandomTreeLearner::default(), 100, 1).expect("fit"));
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = training_set(6_000);
+    let rep = Bagging::fit(&ds, &RepTreeLearner::default(), 10, 1).expect("fit");
+    let rnd = Bagging::fit(&ds, &RandomTreeLearner::default(), 100, 1).expect("fit");
+    let queries: Vec<Vec<f64>> = (0..1_000).map(|i| ds.row(i).to_vec()).collect();
+    let mut group = c.benchmark_group("proba_x1000");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("rep_tree_x10", |b| {
+        b.iter(|| queries.iter().map(|q| rep.proba(q)).sum::<f64>());
+    });
+    group.bench_function("random_tree_x100", |b| {
+        b.iter(|| queries.iter().map(|q| rnd.proba(q)).sum::<f64>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the layout substrate: design generation,
+//! routing, and split-view extraction — the fixed costs every experiment
+//! pays before the attack begins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_layout::generator::generate;
+use sm_layout::route::route;
+use sm_layout::split::SplitView;
+use sm_layout::suite::Suite;
+use sm_layout::tech::SplitLayer;
+
+fn bench_generate_and_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scale in [0.05, 0.2] {
+        let spec = Suite::spec_sb1_scaled(scale);
+        group.bench_with_input(BenchmarkId::new("generate", scale), &spec, |b, s| {
+            b.iter(|| generate(s).expect("generate"));
+        });
+        let placed = generate(&spec).expect("generate");
+        group.bench_with_input(BenchmarkId::new("route", scale), &placed, |b, p| {
+            b.iter(|| route(p.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_extraction(c: &mut Criterion) {
+    let routed = route(generate(&Suite::spec_sb1_scaled(0.2)).expect("generate"));
+    let mut group = c.benchmark_group("split");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for layer in [8u8, 6, 4] {
+        let split = SplitLayer::new(layer).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(layer), &split, |b, s| {
+            b.iter(|| SplitView::cut(&routed, *s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate_and_route, bench_split_extraction);
+criterion_main!(benches);

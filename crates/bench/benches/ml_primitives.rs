@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the decision-tree substrate: single-tree
+//! fitting (pruned vs unpruned), pruning overhead, and per-sample
+//! inference — the primitives whose costs Table II aggregates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_ml::learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
+use sm_ml::tree::{Tree, TreeParams};
+use sm_ml::Dataset;
+
+fn noisy_dataset(n: usize, m: usize) -> Dataset {
+    let mut ds = Dataset::new(m);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for _ in 0..n {
+        let mut x: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let label = if rng.gen_bool(0.15) { x[0] <= 0.5 } else { x[0] > 0.5 };
+        x[1] = x[0] * 0.7 + x[1] * 0.3;
+        ds.push(&x, label).expect("arity");
+    }
+    ds
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [5_000usize, 20_000] {
+        let ds = noisy_dataset(n, 11);
+        let idx = ds.all_indices();
+        group.bench_with_input(BenchmarkId::new("unpruned", n), &ds, |b, d| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                Tree::fit(d, &idx, TreeParams::default(), &mut rng).expect("fit")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rep_tree", n), &ds, |b, d| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                RepTreeLearner::default().fit_tree(d, &idx, &mut rng).expect("fit")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &ds, |b, d| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                RandomTreeLearner::default().fit_tree(d, &idx, &mut rng).expect("fit")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_inference(c: &mut Criterion) {
+    let ds = noisy_dataset(20_000, 11);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pruned =
+        RepTreeLearner::default().fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
+    let unpruned =
+        Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng).expect("fit");
+    let queries: Vec<Vec<f64>> = (0..10_000).map(|i| ds.row(i).to_vec()).collect();
+    let mut group = c.benchmark_group("tree_proba_x10k");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("rep_tree", |b| {
+        b.iter(|| queries.iter().map(|q| pruned.proba(q)).sum::<f64>());
+    });
+    group.bench_function("unpruned", |b| {
+        b.iter(|| queries.iter().map(|q| unpruned.proba(q)).sum::<f64>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_fit, bench_tree_inference);
+criterion_main!(benches);

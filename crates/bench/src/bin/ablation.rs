@@ -1,0 +1,112 @@
+//! Ablation studies of the design choices DESIGN.md calls out, beyond the
+//! paper's own tables:
+//!
+//! 1. **Neighborhood quantile** — the paper fixes 90% and notes the
+//!    trade-off qualitatively (Section III-D); we sweep it.
+//! 2. **Ensemble size** — Bagging with 1/5/10/20 REPTrees.
+//! 3. **Single-feature knockouts** — Imp-11 minus each feature, measuring
+//!    each feature's marginal value (complements Fig. 7's univariate
+//!    ranking).
+//! 4. **Global matching (extension)** — greedy/mutual-best matching on top
+//!    of the scored pairs versus the per-v-pin proximity attack.
+
+use sm_attack::attack::{AttackConfig, BaseClassifier, ScoreOptions, TrainedAttack};
+use sm_attack::features::{FeatureSet, ALL_FEATURES};
+use sm_attack::matching::{greedy_matching, mutual_best};
+use sm_attack::proximity::proximity_attack;
+use sm_bench::{dur, header, pct, row, run_config, Harness};
+use sm_layout::SplitView;
+
+fn main() {
+    let harness = Harness::from_env();
+    let layer = 6u8;
+    let views = harness.views(layer);
+
+    // --- 1. Neighborhood quantile sweep -----------------------------------
+    println!("\n=== Ablation 1 — neighborhood quantile (Imp-11, layer {layer}) ===");
+    header("quantile", &["max acc", "acc@1%", "pairs", "runtime"]);
+    for q in [0.70, 0.80, 0.90, 0.95, 0.99] {
+        let mut cfg = AttackConfig::imp11();
+        cfg.neighborhood_quantile = q;
+        cfg.name = format!("q={q:.2}");
+        let run = run_config(&cfg, &views, &ScoreOptions::default());
+        let pairs: u64 = run.folds.iter().map(|f| f.scored.pairs_scored).sum();
+        let sat: f64 = run.folds.iter().map(|f| f.scored.max_accuracy()).sum::<f64>()
+            / run.folds.len() as f64;
+        row(
+            &cfg.name,
+            &[
+                pct(Some(sat)),
+                pct(run.curve.accuracy_at_loc_fraction(0.01)),
+                format!("{}M", pairs / 1_000_000),
+                dur(run.runtime),
+            ],
+        );
+    }
+
+    // --- 2. Ensemble size --------------------------------------------------
+    println!("\n=== Ablation 2 — ensemble size (Imp-11, layer {layer}) ===");
+    header("trees", &["acc@1%", "acc@10%", "runtime"]);
+    for n in [1usize, 5, 10, 20] {
+        let mut cfg = AttackConfig::imp11();
+        cfg.base = BaseClassifier::RepTreeBagging { n_trees: n };
+        cfg.name = format!("{n} trees");
+        let run = run_config(&cfg, &views, &ScoreOptions::default());
+        row(
+            &cfg.name,
+            &[
+                pct(run.curve.accuracy_at_loc_fraction(0.01)),
+                pct(run.curve.accuracy_at_loc_fraction(0.10)),
+                dur(run.runtime),
+            ],
+        );
+    }
+
+    // --- 3. Feature knockouts ----------------------------------------------
+    println!("\n=== Ablation 3 — Imp-11 minus one feature (layer {layer}) ===");
+    header("dropped", &["acc@1%", "acc@10%"]);
+    let full = run_config(&AttackConfig::imp11(), &views, &ScoreOptions::default());
+    row(
+        "(none)",
+        &[
+            pct(full.curve.accuracy_at_loc_fraction(0.01)),
+            pct(full.curve.accuracy_at_loc_fraction(0.10)),
+        ],
+    );
+    for drop in ALL_FEATURES {
+        let feats: Vec<_> = ALL_FEATURES.iter().copied().filter(|f| *f != drop).collect();
+        let mut cfg = AttackConfig::imp11();
+        cfg.features = FeatureSet::custom(feats);
+        cfg.name = format!("-{}", drop.name());
+        let run = run_config(&cfg, &views, &ScoreOptions::default());
+        row(
+            &cfg.name,
+            &[
+                pct(run.curve.accuracy_at_loc_fraction(0.01)),
+                pct(run.curve.accuracy_at_loc_fraction(0.10)),
+            ],
+        );
+    }
+
+    // --- 4. Global matching extension ---------------------------------------
+    println!("\n=== Ablation 4 — global matching vs proximity attack (layer {layer}) ===");
+    header("design", &["PA (f=.005)", "greedy prec", "greedy recall", "mutual prec"]);
+    for t in 0..views.len() {
+        let train: Vec<&SplitView> =
+            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
+        let scored = model.score(&views[t], &ScoreOptions::default());
+        let pa = proximity_attack(&scored, &views[t], 0.005, 41);
+        let greedy = greedy_matching(&scored, &views[t], 0.5);
+        let mutual = mutual_best(&scored, &views[t], 0.5);
+        row(
+            views[t].name.as_str(),
+            &[
+                pct(Some(pa.rate())),
+                pct(Some(greedy.precision())),
+                pct(Some(greedy.recall())),
+                pct(Some(mutual.precision())),
+            ],
+        );
+    }
+}

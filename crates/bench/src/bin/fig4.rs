@@ -1,0 +1,42 @@
+//! Fig. 4: cumulative distribution of the (normalized) ManhattanVpin
+//! distance of truly-matching v-pin pairs, split layer 6.
+//!
+//! One curve per held-out design, each aggregating the other N−1 designs'
+//! training matches (exactly the data the `Imp` neighborhood radius is cut
+//! from at the 90 % quantile). Distances are normalized by the die
+//! half-perimeter.
+
+use sm_attack::neighborhood::match_distance_cdf;
+use sm_bench::Harness;
+use sm_layout::SplitView;
+
+const PROBES: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+fn main() {
+    let harness = Harness::from_env();
+    let views = harness.views(6);
+
+    println!("\n=== Fig. 4 — CDF of normalized ManhattanVpin of true matches (layer 6) ===");
+    println!("held-out | normalized distance at CDF = {PROBES:?}");
+    for t in 0..views.len() {
+        let train: Vec<&SplitView> =
+            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let cdf = match_distance_cdf(&train);
+        // Normalize by the mean die half-perimeter of the training designs.
+        let norm: f64 = train
+            .iter()
+            .map(|v| (v.die.width() + v.die.height()) as f64)
+            .sum::<f64>()
+            / train.len() as f64;
+        let at = |q: f64| -> f64 {
+            if cdf.is_empty() {
+                return 0.0;
+            }
+            let k = ((cdf.len() as f64 - 1.0) * q).round() as usize;
+            cdf[k.min(cdf.len() - 1)] as f64 / norm
+        };
+        let cells: Vec<String> = PROBES.iter().map(|&q| format!("{:.4}", at(q))).collect();
+        println!("{:<8} | {}", views[t].name, cells.join("  "));
+    }
+    println!("\n(The Imp neighborhood radius is the 90% point of each row.)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 7: relative ranking of the 11 layout features by information gain,
+//! |correlation|, and Fisher's discriminant ratio — per design, for split
+//! layers 4, 6, 8.
+//!
+//! Expected shape: v-pin location features (ManhattanVpin, DiffVpinX/Y)
+//! dominate; DiffVpinY's information gain is uniquely high at layer 8 (the
+//! top metal layer routes in one direction); importances generally decay
+//! toward lower layers.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_attack::features::{FeatureSet, ALL_FEATURES};
+use sm_attack::neighborhood::neighborhood_radius;
+use sm_attack::samples::{generate_samples, SampleOptions};
+use sm_bench::Harness;
+use sm_layout::SplitView;
+use sm_ml::metrics::rank_features;
+
+fn main() {
+    let harness = Harness::from_env();
+
+    for layer in [8u8, 6, 4] {
+        let views = harness.views(layer);
+        println!("\n=== Fig. 7 — feature metrics, split layer {layer} ===");
+        for metric in ["info-gain", "correlation", "fisher"] {
+            println!("\n[{metric}]");
+            print!("{:<22}", "feature");
+            for v in &views {
+                print!(" {:>9}", v.name);
+            }
+            println!();
+            // Metrics are computed on each design's own Imp training
+            // samples (radius from the other N−1 designs, as in training).
+            let mut scores = vec![vec![0.0f64; views.len()]; ALL_FEATURES.len()];
+            for (d, view) in views.iter().enumerate() {
+                let others: Vec<&SplitView> = views
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != d)
+                    .map(|(_, v)| v)
+                    .collect();
+                let radius = neighborhood_radius(&others, 0.9);
+                let mut rng = ChaCha8Rng::seed_from_u64(7 + d as u64);
+                let ds = generate_samples(
+                    &[view],
+                    &FeatureSet::eleven(),
+                    SampleOptions { radius, limit_diff_vpin_y: false },
+                    None,
+                    &mut rng,
+                );
+                for s in rank_features(&ds) {
+                    scores[s.feature][d] = match metric {
+                        "info-gain" => s.info_gain,
+                        "correlation" => s.correlation,
+                        _ => s.fisher,
+                    };
+                }
+            }
+            for (f, feat) in ALL_FEATURES.iter().enumerate() {
+                print!("{:<22}", feat.name());
+                for d in 0..views.len() {
+                    print!(" {:>9.4}", scores[f][d]);
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 8: distributions of the 11 layout features in the split-layer-6
+//! training set, matching versus non-matching pairs (all five benchmarks
+//! pooled).
+//!
+//! Printed as per-class deciles. Expected shape: heavy overlap everywhere
+//! (no single feature separates the classes), much tighter matching-class
+//! distributions for the v-pin location features, near-identical classes
+//! for PlacementCongestion, and extreme outliers in TotalWirelength /
+//! TotalArea / DiffArea from macros.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_attack::features::{FeatureSet, ALL_FEATURES};
+use sm_attack::neighborhood::neighborhood_radius;
+use sm_attack::samples::{generate_samples, SampleOptions};
+use sm_bench::Harness;
+use sm_layout::SplitView;
+
+fn deciles(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        return vec![0.0; 5];
+    }
+    [0.1, 0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .map(|q| xs[((xs.len() - 1) as f64 * q).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let views = harness.views(6);
+    let refs: Vec<&SplitView> = views.iter().collect();
+    let radius = neighborhood_radius(&refs, 0.9);
+    let mut rng = ChaCha8Rng::seed_from_u64(88);
+    let ds = generate_samples(
+        &refs,
+        &FeatureSet::eleven(),
+        SampleOptions { radius, limit_diff_vpin_y: false },
+        None,
+        &mut rng,
+    );
+    println!(
+        "\n=== Fig. 8 — feature distributions, layer 6 training set ({} samples, {} positive) ===",
+        ds.len(),
+        ds.num_positive()
+    );
+    println!("{:<22} {:>6} | {:>12} {:>12} {:>12} {:>12} {:>12}", "feature", "class", "p10", "p25", "p50", "p75", "p90");
+    for (j, feat) in ALL_FEATURES.iter().enumerate() {
+        for (class, label) in [("match", true), ("non", false)] {
+            let col: Vec<f64> = (0..ds.len())
+                .filter(|&i| ds.label(i) == label)
+                .map(|i| ds.feature(i, j))
+                .collect();
+            let d = deciles(col);
+            println!(
+                "{:<22} {:>6} | {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+                feat.name(),
+                class,
+                d[0],
+                d[1],
+                d[2],
+                d[3],
+                d[4]
+            );
+        }
+    }
+}

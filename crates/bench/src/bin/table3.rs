@@ -1,0 +1,82 @@
+//! Table III: two-level pruning versus no pruning with `Imp-11` at split
+//! layer 8 (plus the paper's negative result at layer 6).
+//!
+//! Expected shape: at layer 8, Level 2 shrinks the LoC and/or raises
+//! accuracy at a matched LoC for most designs; at layer 6 the Level-1
+//! model is too weak for Level-2 negatives to help.
+
+use std::time::Instant;
+
+use sm_attack::attack::{AttackConfig, ScoreOptions};
+use sm_attack::two_level::two_level_attack;
+use sm_bench::{dur, header, pct, row, Harness};
+use sm_layout::SplitView;
+
+fn main() {
+    let harness = Harness::from_env();
+    let config = AttackConfig::imp11();
+
+    for layer in [8u8, 6] {
+        let views = harness.views(layer);
+        println!("\n=== Table III — split layer {layer} (Imp-11) ===");
+        header(
+            "design",
+            &["2L |LoC|", "2L Acc", "1L |LoC|", "1L Acc", "2L@1L|LoC|", "2L acc@2", "1L acc@2"],
+        );
+        let t0 = Instant::now();
+        let mut avg = [0.0f64; 7];
+        for t in 0..views.len() {
+            let train: Vec<&SplitView> = views
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != t)
+                .map(|(_, v)| v)
+                .collect();
+            let out = two_level_attack(&config, &train, &views[t], &ScoreOptions::default())
+                .expect("two-level attack");
+            let (l1, l2) = (&out.level1, &out.level2);
+            // The headline comparison at the default threshold, plus the
+            // aligned comparison: Level-2 accuracy when its LoC is capped
+            // at Level-1's size.
+            let aligned = l2
+                .curve()
+                .max_accuracy_at_loc(l1.mean_loc_at(0.5))
+                .map(|p| p.accuracy);
+            // Tight-budget comparison: accuracy when each level may keep
+            // only ~2 candidates per v-pin — where better ordering inside
+            // the Level-1 LoC pays off.
+            let l2_at2 = l2.curve().max_accuracy_at_loc(2.0).map(|p| p.accuracy);
+            let l1_at2 = l1.curve().max_accuracy_at_loc(2.0).map(|p| p.accuracy);
+            let cells = vec![
+                format!("{:.2}", l2.mean_loc_at(0.5)),
+                pct(Some(l2.accuracy_at(0.5))),
+                format!("{:.2}", l1.mean_loc_at(0.5)),
+                pct(Some(l1.accuracy_at(0.5))),
+                pct(aligned),
+                pct(l2_at2),
+                pct(l1_at2),
+            ];
+            avg[0] += l2.mean_loc_at(0.5) / views.len() as f64;
+            avg[1] += l2.accuracy_at(0.5) / views.len() as f64;
+            avg[2] += l1.mean_loc_at(0.5) / views.len() as f64;
+            avg[3] += l1.accuracy_at(0.5) / views.len() as f64;
+            avg[4] += aligned.unwrap_or(0.0) / views.len() as f64;
+            avg[5] += l2_at2.unwrap_or(0.0) / views.len() as f64;
+            avg[6] += l1_at2.unwrap_or(0.0) / views.len() as f64;
+            row(views[t].name.as_str(), &cells);
+        }
+        row(
+            "Avg",
+            &[
+                format!("{:.2}", avg[0]),
+                pct(Some(avg[1])),
+                format!("{:.2}", avg[2]),
+                pct(Some(avg[3])),
+                pct(Some(avg[4])),
+                pct(Some(avg[5])),
+                pct(Some(avg[6])),
+            ],
+        );
+        println!("  runtime (both levels, all folds): {}", dur(t0.elapsed()));
+    }
+}

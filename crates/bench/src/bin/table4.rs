@@ -1,0 +1,50 @@
+//! Table IV: every model configuration across split layers — LoC fraction
+//! at fixed accuracies, accuracy at fixed LoC fractions, and runtime.
+//! Layer 8 additionally evaluates the `Y` (DiffVpinY-limited) variants.
+//!
+//! Expected shape: layer 8 reaches ~100 % accuracy at tiny LoC fractions;
+//! layers 6 and 4 degrade; `Imp` variants run faster than `ML-9` with a
+//! saturation plateau; `Y` variants improve layer 8 further.
+
+use sm_attack::attack::{AttackConfig, ScoreOptions};
+use sm_bench::{dur, header, pct, row, run_config, Harness};
+
+const ACC_TARGETS: [f64; 4] = [0.95, 0.90, 0.80, 0.50];
+const LOC_FRACTIONS: [f64; 4] = [0.0001, 0.001, 0.01, 0.10];
+
+fn main() {
+    let harness = Harness::from_env();
+
+    for layer in [8u8, 6, 4] {
+        let configs = if layer == 8 {
+            AttackConfig::standard_eight()
+        } else {
+            AttackConfig::standard_four()
+        };
+        let views = harness.views(layer);
+        println!("\n=== Table IV — split layer {layer} ===");
+        header(
+            "config",
+            &[
+                "frac@95%", "frac@90%", "frac@80%", "frac@50%", "acc@.01%", "acc@0.1%",
+                "acc@1%", "acc@10%", "runtime",
+            ],
+        );
+        for config in &configs {
+            let run = run_config(config, &views, &ScoreOptions::default());
+            let mut cells: Vec<String> = ACC_TARGETS
+                .iter()
+                .map(|&a| {
+                    run.curve
+                        .min_loc_fraction_at_accuracy(a)
+                        .map_or("—".to_owned(), |f| format!("{:.3}%", 100.0 * f))
+                })
+                .collect();
+            cells.extend(
+                LOC_FRACTIONS.iter().map(|&f| pct(run.curve.accuracy_at_loc_fraction(f))),
+            );
+            cells.push(dur(run.runtime));
+            row(&config.name, &cells);
+        }
+    }
+}

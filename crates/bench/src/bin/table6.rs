@@ -1,0 +1,53 @@
+//! Table VI: proximity-attack success with and without y-coordinate
+//! obfuscation noise (SD = 1 % and 2 % of the die height) at split layers
+//! 6 and 4, configuration `Imp-11`.
+//!
+//! Expected shape: the attack's PA success drops sharply under 1 % noise
+//! (more at layer 6 than layer 4) and 2 % adds little beyond 1 %.
+
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::obfuscate::obfuscate_views;
+use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
+use sm_bench::{header, pct, row, Harness};
+use sm_layout::SplitView;
+
+const NOISE_LEVELS: [f64; 3] = [0.0, 0.01, 0.02];
+
+fn main() {
+    let harness = Harness::from_env();
+    let config = AttackConfig::imp11();
+
+    for layer in [6u8, 4] {
+        let clean = harness.views(layer);
+        println!("\n=== Table VI — split layer {layer} (Imp-11) ===");
+        header("design", &["No noise", "SD = 1%", "SD = 2%"]);
+        let mut rates = vec![vec![0.0f64; clean.len()]; NOISE_LEVELS.len()];
+        for (ni, &sd) in NOISE_LEVELS.iter().enumerate() {
+            let views = if sd == 0.0 { clean.clone() } else { obfuscate_views(&clean, sd, 0x0b5) };
+            for t in 0..views.len() {
+                let train: Vec<&SplitView> = views
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != t)
+                    .map(|(_, v)| v)
+                    .collect();
+                let val = validate_pa_fraction(&config, &train, &DEFAULT_PA_FRACTIONS, 31)
+                    .expect("validation");
+                let model = TrainedAttack::train(&config, &train, None).expect("train");
+                let scored = model.score(&views[t], &ScoreOptions::default());
+                rates[ni][t] = proximity_attack(&scored, &views[t], val.best_fraction, 37).rate();
+            }
+        }
+        for (t, view) in clean.iter().enumerate() {
+            let cells: Vec<String> =
+                (0..NOISE_LEVELS.len()).map(|ni| pct(Some(rates[ni][t]))).collect();
+            row(view.name.as_str(), &cells);
+        }
+        let n = clean.len() as f64;
+        let cells: Vec<String> = rates
+            .iter()
+            .map(|r| pct(Some(r.iter().sum::<f64>() / n)))
+            .collect();
+        row("Avg", &cells);
+    }
+}

@@ -1,0 +1,167 @@
+//! # sm-bench — experiment harness reproducing the paper's evaluation
+//!
+//! One binary per table/figure of the paper (`table1`–`table6`,
+//! `fig4`–`fig10`), sharing the drivers in this library. Every binary
+//! honours the `SM_SCALE` environment variable (default 1.0 = benchmarks
+//! with 1/20 of the paper's v-pin counts) and prints plain-text tables
+//! whose rows mirror the paper's.
+//!
+//! ```bash
+//! cargo run --release -p sm-bench --bin table1          # full size
+//! SM_SCALE=0.2 cargo run --release -p sm-bench --bin table5   # quick pass
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sm_attack::attack::{AttackConfig, ScoreOptions};
+use sm_attack::loc::LocCurve;
+use sm_attack::xval::{leave_one_out, FoldResult};
+use sm_layout::{SplitLayer, SplitView, Suite};
+
+/// Reads the benchmark scale from `SM_SCALE` (default 1.0 = 1/20 of the
+/// paper's layout sizes).
+pub fn scale_from_env() -> f64 {
+    std::env::var("SM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// The generated suite plus cached split views, shared by every harness.
+pub struct Harness {
+    suite: Suite,
+    scale: f64,
+}
+
+impl Harness {
+    /// Builds the suite at the `SM_SCALE` scale, logging progress to
+    /// stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite cannot be generated (invalid scale).
+    pub fn from_env() -> Self {
+        let scale = scale_from_env();
+        eprintln!("[harness] generating ISPD-2011-like suite at scale {scale} ...");
+        let t = Instant::now();
+        let suite = Suite::ispd2011_like(scale).expect("suite generation");
+        eprintln!("[harness] suite ready in {:.1?}", t.elapsed());
+        Self { suite, scale }
+    }
+
+    /// The benchmark scale in effect.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The underlying suite.
+    pub fn suite(&self) -> &Suite {
+        &self.suite
+    }
+
+    /// Splits every benchmark at via layer `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid split layer.
+    pub fn views(&self, v: u8) -> Vec<SplitView> {
+        let layer = SplitLayer::new(v).expect("valid split layer");
+        let t = Instant::now();
+        let views = self.suite.split_all(layer);
+        let total: usize = views.iter().map(SplitView::num_vpins).sum();
+        eprintln!(
+            "[harness] split layer {v}: {total} v-pins across {} designs ({:.1?})",
+            views.len(),
+            t.elapsed()
+        );
+        views
+    }
+}
+
+/// Leave-one-out folds plus the benchmark-averaged trade-off curve.
+pub struct ConfigRun {
+    /// Per-fold results in suite order.
+    pub folds: Vec<FoldResult>,
+    /// Curve averaged over the five benchmarks.
+    pub curve: LocCurve,
+    /// Total wall-clock time (train + score, all folds).
+    pub runtime: Duration,
+}
+
+/// Runs a configuration's full leave-one-out evaluation.
+///
+/// # Panics
+///
+/// Panics on attack errors (harness binaries fail loudly).
+pub fn run_config(config: &AttackConfig, views: &[SplitView], opts: &ScoreOptions) -> ConfigRun {
+    let t = Instant::now();
+    let folds = leave_one_out(config, views, opts)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", config.name));
+    let runtime = t.elapsed();
+    let scored: Vec<_> = folds.iter().map(|f| f.scored.clone()).collect();
+    let curve = LocCurve::from_views(&scored);
+    ConfigRun { folds, curve, runtime }
+}
+
+/// Formats an optional percentage (`None` prints as a dash, matching the
+/// paper's saturated entries).
+pub fn pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{:.2}%", 100.0 * v),
+        None => "—".to_owned(),
+    }
+}
+
+/// Formats an optional real with one decimal.
+pub fn num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.1}"),
+        None => "—".to_owned(),
+    }
+}
+
+/// Formats a duration compactly (s / min as appropriate).
+pub fn dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 120.0 {
+        format!("{s:.1} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+/// Prints a ruled table row: a label column then fixed-width cells.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<14}");
+    for c in cells {
+        print!(" | {c:>12}");
+    }
+    println!();
+}
+
+/// Prints a header row and a rule under it.
+pub fn header(label: &str, cells: &[&str]) {
+    let owned: Vec<String> = cells.iter().map(|c| (*c).to_owned()).collect();
+    row(label, &owned);
+    println!("{}", "-".repeat(14 + cells.len() * 15));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(Some(0.5)), "50.00%");
+        assert_eq!(pct(None), "—");
+        assert_eq!(num(Some(12.34)), "12.3");
+        assert_eq!(dur(Duration::from_secs(30)), "30.0 s");
+        assert_eq!(dur(Duration::from_secs(300)), "5.0 min");
+    }
+
+    #[test]
+    fn scale_env_default_is_one() {
+        // The variable may be set by an outer harness; only assert the
+        // parse fallback.
+        if std::env::var("SM_SCALE").is_err() {
+            assert_eq!(scale_from_env(), 1.0);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Subcommand implementations for the `splitmfg` binary.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
+use sm_layout::io::{read_challenge, write_challenge, write_truth};
+use sm_layout::{SplitLayer, SplitView, Suite};
+
+use crate::args::Args;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Flag parsing / validation failure.
+    Args(crate::args::ParseArgsError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Challenge parse failure.
+    Parse(sm_layout::io::ParseChallengeError),
+    /// Anything the attack layer reports.
+    Attack(sm_attack::AttackError),
+    /// User-level misuse (unknown command, missing target, ...).
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "i/o: {e}"),
+            CliError::Parse(e) => write!(f, "parse: {e}"),
+            CliError::Attack(e) => write!(f, "attack: {e}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::args::ParseArgsError> for CliError {
+    fn from(e: crate::args::ParseArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<sm_layout::io::ParseChallengeError> for CliError {
+    fn from(e: sm_layout::io::ParseChallengeError) -> Self {
+        CliError::Parse(e)
+    }
+}
+impl From<sm_attack::AttackError> for CliError {
+    fn from(e: sm_attack::AttackError) -> Self {
+        CliError::Attack(e)
+    }
+}
+
+/// Routes a parsed command line to its implementation.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the failure; `main` prints it.
+pub fn dispatch(args: &Args) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "gen" => cmd_gen(args),
+        "info" => cmd_info(args),
+        "attack" => cmd_attack(args),
+        "pa" => cmd_pa(args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}' (try 'help')"))),
+    }
+}
+
+/// Prints usage text.
+pub fn print_help() {
+    eprintln!(
+        "splitmfg — ML security analysis of split manufacturing\n\
+         \n\
+         commands:\n\
+         \x20 gen    --out DIR [--scale 0.2] [--split 8] [--seed N]   generate the 5-design suite\n\
+         \x20 info   --dir DIR                                        summarise challenge files\n\
+         \x20 attack --dir DIR --target NAME [--config imp-11]\n\
+         \x20        [--threshold 0.5]                                leave-one-out ML attack\n\
+         \x20 pa     --dir DIR --target NAME [--config imp-9y]        validated proximity attack\n\
+         \n\
+         configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)"
+    );
+}
+
+fn parse_config(name: &str) -> Result<AttackConfig, CliError> {
+    let lower = name.to_ascii_lowercase();
+    let (base, y) = match lower.strip_suffix('y') {
+        Some(stem) => (stem, true),
+        None => (lower.as_str(), false),
+    };
+    let cfg = match base {
+        "ml-9" | "ml9" => AttackConfig::ml9(),
+        "imp-9" | "imp9" => AttackConfig::imp9(),
+        "imp-7" | "imp7" => AttackConfig::imp7(),
+        "imp-11" | "imp11" => AttackConfig::imp11(),
+        _ => return Err(CliError::Usage(format!("unknown config '{name}'"))),
+    };
+    Ok(if y { cfg.with_y_limit() } else { cfg })
+}
+
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
+    let out: String =
+        args.get_str("out").ok_or_else(|| CliError::Usage("--out DIR required".into()))?.into();
+    let scale: f64 = args.get_or("scale", 0.2)?;
+    let split: u8 = args.get_or("split", 8)?;
+    let layer = SplitLayer::new(split)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    fs::create_dir_all(&out)?;
+    eprintln!("generating 5-design suite at scale {scale}, split layer {split} ...");
+    let suite = Suite::ispd2011_like(scale).map_err(|e| CliError::Usage(e.to_string()))?;
+    for bench in suite.benchmarks() {
+        let view = bench.split(layer);
+        let base = Path::new(&out).join(view.name.clone());
+        fs::write(base.with_extension("challenge"), write_challenge(&view))?;
+        fs::write(base.with_extension("truth"), write_truth(&view))?;
+        println!("{}: {} v-pins -> {}.challenge / .truth", view.name, view.num_vpins(), base.display());
+    }
+    Ok(())
+}
+
+fn load_dir(dir: &str) -> Result<Vec<SplitView>, CliError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "challenge"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Usage(format!("no .challenge files in {dir}")));
+    }
+    let mut views = Vec::with_capacity(paths.len());
+    for p in paths {
+        let challenge = fs::read_to_string(&p)?;
+        let truth = fs::read_to_string(p.with_extension("truth"))?;
+        views.push(read_challenge(&challenge, &truth)?);
+    }
+    Ok(views)
+}
+
+fn split_target<'v>(
+    views: &'v [SplitView],
+    target: &str,
+) -> Result<(Vec<&'v SplitView>, &'v SplitView), CliError> {
+    let test = views
+        .iter()
+        .find(|v| v.name == target)
+        .ok_or_else(|| CliError::Usage(format!("target '{target}' not found")))?;
+    let train: Vec<&SplitView> = views.iter().filter(|v| v.name != target).collect();
+    if train.is_empty() {
+        return Err(CliError::Usage("need at least one non-target design for training".into()));
+    }
+    Ok((train, test))
+}
+
+fn cmd_info(args: &Args) -> Result<(), CliError> {
+    let dir: String =
+        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let views = load_dir(&dir)?;
+    println!("{:<8} {:>7} {:>9} {:>14} {:>12}", "design", "split", "v-pins", "die (um x um)", "drivers");
+    for v in &views {
+        let drivers = v.vpins().iter().filter(|p| p.drives()).count();
+        println!(
+            "{:<8} {:>7} {:>9} {:>14} {:>12}",
+            v.name,
+            v.split.to_string(),
+            v.num_vpins(),
+            format!("{}x{}", v.die.width() / 1000, v.die.height() / 1000),
+            drivers
+        );
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), CliError> {
+    let dir: String =
+        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let target: String = args.require("target")?;
+    let config = parse_config(args.get_str("config").unwrap_or("imp-11"))?;
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+
+    let views = load_dir(&dir)?;
+    let (train, test) = split_target(&views, &target)?;
+    eprintln!("training {} on {} designs ...", config.name, train.len());
+    let model = TrainedAttack::train(&config, &train, None)?;
+    eprintln!(
+        "scoring {} ({} v-pins, {} training samples, radius {:?}) ...",
+        test.name,
+        test.num_vpins(),
+        model.num_training_samples(),
+        model.radius()
+    );
+    let scored = model.score(test, &ScoreOptions::default());
+    println!("pairs evaluated : {}", scored.pairs_scored);
+    println!("threshold       : {threshold}");
+    println!("mean |LoC|      : {:.2}", scored.mean_loc_at(threshold));
+    println!("accuracy        : {:.2}%", 100.0 * scored.accuracy_at(threshold));
+    println!("max accuracy    : {:.2}%", 100.0 * scored.max_accuracy());
+    let curve = scored.curve();
+    for acc in [0.95, 0.90, 0.80] {
+        match curve.min_loc_at_accuracy(acc) {
+            Some(pt) => println!(
+                "|LoC| @ {:>3.0}% acc: {:.2} (threshold {:.3})",
+                acc * 100.0,
+                pt.mean_loc,
+                pt.threshold
+            ),
+            None => println!("|LoC| @ {:>3.0}% acc: unreachable (saturation)", acc * 100.0),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pa(args: &Args) -> Result<(), CliError> {
+    let dir: String =
+        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let target: String = args.require("target")?;
+    let config = parse_config(args.get_str("config").unwrap_or("imp-9"))?;
+    let seed: u64 = args.get_or("seed", 17)?;
+
+    let views = load_dir(&dir)?;
+    let (train, test) = split_target(&views, &target)?;
+    eprintln!("validating PA-LoC fractions on {} designs ...", train.len());
+    let val = validate_pa_fraction(&config, &train, &DEFAULT_PA_FRACTIONS, seed)?;
+    for (f, r) in &val.rates {
+        println!("fraction {:>7.3}% -> validation success {:>6.2}%", f * 100.0, r * 100.0);
+    }
+    println!("selected fraction: {:.3}%", val.best_fraction * 100.0);
+    let model = TrainedAttack::train(&config, &train, None)?;
+    let scored = model.score(test, &ScoreOptions::default());
+    let outcome = proximity_attack(&scored, test, val.best_fraction, seed ^ 1);
+    println!("proximity attack on {}: {}", test.name, outcome);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_names_parse_with_and_without_y() {
+        assert_eq!(parse_config("imp-11").expect("ok").name, "Imp-11");
+        assert_eq!(parse_config("IMP9Y").expect("ok").name, "Imp-9Y");
+        assert_eq!(parse_config("ml-9").expect("ok").name, "ML-9");
+        assert!(parse_config("rococo").is_err());
+    }
+
+    #[test]
+    fn gen_then_info_then_attack_roundtrip() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_test");
+        let _ = fs::remove_dir_all(&dir);
+        let gen = Args::parse(
+            ["gen", "--out", dir.to_str().expect("utf8"), "--scale", "0.01", "--split", "8"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .expect("parses");
+        dispatch(&gen).expect("gen runs");
+        let views = load_dir(dir.to_str().expect("utf8")).expect("loads");
+        assert_eq!(views.len(), 5);
+
+        let attack = Args::parse(
+            [
+                "attack",
+                "--dir",
+                dir.to_str().expect("utf8"),
+                "--target",
+                "sb1",
+                "--config",
+                "imp-9",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        )
+        .expect("parses");
+        dispatch(&attack).expect("attack runs");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let args = Args::parse(["frobnicate"].iter().map(|s| (*s).to_owned())).expect("parses");
+        assert!(matches!(dispatch(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_target_is_a_usage_error() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_test2");
+        let _ = fs::remove_dir_all(&dir);
+        let gen = Args::parse(
+            ["gen", "--out", dir.to_str().expect("utf8"), "--scale", "0.01"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .expect("parses");
+        dispatch(&gen).expect("gen runs");
+        let attack = Args::parse(
+            ["attack", "--dir", dir.to_str().expect("utf8"), "--target", "nope"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .expect("parses");
+        assert!(matches!(dispatch(&attack), Err(CliError::Usage(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

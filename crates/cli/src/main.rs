@@ -1,0 +1,39 @@
+//! `splitmfg` — command-line driver for the split-manufacturing security
+//! toolkit.
+//!
+//! ```text
+//! splitmfg gen    --out DIR [--scale 0.2] [--split 8]      generate challenges
+//! splitmfg info   --dir DIR                                summarise challenges
+//! splitmfg attack --dir DIR --target sb1 [--config imp-11] run the ML attack
+//! splitmfg pa     --dir DIR --target sb1 [--config imp-9y] proximity attack
+//! splitmfg help                                            this text
+//! ```
+//!
+//! Challenges are plain-text `.challenge`/`.truth` pairs (see
+//! `sm_layout::io`); the attack trains on every design in the directory
+//! except the target (leave-one-out) and scores against the target's truth
+//! file.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Args::parse(argv) {
+        Ok(args) => match commands::dispatch(&args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}

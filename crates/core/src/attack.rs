@@ -1,0 +1,626 @@
+//! The machine-learning attack: model configurations, training, and pair
+//! scoring (paper Sections III-B–III-G).
+//!
+//! A [`TrainedAttack`] is produced from N−1 training [`SplitView`]s and
+//! scores every candidate v-pin pair of a held-out test view, yielding a
+//! [`ScoredView`] from which lists of candidates (LoC) at any probability
+//! threshold, trade-off curves, and proximity attacks are derived without
+//! re-running inference (Section III-F).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use sm_layout::SplitView;
+use sm_ml::{Bagging, RandomTreeLearner, RepTreeLearner};
+
+use crate::error::AttackError;
+use crate::features::FeatureSet;
+use crate::neighborhood::{neighborhood_radius, VpinIndex, DEFAULT_NEIGHBORHOOD_QUANTILE};
+use crate::samples::{generate_samples, SampleOptions};
+
+/// Number of probability bins in a [`ScoredView`]'s candidate histogram.
+pub const HIST_BINS: usize = 4096;
+
+/// The ensemble used to classify pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaseClassifier {
+    /// Bagging of reduced-error-pruned trees (this paper; Weka default 10).
+    RepTreeBagging {
+        /// Number of member trees.
+        n_trees: usize,
+    },
+    /// Bagging of unpruned random trees — equivalent to Weka's
+    /// `RandomForest`, the configuration of the conference version [18].
+    RandomTreeBagging {
+        /// Number of member trees.
+        n_trees: usize,
+    },
+}
+
+impl Default for BaseClassifier {
+    fn default() -> Self {
+        BaseClassifier::RepTreeBagging { n_trees: 10 }
+    }
+}
+
+/// A full model configuration (the paper's `ML-9`, `Imp-9`, `Imp-7`,
+/// `Imp-11` and their `Y` variants).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Display name, e.g. `Imp-9Y`.
+    pub name: String,
+    /// The pair features used for training and testing.
+    pub features: FeatureSet,
+    /// Whether to restrict sampling/testing to the ManhattanVpin
+    /// neighborhood (the `Imp` scalability improvement, Section III-D).
+    pub scalable: bool,
+    /// CDF quantile defining the neighborhood radius (default 90 %).
+    pub neighborhood_quantile: f64,
+    /// Whether to force `DiffVpinY = 0` (top-split-layer convention,
+    /// Section III-G).
+    pub limit_diff_vpin_y: bool,
+    /// The ensemble classifier.
+    pub base: BaseClassifier,
+    /// Seed driving sampling and training.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    fn new(name: &str, features: FeatureSet, scalable: bool) -> Self {
+        Self {
+            name: name.to_owned(),
+            features,
+            scalable,
+            neighborhood_quantile: DEFAULT_NEIGHBORHOOD_QUANTILE,
+            limit_diff_vpin_y: false,
+            base: BaseClassifier::default(),
+            seed: 0xa77ac4,
+        }
+    }
+
+    /// `ML-9`: first 9 features, no scalability restriction.
+    pub fn ml9() -> Self {
+        Self::new("ML-9", FeatureSet::nine(), false)
+    }
+
+    /// `Imp-9`: first 9 features with the neighborhood restriction.
+    pub fn imp9() -> Self {
+        Self::new("Imp-9", FeatureSet::nine(), true)
+    }
+
+    /// `Imp-7`: neighborhood restriction, 7 features (drops
+    /// `TotalWirelength`, `TotalArea`).
+    pub fn imp7() -> Self {
+        Self::new("Imp-7", FeatureSet::seven(), true)
+    }
+
+    /// `Imp-11`: neighborhood restriction, all 11 features.
+    pub fn imp11() -> Self {
+        Self::new("Imp-11", FeatureSet::eleven(), true)
+    }
+
+    /// The `Y` variant of this configuration: limits `DiffVpinY` to zero
+    /// (only sound when the split layer is the highest via layer).
+    pub fn with_y_limit(mut self) -> Self {
+        self.limit_diff_vpin_y = true;
+        self.name.push('Y');
+        self
+    }
+
+    /// The four standard configurations.
+    pub fn standard_four() -> Vec<Self> {
+        vec![Self::ml9(), Self::imp9(), Self::imp7(), Self::imp11()]
+    }
+
+    /// The four standard configurations plus their `Y` variants
+    /// (the eight rows of Table IV's layer-8 block).
+    pub fn standard_eight() -> Vec<Self> {
+        let mut v = Self::standard_four();
+        v.extend(Self::standard_four().into_iter().map(Self::with_y_limit));
+        v
+    }
+
+    /// The sampling options this configuration implies given a resolved
+    /// neighborhood radius.
+    fn sample_options(&self, radius: Option<i64>) -> SampleOptions {
+        SampleOptions { radius, limit_diff_vpin_y: self.limit_diff_vpin_y }
+    }
+}
+
+/// A trained attack model, ready to score test views.
+#[derive(Debug, Clone)]
+pub struct TrainedAttack {
+    config: AttackConfig,
+    model: Bagging,
+    radius: Option<i64>,
+    num_training_samples: usize,
+}
+
+impl TrainedAttack {
+    /// Trains the attack on `training_views` (the paper's N−1 designs).
+    ///
+    /// `vpin_filter`, when present, restricts sample generation to the
+    /// masked v-pins (used by proximity-attack validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::NoTrainingData`] for an empty view list,
+    /// [`AttackError::NoSamples`] if every candidate pair was filtered out,
+    /// or a wrapped training error.
+    pub fn train(
+        config: &AttackConfig,
+        training_views: &[&SplitView],
+        vpin_filter: Option<&[Vec<bool>]>,
+    ) -> Result<Self, AttackError> {
+        if training_views.is_empty() {
+            return Err(AttackError::NoTrainingData);
+        }
+        let radius = if config.scalable {
+            neighborhood_radius(training_views, config.neighborhood_quantile)
+        } else {
+            None
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let samples = generate_samples(
+            training_views,
+            &config.features,
+            config.sample_options(radius),
+            vpin_filter,
+            &mut rng,
+        );
+        if samples.is_empty() {
+            return Err(AttackError::NoSamples);
+        }
+        let model = match config.base {
+            BaseClassifier::RepTreeBagging { n_trees } => {
+                Bagging::fit(&samples, &RepTreeLearner::default(), n_trees, config.seed)?
+            }
+            BaseClassifier::RandomTreeBagging { n_trees } => {
+                Bagging::fit(&samples, &RandomTreeLearner::default(), n_trees, config.seed)?
+            }
+        };
+        Ok(Self { config: config.clone(), model, radius, num_training_samples: samples.len() })
+    }
+
+    /// Assembles a model from pre-trained parts (two-level pruning builds
+    /// its Level-2 model from a custom sample set).
+    pub(crate) fn from_parts(
+        config: AttackConfig,
+        model: Bagging,
+        radius: Option<i64>,
+        num_training_samples: usize,
+    ) -> Self {
+        Self { config, model, radius, num_training_samples }
+    }
+
+    /// The configuration this model was trained with.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// The resolved neighborhood radius (None for `ML` configurations).
+    pub fn radius(&self) -> Option<i64> {
+        self.radius
+    }
+
+    /// Number of training samples the model saw.
+    pub fn num_training_samples(&self) -> usize {
+        self.num_training_samples
+    }
+
+    /// The underlying ensemble.
+    pub fn model(&self) -> &Bagging {
+        &self.model
+    }
+
+    /// Scores every candidate pair of `view` (Section III-C's testing
+    /// stage) and records, per v-pin, the probability of its true match and
+    /// its highest-probability candidates.
+    ///
+    /// `options` controls which v-pins are scored and how many candidates
+    /// are retained; see [`ScoreOptions`].
+    pub fn score(&self, view: &SplitView, options: &ScoreOptions) -> ScoredView {
+        let candidates = CandidateSource::Config;
+        score_with(self, view, options, &candidates)
+    }
+}
+
+/// Options for the scoring stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreOptions {
+    /// Fraction of the view's v-pins to retain per target as the
+    /// top-probability candidate list (floor 16). The proximity attack can
+    /// only consider PA-LoC fractions up to this value.
+    pub top_fraction: f64,
+    /// If set, only these v-pins are scored as targets (candidates still
+    /// come from the whole view). Used by PA validation.
+    pub targets: Option<Vec<u32>>,
+    /// Number of worker threads (defaults to available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl Default for ScoreOptions {
+    fn default() -> Self {
+        Self { top_fraction: 0.06, targets: None, threads: None }
+    }
+}
+
+/// Internal candidate enumeration strategy.
+pub(crate) enum CandidateSource<'a> {
+    /// Derive from the trained configuration (neighborhood and/or Y-limit).
+    Config,
+    /// Explicit per-target candidate lists (two-level pruning's Level-2
+    /// stage). Must be indexed like the score targets.
+    Explicit(&'a [Vec<u32>]),
+}
+
+/// One retained candidate of a target v-pin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cand {
+    /// Ensemble probability that the pair is connected.
+    pub p: f64,
+    /// Candidate v-pin index.
+    pub index: u32,
+    /// Manhattan distance between the two v-pins.
+    pub dist: i64,
+}
+
+/// Per-target scoring record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VpinScore {
+    /// The target v-pin.
+    pub vpin: u32,
+    /// Probability assigned to the true match, or `None` if the true match
+    /// was never scored (filtered by legality, neighborhood, or Y-limit) —
+    /// a permanent miss that caps the achievable accuracy.
+    pub true_prob: Option<f64>,
+    /// Retained candidates, sorted by descending probability.
+    pub top: Vec<Cand>,
+}
+
+/// The complete scoring of a test view: everything needed to derive LoC
+/// sizes, accuracies and proximity attacks at any threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredView {
+    /// Per-target records.
+    pub slots: Vec<VpinScore>,
+    /// Histogram over all scored candidate probabilities (per-target
+    /// entries; bin `k` covers `p ≈ k / (HIST_BINS − 1)`).
+    pub hist: Vec<u64>,
+    /// Total v-pins in the underlying view (denominator of LoC fractions).
+    pub num_view_vpins: usize,
+    /// Total candidate pairs evaluated.
+    pub pairs_scored: u64,
+}
+
+/// Maps a probability to its histogram bin.
+pub(crate) fn hist_bin(p: f64) -> usize {
+    ((p * (HIST_BINS - 1) as f64).round() as usize).min(HIST_BINS - 1)
+}
+
+/// Probability represented by histogram bin `k` (its lower edge for
+/// threshold sweeps).
+pub(crate) fn bin_threshold(k: usize) -> f64 {
+    k as f64 / (HIST_BINS - 1) as f64
+}
+
+pub(crate) fn score_with(
+    attack: &TrainedAttack,
+    view: &SplitView,
+    options: &ScoreOptions,
+    source: &CandidateSource<'_>,
+) -> ScoredView {
+    let n = view.num_vpins();
+    let targets: Vec<u32> = match &options.targets {
+        Some(t) => t.clone(),
+        None => (0..n as u32).collect(),
+    };
+    let top_k = ((options.top_fraction * n as f64).ceil() as usize).max(16);
+    let need_index = matches!(source, CandidateSource::Config)
+        && (attack.radius.is_some() || attack.config.limit_diff_vpin_y);
+    let index = if need_index {
+        Some(match attack.radius {
+            Some(r) => VpinIndex::with_radius(view, r),
+            None => VpinIndex::new(view, 10_000),
+        })
+    } else {
+        None
+    };
+
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
+        .clamp(1, 64);
+    let chunk = targets.len().div_euclid(threads).max(1) + 1;
+
+    let mut slots: Vec<VpinScore> = Vec::with_capacity(targets.len());
+    let mut hist = vec![0u64; HIST_BINS];
+    let mut pairs_scored = 0u64;
+
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (c, target_chunk) in targets.chunks(chunk).enumerate() {
+            let index = index.as_ref();
+            let handle = s.spawn(move |_| {
+                let mut local_hist = vec![0u64; HIST_BINS];
+                let mut local_pairs = 0u64;
+                let mut local_slots = Vec::with_capacity(target_chunk.len());
+                let mut buf = Vec::with_capacity(attack.config.features.len());
+                let mut cands: Vec<u32> = Vec::new();
+                for (t_off, &i) in target_chunk.iter().enumerate() {
+                    let iu = i as usize;
+                    let truth = view.true_match(iu);
+                    enumerate_candidates(
+                        attack,
+                        view,
+                        source,
+                        index,
+                        c * chunk + t_off,
+                        i,
+                        n,
+                        &mut cands,
+                    );
+                    let mut slot =
+                        VpinScore { vpin: i, true_prob: None, top: Vec::new() };
+                    let mut top: Vec<Cand> = Vec::with_capacity(top_k + 1);
+                    for &j in &*cands {
+                        let ju = j as usize;
+                        if !view.is_legal_pair(iu, ju) {
+                            continue;
+                        }
+                        attack.config.features.compute_into(
+                            &view.vpins()[iu],
+                            &view.vpins()[ju],
+                            &mut buf,
+                        );
+                        let p = attack.model.proba(&buf);
+                        local_pairs += 1;
+                        local_hist[hist_bin(p)] += 1;
+                        if ju == truth {
+                            slot.true_prob = Some(p);
+                        }
+                        push_top(&mut top, Cand { p, index: j, dist: view.distance(iu, ju) }, top_k);
+                    }
+                    top.sort_by(|a, b| b.p.total_cmp(&a.p).then(a.dist.cmp(&b.dist)));
+                    slot.top = top;
+                    local_slots.push(slot);
+                }
+                (c, local_slots, local_hist, local_pairs)
+            });
+            handles.push(handle);
+        }
+        let mut parts: Vec<(usize, Vec<VpinScore>, Vec<u64>, u64)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect();
+        parts.sort_by_key(|p| p.0);
+        for (_, part_slots, part_hist, part_pairs) in parts {
+            slots.extend(part_slots);
+            for (h, ph) in hist.iter_mut().zip(part_hist) {
+                *h += ph;
+            }
+            pairs_scored += part_pairs;
+        }
+    })
+    .expect("crossbeam scope");
+
+    ScoredView { slots, hist, num_view_vpins: n, pairs_scored }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_candidates(
+    attack: &TrainedAttack,
+    view: &SplitView,
+    source: &CandidateSource<'_>,
+    index: Option<&VpinIndex>,
+    slot_idx: usize,
+    i: u32,
+    n: usize,
+    out: &mut Vec<u32>,
+) {
+    match source {
+        CandidateSource::Explicit(lists) => {
+            out.clear();
+            out.extend_from_slice(&lists[slot_idx]);
+            out.retain(|&j| j != i);
+        }
+        CandidateSource::Config => {
+            let iu = i as usize;
+            if attack.config.limit_diff_vpin_y {
+                let index = index.expect("index exists for Y-limited configs");
+                index.same_y(view.vpins()[iu].loc.y, i, out);
+                if let Some(r) = attack.radius {
+                    out.retain(|&j| view.distance(iu, j as usize) <= r);
+                }
+            } else if let Some(r) = attack.radius {
+                let index = index.expect("index exists for neighborhood configs");
+                index.within_radius(view, view.vpins()[iu].loc, r, i, out);
+            } else {
+                out.clear();
+                out.extend((0..n as u32).filter(|&j| j != i));
+            }
+        }
+    }
+}
+
+/// Bounded max-keeper: retains the `k` highest-probability candidates.
+fn push_top(top: &mut Vec<Cand>, c: Cand, k: usize) {
+    if top.len() < k {
+        top.push(c);
+        if top.len() == k {
+            // Establish a min-heap by probability.
+            top.sort_by(|a, b| a.p.total_cmp(&b.p));
+        }
+        return;
+    }
+    if c.p > top[0].p {
+        top[0] = c;
+        // Restore the "min at front" invariant with a single sift pass.
+        let mut i = 0;
+        while i + 1 < top.len() && top[i].p > top[i + 1].p {
+            top.swap(i, i + 1);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_layout::{SplitLayer, Suite};
+
+    fn suite_views(split: u8) -> Vec<SplitView> {
+        Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(split).expect("valid"))
+    }
+
+    fn leave_one_out(views: &[SplitView], test: usize) -> (Vec<&SplitView>, &SplitView) {
+        let train: Vec<&SplitView> =
+            views.iter().enumerate().filter(|(i, _)| *i != test).map(|(_, v)| v).collect();
+        (train, &views[test])
+    }
+
+    #[test]
+    fn config_names_and_feature_counts() {
+        assert_eq!(AttackConfig::ml9().name, "ML-9");
+        assert_eq!(AttackConfig::imp7().features.len(), 7);
+        assert_eq!(AttackConfig::imp11().with_y_limit().name, "Imp-11Y");
+        assert_eq!(AttackConfig::standard_eight().len(), 8);
+        assert!(AttackConfig::imp9().scalable);
+        assert!(!AttackConfig::ml9().scalable);
+    }
+
+    #[test]
+    fn training_requires_views() {
+        let err = TrainedAttack::train(&AttackConfig::imp9(), &[], None);
+        assert!(matches!(err, Err(AttackError::NoTrainingData)));
+    }
+
+    #[test]
+    fn imp_training_resolves_a_radius_ml_does_not() {
+        let views = suite_views(6);
+        let (train, _) = leave_one_out(&views, 0);
+        let imp = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+        assert!(imp.radius().is_some());
+        let ml = TrainedAttack::train(&AttackConfig::ml9(), &train, None).expect("train");
+        assert!(ml.radius().is_none());
+        assert!(imp.num_training_samples() > 0);
+    }
+
+    #[test]
+    fn scoring_covers_every_target_and_finds_matches() {
+        let views = suite_views(6);
+        let (train, test) = leave_one_out(&views, 0);
+        let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
+        let scored = model.score(test, &ScoreOptions::default());
+        assert_eq!(scored.slots.len(), test.num_vpins());
+        let with_truth = scored.slots.iter().filter(|s| s.true_prob.is_some()).count();
+        // The 90% neighborhood must retain the large majority of matches.
+        assert!(
+            with_truth as f64 / scored.slots.len() as f64 > 0.6,
+            "only {with_truth}/{} matches were scored",
+            scored.slots.len()
+        );
+        assert!(scored.pairs_scored > 0);
+    }
+
+    #[test]
+    fn attack_separates_matches_from_nonmatches() {
+        let views = suite_views(6);
+        let (train, test) = leave_one_out(&views, 1);
+        let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
+        let scored = model.score(test, &ScoreOptions::default());
+        // Mean probability of true matches should far exceed the mean over
+        // all candidates.
+        let truths: Vec<f64> = scored.slots.iter().filter_map(|s| s.true_prob).collect();
+        let mean_truth = truths.iter().sum::<f64>() / truths.len() as f64;
+        let total: u64 = scored.hist.iter().sum();
+        let mean_all: f64 = scored
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| bin_threshold(k) * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        assert!(
+            mean_truth > mean_all + 0.2,
+            "no separation: matches {mean_truth:.3} vs all {mean_all:.3}"
+        );
+    }
+
+    #[test]
+    fn y_limit_scores_only_same_track_pairs() {
+        let views = suite_views(8);
+        let (train, test) = leave_one_out(&views, 0);
+        let cfg = AttackConfig::imp9().with_y_limit();
+        let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+        let scored = model.score(test, &ScoreOptions::default());
+        for slot in &scored.slots {
+            let yi = test.vpins()[slot.vpin as usize].loc.y;
+            for c in &slot.top {
+                assert_eq!(test.vpins()[c.index as usize].loc.y, yi);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_option_restricts_scoring() {
+        let views = suite_views(6);
+        let (train, test) = leave_one_out(&views, 0);
+        let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+        let opts = ScoreOptions { targets: Some(vec![0, 5, 7]), ..ScoreOptions::default() };
+        let scored = model.score(test, &opts);
+        assert_eq!(scored.slots.len(), 3);
+        assert_eq!(scored.slots[1].vpin, 5);
+        assert_eq!(scored.num_view_vpins, test.num_vpins());
+    }
+
+    #[test]
+    fn top_lists_are_sorted_and_bounded() {
+        let views = suite_views(6);
+        let (train, test) = leave_one_out(&views, 2);
+        let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+        let opts = ScoreOptions { top_fraction: 0.01, ..ScoreOptions::default() };
+        let scored = model.score(test, &opts);
+        let cap = ((0.01 * test.num_vpins() as f64).ceil() as usize).max(16);
+        for s in &scored.slots {
+            assert!(s.top.len() <= cap);
+            assert!(s.top.windows(2).all(|w| w[0].p >= w[1].p), "top list must be sorted");
+        }
+    }
+
+    #[test]
+    fn scoring_is_deterministic_across_thread_counts() {
+        let views = suite_views(8);
+        let (train, test) = leave_one_out(&views, 0);
+        let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+        let one = model.score(test, &ScoreOptions { threads: Some(1), ..ScoreOptions::default() });
+        let four = model.score(test, &ScoreOptions { threads: Some(4), ..ScoreOptions::default() });
+        assert_eq!(one.hist, four.hist);
+        assert_eq!(one.pairs_scored, four.pairs_scored);
+        for (a, b) in one.slots.iter().zip(&four.slots) {
+            assert_eq!(a.vpin, b.vpin);
+            assert_eq!(a.true_prob, b.true_prob);
+        }
+    }
+
+    #[test]
+    fn push_top_keeps_the_k_best() {
+        let mut top = Vec::new();
+        for (i, p) in [0.1, 0.9, 0.5, 0.95, 0.2, 0.8].iter().enumerate() {
+            push_top(&mut top, Cand { p: *p, index: i as u32, dist: 0 }, 3);
+        }
+        let mut ps: Vec<f64> = top.iter().map(|c| c.p).collect();
+        ps.sort_by(f64::total_cmp);
+        assert_eq!(ps, vec![0.8, 0.9, 0.95]);
+    }
+
+    #[test]
+    fn hist_bins_are_monotone_and_in_range() {
+        assert_eq!(hist_bin(0.0), 0);
+        assert_eq!(hist_bin(1.0), HIST_BINS - 1);
+        assert!(hist_bin(0.5) < hist_bin(0.75));
+        assert!((bin_threshold(hist_bin(0.5)) - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the attack framework.
+
+use sm_layout::LayoutError;
+use sm_ml::TrainError;
+
+/// Errors produced while training or running the attack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// No training views were supplied.
+    NoTrainingData,
+    /// Sample generation found no usable v-pin pairs (e.g. everything was
+    /// filtered by the neighborhood or the DiffVpinY limit).
+    NoSamples,
+    /// The underlying model failed to train.
+    Train(TrainError),
+    /// A layout-level failure.
+    Layout(LayoutError),
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::NoTrainingData => write!(f, "no training views supplied"),
+            AttackError::NoSamples => {
+                write!(f, "sample generation produced no usable v-pin pairs")
+            }
+            AttackError::Train(e) => write!(f, "training failed: {e}"),
+            AttackError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Train(e) => Some(e),
+            AttackError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for AttackError {
+    fn from(e: TrainError) -> Self {
+        AttackError::Train(e)
+    }
+}
+
+impl From<LayoutError> for AttackError {
+    fn from(e: LayoutError) -> Self {
+        AttackError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_roundtrip() {
+        let e: AttackError = TrainError::EmptyDataset.into();
+        assert!(e.to_string().contains("training failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&AttackError::NoTrainingData).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

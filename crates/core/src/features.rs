@@ -1,0 +1,267 @@
+//! The 11 pair features of Section III-B and the feature subsets the
+//! paper's model configurations use.
+
+use serde::{Deserialize, Serialize};
+use sm_layout::VPin;
+
+/// One of the 11 layout features computed for a v-pin pair.
+///
+/// The discriminant order is the paper's presentation order; the "first 9
+/// features" of the `ML-9`/`Imp-9` configurations are discriminants
+/// `0..=8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum PairFeature {
+    /// `|px₁ − px₂|` — placement-pin x distance.
+    DiffPinX = 0,
+    /// `|py₁ − py₂|` — placement-pin y distance.
+    DiffPinY = 1,
+    /// `|px₁ − px₂| + |py₁ − py₂|` — placement-level proximity.
+    ManhattanPin = 2,
+    /// `|vx₁ − vx₂|` — v-pin x distance.
+    DiffVpinX = 3,
+    /// `|vy₁ − vy₂|` — v-pin y distance (zero for matches at the top split
+    /// layer when M9 is horizontally routed).
+    DiffVpinY = 4,
+    /// `|vx₁ − vx₂| + |vy₁ − vy₂|` — v-pin proximity, the single most
+    /// discriminative feature in the paper's ranking.
+    ManhattanVpin = 5,
+    /// `W₁ + W₂` — known below-split wirelength of the would-be net.
+    TotalWirelength = 6,
+    /// `InArea₁ + InArea₂ + OutArea₁ + OutArea₂` — total connected cell area.
+    TotalArea = 7,
+    /// `(OutArea₁ + OutArea₂) − (InArea₁ + InArea₂)` — driver-vs-load area.
+    DiffArea = 8,
+    /// `PC₁ + PC₂` — placement congestion.
+    PlacementCongestion = 9,
+    /// `RC₁ + RC₂` — routing congestion.
+    RoutingCongestion = 10,
+}
+
+/// All 11 features in paper order.
+pub const ALL_FEATURES: [PairFeature; 11] = [
+    PairFeature::DiffPinX,
+    PairFeature::DiffPinY,
+    PairFeature::ManhattanPin,
+    PairFeature::DiffVpinX,
+    PairFeature::DiffVpinY,
+    PairFeature::ManhattanVpin,
+    PairFeature::TotalWirelength,
+    PairFeature::TotalArea,
+    PairFeature::DiffArea,
+    PairFeature::PlacementCongestion,
+    PairFeature::RoutingCongestion,
+];
+
+impl PairFeature {
+    /// Short display name matching the paper's feature names.
+    pub fn name(self) -> &'static str {
+        match self {
+            PairFeature::DiffPinX => "DiffPinX",
+            PairFeature::DiffPinY => "DiffPinY",
+            PairFeature::ManhattanPin => "ManhattanPin",
+            PairFeature::DiffVpinX => "DiffVpinX",
+            PairFeature::DiffVpinY => "DiffVpinY",
+            PairFeature::ManhattanVpin => "ManhattanVpin",
+            PairFeature::TotalWirelength => "TotalWirelength",
+            PairFeature::TotalArea => "TotalArea",
+            PairFeature::DiffArea => "DiffArea",
+            PairFeature::PlacementCongestion => "PlacementCongestion",
+            PairFeature::RoutingCongestion => "RoutingCongestion",
+        }
+    }
+
+    /// Computes this feature's value for the pair `(a, b)`.
+    pub fn compute(self, a: &VPin, b: &VPin) -> f64 {
+        match self {
+            PairFeature::DiffPinX => (a.pin_loc.x - b.pin_loc.x).abs() as f64,
+            PairFeature::DiffPinY => (a.pin_loc.y - b.pin_loc.y).abs() as f64,
+            PairFeature::ManhattanPin => a.pin_loc.manhattan(b.pin_loc) as f64,
+            PairFeature::DiffVpinX => (a.loc.x - b.loc.x).abs() as f64,
+            PairFeature::DiffVpinY => (a.loc.y - b.loc.y).abs() as f64,
+            PairFeature::ManhattanVpin => a.loc.manhattan(b.loc) as f64,
+            PairFeature::TotalWirelength => (a.wirelength + b.wirelength) as f64,
+            PairFeature::TotalArea => {
+                (a.in_area + a.out_area + b.in_area + b.out_area) as f64
+            }
+            PairFeature::DiffArea => {
+                ((a.out_area + b.out_area) - (a.in_area + b.in_area)) as f64
+            }
+            PairFeature::PlacementCongestion => a.pc + b.pc,
+            PairFeature::RoutingCongestion => a.rc + b.rc,
+        }
+    }
+}
+
+impl std::fmt::Display for PairFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered selection of pair features, defining a model configuration's
+/// input space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    features: Vec<PairFeature>,
+}
+
+impl FeatureSet {
+    /// The "9-feature" set of `ML-9`/`Imp-9`: the first nine features
+    /// (everything except the two congestion measurements).
+    pub fn nine() -> Self {
+        Self { features: ALL_FEATURES[..9].to_vec() }
+    }
+
+    /// The "7-feature" set of `Imp-7`: the nine-feature set minus the two
+    /// least important features (`TotalWirelength`, `TotalArea`).
+    pub fn seven() -> Self {
+        Self {
+            features: ALL_FEATURES[..9]
+                .iter()
+                .copied()
+                .filter(|f| {
+                    !matches!(f, PairFeature::TotalWirelength | PairFeature::TotalArea)
+                })
+                .collect(),
+        }
+    }
+
+    /// All 11 features (`Imp-11`).
+    pub fn eleven() -> Self {
+        Self { features: ALL_FEATURES.to_vec() }
+    }
+
+    /// A custom selection (useful for ablations).
+    pub fn custom(features: Vec<PairFeature>) -> Self {
+        Self { features }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the selection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The selected features in order.
+    pub fn features(&self) -> &[PairFeature] {
+        &self.features
+    }
+
+    /// Computes the selected features for pair `(a, b)` into `out`
+    /// (cleared first). Taking a buffer avoids an allocation in the scoring
+    /// hot loop.
+    pub fn compute_into(&self, a: &VPin, b: &VPin, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.features.iter().map(|f| f.compute(a, b)));
+    }
+
+    /// Convenience allocation-returning variant of [`Self::compute_into`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sm_attack::features::FeatureSet;
+    /// use sm_layout::{Suite, SplitLayer};
+    ///
+    /// let view = Suite::ispd2011_like(0.02)?.benchmarks()[0]
+    ///     .split(SplitLayer::new(6)?);
+    /// let fs = FeatureSet::eleven();
+    /// let x = fs.compute(&view.vpins()[0], &view.vpins()[1]);
+    /// assert_eq!(x.len(), 11);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn compute(&self, a: &VPin, b: &VPin) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.features.len());
+        self.compute_into(a, b, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_layout::geom::Point;
+
+    fn vpin(x: i64, y: i64, px: i64, py: i64, w: i64, ia: i64, oa: i64) -> VPin {
+        VPin {
+            loc: Point::new(x, y),
+            pin_loc: Point::new(px, py),
+            wirelength: w,
+            in_area: ia,
+            out_area: oa,
+            pc: 1.5,
+            rc: 2.5,
+        }
+    }
+
+    #[test]
+    fn feature_values_match_definitions() {
+        let a = vpin(10, 20, 1, 2, 100, 50, 0);
+        let b = vpin(13, 24, 5, 2, 200, 0, 70);
+        assert_eq!(PairFeature::DiffVpinX.compute(&a, &b), 3.0);
+        assert_eq!(PairFeature::DiffVpinY.compute(&a, &b), 4.0);
+        assert_eq!(PairFeature::ManhattanVpin.compute(&a, &b), 7.0);
+        assert_eq!(PairFeature::DiffPinX.compute(&a, &b), 4.0);
+        assert_eq!(PairFeature::DiffPinY.compute(&a, &b), 0.0);
+        assert_eq!(PairFeature::ManhattanPin.compute(&a, &b), 4.0);
+        assert_eq!(PairFeature::TotalWirelength.compute(&a, &b), 300.0);
+        assert_eq!(PairFeature::TotalArea.compute(&a, &b), 120.0);
+        assert_eq!(PairFeature::DiffArea.compute(&a, &b), 70.0 - 50.0);
+        assert_eq!(PairFeature::PlacementCongestion.compute(&a, &b), 3.0);
+        assert_eq!(PairFeature::RoutingCongestion.compute(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn features_are_symmetric_in_the_pair() {
+        let a = vpin(10, 20, 1, 2, 100, 50, 0);
+        let b = vpin(-3, 8, 5, -9, 200, 0, 70);
+        for f in ALL_FEATURES {
+            assert_eq!(f.compute(&a, &b), f.compute(&b, &a), "{f} must be symmetric");
+        }
+    }
+
+    #[test]
+    fn set_sizes_match_their_names() {
+        assert_eq!(FeatureSet::seven().len(), 7);
+        assert_eq!(FeatureSet::nine().len(), 9);
+        assert_eq!(FeatureSet::eleven().len(), 11);
+    }
+
+    #[test]
+    fn seven_drops_exactly_the_two_least_important() {
+        let seven = FeatureSet::seven();
+        assert!(!seven.features().contains(&PairFeature::TotalWirelength));
+        assert!(!seven.features().contains(&PairFeature::TotalArea));
+        assert!(seven.features().contains(&PairFeature::DiffArea));
+        assert!(!seven.features().contains(&PairFeature::PlacementCongestion));
+    }
+
+    #[test]
+    fn nine_excludes_congestion() {
+        let nine = FeatureSet::nine();
+        assert!(!nine.features().contains(&PairFeature::PlacementCongestion));
+        assert!(!nine.features().contains(&PairFeature::RoutingCongestion));
+    }
+
+    #[test]
+    fn compute_into_reuses_buffer() {
+        let a = vpin(0, 0, 0, 0, 1, 1, 0);
+        let b = vpin(1, 1, 1, 1, 1, 0, 1);
+        let fs = FeatureSet::seven();
+        let mut buf = vec![999.0; 32];
+        fs.compute_into(&a, &b, &mut buf);
+        assert_eq!(buf.len(), 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            ALL_FEATURES.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 11);
+    }
+}

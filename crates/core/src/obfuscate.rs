@@ -1,0 +1,94 @@
+//! Design obfuscation as a defence (paper Section III-I).
+//!
+//! The paper models routing obfuscation by adding small Gaussian noise to
+//! every v-pin's y-coordinate — directly attacking the two most important
+//! features (`DiffVpinY`, `ManhattanVpin`) — and re-running the identical
+//! training/testing pipeline on the noisy views.
+
+use sm_layout::SplitView;
+
+/// Applies y-noise with standard deviation `sd_fraction` of each view's die
+/// height (the paper uses 1 %–2 %). Ground truth is untouched; `RC` is
+/// recomputed on the noisy positions.
+///
+/// # Examples
+///
+/// ```
+/// use sm_attack::obfuscate::obfuscate_views;
+/// use sm_layout::{SplitLayer, Suite};
+///
+/// let views = Suite::ispd2011_like(0.02)?.split_all(SplitLayer::new(6)?);
+/// let noisy = obfuscate_views(&views, 0.01, 99);
+/// assert_eq!(noisy.len(), views.len());
+/// assert_ne!(noisy[0].vpins()[0].loc, views[0].vpins()[0].loc);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn obfuscate_views(views: &[SplitView], sd_fraction: f64, seed: u64) -> Vec<SplitView> {
+    views
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let sd = sd_fraction * v.die.height() as f64;
+            v.with_y_noise(sd, seed ^ (i as u64).wrapping_mul(0x9e37_79b9))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_layout::{SplitLayer, Suite};
+
+    #[test]
+    fn noise_magnitude_tracks_the_requested_fraction() {
+        let views = Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(6).expect("valid"));
+        let noisy = obfuscate_views(&views, 0.02, 1);
+        for (v, nv) in views.iter().zip(&noisy) {
+            let sd_expect = 0.02 * v.die.height() as f64;
+            let displacements: Vec<f64> = v
+                .vpins()
+                .iter()
+                .zip(nv.vpins())
+                .map(|(a, b)| (a.loc.y - b.loc.y) as f64)
+                .collect();
+            let mean = displacements.iter().sum::<f64>() / displacements.len() as f64;
+            let var = displacements.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+                / displacements.len() as f64;
+            let sd = var.sqrt();
+            // Clamping at the die edge skews this slightly; allow slack.
+            assert!(
+                sd > 0.5 * sd_expect && sd < 1.5 * sd_expect,
+                "{}: sd {sd:.0} vs expected {sd_expect:.0}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn x_coordinates_and_truth_are_preserved() {
+        let views = Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(4).expect("valid"));
+        let noisy = obfuscate_views(&views, 0.01, 2);
+        for (v, nv) in views.iter().zip(&noisy) {
+            for i in 0..v.num_vpins() {
+                assert_eq!(v.vpins()[i].loc.x, nv.vpins()[i].loc.x);
+                assert_eq!(v.true_match(i), nv.true_match(i));
+            }
+        }
+    }
+
+    #[test]
+    fn obfuscation_is_deterministic_per_seed() {
+        let views = Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(6).expect("valid"));
+        let a = obfuscate_views(&views, 0.01, 7);
+        let b = obfuscate_views(&views, 0.01, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vpins(), y.vpins());
+        }
+    }
+}

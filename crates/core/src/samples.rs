@@ -1,0 +1,298 @@
+//! Training-sample generation (paper Section III-B).
+//!
+//! For every v-pin in the training designs we emit one *positive* sample
+//! (the v-pin paired with its true match) and one *negative* sample (the
+//! v-pin paired with a random non-match), keeping the classes balanced as
+//! the paper requires for this heavily imbalanced problem. Pairs that would
+//! short two drivers are illegal and never sampled. The scalable (`Imp`)
+//! configurations restrict both positives and negatives to the
+//! neighborhood radius; the `Y` configurations restrict them to pairs with
+//! `DiffVpinY = 0`.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sm_layout::SplitView;
+use sm_ml::Dataset;
+
+use crate::features::FeatureSet;
+use crate::neighborhood::VpinIndex;
+
+/// Options controlling which pairs are eligible as samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleOptions {
+    /// Restrict pairs to this Manhattan radius (the `Imp` neighborhood).
+    pub radius: Option<i64>,
+    /// Restrict pairs to `DiffVpinY = 0` (top-split-layer convention).
+    pub limit_diff_vpin_y: bool,
+}
+
+impl SampleOptions {
+    /// Whether the pair `(i, j)` of `view` is eligible under these options.
+    pub fn eligible(&self, view: &SplitView, i: usize, j: usize) -> bool {
+        if !view.is_legal_pair(i, j) {
+            return false;
+        }
+        if self.limit_diff_vpin_y && view.vpins()[i].loc.y != view.vpins()[j].loc.y {
+            return false;
+        }
+        if let Some(r) = self.radius {
+            if view.distance(i, j) > r {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Generates the balanced training set over `views`.
+///
+/// `vpin_filter`, when given, must hold one mask per view; only v-pins
+/// whose mask entry is `true` contribute samples (used by the proximity
+/// attack's 80/20 validation split). Positives whose partner is filtered
+/// out are skipped, keeping training and validation pairs disjoint.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sm_attack::features::FeatureSet;
+/// use sm_attack::samples::{generate_samples, SampleOptions};
+/// use sm_layout::{SplitLayer, Suite};
+///
+/// let suite = Suite::ispd2011_like(0.02)?;
+/// let views = suite.split_all(SplitLayer::new(6)?);
+/// let refs: Vec<&_> = views.iter().collect();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let ds = generate_samples(
+///     &refs,
+///     &FeatureSet::eleven(),
+///     SampleOptions::default(),
+///     None,
+///     &mut rng,
+/// );
+/// assert!(ds.len() > 0);
+/// assert_eq!(ds.num_positive() * 2, ds.len()); // balanced classes
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn generate_samples(
+    views: &[&SplitView],
+    features: &FeatureSet,
+    opts: SampleOptions,
+    vpin_filter: Option<&[Vec<bool>]>,
+    rng: &mut ChaCha8Rng,
+) -> Dataset {
+    let mut ds = Dataset::new(features.len());
+    let mut buf = Vec::with_capacity(features.len());
+    let mut cands = Vec::new();
+    for (vi, view) in views.iter().enumerate() {
+        let n = view.num_vpins();
+        if n < 2 {
+            continue;
+        }
+        let filter = vpin_filter.map(|f| &f[vi]);
+        let included = |i: usize| filter.map_or(true, |m| m[i]);
+        let index = if opts.radius.is_some() || opts.limit_diff_vpin_y {
+            Some(match opts.radius {
+                Some(r) => VpinIndex::with_radius(view, r),
+                None => VpinIndex::new(view, 10_000),
+            })
+        } else {
+            None
+        };
+        for i in 0..n {
+            if !included(i) {
+                continue;
+            }
+            let m = view.true_match(i);
+            if !included(m) || !opts.eligible(view, i, m) {
+                continue;
+            }
+            // Positive sample.
+            features.compute_into(&view.vpins()[i], &view.vpins()[m], &mut buf);
+            ds.push(&buf, true).expect("buffer arity matches");
+
+            // One matching negative, drawn from the same candidate pool the
+            // testing stage will use.
+            let drew = draw_negative(view, i, m, &opts, index.as_ref(), &included, rng, &mut cands);
+            if let Some(j) = drew {
+                features.compute_into(&view.vpins()[i], &view.vpins()[j], &mut buf);
+                ds.push(&buf, false).expect("buffer arity matches");
+            }
+        }
+    }
+    ds
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw_negative(
+    view: &SplitView,
+    i: usize,
+    m: usize,
+    opts: &SampleOptions,
+    index: Option<&VpinIndex>,
+    included: &dyn Fn(usize) -> bool,
+    rng: &mut ChaCha8Rng,
+    cands: &mut Vec<u32>,
+) -> Option<usize> {
+    let n = view.num_vpins();
+    if let Some(index) = index {
+        // Enumerate the candidate pool once, then sample from it.
+        if opts.limit_diff_vpin_y {
+            index.same_y(view.vpins()[i].loc.y, i as u32, cands);
+            if let Some(r) = opts.radius {
+                cands.retain(|&j| view.distance(i, j as usize) <= r);
+            }
+        } else if let Some(r) = opts.radius {
+            index.within_radius(view, view.vpins()[i].loc, r, i as u32, cands);
+        }
+        cands.retain(|&j| {
+            let j = j as usize;
+            j != m && included(j) && view.is_legal_pair(i, j)
+        });
+        if cands.is_empty() && opts.limit_diff_vpin_y {
+            // A v-pin alone on its track has no same-track negative; fall
+            // back to its spatial neighborhood so the classes stay
+            // balanced. (At testing time these pairs are never evaluated,
+            // so the model only becomes *more* conservative.)
+            match opts.radius {
+                Some(r) => index.within_radius(view, view.vpins()[i].loc, r, i as u32, cands),
+                None => cands.extend((0..n as u32).filter(|&j| j != i as u32)),
+            }
+            cands.retain(|&j| {
+                let j = j as usize;
+                j != m && included(j) && view.is_legal_pair(i, j)
+            });
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        Some(cands[rng.gen_range(0..cands.len())] as usize)
+    } else {
+        // Unrestricted: rejection-sample a uniform non-match.
+        for _ in 0..64 {
+            let j = rng.gen_range(0..n);
+            if j != i && j != m && included(j) && view.is_legal_pair(i, j) {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sm_layout::{SplitLayer, Suite};
+
+    fn views(split: u8) -> Vec<SplitView> {
+        Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(split).expect("valid"))
+    }
+
+    fn refs(v: &[SplitView]) -> Vec<&SplitView> {
+        v.iter().collect()
+    }
+
+    #[test]
+    fn unrestricted_sampling_is_balanced() {
+        let vs = views(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = generate_samples(
+            &refs(&vs),
+            &FeatureSet::nine(),
+            SampleOptions::default(),
+            None,
+            &mut rng,
+        );
+        let total_vpins: usize = vs.iter().map(SplitView::num_vpins).sum();
+        assert_eq!(ds.num_positive(), total_vpins, "one positive per v-pin");
+        // Negatives can very occasionally fail to draw, but not often.
+        assert!(ds.len() >= 2 * total_vpins - total_vpins / 50);
+    }
+
+    #[test]
+    fn neighborhood_restriction_shrinks_positive_count() {
+        let vs = views(6);
+        let all = {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            generate_samples(&refs(&vs), &FeatureSet::nine(), SampleOptions::default(), None, &mut rng)
+        };
+        let tight = {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            generate_samples(
+                &refs(&vs),
+                &FeatureSet::nine(),
+                SampleOptions { radius: Some(10_000), limit_diff_vpin_y: false },
+                None,
+                &mut rng,
+            )
+        };
+        assert!(tight.num_positive() < all.num_positive());
+    }
+
+    #[test]
+    fn y_limit_keeps_all_positives_at_split8() {
+        let vs = views(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = generate_samples(
+            &refs(&vs),
+            &FeatureSet::nine(),
+            SampleOptions { radius: None, limit_diff_vpin_y: true },
+            None,
+            &mut rng,
+        );
+        let total_vpins: usize = vs.iter().map(SplitView::num_vpins).sum();
+        // At the top split layer every true pair has DiffVpinY = 0, so the
+        // limit costs no positives.
+        assert_eq!(ds.num_positive(), total_vpins);
+    }
+
+    #[test]
+    fn vpin_filter_excludes_pairs_touching_validation_vpins() {
+        let vs = views(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Mask out every odd v-pin; since partners are (2k, 2k+1), every
+        // positive pair touches a masked v-pin and must be dropped.
+        let masks: Vec<Vec<bool>> =
+            vs.iter().map(|v| (0..v.num_vpins()).map(|i| i % 2 == 0).collect()).collect();
+        let ds = generate_samples(
+            &refs(&vs),
+            &FeatureSet::nine(),
+            SampleOptions::default(),
+            Some(&masks),
+            &mut rng,
+        );
+        assert_eq!(ds.len(), 0);
+    }
+
+    #[test]
+    fn eligibility_respects_all_three_constraints() {
+        let vs = views(8);
+        let v = &vs[0];
+        let opts =
+            SampleOptions { radius: Some(1), limit_diff_vpin_y: true };
+        // Distance 0 to itself is excluded by legality (i == j).
+        assert!(!opts.eligible(v, 0, 0));
+        // The true match is farther than radius 1 for essentially every pair.
+        let m = v.true_match(0);
+        assert!(!opts.eligible(v, 0, m) || v.distance(0, m) <= 1);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let vs = views(6);
+        let mk = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            generate_samples(
+                &refs(&vs),
+                &FeatureSet::seven(),
+                SampleOptions { radius: Some(50_000), limit_diff_vpin_y: false },
+                None,
+                &mut rng,
+            )
+        };
+        assert_eq!(mk(5), mk(5));
+    }
+}

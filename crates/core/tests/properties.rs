@@ -1,0 +1,142 @@
+//! Property-based tests of the attack layer's invariants: feature
+//! symmetry, curve monotonicity, and proximity-attack bounds.
+
+use proptest::prelude::*;
+use sm_attack::attack::{Cand, ScoredView, VpinScore, HIST_BINS};
+use sm_attack::features::{FeatureSet, PairFeature, ALL_FEATURES};
+use sm_attack::loc::LocCurve;
+use sm_layout::geom::Point;
+use sm_layout::VPin;
+
+fn arb_vpin() -> impl Strategy<Value = VPin> {
+    (
+        -500_000i64..500_000,
+        -500_000i64..500_000,
+        -500_000i64..500_000,
+        -500_000i64..500_000,
+        0i64..1_000_000,
+        0i64..10_000_000,
+        prop::bool::ANY,
+        0.0f64..50.0,
+        0.0f64..50.0,
+    )
+        .prop_map(|(vx, vy, px, py, w, area, drives, pc, rc)| VPin {
+            loc: Point::new(vx, vy),
+            pin_loc: Point::new(px, py),
+            wirelength: w,
+            in_area: if drives { 0 } else { area },
+            out_area: if drives { area } else { 0 },
+            pc,
+            rc,
+        })
+}
+
+proptest! {
+    #[test]
+    fn pair_features_are_symmetric_and_finite(a in arb_vpin(), b in arb_vpin()) {
+        for f in ALL_FEATURES {
+            let ab = f.compute(&a, &b);
+            let ba = f.compute(&b, &a);
+            prop_assert_eq!(ab, ba, "{} asymmetric", f);
+            prop_assert!(ab.is_finite());
+        }
+        // Distance-like features are non-negative; Manhattan decompositions
+        // are consistent.
+        prop_assert!(PairFeature::ManhattanVpin.compute(&a, &b) >= 0.0);
+        prop_assert_eq!(
+            PairFeature::ManhattanVpin.compute(&a, &b),
+            PairFeature::DiffVpinX.compute(&a, &b) + PairFeature::DiffVpinY.compute(&a, &b)
+        );
+        prop_assert_eq!(
+            PairFeature::ManhattanPin.compute(&a, &b),
+            PairFeature::DiffPinX.compute(&a, &b) + PairFeature::DiffPinY.compute(&a, &b)
+        );
+    }
+
+    #[test]
+    fn feature_sets_select_consistently(a in arb_vpin(), b in arb_vpin()) {
+        let eleven = FeatureSet::eleven().compute(&a, &b);
+        for set in [FeatureSet::seven(), FeatureSet::nine()] {
+            let vals = set.compute(&a, &b);
+            prop_assert_eq!(vals.len(), set.len());
+            for (feat, v) in set.features().iter().zip(&vals) {
+                prop_assert_eq!(eleven[*feat as usize], *v);
+            }
+        }
+    }
+
+    #[test]
+    fn loc_curve_is_monotone_for_arbitrary_scorings(
+        truths in prop::collection::vec(prop::option::of(0.0f64..=1.0), 1..40),
+        cands in prop::collection::vec(0.0f64..=1.0, 0..300),
+        n_view in 1usize..10_000
+    ) {
+        let slots: Vec<VpinScore> = truths
+            .iter()
+            .enumerate()
+            .map(|(i, t)| VpinScore { vpin: i as u32, true_prob: *t, top: Vec::new() })
+            .collect();
+        let mut hist = vec![0u64; HIST_BINS];
+        for &p in &cands {
+            let bin = ((p * (HIST_BINS - 1) as f64).round() as usize).min(HIST_BINS - 1);
+            hist[bin] += 1;
+        }
+        let view = ScoredView { slots, hist, num_view_vpins: n_view, pairs_scored: cands.len() as u64 };
+        let curve = LocCurve::from_views(std::slice::from_ref(&view));
+        let pts = curve.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].accuracy >= w[1].accuracy);
+            prop_assert!(w[0].mean_loc >= w[1].mean_loc);
+            prop_assert!(w[0].threshold <= w[1].threshold);
+        }
+        // Endpoint identities.
+        let first = pts.first().expect("non-empty");
+        prop_assert!((first.accuracy - view.accuracy_at(0.0)).abs() < 1e-9);
+        prop_assert!((first.mean_loc - view.mean_loc_at(0.0)).abs() < 1e-9);
+        // Alignment queries respect their constraints when they answer.
+        if let Some(pt) = curve.min_loc_at_accuracy(0.5) {
+            prop_assert!(pt.accuracy >= 0.5);
+        }
+        if let Some(pt) = curve.max_accuracy_at_loc(3.0) {
+            prop_assert!(pt.mean_loc <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pa_outcomes_are_bounded_by_targets(
+        tops in prop::collection::vec(
+            prop::collection::vec((0.0f64..=1.0, 0u32..100, 0i64..100_000), 0..20), 1..30),
+        fraction in 0.0001f64..1.0
+    ) {
+        // Synthetic scored view over a real split view is unnecessary here:
+        // pa bounds only depend on the slot structure.
+        use sm_layout::{SplitLayer, Suite};
+        let views = Suite::ispd2011_like(0.004).expect("suite")
+            .split_all(SplitLayer::new(8).expect("valid"));
+        let view = &views[0];
+        let n = view.num_vpins() as u32;
+        let slots: Vec<VpinScore> = tops
+            .iter()
+            .enumerate()
+            .take(n as usize)
+            .map(|(i, t)| VpinScore {
+                vpin: i as u32,
+                true_prob: None,
+                top: t.iter()
+                    .map(|&(p, idx, dist)| Cand { p, index: idx % n, dist })
+                    .collect(),
+            })
+            .collect();
+        let total = slots.len();
+        let scored = ScoredView {
+            slots,
+            hist: vec![0; HIST_BINS],
+            num_view_vpins: view.num_vpins(),
+            pairs_scored: 0,
+        };
+        let out = sm_attack::proximity::proximity_attack(&scored, view, fraction, 3);
+        prop_assert_eq!(out.total, total);
+        prop_assert!(out.successes <= out.total);
+        prop_assert!((0.0..=1.0).contains(&out.rate()));
+    }
+}

@@ -1,0 +1,214 @@
+//! Standard-cell library: cell kinds, areas, drive strengths, pin directions.
+//!
+//! The attack's `InArea`/`OutArea` features (paper Section III-A) exist to
+//! let the classifier reason about driver strength, which is "highly
+//! correlated with the cell area". The synthetic library therefore spans a
+//! wide range of areas and drive strengths — including large sequential
+//! cells and hard macros, which produce the outliers visible in the paper's
+//! Fig. 8 distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a standard-cell pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDir {
+    /// Cell input (load).
+    Input,
+    /// Cell output (driver).
+    Output,
+}
+
+/// One kind of standard cell (or macro) in the library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellKind {
+    /// Library name, e.g. `NAND2_X2`.
+    pub name: String,
+    /// Cell width in DBU.
+    pub width: i64,
+    /// Cell height in DBU (one row height for standard cells).
+    pub height: i64,
+    /// Relative drive strength (X1 = 1).
+    pub drive: u8,
+    /// Number of input pins.
+    pub num_inputs: u8,
+    /// Whether this is a hard macro rather than a row cell.
+    pub is_macro: bool,
+}
+
+impl CellKind {
+    /// Cell area in DBU².
+    pub fn area(&self) -> i64 {
+        self.width * self.height
+    }
+}
+
+/// Index of a cell kind within its [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KindId(pub u32);
+
+/// A library of cell kinds.
+///
+/// # Examples
+///
+/// ```
+/// use sm_layout::cells::CellLibrary;
+///
+/// let lib = CellLibrary::standard();
+/// assert!(lib.len() > 10);
+/// let inv = lib.find("INV_X1").expect("INV_X1 exists");
+/// assert_eq!(lib.kind(inv).num_inputs, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    kinds: Vec<CellKind>,
+}
+
+/// Standard-cell row height in DBU.
+pub const ROW_HEIGHT: i64 = 1_400;
+
+impl CellLibrary {
+    /// A representative library: inverters/buffers in four drive strengths,
+    /// 2- and 3-input combinational gates, flip-flops, and two hard-macro
+    /// footprints (SRAM-like), giving a broad area distribution.
+    pub fn standard() -> Self {
+        let h = ROW_HEIGHT;
+        let mut kinds = Vec::new();
+        let mut gate = |name: &str, w: i64, drive: u8, num_inputs: u8| {
+            kinds.push(CellKind {
+                name: name.to_owned(),
+                width: w,
+                height: h,
+                drive,
+                num_inputs,
+                is_macro: false,
+            });
+        };
+        gate("INV_X1", 380, 1, 1);
+        gate("INV_X2", 570, 2, 1);
+        gate("INV_X4", 950, 4, 1);
+        gate("INV_X8", 1_710, 8, 1);
+        gate("BUF_X2", 760, 2, 1);
+        gate("BUF_X4", 1_140, 4, 1);
+        gate("NAND2_X1", 570, 1, 2);
+        gate("NAND2_X2", 760, 2, 2);
+        gate("NOR2_X1", 570, 1, 2);
+        gate("NOR2_X2", 760, 2, 2);
+        gate("AOI21_X1", 760, 1, 3);
+        gate("OAI21_X1", 760, 1, 3);
+        gate("XOR2_X1", 1_140, 1, 2);
+        gate("MUX2_X1", 1_330, 1, 3);
+        gate("DFF_X1", 2_280, 1, 2);
+        gate("DFF_X2", 2_850, 2, 2);
+        // Hard macros: huge areas, the outlier sources of Fig. 8.
+        kinds.push(CellKind {
+            name: "SRAM_1K".to_owned(),
+            width: 40_000,
+            height: 28_000,
+            drive: 4,
+            num_inputs: 12,
+            is_macro: true,
+        });
+        kinds.push(CellKind {
+            name: "SRAM_4K".to_owned(),
+            width: 80_000,
+            height: 56_000,
+            drive: 8,
+            num_inputs: 16,
+            is_macro: true,
+        });
+        Self { kinds }
+    }
+
+    /// Number of kinds in the library.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kind(&self, id: KindId) -> &CellKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// Looks up a kind by name.
+    pub fn find(&self, name: &str) -> Option<KindId> {
+        self.kinds.iter().position(|k| k.name == name).map(|i| KindId(i as u32))
+    }
+
+    /// Ids of all non-macro kinds.
+    pub fn standard_kind_ids(&self) -> Vec<KindId> {
+        (0..self.kinds.len())
+            .filter(|&i| !self.kinds[i].is_macro)
+            .map(|i| KindId(i as u32))
+            .collect()
+    }
+
+    /// Ids of all macro kinds.
+    pub fn macro_kind_ids(&self) -> Vec<KindId> {
+        (0..self.kinds.len())
+            .filter(|&i| self.kinds[i].is_macro)
+            .map(|i| KindId(i as u32))
+            .collect()
+    }
+
+    /// Iterates over `(id, kind)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (KindId, &CellKind)> {
+        self.kinds.iter().enumerate().map(|(i, k)| (KindId(i as u32), k))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_broad_area_spread() {
+        let lib = CellLibrary::standard();
+        let areas: Vec<i64> = lib.iter().map(|(_, k)| k.area()).collect();
+        let min = *areas.iter().min().expect("non-empty");
+        let max = *areas.iter().max().expect("non-empty");
+        // Macros dominate standard cells by orders of magnitude.
+        assert!(max / min > 1_000, "area spread {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn drive_strength_scales_with_area_within_inverters() {
+        let lib = CellLibrary::standard();
+        let x1 = lib.kind(lib.find("INV_X1").expect("exists"));
+        let x8 = lib.kind(lib.find("INV_X8").expect("exists"));
+        assert!(x8.drive > x1.drive);
+        assert!(x8.area() > x1.area());
+    }
+
+    #[test]
+    fn macro_split_is_consistent() {
+        let lib = CellLibrary::standard();
+        let n_std = lib.standard_kind_ids().len();
+        let n_mac = lib.macro_kind_ids().len();
+        assert_eq!(n_std + n_mac, lib.len());
+        assert_eq!(n_mac, 2);
+        for id in lib.macro_kind_ids() {
+            assert!(lib.kind(id).is_macro);
+        }
+    }
+
+    #[test]
+    fn find_misses_unknown_names() {
+        let lib = CellLibrary::standard();
+        assert!(lib.find("NAND9_X99").is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Gate-level netlist: cell instances and driver/sink nets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cells::{CellKind, CellLibrary, KindId, PinDir};
+use crate::error::LayoutError;
+use crate::geom::Point;
+
+/// Identifier of a cell instance within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+/// Identifier of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// A placed cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellInst {
+    /// The library kind of this instance.
+    pub kind: KindId,
+    /// Lower-left placement location (filled in by the placer; the origin
+    /// until then).
+    pub origin: Point,
+}
+
+/// A reference to one pin of one cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PinRef {
+    /// The owning cell.
+    pub cell: CellId,
+    /// Whether this pin drives or loads the net.
+    pub dir: PinDir,
+}
+
+/// A signal net: exactly one driver (a cell output pin) and one or more
+/// sinks (cell input pins).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// The driving output pin.
+    pub driver: PinRef,
+    /// The loading input pins.
+    pub sinks: Vec<PinRef>,
+}
+
+impl Net {
+    /// All pins of the net, driver first.
+    pub fn pins(&self) -> impl Iterator<Item = PinRef> + '_ {
+        std::iter::once(self.driver).chain(self.sinks.iter().copied())
+    }
+
+    /// Total pin count (driver + sinks).
+    pub fn degree(&self) -> usize {
+        1 + self.sinks.len()
+    }
+}
+
+/// A gate-level netlist bound to a [`CellLibrary`].
+///
+/// # Examples
+///
+/// ```
+/// use sm_layout::cells::{CellLibrary, PinDir};
+/// use sm_layout::netlist::{Netlist, PinRef};
+///
+/// let lib = CellLibrary::standard();
+/// let inv = lib.find("INV_X1").expect("exists");
+/// let mut nl = Netlist::new(lib);
+/// let a = nl.add_cell(inv);
+/// let b = nl.add_cell(inv);
+/// let net = nl.add_net(
+///     PinRef { cell: a, dir: PinDir::Output },
+///     vec![PinRef { cell: b, dir: PinDir::Input }],
+/// )?;
+/// assert_eq!(nl.net(net).degree(), 2);
+/// # Ok::<(), sm_layout::error::LayoutError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    library: CellLibrary,
+    cells: Vec<CellInst>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist over `library`.
+    pub fn new(library: CellLibrary) -> Self {
+        Self { library, cells: Vec::new(), nets: Vec::new() }
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Adds an (unplaced) instance of `kind` and returns its id.
+    pub fn add_cell(&mut self, kind: KindId) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(CellInst { kind, origin: Point::new(0, 0) });
+        id
+    }
+
+    /// Adds a net with the given driver and sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::DanglingReference`] if any pin references a
+    /// missing cell, the driver is not an output pin, any sink is not an
+    /// input pin, or the sink list is empty.
+    pub fn add_net(&mut self, driver: PinRef, sinks: Vec<PinRef>) -> Result<NetId, LayoutError> {
+        if driver.dir != PinDir::Output {
+            return Err(LayoutError::DanglingReference("net driver must be an output pin".into()));
+        }
+        if sinks.is_empty() {
+            return Err(LayoutError::DanglingReference("net must have at least one sink".into()));
+        }
+        for pin in std::iter::once(&driver).chain(sinks.iter()) {
+            if pin.cell.0 as usize >= self.cells.len() {
+                return Err(LayoutError::DanglingReference(format!(
+                    "pin references missing cell {}",
+                    pin.cell.0
+                )));
+            }
+        }
+        if sinks.iter().any(|s| s.dir != PinDir::Input) {
+            return Err(LayoutError::DanglingReference("net sinks must be input pins".into()));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { driver, sinks });
+        Ok(id)
+    }
+
+    /// Number of cell instances.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The instance with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &CellInst {
+        &self.cells[id.0 as usize]
+    }
+
+    /// The library kind of instance `id`.
+    pub fn kind_of(&self, id: CellId) -> &CellKind {
+        self.library.kind(self.cell(id).kind)
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Sets the placement origin of a cell (used by the placer).
+    pub(crate) fn place_cell(&mut self, id: CellId, origin: Point) {
+        self.cells[id.0 as usize].origin = origin;
+    }
+
+    /// Physical pin location of `pin`: the centre of its owning cell.
+    ///
+    /// The synthetic flow does not model intra-cell pin offsets; all pins of
+    /// a cell share the cell centre, which is accurate at the g-cell
+    /// granularity the attack features operate on.
+    pub fn pin_location(&self, pin: PinRef) -> Point {
+        let inst = self.cell(pin.cell);
+        let kind = self.library.kind(inst.kind);
+        Point::new(inst.origin.x + kind.width / 2, inst.origin.y + kind.height / 2)
+    }
+
+    /// Locations of every pin of net `id` (driver first).
+    pub fn net_pin_locations(&self, id: NetId) -> Vec<Point> {
+        self.net(id).pins().map(|p| self.pin_location(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::hpwl;
+
+    fn tiny() -> (Netlist, CellId, CellId) {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INV_X1").expect("exists");
+        let mut nl = Netlist::new(lib);
+        let a = nl.add_cell(inv);
+        let b = nl.add_cell(inv);
+        (nl, a, b)
+    }
+
+    #[test]
+    fn add_net_validates_driver_direction() {
+        let (mut nl, a, b) = tiny();
+        let err = nl.add_net(
+            PinRef { cell: a, dir: PinDir::Input },
+            vec![PinRef { cell: b, dir: PinDir::Input }],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn add_net_validates_sink_direction_and_nonempty() {
+        let (mut nl, a, b) = tiny();
+        assert!(nl.add_net(PinRef { cell: a, dir: PinDir::Output }, vec![]).is_err());
+        assert!(nl
+            .add_net(
+                PinRef { cell: a, dir: PinDir::Output },
+                vec![PinRef { cell: b, dir: PinDir::Output }],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn add_net_rejects_missing_cells() {
+        let (mut nl, a, _) = tiny();
+        let ghost = CellId(999);
+        assert!(nl
+            .add_net(
+                PinRef { cell: a, dir: PinDir::Output },
+                vec![PinRef { cell: ghost, dir: PinDir::Input }],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn pin_locations_track_placement() {
+        let (mut nl, a, b) = tiny();
+        let net = nl
+            .add_net(
+                PinRef { cell: a, dir: PinDir::Output },
+                vec![PinRef { cell: b, dir: PinDir::Input }],
+            )
+            .expect("valid net");
+        nl.place_cell(a, Point::new(0, 0));
+        nl.place_cell(b, Point::new(10_000, 0));
+        let locs = nl.net_pin_locations(net);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(hpwl(&locs), 10_000);
+    }
+
+    #[test]
+    fn degree_counts_driver_and_sinks() {
+        let (mut nl, a, b) = tiny();
+        let c = nl.add_cell(nl.library().find("NAND2_X1").expect("exists"));
+        let net = nl
+            .add_net(
+                PinRef { cell: a, dir: PinDir::Output },
+                vec![
+                    PinRef { cell: b, dir: PinDir::Input },
+                    PinRef { cell: c, dir: PinDir::Input },
+                ],
+            )
+            .expect("valid net");
+        assert_eq!(nl.net(net).degree(), 3);
+        assert_eq!(nl.net(net).pins().count(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the layout substrate's geometric and
+//! structural invariants.
+
+use proptest::prelude::*;
+use sm_layout::congestion::DensityMap;
+use sm_layout::geom::{hpwl, Grid, Point, Rect};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert!(a.manhattan(b) >= 0);
+    }
+
+    #[test]
+    fn min_max_bound_the_inputs(a in arb_point(), b in arb_point()) {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        prop_assert!(lo.x <= a.x && lo.x <= b.x);
+        prop_assert!(hi.y >= a.y && hi.y >= b.y);
+        prop_assert_eq!(lo.manhattan(hi), a.manhattan(b));
+    }
+
+    #[test]
+    fn hpwl_lower_bounds_any_pairwise_distance(pts in prop::collection::vec(arb_point(), 2..20)) {
+        let h = hpwl(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                prop_assert!(pts[i].manhattan(pts[j]) <= h,
+                    "pairwise distance exceeds HPWL");
+            }
+        }
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant(pts in prop::collection::vec(arb_point(), 2..20),
+                                     dx in -10_000i64..10_000, dy in -10_000i64..10_000) {
+        let shifted: Vec<Point> =
+            pts.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+        prop_assert_eq!(hpwl(&pts), hpwl(&shifted));
+    }
+
+    #[test]
+    fn rect_clamp_is_idempotent_and_contained(
+        w in 1i64..1_000_000, h in 1i64..1_000_000, p in arb_point()
+    ) {
+        let r = Rect::with_size(w, h);
+        let q = r.clamp(p);
+        prop_assert!(r.contains(q));
+        prop_assert_eq!(r.clamp(q), q);
+        if r.contains(p) {
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn grid_locate_is_within_range_and_stable(
+        w in 10i64..500_000, h in 10i64..500_000, cell in 1i64..50_000, p in arb_point()
+    ) {
+        let g = Grid::new(Rect::with_size(w, h), cell);
+        let (ix, iy) = g.locate(p);
+        prop_assert!(ix < g.nx() && iy < g.ny());
+        prop_assert!(g.flat(ix, iy) < g.len());
+        // Window of radius 0 is exactly the containing cell.
+        let win: Vec<usize> = g.window(p, 0).collect();
+        prop_assert_eq!(win, vec![g.flat(ix, iy)]);
+    }
+
+    #[test]
+    fn grid_window_grows_with_radius(
+        w in 100i64..500_000, h in 100i64..500_000, cell in 1i64..50_000,
+        p in arb_point(), r1 in 0usize..4, dr in 0usize..4
+    ) {
+        let g = Grid::new(Rect::with_size(w, h), cell);
+        let small = g.window(p, r1).count();
+        let large = g.window(p, r1 + dr).count();
+        prop_assert!(large >= small);
+        prop_assert!(large <= (2 * (r1 + dr) + 1).pow(2));
+    }
+
+    #[test]
+    fn density_map_conserves_mass(points in prop::collection::vec(arb_point(), 0..200)) {
+        let bounds = Rect::with_size(1_000_000, 1_000_000);
+        let map = DensityMap::from_points(
+            bounds, 100_000,
+            points.iter().map(|p| Point::new(p.x.abs(), p.y.abs())),
+        );
+        prop_assert_eq!(map.total(), points.len() as u64);
+        // Full-grid window over the centre counts everything.
+        let all = map.window_count(bounds.center(), 10);
+        prop_assert_eq!(u64::from(all), points.len() as u64);
+    }
+}
+
+mod design_invariants {
+    use super::*;
+    use sm_layout::generator::generate;
+    use sm_layout::route::route;
+    use sm_layout::split::SplitView;
+    use sm_layout::suite::Suite;
+    use sm_layout::tech::SplitLayer;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For arbitrary seeds, the generated design upholds its structural
+        /// invariants at every split layer.
+        #[test]
+        fn split_views_are_well_formed_for_any_seed(seed in 0u64..1_000_000) {
+            let mut spec = Suite::spec_sb18_scaled(0.004);
+            spec.seed = seed;
+            let routed = route(generate(&spec).expect("valid spec"));
+            for layer in [4u8, 6, 8] {
+                let view = SplitView::cut(&routed, SplitLayer::new(layer).expect("valid"));
+                prop_assert_eq!(view.num_vpins() % 2, 0);
+                for i in 0..view.num_vpins() {
+                    let m = view.true_match(i);
+                    prop_assert_eq!(view.true_match(m), i);
+                    prop_assert!(view.is_legal_pair(i, m));
+                    let vp = &view.vpins()[i];
+                    prop_assert!(vp.wirelength >= 0);
+                    prop_assert!(vp.in_area + vp.out_area > 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Serde round-trips for the layout data structures (challenge caching
+//! between pipeline stages; `serde_json` is a dev-dependency exercising
+//! the derives).
+
+use sm_layout::generator::DesignSpec;
+use sm_layout::geom::{Grid, Point, Rect};
+use sm_layout::split::SplitView;
+use sm_layout::suite::Suite;
+use sm_layout::tech::{SplitLayer, Technology};
+
+
+#[test]
+fn geometry_roundtrips() {
+    let p = Point::new(-3, 99);
+    let back: Point = serde_json::from_str(&serde_json::to_string(&p).expect("ser")).expect("de");
+    assert_eq!(p, back);
+
+    let r = Rect::with_size(1000, 500);
+    let back: Rect = serde_json::from_str(&serde_json::to_string(&r).expect("ser")).expect("de");
+    assert_eq!(r, back);
+
+    let g = Grid::new(r, 100);
+    let back: Grid = serde_json::from_str(&serde_json::to_string(&g).expect("ser")).expect("de");
+    assert_eq!(g, back);
+}
+
+#[test]
+fn technology_roundtrips() {
+    let t = Technology::ispd9();
+    let back: Technology =
+        serde_json::from_str(&serde_json::to_string(&t).expect("ser")).expect("de");
+    assert_eq!(t, back);
+    assert_eq!(back.gcell_capacity(9), t.gcell_capacity(9));
+}
+
+#[test]
+fn design_spec_roundtrips() {
+    let spec = Suite::spec_sb12_scaled(0.1);
+    let back: DesignSpec =
+        serde_json::from_str(&serde_json::to_string(&spec).expect("ser")).expect("de");
+    assert_eq!(spec, back);
+    back.validate().expect("restored spec still valid");
+}
+
+#[test]
+fn split_view_roundtrips_with_truth_intact() {
+    let view = Suite::ispd2011_like(0.01)
+        .expect("suite")
+        .split_all(SplitLayer::new(6).expect("valid"))
+        .remove(0);
+    let back: SplitView =
+        serde_json::from_str(&serde_json::to_string(&view).expect("ser")).expect("de");
+    assert_eq!(back.num_vpins(), view.num_vpins());
+    for i in 0..view.num_vpins() {
+        assert_eq!(back.vpins()[i], view.vpins()[i]);
+        assert_eq!(back.true_match(i), view.true_match(i));
+        assert_eq!(back.net_of(i), view.net_of(i));
+    }
+}

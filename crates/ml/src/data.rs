@@ -1,0 +1,245 @@
+//! Datasets: row-major feature matrices with binary labels.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TrainError;
+
+/// A binary-classification dataset stored row-major for cache-friendly
+/// training and inference.
+///
+/// # Examples
+///
+/// ```
+/// use sm_ml::data::Dataset;
+///
+/// let mut ds = Dataset::new(2);
+/// ds.push(&[1.0, 2.0], true)?;
+/// ds.push(&[3.0, 4.0], false)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.row(0), &[1.0, 2.0]);
+/// assert!(ds.label(0));
+/// # Ok::<(), sm_ml::error::TrainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    num_features: usize,
+    x: Vec<f64>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset whose samples carry `num_features` features.
+    pub fn new(num_features: usize) -> Self {
+        Self { num_features, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Creates an empty dataset with capacity for `n` samples.
+    pub fn with_capacity(num_features: usize, n: usize) -> Self {
+        Self { num_features, x: Vec::with_capacity(n * num_features), y: Vec::with_capacity(n) }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::FeatureMismatch`] if `features.len()` differs
+    /// from the dataset's feature count.
+    pub fn push(&mut self, features: &[f64], label: bool) -> Result<(), TrainError> {
+        if features.len() != self.num_features {
+            return Err(TrainError::FeatureMismatch {
+                expected: self.num_features,
+                got: features.len(),
+            });
+        }
+        self.x.extend_from_slice(features);
+        self.y.push(label);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Features per sample.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.num_features..(i + 1) * self.num_features]
+    }
+
+    /// Feature `j` of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn feature(&self, i: usize, j: usize) -> f64 {
+        assert!(j < self.num_features, "feature index out of range");
+        self.x[i * self.num_features + j]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    /// Count of positive samples.
+    pub fn num_positive(&self) -> usize {
+        self.y.iter().filter(|&&l| l).count()
+    }
+
+    /// Validates that the dataset is trainable (non-empty, two classes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] or [`TrainError::SingleClass`].
+    pub fn check_trainable(&self) -> Result<(), TrainError> {
+        if self.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let pos = self.num_positive();
+        if pos == 0 || pos == self.len() {
+            return Err(TrainError::SingleClass);
+        }
+        Ok(())
+    }
+
+    /// All sample indices (`0..len`), the identity index set trees train on.
+    pub fn all_indices(&self) -> Vec<u32> {
+        (0..self.len() as u32).collect()
+    }
+
+    /// A bootstrap resample of the index set: `len` draws with replacement.
+    pub fn bootstrap_indices<R: Rng>(&self, rng: &mut R) -> Vec<u32> {
+        let n = self.len();
+        (0..n).map(|_| rng.gen_range(0..n as u32)).collect()
+    }
+
+    /// Shuffles `0..len` and splits it into a grow set of `frac·len` indices
+    /// and a held-out set of the rest (used by reduced-error pruning).
+    pub fn split_indices<R: Rng>(&self, frac: f64, rng: &mut R) -> (Vec<u32>, Vec<u32>) {
+        let mut idx = self.all_indices();
+        idx.shuffle(rng);
+        let cut = ((self.len() as f64) * frac).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let held = idx.split_off(cut.min(idx.len()));
+        (idx, held)
+    }
+
+    /// Column `j` as an owned vector (used by the feature metrics).
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.len()).map(|i| self.feature(i, j)).collect()
+    }
+
+    /// All labels as a slice.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+}
+
+impl Extend<(Vec<f64>, bool)> for Dataset {
+    /// Extends the dataset, panicking on feature-count mismatch (use
+    /// [`Dataset::push`] for fallible insertion).
+    fn extend<T: IntoIterator<Item = (Vec<f64>, bool)>>(&mut self, iter: T) {
+        for (row, label) in iter {
+            self.push(&row, label).expect("extend requires matching feature counts");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_set(n: usize) -> Dataset {
+        let mut ds = Dataset::new(3);
+        for i in 0..n {
+            ds.push(&[i as f64, (i * 2) as f64, -(i as f64)], i % 2 == 0).expect("3 features");
+        }
+        ds
+    }
+
+    #[test]
+    fn push_rejects_wrong_arity() {
+        let mut ds = Dataset::new(3);
+        let err = ds.push(&[1.0], true).expect_err("arity mismatch");
+        assert_eq!(err, TrainError::FeatureMismatch { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn rows_and_columns_agree() {
+        let ds = sample_set(5);
+        assert_eq!(ds.row(2), &[2.0, 4.0, -2.0]);
+        assert_eq!(ds.column(1), vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(ds.feature(3, 2), -3.0);
+    }
+
+    #[test]
+    fn trainable_checks() {
+        assert_eq!(Dataset::new(1).check_trainable(), Err(TrainError::EmptyDataset));
+        let mut one_class = Dataset::new(1);
+        one_class.push(&[0.0], true).expect("ok");
+        one_class.push(&[1.0], true).expect("ok");
+        assert_eq!(one_class.check_trainable(), Err(TrainError::SingleClass));
+        assert!(sample_set(4).check_trainable().is_ok());
+    }
+
+    #[test]
+    fn bootstrap_draws_with_replacement() {
+        let ds = sample_set(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let idx = ds.bootstrap_indices(&mut rng);
+        assert_eq!(idx.len(), 100);
+        let distinct: std::collections::HashSet<_> = idx.iter().collect();
+        assert!(distinct.len() < 100, "bootstrap should repeat some indices");
+        assert!(idx.iter().all(|&i| (i as usize) < 100));
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let ds = sample_set(30);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (grow, held) = ds.split_indices(2.0 / 3.0, &mut rng);
+        assert_eq!(grow.len() + held.len(), 30);
+        assert_eq!(grow.len(), 20);
+        let mut all: Vec<u32> = grow.iter().chain(held.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn split_never_leaves_either_side_empty_for_n_ge_2() {
+        let ds = sample_set(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (grow, held) = ds.split_indices(0.999, &mut rng);
+        assert!(!grow.is_empty() && !held.is_empty());
+    }
+
+    #[test]
+    fn extend_appends_rows() {
+        let mut ds = Dataset::new(2);
+        ds.extend(vec![(vec![1.0, 2.0], true), (vec![3.0, 4.0], false)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_positive(), 1);
+    }
+}

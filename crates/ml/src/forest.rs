@@ -1,0 +1,113 @@
+//! Random Forest: Bagging of unpruned `RandomTree`s with Weka defaults.
+//!
+//! This is the classifier of the conference version [18] that the paper's
+//! REPTree-based Bagging replaces; Table II compares the two.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bagging::Bagging;
+use crate::data::Dataset;
+use crate::error::TrainError;
+use crate::learners::RandomTreeLearner;
+
+/// Default number of trees in Weka's `RandomForest`.
+pub const DEFAULT_FOREST_TREES: usize = 100;
+
+/// A trained random forest.
+///
+/// # Examples
+///
+/// ```
+/// use sm_ml::data::Dataset;
+/// use sm_ml::forest::RandomForest;
+///
+/// let mut ds = Dataset::new(1);
+/// for i in 0..200 {
+///     ds.push(&[i as f64], i >= 100)?;
+/// }
+/// let model = RandomForest::fit(&ds, 25, 7)?;
+/// assert!(model.predict(&[180.0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    inner: Bagging,
+}
+
+impl RandomForest {
+    /// Fits a forest of `n_trees` RandomTrees (default `K = ⌊log₂ m⌋ + 1`
+    /// features per node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the underlying [`Bagging::fit`].
+    pub fn fit(data: &Dataset, n_trees: usize, seed: u64) -> Result<Self, TrainError> {
+        let inner = Bagging::fit(data, &RandomTreeLearner::default(), n_trees, seed)?;
+        Ok(Self { inner })
+    }
+
+    /// Fits with Weka's default 100 trees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the underlying [`Bagging::fit`].
+    pub fn fit_default(data: &Dataset, seed: u64) -> Result<Self, TrainError> {
+        Self::fit(data, DEFAULT_FOREST_TREES, seed)
+    }
+
+    /// Soft-vote probability that `x` is positive.
+    pub fn proba(&self, x: &[f64]) -> f64 {
+        self.inner.proba(x)
+    }
+
+    /// Binary answer at the 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.inner.predict(x)
+    }
+
+    /// Number of member trees.
+    pub fn num_trees(&self) -> usize {
+        self.inner.num_trees()
+    }
+
+    /// The underlying bagging ensemble.
+    pub fn as_bagging(&self) -> &Bagging {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forest_learns_diagonal_boundary() {
+        let mut ds = Dataset::new(2);
+        let mut r = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..800 {
+            let a: f64 = r.gen_range(0.0..1.0);
+            let b: f64 = r.gen_range(0.0..1.0);
+            ds.push(&[a, b], a + b > 1.0).expect("ok");
+        }
+        let m = RandomForest::fit(&ds, 30, 1).expect("fit");
+        assert!(m.predict(&[0.9, 0.9]));
+        assert!(!m.predict(&[0.1, 0.1]));
+        // Probability is graded near the boundary.
+        let p = m.proba(&[0.5, 0.5]);
+        assert!(p > 0.1 && p < 0.9, "boundary probability {p}");
+    }
+
+    #[test]
+    fn default_tree_count_matches_weka() {
+        assert_eq!(DEFAULT_FOREST_TREES, 100);
+    }
+
+    #[test]
+    fn forest_propagates_training_errors() {
+        let empty = Dataset::new(1);
+        assert!(RandomForest::fit(&empty, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # sm-ml — decision-tree machine learning substrate
+//!
+//! A from-scratch reimplementation of the Weka components the paper's
+//! attack depends on: [`tree::Tree`] (CART-style decision tree),
+//! [`learners::RepTreeLearner`] (reduced-error pruning, Weka `REPTree`),
+//! [`learners::RandomTreeLearner`] (Weka `RandomTree`),
+//! [`bagging::Bagging`] (bootstrap aggregation with soft voting, Eq. (1)–(3)
+//! of the paper), [`forest::RandomForest`], and the feature-importance
+//! metrics of Section IV-A ([`metrics`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sm_ml::bagging::Bagging;
+//! use sm_ml::data::Dataset;
+//! use sm_ml::learners::RepTreeLearner;
+//!
+//! let mut ds = Dataset::new(2);
+//! for i in 0..300 {
+//!     let x = f64::from(i % 100);
+//!     ds.push(&[x, -x], x > 50.0)?;
+//! }
+//! let model = Bagging::fit(&ds, &RepTreeLearner::default(), 10, 0)?;
+//! let p = model.proba(&[80.0, -80.0]);
+//! assert!(p > 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod bagging;
+pub mod bayes;
+pub mod data;
+pub mod error;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod learners;
+pub mod metrics;
+pub mod tree;
+
+pub use bagging::Bagging;
+pub use bayes::GaussianNaiveBayes;
+pub use knn::KNearest;
+pub use linear::{LogisticParams, LogisticRegression};
+pub use data::Dataset;
+pub use error::TrainError;
+pub use forest::RandomForest;
+pub use learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
+pub use tree::{Tree, TreeParams};

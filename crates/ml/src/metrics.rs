@@ -1,0 +1,270 @@
+//! Feature-importance and class-separability metrics (paper Section IV-A).
+//!
+//! Three statistics rank the attack's 11 layout features:
+//!
+//! - **Information gain** of the best binary split on the feature with
+//!   respect to the label (larger = more important).
+//! - **|Pearson correlation|** between the feature and the 0/1 label
+//!   (larger = more important).
+//! - **Fisher's discriminant ratio** `(μ₊ − μ₋)² / (σ₊² + σ₋²)` (larger =
+//!   the classes are more separable on this feature).
+
+use crate::data::Dataset;
+
+/// Information gain (in nats) of the best single threshold on `values`
+/// against `labels`.
+///
+/// # Panics
+///
+/// Panics if `values` and `labels` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use sm_ml::metrics::information_gain;
+///
+/// let values = [0.0, 1.0, 2.0, 3.0];
+/// let labels = [false, false, true, true];
+/// // A perfect split recovers the full label entropy, ln 2.
+/// assert!((information_gain(&values, &labels) - std::f64::consts::LN_2).abs() < 1e-9);
+/// ```
+pub fn information_gain(values: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(values.len(), labels.len(), "one label per value");
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let pos_total = labels.iter().filter(|&&l| l).count() as f64;
+    let neg_total = n as f64 - pos_total;
+    let h = entropy(pos_total, neg_total);
+    let mut best = 0.0f64;
+    let mut lp = 0.0f64;
+    let mut ln = 0.0f64;
+    for w in 0..n - 1 {
+        let i = order[w];
+        if labels[i] {
+            lp += 1.0;
+        } else {
+            ln += 1.0;
+        }
+        // Only cut between distinct values.
+        if values[order[w]] == values[order[w + 1]] {
+            continue;
+        }
+        let l = lp + ln;
+        let r = n as f64 - l;
+        let gain =
+            h - (l / n as f64) * entropy(lp, ln) - (r / n as f64) * entropy(pos_total - lp, neg_total - ln);
+        if gain > best {
+            best = gain;
+        }
+    }
+    best
+}
+
+/// Absolute Pearson correlation between a numeric feature and the 0/1 label.
+///
+/// Returns 0 when either variable is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn correlation(values: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(values.len(), labels.len(), "one label per value");
+    let n = values.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let my = labels.iter().filter(|&&l| l).count() as f64 / n;
+    let mx = values.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (v, &l) in values.iter().zip(labels) {
+        let dx = v - mx;
+        let dy = f64::from(u8::from(l)) - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        (sxy / (sxx.sqrt() * syy.sqrt())).abs()
+    }
+}
+
+/// Fisher's discriminant ratio `(μ₊ − μ₋)² / (σ₊² + σ₋²)`.
+///
+/// Returns 0 when either class is empty, and `f64::INFINITY` when the class
+/// means differ but both variances are zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fisher_ratio(values: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(values.len(), labels.len(), "one label per value");
+    let (mut sp, mut np) = (0.0f64, 0.0f64);
+    let (mut sn, mut nn) = (0.0f64, 0.0f64);
+    for (v, &l) in values.iter().zip(labels) {
+        if l {
+            sp += v;
+            np += 1.0;
+        } else {
+            sn += v;
+            nn += 1.0;
+        }
+    }
+    if np == 0.0 || nn == 0.0 {
+        return 0.0;
+    }
+    let mp = sp / np;
+    let mn = sn / nn;
+    let mut vp = 0.0f64;
+    let mut vn = 0.0f64;
+    for (v, &l) in values.iter().zip(labels) {
+        if l {
+            vp += (v - mp) * (v - mp);
+        } else {
+            vn += (v - mn) * (v - mn);
+        }
+    }
+    vp /= np;
+    vn /= nn;
+    let num = (mp - mn) * (mp - mn);
+    if vp + vn == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / (vp + vn)
+    }
+}
+
+/// All three metrics for every feature of a dataset, in feature order.
+pub fn rank_features(data: &Dataset) -> Vec<FeatureScore> {
+    (0..data.num_features())
+        .map(|j| {
+            let col = data.column(j);
+            FeatureScore {
+                feature: j,
+                info_gain: information_gain(&col, data.labels()),
+                correlation: correlation(&col, data.labels()),
+                fisher: fisher_ratio(&col, data.labels()),
+            }
+        })
+        .collect()
+}
+
+/// The three importance metrics of one feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureScore {
+    /// Feature index.
+    pub feature: usize,
+    /// Best-split information gain (nats).
+    pub info_gain: f64,
+    /// |Pearson correlation| with the label.
+    pub correlation: f64,
+    /// Fisher's discriminant ratio.
+    pub fisher: f64,
+}
+
+/// Fraction of samples a classifier labels correctly.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "one prediction per label");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(actual).filter(|(p, a)| p == a).count() as f64 / predicted.len() as f64
+}
+
+fn entropy(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 || pos == 0.0 || neg == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    let q = neg / n;
+    -(p * p.ln() + q * q.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_gain_of_uninformative_feature_is_zero() {
+        let values = [1.0, 1.0, 1.0, 1.0];
+        let labels = [true, false, true, false];
+        assert_eq!(information_gain(&values, &labels), 0.0);
+    }
+
+    #[test]
+    fn information_gain_handles_duplicated_values() {
+        let values = [0.0, 0.0, 1.0, 1.0, 1.0];
+        let labels = [false, false, true, true, false];
+        let g = information_gain(&values, &labels);
+        assert!(g > 0.0 && g < std::f64::consts::LN_2);
+    }
+
+    #[test]
+    fn correlation_of_perfectly_aligned_feature_is_one() {
+        let values = [0.0, 0.0, 1.0, 1.0];
+        let labels = [false, false, true, true];
+        assert!((correlation(&values, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_sign_is_dropped() {
+        let values = [3.0, 2.0, 1.0, 0.0];
+        let labels = [false, false, true, true];
+        assert!(correlation(&values, &labels) > 0.85);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        assert_eq!(correlation(&[5.0, 5.0], &[true, false]), 0.0);
+        assert_eq!(correlation(&[1.0, 2.0], &[true, true]), 0.0);
+    }
+
+    #[test]
+    fn fisher_ratio_orders_separability() {
+        // Well separated classes...
+        let tight = fisher_ratio(&[0.0, 0.1, 10.0, 10.1], &[false, false, true, true]);
+        // ... vs heavily overlapping ones.
+        let loose = fisher_ratio(&[0.0, 5.0, 4.0, 9.0], &[false, false, true, true]);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn fisher_ratio_degenerate_cases() {
+        assert_eq!(fisher_ratio(&[1.0, 2.0], &[true, true]), 0.0);
+        assert_eq!(fisher_ratio(&[1.0, 1.0, 2.0, 2.0], &[true, true, false, false]), f64::INFINITY);
+        assert_eq!(fisher_ratio(&[1.0, 1.0], &[true, false]), 0.0);
+    }
+
+    #[test]
+    fn rank_features_identifies_the_signal_column() {
+        let mut ds = crate::data::Dataset::new(2);
+        for i in 0..100 {
+            // Feature 0 carries the label; feature 1 is a constant.
+            ds.push(&[i as f64, 7.0], i >= 50).expect("ok");
+        }
+        let scores = rank_features(&ds);
+        assert!(scores[0].info_gain > scores[1].info_gain);
+        assert!(scores[0].correlation > scores[1].correlation);
+        assert!(scores[0].fisher > scores[1].fisher);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,618 @@
+//! Binary decision trees on numeric features.
+//!
+//! The tree grows CART-style with information-gain splitting. For speed on
+//! the attack's large sample sets, candidate thresholds are drawn from
+//! per-feature quantile bins computed once per tree (histogram splitting);
+//! with the default 256 bins this is statistically indistinguishable from
+//! exhaustive threshold scanning on the attack's feature distributions.
+//!
+//! Every node stores the positive/negative counts of the training samples
+//! that reached it. Leaf counts implement the paper's Eq. (1): the
+//! probability a sample is positive is `P / (P + N)` of its leaf.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::error::TrainError;
+
+/// Sentinel feature id marking a leaf node.
+const LEAF: i32 = -1;
+
+/// Growth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node (Weka `minNum`).
+    pub min_samples_split: usize,
+    /// If set, consider only this many randomly chosen features per node
+    /// (RandomTree behaviour); `None` considers all features.
+    pub feature_subset: Option<usize>,
+    /// Number of quantile bins per feature for candidate thresholds.
+    pub bins: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 60, min_samples_split: 2, feature_subset: None, bins: 256 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Node {
+    /// Splitting feature, or [`LEAF`].
+    feature: i32,
+    /// Split threshold: `x[feature] <= threshold` goes left.
+    threshold: f64,
+    left: u32,
+    right: u32,
+    /// Positive training samples that reached this node.
+    pos: u32,
+    /// Negative training samples that reached this node.
+    neg: u32,
+}
+
+impl Node {
+    fn leaf(pos: u32, neg: u32) -> Self {
+        Node { feature: LEAF, threshold: 0.0, left: 0, right: 0, pos, neg }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.feature == LEAF
+    }
+
+    fn majority(&self) -> bool {
+        self.pos >= self.neg
+    }
+}
+
+/// A trained decision tree.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sm_ml::data::Dataset;
+/// use sm_ml::tree::{Tree, TreeParams};
+///
+/// let mut ds = Dataset::new(1);
+/// for i in 0..100 {
+///     ds.push(&[i as f64], i >= 50)?;
+/// }
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let tree = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng)?;
+/// assert!(tree.predict(&[99.0]));
+/// assert!(!tree.predict(&[3.0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl Tree {
+    /// Fits a tree on the samples selected by `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] if `idx` is empty. A
+    /// single-class index set yields a single-leaf tree rather than an
+    /// error (bootstrap resamples can legitimately be one-class).
+    pub fn fit<R: Rng>(
+        data: &Dataset,
+        idx: &[u32],
+        params: TreeParams,
+        rng: &mut R,
+    ) -> Result<Self, TrainError> {
+        if idx.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let thresholds = quantile_thresholds(data, idx, params.bins);
+        let mut tree = Tree { nodes: Vec::new(), num_features: data.num_features() };
+        let mut scratch = idx.to_vec();
+        tree.build(data, &mut scratch, &thresholds, &params, 0, rng);
+        Ok(tree)
+    }
+
+    fn build<R: Rng>(
+        &mut self,
+        data: &Dataset,
+        idx: &mut [u32],
+        thresholds: &[Vec<f64>],
+        params: &TreeParams,
+        depth: usize,
+        rng: &mut R,
+    ) -> u32 {
+        let (pos, neg) = count_labels(data, idx);
+        let me = self.nodes.len() as u32;
+        self.nodes.push(Node::leaf(pos, neg));
+        if pos == 0
+            || neg == 0
+            || idx.len() < params.min_samples_split
+            || depth >= params.max_depth
+        {
+            return me;
+        }
+
+        // Candidate features: all, or a random subset (RandomTree).
+        let m = data.num_features();
+        let mut order: Vec<usize> = (0..m).collect();
+        let candidates: &[usize] = match params.feature_subset {
+            Some(k) => {
+                order.shuffle(rng);
+                &order[..k.clamp(1, m)]
+            }
+            None => &order,
+        };
+
+        let Some((feature, threshold, gain)) =
+            best_split(data, idx, thresholds, candidates, pos, neg)
+        else {
+            return me;
+        };
+        if gain <= 1e-12 {
+            return me;
+        }
+
+        // In-place partition: `x[feature] <= threshold` to the front.
+        let cut = partition(idx, |&i| data.feature(i as usize, feature) <= threshold);
+        if cut == 0 || cut == idx.len() {
+            return me; // numeric degeneracy: no progress
+        }
+        let (left_idx, right_idx) = idx.split_at_mut(cut);
+        let left = self.build(data, left_idx, thresholds, params, depth + 1, rng);
+        let right = self.build(data, right_idx, thresholds, params, depth + 1, rng);
+        let node = &mut self.nodes[me as usize];
+        node.feature = feature as i32;
+        node.threshold = threshold;
+        node.left = left;
+        node.right = right;
+        me
+    }
+
+    /// Index of the leaf `x` routes to.
+    fn leaf_of(&self, x: &[f64]) -> usize {
+        let mut at = 0usize;
+        loop {
+            let n = &self.nodes[at];
+            if n.is_leaf() {
+                return at;
+            }
+            at = if x[n.feature as usize] <= n.threshold { n.left as usize } else { n.right as usize };
+        }
+    }
+
+    /// Probability that `x` is positive: `P / (P + N)` of its leaf
+    /// (Eq. (1) of the paper); `0.5` for a leaf no training sample reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has fewer features than the tree was trained on.
+    pub fn proba(&self, x: &[f64]) -> f64 {
+        let n = &self.nodes[self.leaf_of(x)];
+        let total = n.pos + n.neg;
+        if total == 0 {
+            0.5
+        } else {
+            f64::from(n.pos) / f64::from(total)
+        }
+    }
+
+    /// Hard classification at the default 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.proba(x) >= 0.5
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum root-to-leaf depth.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            let n = &nodes[at];
+            if n.is_leaf() {
+                0
+            } else {
+                1 + walk(nodes, n.left as usize).max(walk(nodes, n.right as usize))
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Features the tree was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Reduced-error pruning against a held-out index set: any subtree whose
+    /// majority-label error on the held-out samples is no better than the
+    /// error of a single leaf is collapsed.
+    pub(crate) fn prune_with(&mut self, data: &Dataset, held: &[u32]) {
+        let mut scratch = held.to_vec();
+        self.prune_node(data, 0, &mut scratch);
+        self.compact();
+    }
+
+    /// Returns the held-out error of the (possibly pruned) subtree at `at`.
+    fn prune_node(&mut self, data: &Dataset, at: usize, held: &mut [u32]) -> usize {
+        let node = self.nodes[at];
+        let leaf_err = held
+            .iter()
+            .filter(|&&i| data.label(i as usize) != node.majority())
+            .count();
+        if node.is_leaf() {
+            return leaf_err;
+        }
+        let feature = node.feature as usize;
+        let threshold = node.threshold;
+        let cut = partition(held, |&i| data.feature(i as usize, feature) <= threshold);
+        let (lh, rh) = held.split_at_mut(cut);
+        let subtree_err =
+            self.prune_node(data, node.left as usize, lh) + self.prune_node(data, node.right as usize, rh);
+        if leaf_err <= subtree_err {
+            // Collapse: children become unreachable and are swept later.
+            let n = &mut self.nodes[at];
+            n.feature = LEAF;
+            n.left = 0;
+            n.right = 0;
+            leaf_err
+        } else {
+            subtree_err
+        }
+    }
+
+    /// Re-derives every node's counts from the given samples (the paper's
+    /// Eq. (1) counts come from the *full* training set after pruning).
+    pub(crate) fn backfit(&mut self, data: &Dataset, idx: &[u32]) {
+        for n in &mut self.nodes {
+            n.pos = 0;
+            n.neg = 0;
+        }
+        for &i in idx {
+            let x = data.row(i as usize);
+            let label = data.label(i as usize);
+            let mut at = 0usize;
+            loop {
+                let n = &mut self.nodes[at];
+                if label {
+                    n.pos += 1;
+                } else {
+                    n.neg += 1;
+                }
+                if n.is_leaf() {
+                    break;
+                }
+                at = if x[n.feature as usize] <= n.threshold {
+                    n.left as usize
+                } else {
+                    n.right as usize
+                };
+            }
+        }
+    }
+
+    /// Drops nodes unreachable after pruning and renumbers children.
+    fn compact(&mut self) {
+        let mut keep = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(at) = stack.pop() {
+            keep[at] = true;
+            let n = &self.nodes[at];
+            if !n.is_leaf() {
+                stack.push(n.left as usize);
+                stack.push(n.right as usize);
+            }
+        }
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        let mut out = Vec::with_capacity(keep.iter().filter(|k| **k).count());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if keep[i] {
+                remap[i] = out.len() as u32;
+                out.push(*node);
+            }
+        }
+        for n in &mut out {
+            if !n.is_leaf() {
+                n.left = remap[n.left as usize];
+                n.right = remap[n.right as usize];
+            }
+        }
+        self.nodes = out;
+    }
+}
+
+/// Stable-enough in-place partition: elements satisfying `pred` move to the
+/// front; returns the number that satisfy it.
+fn partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut store = 0usize;
+    for i in 0..xs.len() {
+        if pred(&xs[i]) {
+            xs.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+fn count_labels(data: &Dataset, idx: &[u32]) -> (u32, u32) {
+    let mut pos = 0u32;
+    let mut neg = 0u32;
+    for &i in idx {
+        if data.label(i as usize) {
+            pos += 1;
+        } else {
+            neg += 1;
+        }
+    }
+    (pos, neg)
+}
+
+/// Binary entropy of a (pos, neg) count pair, in nats.
+fn entropy(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 || pos == 0.0 || neg == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    let q = neg / n;
+    -(p * p.ln() + q * q.ln())
+}
+
+/// Per-feature candidate thresholds: midpoints between adjacent distinct
+/// quantile values of the training samples.
+fn quantile_thresholds(data: &Dataset, idx: &[u32], bins: usize) -> Vec<Vec<f64>> {
+    let m = data.num_features();
+    let mut out = Vec::with_capacity(m);
+    let mut vals: Vec<f64> = Vec::with_capacity(idx.len());
+    for j in 0..m {
+        vals.clear();
+        vals.extend(idx.iter().map(|&i| data.feature(i as usize, j)));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        let mut ts = Vec::new();
+        if vals.len() > 1 {
+            if vals.len() <= bins {
+                for w in vals.windows(2) {
+                    ts.push((w[0] + w[1]) / 2.0);
+                }
+            } else {
+                for k in 1..bins {
+                    let q0 = vals[(k - 1) * (vals.len() - 1) / (bins - 1)];
+                    let q1 = vals[k * (vals.len() - 1) / (bins - 1)];
+                    if q1 > q0 {
+                        ts.push((q0 + q1) / 2.0);
+                    }
+                }
+                ts.dedup();
+            }
+        }
+        out.push(ts);
+    }
+    out
+}
+
+/// Best (feature, threshold, information gain) over the candidate features.
+fn best_split(
+    data: &Dataset,
+    idx: &[u32],
+    thresholds: &[Vec<f64>],
+    candidates: &[usize],
+    pos: u32,
+    neg: u32,
+) -> Option<(usize, f64, f64)> {
+    let parent = entropy(f64::from(pos), f64::from(neg));
+    let n = idx.len() as f64;
+    let mut best: Option<(usize, f64, f64)> = None;
+    // Histogram scratch: (pos, neg) per bin.
+    let mut hist: Vec<(u32, u32)> = Vec::new();
+    for &j in candidates {
+        let ts = &thresholds[j];
+        if ts.is_empty() {
+            continue;
+        }
+        hist.clear();
+        hist.resize(ts.len() + 1, (0, 0));
+        for &i in idx {
+            let v = data.feature(i as usize, j);
+            let bin = ts.partition_point(|t| *t < v);
+            let e = &mut hist[bin];
+            if data.label(i as usize) {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        let mut lp = 0u32;
+        let mut ln = 0u32;
+        for (k, &(hp, hn)) in hist[..ts.len()].iter().enumerate() {
+            lp += hp;
+            ln += hn;
+            let l = f64::from(lp + ln);
+            let r = n - l;
+            if l == 0.0 || r == 0.0 {
+                continue;
+            }
+            let gain = parent
+                - (l / n) * entropy(f64::from(lp), f64::from(ln))
+                - (r / n) * entropy(f64::from(pos - lp), f64::from(neg - ln));
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((j, ts[k], gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    /// XOR-ish dataset: not linearly separable, trivially tree-separable.
+    fn xor_data(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2);
+        let mut r = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..n {
+            let a: f64 = r.gen_range(0.0..1.0);
+            let b: f64 = r.gen_range(0.0..1.0);
+            ds.push(&[a, b], (a > 0.5) != (b > 0.5)).expect("2 features");
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let ds = xor_data(400);
+        let t = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng()).expect("fit");
+        assert!(t.predict(&[0.9, 0.1]));
+        assert!(t.predict(&[0.1, 0.9]));
+        assert!(!t.predict(&[0.9, 0.9]));
+        assert!(!t.predict(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn single_class_index_set_yields_one_leaf() {
+        let mut ds = Dataset::new(1);
+        for i in 0..10 {
+            ds.push(&[i as f64], true).expect("ok");
+        }
+        let t = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng()).expect("fit");
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_index_set_is_an_error() {
+        let ds = xor_data(10);
+        assert_eq!(
+            Tree::fit(&ds, &[], TreeParams::default(), &mut rng()).unwrap_err(),
+            TrainError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn max_depth_caps_tree() {
+        let ds = xor_data(400);
+        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
+        assert!(t.depth() <= 1);
+        assert!(t.num_nodes() <= 3);
+    }
+
+    #[test]
+    fn proba_matches_leaf_purity() {
+        // 80/20 mix below the split, pure above.
+        let mut ds = Dataset::new(1);
+        for i in 0..100 {
+            ds.push(&[0.0], i < 80).expect("ok");
+        }
+        for _ in 0..100 {
+            ds.push(&[10.0], false).expect("ok");
+        }
+        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
+        assert!((t.proba(&[0.0]) - 0.8).abs() < 1e-9);
+        assert!(t.proba(&[10.0]) < 1e-9);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees_without_hurting_signal() {
+        // Signal in feature 0; feature 1 is pure noise the unpruned tree
+        // will overfit to.
+        let mut ds = Dataset::new(2);
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..600 {
+            let a: f64 = r.gen_range(0.0..1.0);
+            let noise: f64 = r.gen_range(0.0..1.0);
+            let label = if r.gen_bool(0.15) { a <= 0.5 } else { a > 0.5 };
+            ds.push(&[a, noise], label).expect("ok");
+        }
+        let mut r2 = rng();
+        let (grow, held) = ds.split_indices(2.0 / 3.0, &mut r2);
+        let mut t =
+            Tree::fit(&ds, &grow, TreeParams::default(), &mut r2).expect("fit");
+        let before = t.num_nodes();
+        t.prune_with(&ds, &held);
+        t.backfit(&ds, &ds.all_indices());
+        assert!(t.num_nodes() < before, "pruning should remove noise splits");
+        // Signal preserved.
+        assert!(t.predict(&[0.9, 0.5]));
+        assert!(!t.predict(&[0.1, 0.5]));
+    }
+
+    #[test]
+    fn backfit_counts_sum_to_dataset() {
+        let ds = xor_data(200);
+        let mut r = rng();
+        let mut t = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut r).expect("fit");
+        t.backfit(&ds, &ds.all_indices());
+        let (leaf_pos, leaf_neg) = t
+            .nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .fold((0u32, 0u32), |(p, q), n| (p + n.pos, q + n.neg));
+        assert_eq!((leaf_pos + leaf_neg) as usize, ds.len());
+        assert_eq!(leaf_pos as usize, ds.num_positive());
+    }
+
+    #[test]
+    fn feature_subset_still_learns() {
+        let ds = xor_data(600);
+        let params = TreeParams { feature_subset: Some(1), ..TreeParams::default() };
+        let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
+        // With one random feature per node the tree is bigger but still
+        // separates XOR reasonably.
+        let acc = (0..ds.len())
+            .filter(|&i| t.predict(ds.row(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.9, "subset tree accuracy {acc}");
+    }
+
+    #[test]
+    fn compact_preserves_predictions() {
+        let ds = xor_data(300);
+        let mut r = rng();
+        let (grow, held) = ds.split_indices(2.0 / 3.0, &mut r);
+        let mut t = Tree::fit(&ds, &grow, TreeParams::default(), &mut r).expect("fit");
+        let mut pruned = t.clone();
+        pruned.prune_node(&ds, 0, &mut held.clone());
+        t.prune_with(&ds, &held); // prune + compact
+        for i in 0..ds.len() {
+            assert_eq!(t.predict(ds.row(i)), pruned.predict(ds.row(i)));
+        }
+        assert!(t.num_nodes() <= pruned.num_nodes());
+    }
+
+    #[test]
+    fn partition_is_correct() {
+        let mut xs = vec![5, 1, 4, 2, 3];
+        let cut = partition(&mut xs, |&x| x <= 2);
+        assert_eq!(cut, 2);
+        let (l, r) = xs.split_at(cut);
+        assert!(l.iter().all(|&x| x <= 2));
+        assert!(r.iter().all(|&x| x > 2));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(0.0, 0.0), 0.0);
+        assert_eq!(entropy(10.0, 0.0), 0.0);
+        assert!((entropy(5.0, 5.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the ML substrate: probability bounds, metric
+//! ranges, soft-voting arithmetic, and dataset round-trips.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_ml::learners::{RepTreeLearner, TreeLearner};
+use sm_ml::metrics::{correlation, fisher_ratio, information_gain};
+use sm_ml::tree::{Tree, TreeParams};
+use sm_ml::{Bagging, Dataset};
+
+/// A random small binary dataset with at least one sample per class.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (prop::collection::vec(-1000.0f64..1000.0, 3), any::<bool>()),
+        8..64,
+    )
+    .prop_map(|rows| {
+        let mut ds = Dataset::new(3);
+        for (i, (x, y)) in rows.iter().enumerate() {
+            // Force both classes to exist.
+            let label = if i == 0 { true } else if i == 1 { false } else { *y };
+            ds.push(x, label).expect("3 features");
+        }
+        ds
+    })
+}
+
+proptest! {
+    #[test]
+    fn dataset_roundtrips_rows(rows in prop::collection::vec(
+        (prop::collection::vec(-1e6f64..1e6, 4), any::<bool>()), 1..50)) {
+        let mut ds = Dataset::new(4);
+        for (x, y) in &rows {
+            ds.push(x, *y).expect("4 features");
+        }
+        prop_assert_eq!(ds.len(), rows.len());
+        for (i, (x, y)) in rows.iter().enumerate() {
+            prop_assert_eq!(ds.row(i), x.as_slice());
+            prop_assert_eq!(ds.label(i), *y);
+        }
+        let pos = rows.iter().filter(|(_, y)| *y).count();
+        prop_assert_eq!(ds.num_positive(), pos);
+    }
+
+    #[test]
+    fn tree_probabilities_are_probabilities(ds in arb_dataset(), q in prop::collection::vec(-1000.0f64..1000.0, 3)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tree = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng)
+            .expect("fit");
+        let p = tree.proba(&q);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(tree.predict(&q), p >= 0.5);
+    }
+
+    #[test]
+    fn rep_tree_never_grows_beyond_unpruned(ds in arb_dataset()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let unpruned = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng)
+            .expect("fit");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let rep = RepTreeLearner::default()
+            .fit_tree(&ds, &ds.all_indices(), &mut rng)
+            .expect("fit");
+        // Pruned trees are grown on 2/3 of the data and then collapsed;
+        // they cannot exceed the unpruned tree by more than the growth
+        // difference allows — sanity-bound the size.
+        prop_assert!(rep.num_nodes() <= 2 * unpruned.num_nodes() + 1);
+        prop_assert!(rep.num_leaves() >= 1);
+        prop_assert!(rep.depth() < 64);
+    }
+
+    #[test]
+    fn bagging_soft_vote_is_the_tree_mean(ds in arb_dataset(), q in prop::collection::vec(-1000.0f64..1000.0, 3)) {
+        if let Ok(m) = Bagging::fit(&ds, &RepTreeLearner::default(), 5, 3) {
+            let mean: f64 =
+                m.trees().iter().map(|t| t.proba(&q)).sum::<f64>() / m.num_trees() as f64;
+            prop_assert!((m.proba(&q) - mean).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&m.proba(&q)));
+        }
+    }
+
+    #[test]
+    fn information_gain_bounded_by_label_entropy(
+        values in prop::collection::vec(-100.0f64..100.0, 2..100),
+        seed in any::<u64>()
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<bool> = (0..values.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let pos = labels.iter().filter(|&&l| l).count() as f64;
+        let n = labels.len() as f64;
+        let h = if pos == 0.0 || pos == n {
+            0.0
+        } else {
+            let p = pos / n;
+            -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+        };
+        let g = information_gain(&values, &labels);
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= h + 1e-9, "gain {g} exceeds entropy {h}");
+    }
+
+    #[test]
+    fn correlation_is_in_unit_interval(
+        values in prop::collection::vec(-1e6f64..1e6, 2..100),
+        seed in any::<u64>()
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<bool> = (0..values.len()).map(|_| rng.gen_bool(0.4)).collect();
+        let c = correlation(&values, &labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+    }
+
+    #[test]
+    fn fisher_ratio_is_non_negative(
+        values in prop::collection::vec(-1e6f64..1e6, 2..100),
+        seed in any::<u64>()
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<bool> = (0..values.len()).map(|_| rng.gen_bool(0.6)).collect();
+        let f = fisher_ratio(&values, &labels);
+        prop_assert!(f >= 0.0);
+    }
+
+    #[test]
+    fn bootstrap_indices_stay_in_range(n in 1usize..500, seed in any::<u64>()) {
+        let mut ds = Dataset::new(1);
+        for i in 0..n {
+            ds.push(&[i as f64], i % 2 == 0).expect("1 feature");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let idx = ds.bootstrap_indices(&mut rng);
+        prop_assert_eq!(idx.len(), n);
+        prop_assert!(idx.iter().all(|&i| (i as usize) < n));
+    }
+
+    #[test]
+    fn split_indices_partition(n in 2usize..300, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut ds = Dataset::new(1);
+        for i in 0..n {
+            ds.push(&[i as f64], i % 2 == 0).expect("1 feature");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (a, b) = ds.split_indices(frac, &mut rng);
+        prop_assert!(!a.is_empty() && !b.is_empty());
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,89 @@
+//! Serde round-trip tests: trained models and datasets must survive
+//! serialisation unchanged (an attacker checkpoints models between the
+//! training and testing stages; `serde_json` is a dev-dependency used
+//! only to exercise the derives).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sm_ml::learners::{RepTreeLearner, TreeLearner};
+use sm_ml::tree::{Tree, TreeParams};
+use sm_ml::{Bagging, Dataset, GaussianNaiveBayes, KNearest};
+use sm_ml::learners::RepTreeLearner as Rep;
+
+fn dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(3);
+    for i in 0..n {
+        let x = i as f64;
+        ds.push(&[x, x * 0.5, -x], i % 3 != 0).expect("3 features");
+    }
+    ds
+}
+
+#[test]
+fn dataset_roundtrips() {
+    let ds = dataset(50);
+    let json = serde_json::to_string(&ds).expect("serialises");
+    let back: Dataset = serde_json::from_str(&json).expect("parses");
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn tree_roundtrips_and_predicts_identically() {
+    let ds = dataset(200);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let tree = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng).expect("fit");
+    let back: Tree =
+        serde_json::from_str(&serde_json::to_string(&tree).expect("serialises")).expect("parses");
+    assert_eq!(tree, back);
+    for i in 0..ds.len() {
+        assert_eq!(tree.proba(ds.row(i)), back.proba(ds.row(i)));
+    }
+}
+
+#[test]
+fn bagging_roundtrips_and_predicts_identically() {
+    let ds = dataset(300);
+    let model = Bagging::fit(&ds, &Rep::default(), 5, 2).expect("fit");
+    let back: Bagging =
+        serde_json::from_str(&serde_json::to_string(&model).expect("serialises")).expect("parses");
+    assert_eq!(model, back);
+    for i in (0..ds.len()).step_by(7) {
+        assert_eq!(model.proba(ds.row(i)), back.proba(ds.row(i)));
+    }
+}
+
+#[test]
+fn rep_tree_learner_config_roundtrips() {
+    let learner = RepTreeLearner::default();
+    let back: RepTreeLearner =
+        serde_json::from_str(&serde_json::to_string(&learner).expect("serialises"))
+            .expect("parses");
+    assert_eq!(learner, back);
+    // And the restored config trains identically.
+    let ds = dataset(120);
+    let mut r1 = ChaCha8Rng::seed_from_u64(3);
+    let mut r2 = ChaCha8Rng::seed_from_u64(3);
+    assert_eq!(
+        learner.fit_tree(&ds, &ds.all_indices(), &mut r1).expect("fit"),
+        back.fit_tree(&ds, &ds.all_indices(), &mut r2).expect("fit")
+    );
+}
+
+#[test]
+fn alternative_classifiers_roundtrip() {
+    let ds = dataset(100);
+    let nb = GaussianNaiveBayes::fit(&ds).expect("fit");
+    let nb_back: GaussianNaiveBayes =
+        serde_json::from_str(&serde_json::to_string(&nb).expect("serialises")).expect("parses");
+    assert_eq!(nb, nb_back);
+
+    // JSON may perturb the last ULP of standardised floats, so compare
+    // k-NN behaviourally rather than structurally.
+    let knn = KNearest::fit(&ds, 3).expect("fit");
+    let knn_back: KNearest =
+        serde_json::from_str(&serde_json::to_string(&knn).expect("serialises")).expect("parses");
+    assert_eq!(knn.k(), knn_back.k());
+    for i in (0..ds.len()).step_by(9) {
+        assert!((knn.proba(ds.row(i)) - knn_back.proba(ds.row(i))).abs() < 1e-9);
+    }
+}

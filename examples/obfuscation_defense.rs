@@ -1,0 +1,46 @@
+//! The defender's counter-move: y-coordinate obfuscation (paper Section
+//! III-I). Shows how little routing perturbation is needed to knock the
+//! attack down, and that 2% noise buys little over 1%.
+//!
+//! ```bash
+//! cargo run --release --example obfuscation_defense
+//! ```
+
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions};
+use splitmfg::attack::loc::LocCurve;
+use splitmfg::attack::obfuscate::obfuscate_views;
+use splitmfg::attack::xval::leave_one_out;
+use splitmfg::layout::{SplitLayer, Suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = Suite::ispd2011_like(0.1)?;
+    let clean = suite.split_all(SplitLayer::new(6)?);
+    let config = AttackConfig::imp11();
+
+    println!("Attack accuracy at fixed LoC fractions, with obfuscation noise on v-pin y:\n");
+    println!("{:<10} {:>12} {:>12} {:>12}", "noise SD", "LoC 0.1%", "LoC 1%", "LoC 10%");
+    for sd in [0.0, 0.005, 0.01, 0.02] {
+        let views = if sd == 0.0 { clean.clone() } else { obfuscate_views(&clean, sd, 5) };
+        let folds = leave_one_out(&config, &views, &ScoreOptions::default())?;
+        let scored: Vec<_> = folds.into_iter().map(|f| f.scored).collect();
+        let curve = LocCurve::from_views(&scored);
+        let cell = |f: f64| {
+            curve
+                .accuracy_at_loc_fraction(f)
+                .map_or("—".to_owned(), |a| format!("{:.1}%", 100.0 * a))
+        };
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            format!("{:.1}%", sd * 100.0),
+            cell(0.001),
+            cell(0.01),
+            cell(0.1)
+        );
+    }
+    println!(
+        "\nA ~1% routing perturbation on the two most important features\n\
+         (DiffVpinY, ManhattanVpin) already costs the attacker a large share\n\
+         of accuracy; stronger noise changes little (paper Fig. 10, Table VI)."
+    );
+    Ok(())
+}

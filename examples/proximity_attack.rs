@@ -1,0 +1,47 @@
+//! Full proximity-attack pipeline: validated PA-LoC sizing, attack, and a
+//! comparison against the naive fixed-threshold variant and the prior
+//! work's nearest-in-window attack.
+//!
+//! ```bash
+//! cargo run --release --example proximity_attack
+//! ```
+
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use splitmfg::attack::baseline::PriorWorkModel;
+use splitmfg::attack::proximity::{
+    pa_at_threshold, proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS,
+};
+use splitmfg::layout::{SplitLayer, Suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = Suite::ispd2011_like(0.1)?;
+    let views = suite.split_all(SplitLayer::new(8)?);
+    let target = &views[0];
+    let training: Vec<_> = views[1..].iter().collect();
+    let config = AttackConfig::imp9().with_y_limit();
+
+    // Step 1: choose the PA-LoC fraction on held-out training v-pins.
+    println!("Validating PA-LoC fractions on the training designs...");
+    let validation = validate_pa_fraction(&config, &training, &DEFAULT_PA_FRACTIONS, 7)?;
+    for (fraction, rate) in &validation.rates {
+        println!("  fraction {:>6.3}%: validation success {:>6.2}%", 100.0 * fraction, 100.0 * rate);
+    }
+    println!("  -> selected fraction {:.3}%", 100.0 * validation.best_fraction);
+
+    // Step 2: train on the full N-1 designs and attack the target.
+    let model = TrainedAttack::train(&config, &training, None)?;
+    let scored = model.score(target, &ScoreOptions::default());
+
+    let validated = proximity_attack(&scored, target, validation.best_fraction, 11);
+    let fixed = pa_at_threshold(&scored, target, 0.5, 13);
+    println!("\nProximity attack on {} ({} v-pins):", target.name, target.num_vpins());
+    println!("  validated PA-LoC : {validated}");
+    println!("  fixed t=0.5 [18] : {fixed}");
+
+    // Step 3: the prior work's attack for scale.
+    let refs: Vec<_> = views.iter().collect();
+    let prior = PriorWorkModel::fit(&refs);
+    let prior_result = prior.evaluate(target, 1.5);
+    println!("  prior work [5]   : {:.2}%", 100.0 * prior_result.pa_rate);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a benchmark, cut it at a split layer, train the
+//! ML attack on the other designs, and inspect the list of candidates.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use splitmfg::layout::{SplitLayer, Suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1/10-size suite keeps this example under a few seconds.
+    let suite = Suite::ispd2011_like(0.1)?;
+    let split = SplitLayer::new(8)?;
+    println!("Cutting the five designs at split layer {split} (between M8 and M9)...");
+    let views = suite.split_all(split);
+    for v in &views {
+        println!("  {:<5} {:>6} v-pins", v.name, v.num_vpins());
+    }
+
+    // Attack sb1 with a model trained on the other four designs
+    // (leave-one-out, as an untrusted foundry with historical layouts).
+    let target = &views[0];
+    let training: Vec<_> = views[1..].iter().collect();
+    let config = AttackConfig::imp11();
+    println!("\nTraining {} on {} designs...", config.name, training.len());
+    let model = TrainedAttack::train(&config, &training, None)?;
+    println!(
+        "  {} training samples, neighborhood radius {:?} DBU",
+        model.num_training_samples(),
+        model.radius()
+    );
+
+    println!("\nScoring every candidate v-pin pair of {}...", target.name);
+    let scored = model.score(target, &ScoreOptions::default());
+    println!("  {} pairs evaluated", scored.pairs_scored);
+
+    // The attacker controls the LoC size through the ensemble threshold.
+    for t in [0.9, 0.5, 0.1] {
+        println!(
+            "  threshold {t:.1}: mean |LoC| = {:>6.2}, accuracy = {:>6.2}%",
+            scored.mean_loc_at(t),
+            100.0 * scored.accuracy_at(t)
+        );
+    }
+
+    // Or asks the trade-off curve for an operating point directly.
+    let curve = scored.curve();
+    if let Some(pt) = curve.min_loc_at_accuracy(0.95) {
+        println!(
+            "\nTo keep 95% of true matches, the attacker needs only {:.1} candidates per broken net.",
+            pt.mean_loc
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate re-exporting the split-manufacturing security toolkit.
+pub use sm_attack as attack;
+pub use sm_layout as layout;
+pub use sm_ml as ml;

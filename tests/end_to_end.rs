@@ -1,0 +1,114 @@
+//! End-to-end integration tests spanning the layout substrate, the ML
+//! substrate, and the attack: the complete pipeline of the paper's Fig. 1
+//! on a small suite.
+
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use splitmfg::attack::loc::LocCurve;
+use splitmfg::attack::xval::leave_one_out;
+use splitmfg::layout::{SplitLayer, Suite};
+
+const SCALE: f64 = 0.05;
+
+fn suite() -> Suite {
+    Suite::ispd2011_like(SCALE).expect("suite generation")
+}
+
+#[test]
+fn full_pipeline_recovers_most_matches_at_split8() {
+    let views = suite().split_all(SplitLayer::new(8).expect("valid"));
+    let folds = leave_one_out(&AttackConfig::imp11(), &views, &ScoreOptions::default())
+        .expect("attack runs");
+    let scored: Vec<_> = folds.into_iter().map(|f| f.scored).collect();
+    let curve = LocCurve::from_views(&scored);
+    // At the top split layer the attack keeps >=80% of matches with a
+    // small candidate list (the paper reaches ~100% at |LoC| ~ a few).
+    let pt = curve.max_accuracy_at_loc(10.0).expect("curve point exists");
+    assert!(pt.accuracy > 0.8, "accuracy {:.3} too low at |LoC| 10", pt.accuracy);
+}
+
+#[test]
+fn top_split_layer_is_far_easier_to_attack_than_lower_layers() {
+    // The paper's layer trend: layer 8 is dramatically easier than layers
+    // 6 and 4 (which sit close to each other — Table IV's 10% column is
+    // not even monotone between them).
+    let s = suite();
+    let mut acc = Vec::new();
+    for layer in [8u8, 6, 4] {
+        let views = s.split_all(SplitLayer::new(layer).expect("valid"));
+        let folds = leave_one_out(&AttackConfig::imp9(), &views, &ScoreOptions::default())
+            .expect("attack runs");
+        let scored: Vec<_> = folds.into_iter().map(|f| f.scored).collect();
+        let curve = LocCurve::from_views(&scored);
+        acc.push(curve.max_accuracy_at_loc(10.0).map_or(0.0, |p| p.accuracy));
+    }
+    assert!(
+        acc[0] > acc[1] + 0.1 && acc[0] > acc[2] + 0.1,
+        "layer 8 should dominate clearly: {acc:?}"
+    );
+}
+
+#[test]
+fn ml_model_beats_the_prior_work_baseline() {
+    use splitmfg::attack::baseline::PriorWorkModel;
+    let views = suite().split_all(SplitLayer::new(8).expect("valid"));
+    let refs: Vec<_> = views.iter().collect();
+    let prior = PriorWorkModel::fit(&refs);
+    let folds = leave_one_out(&AttackConfig::imp9(), &views, &ScoreOptions::default())
+        .expect("attack runs");
+    for (fold, view) in folds.iter().zip(&views) {
+        let base = prior.evaluate(view, 1.5);
+        let ours = fold.scored.curve().min_loc_at_accuracy(base.accuracy);
+        if let Some(pt) = ours {
+            assert!(
+                pt.mean_loc < base.mean_loc,
+                "{}: ML LoC {:.1} not below baseline {:.1}",
+                view.name,
+                pt.mean_loc,
+                base.mean_loc
+            );
+        }
+    }
+}
+
+#[test]
+fn training_and_testing_designs_are_separated() {
+    // The leave-one-out driver must never train on the held-out design:
+    // verify by checking the fold count and that each fold's model radius
+    // is derived from the other four designs only (it changes when the
+    // held-out design changes).
+    let views = suite().split_all(SplitLayer::new(6).expect("valid"));
+    let cfg = AttackConfig::imp9();
+    let mut radii = Vec::new();
+    for t in 0..views.len() {
+        let train: Vec<_> =
+            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+        radii.push(model.radius().expect("imp has radius"));
+    }
+    assert_eq!(radii.len(), 5);
+    let distinct: std::collections::HashSet<i64> = radii.iter().copied().collect();
+    assert!(distinct.len() > 1, "folds should see different training aggregates");
+}
+
+#[test]
+fn scored_views_are_self_consistent() {
+    let views = suite().split_all(SplitLayer::new(8).expect("valid"));
+    let train: Vec<_> = views[1..].iter().collect();
+    let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
+    let scored = model.score(&views[0], &ScoreOptions::default());
+    // Histogram totals match the pair count.
+    let hist_total: u64 = scored.hist.iter().sum();
+    assert_eq!(hist_total, scored.pairs_scored);
+    // Accuracy at threshold 0 equals the fraction of evaluated truths.
+    let evaluated =
+        scored.slots.iter().filter(|s| s.true_prob.is_some()).count() as f64;
+    assert!((scored.accuracy_at(0.0) - evaluated / scored.slots.len() as f64).abs() < 1e-12);
+    // Each slot's top list only references v-pins of the view.
+    for s in &scored.slots {
+        for c in &s.top {
+            assert!((c.index as usize) < views[0].num_vpins());
+            assert!(c.p >= 0.0 && c.p <= 1.0);
+            assert!(c.dist >= 0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration tests pinning the qualitative *shapes* of the paper's
+//! headline results on a reduced suite: who wins, in which direction, and
+//! where the special cases sit. These are the claims EXPERIMENTS.md tracks
+//! at full scale.
+
+use splitmfg::attack::attack::{AttackConfig, BaseClassifier, ScoreOptions, TrainedAttack};
+use splitmfg::attack::obfuscate::obfuscate_views;
+use splitmfg::attack::proximity::{pa_at_threshold, proximity_attack};
+use splitmfg::layout::{SplitLayer, Suite};
+
+const SCALE: f64 = 0.05;
+
+fn views(split: u8) -> Vec<splitmfg::layout::SplitView> {
+    Suite::ispd2011_like(SCALE)
+        .expect("suite generation")
+        .split_all(SplitLayer::new(split).expect("valid"))
+}
+
+#[test]
+fn y_limit_improves_layer8_proximity_attack() {
+    // Averaged over all five folds; single-design PA on the tiny test
+    // suite is a handful of v-pins and too noisy to compare.
+    let vs = views(8);
+    let mut rates = Vec::new();
+    for cfg in [AttackConfig::imp9(), AttackConfig::imp9().with_y_limit()] {
+        let mut sum = 0.0;
+        for t in 0..vs.len() {
+            let train: Vec<_> =
+                vs.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+            let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+            let scored = model.score(&vs[t], &ScoreOptions::default());
+            sum += proximity_attack(&scored, &vs[t], 0.01, 3).rate();
+        }
+        rates.push(sum / vs.len() as f64);
+    }
+    assert!(
+        rates[1] + 0.05 >= rates[0],
+        "Y-limited PA {:.3} should not clearly trail unlimited {:.3}",
+        rates[1],
+        rates[0]
+    );
+}
+
+#[test]
+fn rep_tree_bagging_matches_random_forest_quality_much_faster() {
+    let vs = views(6);
+    let train: Vec<_> = vs[1..].iter().collect();
+    let mut cfg_rep = AttackConfig::imp7();
+    cfg_rep.base = BaseClassifier::RepTreeBagging { n_trees: 10 };
+    let mut cfg_rf = AttackConfig::imp7();
+    cfg_rf.base = BaseClassifier::RandomTreeBagging { n_trees: 100 };
+
+    let t0 = std::time::Instant::now();
+    let rep = TrainedAttack::train(&cfg_rep, &train, None).expect("train");
+    let rep_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let rf = TrainedAttack::train(&cfg_rf, &train, None).expect("train");
+    let rf_time = t1.elapsed();
+
+    let s_rep = rep.score(&vs[0], &ScoreOptions::default());
+    let s_rf = rf.score(&vs[0], &ScoreOptions::default());
+    // Quality comparable (within 15 accuracy points at max accuracy).
+    assert!((s_rep.max_accuracy() - s_rf.max_accuracy()).abs() < 0.15);
+    // Training much faster (paper: >10x; assert a conservative 3x).
+    assert!(
+        rf_time > rep_time * 3,
+        "REPTree {rep_time:?} not sufficiently faster than RandomForest {rf_time:?}"
+    );
+}
+
+#[test]
+fn obfuscation_noise_degrades_the_attack() {
+    let clean = views(6);
+    let noisy = obfuscate_views(&clean, 0.02, 9);
+    let mut acc = Vec::new();
+    for set in [&clean, &noisy] {
+        let train: Vec<_> = set[1..].iter().collect();
+        let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
+        let scored = model.score(&set[0], &ScoreOptions::default());
+        acc.push(scored.accuracy_at(0.5));
+    }
+    assert!(
+        acc[1] < acc[0],
+        "noise should reduce accuracy: clean {:.3} vs noisy {:.3}",
+        acc[0],
+        acc[1]
+    );
+}
+
+#[test]
+fn scalable_variant_evaluates_far_fewer_pairs() {
+    let vs = views(4);
+    let train: Vec<_> = vs[1..].iter().collect();
+    let ml = TrainedAttack::train(&AttackConfig::ml9(), &train, None).expect("train");
+    let imp = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+    let s_ml = ml.score(&vs[0], &ScoreOptions::default());
+    let s_imp = imp.score(&vs[0], &ScoreOptions::default());
+    assert!(
+        s_imp.pairs_scored < s_ml.pairs_scored,
+        "neighborhood must prune the tested pairs ({} vs {})",
+        s_imp.pairs_scored,
+        s_ml.pairs_scored
+    );
+    // And the pruning costs only bounded accuracy (the saturation gap).
+    assert!(s_imp.max_accuracy() > 0.65);
+}
+
+#[test]
+fn proximity_attack_beats_fixed_threshold_variant_on_lower_layers() {
+    // Validated per-target PA-LoC sizing is the paper's improvement over
+    // the fixed t=0.5 PA of [18]; on lower layers the gap is large.
+    let vs = views(6);
+    let train: Vec<_> = vs[1..].iter().collect();
+    let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+    let scored = model.score(&vs[0], &ScoreOptions::default());
+    let fixed = pa_at_threshold(&scored, &vs[0], 0.5, 5).rate();
+    // Use a small validated-style fraction directly (validation itself is
+    // exercised in the unit tests; here we pin the comparison shape).
+    let sized = proximity_attack(&scored, &vs[0], 0.002, 5).rate();
+    assert!(
+        sized >= fixed,
+        "per-target PA-LoC sizing ({sized:.3}) should not trail fixed threshold ({fixed:.3})"
+    );
+}
+
+#[test]
+fn split8_diff_vpin_y_is_zero_for_all_matches() {
+    // The routing convention the Y configurations exploit.
+    for v in views(8) {
+        for i in 0..v.num_vpins() {
+            let m = v.true_match(i);
+            assert_eq!(v.vpins()[i].loc.y, v.vpins()[m].loc.y, "{} vpin {i}", v.name);
+        }
+    }
+}
+
+#[test]
+fn vpin_populations_scale_like_the_paper() {
+    let n8: usize = views(8).iter().map(|v| v.num_vpins()).sum();
+    let n6: usize = views(6).iter().map(|v| v.num_vpins()).sum();
+    let n4: usize = views(4).iter().map(|v| v.num_vpins()).sum();
+    // Paper: 11312 / 59194 / 159732 per-design averages -> ratios ~5.2 / ~14.
+    let r6 = n6 as f64 / n8 as f64;
+    let r4 = n4 as f64 / n8 as f64;
+    assert!((3.5..8.0).contains(&r6), "layer-6/8 ratio {r6:.1}");
+    assert!((9.0..20.0).contains(&r4), "layer-4/8 ratio {r4:.1}");
+}
