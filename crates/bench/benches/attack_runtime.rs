@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::Parallelism;
 use sm_layout::{SplitLayer, SplitView, Suite};
 
 const BENCH_SCALE: f64 = 0.1;
@@ -25,7 +26,11 @@ fn bench_training(c: &mut Criterion) {
     for layer in [8u8, 6] {
         let views = views_at(&suite, layer);
         let train: Vec<&SplitView> = views[1..].iter().collect();
-        for config in [AttackConfig::ml9(), AttackConfig::imp9(), AttackConfig::imp11()] {
+        for config in [
+            AttackConfig::ml9(),
+            AttackConfig::imp9(),
+            AttackConfig::imp11(),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(config.name.clone(), format!("layer{layer}")),
                 &config,
@@ -81,5 +86,39 @@ fn bench_y_limit_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_scoring, bench_y_limit_speedup);
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // The deterministic parallel layer: identical results at every
+    // setting, so this group measures pure wall-clock scaling of pair
+    // scoring with worker count (the CHANGES.md speedup figure).
+    let suite = Suite::ispd2011_like(BENCH_SCALE).expect("suite");
+    let views = views_at(&suite, 6);
+    let train: Vec<&SplitView> = views[1..].iter().collect();
+    let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+    let mut group = c.benchmark_group("parallel_score");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, par) in [
+        ("seq", Parallelism::Sequential),
+        ("t2", Parallelism::Threads(2)),
+        ("t4", Parallelism::Threads(4)),
+    ] {
+        let opts = ScoreOptions {
+            parallelism: par,
+            ..ScoreOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, o| {
+            b.iter(|| model.score(&views[0], o));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_scoring,
+    bench_y_limit_speedup,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

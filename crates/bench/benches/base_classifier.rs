@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sm_ml::{Bagging, Dataset, RandomTreeLearner, RepTreeLearner};
+use sm_ml::{Bagging, Dataset, Parallelism, RandomTreeLearner, RepTreeLearner};
 
 /// Synthetic pair-classification-like dataset: a distance-dominated signal
 /// with noisy secondary features, similar in shape to the attack's samples.
@@ -15,7 +15,11 @@ fn training_set(n: usize) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     for _ in 0..n {
         let label = rng.gen_bool(0.5);
-        let d: f64 = if label { rng.gen_range(0.0..0.3) } else { rng.gen_range(0.1..1.0) };
+        let d: f64 = if label {
+            rng.gen_range(0.0..0.3)
+        } else {
+            rng.gen_range(0.1..1.0)
+        };
         let mut x = vec![d, d * 0.6, d * 1.6];
         for _ in 0..6 {
             x.push(rng.gen_range(0.0..1.0) + if label { 0.05 } else { 0.0 });
@@ -38,6 +42,19 @@ fn bench_fit(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("bagging", "random_tree_x100"), |b| {
         b.iter(|| Bagging::fit(&ds, &RandomTreeLearner::default(), 100, 1).expect("fit"));
+    });
+    // Parallel per-tree fitting (bit-identical ensemble, wall-clock only).
+    group.bench_function(BenchmarkId::new("bagging", "rep_tree_x10_t4"), |b| {
+        b.iter(|| {
+            Bagging::fit_with(
+                &ds,
+                &RepTreeLearner::default(),
+                10,
+                1,
+                Parallelism::Threads(4),
+            )
+            .expect("fit")
+        });
     });
     group.finish();
 }

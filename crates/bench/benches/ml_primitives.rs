@@ -15,7 +15,11 @@ fn noisy_dataset(n: usize, m: usize) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     for _ in 0..n {
         let mut x: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
-        let label = if rng.gen_bool(0.15) { x[0] <= 0.5 } else { x[0] > 0.5 };
+        let label = if rng.gen_bool(0.15) {
+            x[0] <= 0.5
+        } else {
+            x[0] > 0.5
+        };
         x[1] = x[0] * 0.7 + x[1] * 0.3;
         ds.push(&x, label).expect("arity");
     }
@@ -39,13 +43,17 @@ fn bench_tree_fit(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rep_tree", n), &ds, |b, d| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(1);
-                RepTreeLearner::default().fit_tree(d, &idx, &mut rng).expect("fit")
+                RepTreeLearner::default()
+                    .fit_tree(d, &idx, &mut rng)
+                    .expect("fit")
             });
         });
         group.bench_with_input(BenchmarkId::new("random_tree", n), &ds, |b, d| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(1);
-                RandomTreeLearner::default().fit_tree(d, &idx, &mut rng).expect("fit")
+                RandomTreeLearner::default()
+                    .fit_tree(d, &idx, &mut rng)
+                    .expect("fit")
             });
         });
     }
@@ -55,10 +63,10 @@ fn bench_tree_fit(c: &mut Criterion) {
 fn bench_tree_inference(c: &mut Criterion) {
     let ds = noisy_dataset(20_000, 11);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let pruned =
-        RepTreeLearner::default().fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
-    let unpruned =
-        Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng).expect("fit");
+    let pruned = RepTreeLearner::default()
+        .fit_tree(&ds, &ds.all_indices(), &mut rng)
+        .expect("fit");
+    let unpruned = Tree::fit(&ds, &ds.all_indices(), TreeParams::default(), &mut rng).expect("fit");
     let queries: Vec<Vec<f64>> = (0..10_000).map(|i| ds.row(i).to_vec()).collect();
     let mut group = c.benchmark_group("tree_proba_x10k");
     group.warm_up_time(std::time::Duration::from_millis(500));

@@ -31,7 +31,11 @@ fn main() {
         cfg.name = format!("q={q:.2}");
         let run = run_config(&cfg, &views, &ScoreOptions::default());
         let pairs: u64 = run.folds.iter().map(|f| f.scored.pairs_scored).sum();
-        let sat: f64 = run.folds.iter().map(|f| f.scored.max_accuracy()).sum::<f64>()
+        let sat: f64 = run
+            .folds
+            .iter()
+            .map(|f| f.scored.max_accuracy())
+            .sum::<f64>()
             / run.folds.len() as f64;
         row(
             &cfg.name,
@@ -74,7 +78,11 @@ fn main() {
         ],
     );
     for drop in ALL_FEATURES {
-        let feats: Vec<_> = ALL_FEATURES.iter().copied().filter(|f| *f != drop).collect();
+        let feats: Vec<_> = ALL_FEATURES
+            .iter()
+            .copied()
+            .filter(|f| *f != drop)
+            .collect();
         let mut cfg = AttackConfig::imp11();
         cfg.features = FeatureSet::custom(feats);
         cfg.name = format!("-{}", drop.name());
@@ -90,10 +98,17 @@ fn main() {
 
     // --- 4. Global matching extension ---------------------------------------
     println!("\n=== Ablation 4 — global matching vs proximity attack (layer {layer}) ===");
-    header("design", &["PA (f=.005)", "greedy prec", "greedy recall", "mutual prec"]);
+    header(
+        "design",
+        &["PA (f=.005)", "greedy prec", "greedy recall", "mutual prec"],
+    );
     for t in 0..views.len() {
-        let train: Vec<&SplitView> =
-            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let train: Vec<&SplitView> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t)
+            .map(|(_, v)| v)
+            .collect();
         let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
         let scored = model.score(&views[t], &ScoreOptions::default());
         let pa = proximity_attack(&scored, &views[t], 0.005, 41);

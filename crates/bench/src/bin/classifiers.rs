@@ -21,10 +21,13 @@ use sm_ml::{
     RandomTreeLearner, RepTreeLearner,
 };
 
-/// A classifier under comparison, type-erased to a probability function.
+/// A trained model type-erased to its probability function.
+type ProbaFn = Box<dyn Fn(&[f64]) -> f64>;
+
+/// A classifier under comparison.
 struct Contender {
     name: &'static str,
-    train: Box<dyn Fn(&Dataset) -> Box<dyn Fn(&[f64]) -> f64>>,
+    train: Box<dyn Fn(&Dataset) -> ProbaFn>,
 }
 
 fn contenders() -> Vec<Contender> {
@@ -46,8 +49,7 @@ fn contenders() -> Vec<Contender> {
         Contender {
             name: "Logistic",
             train: Box::new(|ds| {
-                let m =
-                    LogisticRegression::fit(ds, &LogisticParams::default(), 1).expect("fit");
+                let m = LogisticRegression::fit(ds, &LogisticParams::default(), 1).expect("fit");
                 Box::new(move |x| m.proba(x))
             }),
         },
@@ -77,10 +79,17 @@ fn main() {
     // Leave-one-out at the *sample* level: pooled training samples from
     // four designs, held-out samples from the fifth.
     let t = 0usize; // hold out sb1; sample-level results are stable across folds
-    let train_views: Vec<&SplitView> =
-        views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+    let train_views: Vec<&SplitView> = views
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != t)
+        .map(|(_, v)| v)
+        .collect();
     let radius = neighborhood_radius(&train_views, 0.9);
-    let opts = SampleOptions { radius, limit_diff_vpin_y: false };
+    let opts = SampleOptions {
+        radius,
+        limit_diff_vpin_y: false,
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let train_ds = generate_samples(&train_views, &features, opts, None, &mut rng);
     let test_ds = generate_samples(&[&views[t]], &features, opts, None, &mut rng);
@@ -89,7 +98,10 @@ fn main() {
         train_ds.len(),
         test_ds.len()
     );
-    header("classifier", &["held-out acc", "mean p(match)", "train", "infer"]);
+    header(
+        "classifier",
+        &["held-out acc", "mean p(match)", "train", "infer"],
+    );
 
     for c in contenders() {
         let t0 = Instant::now();

@@ -21,14 +21,21 @@ fn evaluate(name: &str, views: &[SplitView], clean: &[SplitView]) {
     let mut acc10 = 0.0;
     let mut pa = 0.0;
     for t in 0..views.len() {
-        let train: Vec<&SplitView> =
-            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let train: Vec<&SplitView> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t)
+            .map(|(_, v)| v)
+            .collect();
         let model = TrainedAttack::train(&config, &train, None).expect("train");
         // Score only the *real* v-pins as targets: decoys still pollute the
         // candidate pool, but recovering a decoy leaks nothing, so the
         // attacker-yield metric must exclude them.
         let real_targets: Vec<u32> = (0..clean[t].num_vpins() as u32).collect();
-        let opts = ScoreOptions { targets: Some(real_targets), ..ScoreOptions::default() };
+        let opts = ScoreOptions {
+            targets: Some(real_targets),
+            ..ScoreOptions::default()
+        };
         let scored = model.score(&views[t], &opts);
         let curve = scored.curve();
         acc1 += curve.accuracy_at_loc_fraction(0.01).unwrap_or(0.0) / views.len() as f64;
@@ -49,22 +56,34 @@ fn main() {
     evaluate("y-noise 1%", &obfuscate_views(&clean, 0.01, 0xd1), &clean);
     evaluate(
         "xy-noise 1%",
-        &clean.iter().map(|v| xy_noise(v, 0.01, 0xd2)).collect::<Vec<_>>(),
+        &clean
+            .iter()
+            .map(|v| xy_noise(v, 0.01, 0xd2))
+            .collect::<Vec<_>>(),
         &clean,
     );
     evaluate(
         "decoys +30%",
-        &clean.iter().map(|v| decoy_pairs(v, 0.3, 0xd3)).collect::<Vec<_>>(),
+        &clean
+            .iter()
+            .map(|v| decoy_pairs(v, 0.3, 0xd3))
+            .collect::<Vec<_>>(),
         &clean,
     );
     evaluate(
         "decoys +100%",
-        &clean.iter().map(|v| decoy_pairs(v, 1.0, 0xd4)).collect::<Vec<_>>(),
+        &clean
+            .iter()
+            .map(|v| decoy_pairs(v, 1.0, 0xd4))
+            .collect::<Vec<_>>(),
         &clean,
     );
     evaluate(
         "W-scramble 2x",
-        &clean.iter().map(|v| wirelength_scramble(v, 1.0, 0xd5)).collect::<Vec<_>>(),
+        &clean
+            .iter()
+            .map(|v| wirelength_scramble(v, 1.0, 0xd5))
+            .collect::<Vec<_>>(),
         &clean,
     );
     evaluate(

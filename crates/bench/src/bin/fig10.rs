@@ -10,8 +10,7 @@ use sm_attack::attack::{AttackConfig, ScoreOptions};
 use sm_attack::obfuscate::obfuscate_views;
 use sm_bench::{run_config, Harness};
 
-const SAMPLES: [f64; 10] =
-    [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.2, 0.5, 1.0];
+const SAMPLES: [f64; 10] = [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.2, 0.5, 1.0];
 const NOISE_LEVELS: [f64; 3] = [0.0, 0.01, 0.02];
 
 fn main() {
@@ -27,8 +26,11 @@ fn main() {
         }
         println!();
         for &sd in &NOISE_LEVELS {
-            let views =
-                if sd == 0.0 { clean.clone() } else { obfuscate_views(&clean, sd, 0xf16) };
+            let views = if sd == 0.0 {
+                clean.clone()
+            } else {
+                obfuscate_views(&clean, sd, 0xf16)
+            };
             let run = run_config(&config, &views, &ScoreOptions::default());
             print!("{:<12}", format!("{:.0}%", sd * 100.0));
             for s in SAMPLES {

@@ -19,8 +19,12 @@ fn main() {
     println!("\n=== Fig. 4 — CDF of normalized ManhattanVpin of true matches (layer 6) ===");
     println!("held-out | normalized distance at CDF = {PROBES:?}");
     for t in 0..views.len() {
-        let train: Vec<&SplitView> =
-            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let train: Vec<&SplitView> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t)
+            .map(|(_, v)| v)
+            .collect();
         let cdf = match_distance_cdf(&train);
         // Normalize by the mean die half-perimeter of the training designs.
         let norm: f64 = train

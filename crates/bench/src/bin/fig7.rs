@@ -44,7 +44,10 @@ fn main() {
                 let ds = generate_samples(
                     &[view],
                     &FeatureSet::eleven(),
-                    SampleOptions { radius, limit_diff_vpin_y: false },
+                    SampleOptions {
+                        radius,
+                        limit_diff_vpin_y: false,
+                    },
                     None,
                     &mut rng,
                 );
@@ -58,8 +61,8 @@ fn main() {
             }
             for (f, feat) in ALL_FEATURES.iter().enumerate() {
                 print!("{:<22}", feat.name());
-                for d in 0..views.len() {
-                    print!(" {:>9.4}", scores[f][d]);
+                for s in scores[f].iter().take(views.len()) {
+                    print!(" {s:>9.4}");
                 }
                 println!();
             }

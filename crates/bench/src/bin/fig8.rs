@@ -36,7 +36,10 @@ fn main() {
     let ds = generate_samples(
         &refs,
         &FeatureSet::eleven(),
-        SampleOptions { radius, limit_diff_vpin_y: false },
+        SampleOptions {
+            radius,
+            limit_diff_vpin_y: false,
+        },
         None,
         &mut rng,
     );
@@ -45,7 +48,10 @@ fn main() {
         ds.len(),
         ds.num_positive()
     );
-    println!("{:<22} {:>6} | {:>12} {:>12} {:>12} {:>12} {:>12}", "feature", "class", "p10", "p25", "p50", "p75", "p90");
+    println!(
+        "{:<22} {:>6} | {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "feature", "class", "p10", "p25", "p50", "p75", "p90"
+    );
     for (j, feat) in ALL_FEATURES.iter().enumerate() {
         for (class, label) in [("match", true), ("non", false)] {
             let col: Vec<f64> = (0..ds.len())

@@ -24,7 +24,10 @@ fn main() {
         let refs: Vec<&SplitView> = views.iter().collect();
         // As in [5]: fit on all designs, no train/test separation.
         let prior = PriorWorkModel::fit(&refs);
-        let prior_results: Vec<_> = views.iter().map(|v| prior.evaluate(v, PRIOR_MARGIN)).collect();
+        let prior_results: Vec<_> = views
+            .iter()
+            .map(|v| prior.evaluate(v, PRIOR_MARGIN))
+            .collect();
 
         let runs: Vec<_> = configs
             .iter()
@@ -40,15 +43,21 @@ fn main() {
             cells.push(&c.name);
         }
         header("design", &cells);
-        println!("{:>60} {:^60} | {:^60}", "", "|LoC| @ [5] accuracy", "accuracy @ [5] |LoC|");
+        println!(
+            "{:>60} {:^60} | {:^60}",
+            "", "|LoC| @ [5] accuracy", "accuracy @ [5] |LoC|"
+        );
 
         let mut avg_loc = vec![0.0; configs.len()];
         let mut avg_acc = vec![0.0; configs.len()];
         let mut avg_prior = (0.0f64, 0.0f64, 0.0f64);
         for (d, view) in views.iter().enumerate() {
             let pr = &prior_results[d];
-            let mut cells =
-                vec![format!("{}", view.num_vpins()), format!("{:.1}", pr.mean_loc), pct(Some(pr.accuracy))];
+            let mut cells = vec![
+                format!("{}", view.num_vpins()),
+                format!("{:.1}", pr.mean_loc),
+                pct(Some(pr.accuracy)),
+            ];
             for (ci, run) in runs.iter().enumerate() {
                 let curve = run.folds[d].scored.curve();
                 let loc = curve.min_loc_at_accuracy(pr.accuracy).map(|p| p.mean_loc);
@@ -72,7 +81,11 @@ fn main() {
             pct(Some(avg_prior.2)),
         ];
         for v in &avg_loc {
-            cells.push(if v.is_nan() { "—".into() } else { format!("{v:.1}") });
+            cells.push(if v.is_nan() {
+                "—".into()
+            } else {
+                format!("{v:.1}")
+            });
         }
         for v in &avg_acc {
             cells.push(pct(Some(*v)));

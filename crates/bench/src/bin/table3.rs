@@ -21,7 +21,15 @@ fn main() {
         println!("\n=== Table III — split layer {layer} (Imp-11) ===");
         header(
             "design",
-            &["2L |LoC|", "2L Acc", "1L |LoC|", "1L Acc", "2L@1L|LoC|", "2L acc@2", "1L acc@2"],
+            &[
+                "2L |LoC|",
+                "2L Acc",
+                "1L |LoC|",
+                "1L Acc",
+                "2L@1L|LoC|",
+                "2L acc@2",
+                "1L acc@2",
+            ],
         );
         let t0 = Instant::now();
         let mut avg = [0.0f64; 7];

@@ -26,8 +26,8 @@ fn main() {
         header(
             "config",
             &[
-                "frac@95%", "frac@90%", "frac@80%", "frac@50%", "acc@.01%", "acc@0.1%",
-                "acc@1%", "acc@10%", "runtime",
+                "frac@95%", "frac@90%", "frac@80%", "frac@50%", "acc@.01%", "acc@0.1%", "acc@1%",
+                "acc@10%", "runtime",
             ],
         );
         for config in &configs {
@@ -41,7 +41,9 @@ fn main() {
                 })
                 .collect();
             cells.extend(
-                LOC_FRACTIONS.iter().map(|&f| pct(run.curve.accuracy_at_loc_fraction(f))),
+                LOC_FRACTIONS
+                    .iter()
+                    .map(|&f| pct(run.curve.accuracy_at_loc_fraction(f))),
             );
             cells.push(dur(run.runtime));
             row(&config.name, &cells);

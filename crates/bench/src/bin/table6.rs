@@ -23,7 +23,11 @@ fn main() {
         header("design", &["No noise", "SD = 1%", "SD = 2%"]);
         let mut rates = vec![vec![0.0f64; clean.len()]; NOISE_LEVELS.len()];
         for (ni, &sd) in NOISE_LEVELS.iter().enumerate() {
-            let views = if sd == 0.0 { clean.clone() } else { obfuscate_views(&clean, sd, 0x0b5) };
+            let views = if sd == 0.0 {
+                clean.clone()
+            } else {
+                obfuscate_views(&clean, sd, 0x0b5)
+            };
             for t in 0..views.len() {
                 let train: Vec<&SplitView> = views
                     .iter()
@@ -39,8 +43,9 @@ fn main() {
             }
         }
         for (t, view) in clean.iter().enumerate() {
-            let cells: Vec<String> =
-                (0..NOISE_LEVELS.len()).map(|ni| pct(Some(rates[ni][t]))).collect();
+            let cells: Vec<String> = (0..NOISE_LEVELS.len())
+                .map(|ni| pct(Some(rates[ni][t])))
+                .collect();
             row(view.name.as_str(), &cells);
         }
         let n = clean.len() as f64;

@@ -21,7 +21,10 @@ use sm_layout::{SplitLayer, SplitView, Suite};
 /// Reads the benchmark scale from `SM_SCALE` (default 1.0 = 1/20 of the
 /// paper's layout sizes).
 pub fn scale_from_env() -> f64 {
-    std::env::var("SM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("SM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// The generated suite plus cached split views, shared by every harness.
@@ -97,7 +100,11 @@ pub fn run_config(config: &AttackConfig, views: &[SplitView], opts: &ScoreOption
     let runtime = t.elapsed();
     let scored: Vec<_> = folds.iter().map(|f| f.scored.clone()).collect();
     let curve = LocCurve::from_views(&scored);
-    ConfigRun { folds, curve, runtime }
+    ConfigRun {
+        folds,
+        curve,
+        runtime,
+    }
 }
 
 /// Formats an optional percentage (`None` prints as a dash, matching the

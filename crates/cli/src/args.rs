@@ -56,8 +56,9 @@ impl Args {
         let mut flags = HashMap::new();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value =
-                    it.next().ok_or_else(|| ParseArgsError::MissingValue(name.to_owned()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseArgsError::MissingValue(name.to_owned()))?;
                 flags.insert(name.to_owned(), value);
             }
         }
@@ -145,13 +146,22 @@ mod tests {
     fn bad_value_reports_flag_and_value() {
         let a = parse(&["gen", "--scale", "banana"]).expect("parses");
         let err = a.get_or("scale", 1.0).expect_err("malformed");
-        assert_eq!(err, ParseArgsError::BadValue { flag: "scale".into(), value: "banana".into() });
+        assert_eq!(
+            err,
+            ParseArgsError::BadValue {
+                flag: "scale".into(),
+                value: "banana".into()
+            }
+        );
     }
 
     #[test]
     fn require_distinguishes_missing_from_bad() {
         let a = parse(&["attack", "--target", "sb1"]).expect("parses");
         assert_eq!(a.require::<String>("target").expect("ok"), "sb1");
-        assert!(matches!(a.require::<u8>("split"), Err(ParseArgsError::MissingFlag(_))));
+        assert!(matches!(
+            a.require::<u8>("split"),
+            Err(ParseArgsError::MissingFlag(_))
+        ));
     }
 }

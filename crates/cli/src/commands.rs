@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 
 use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
 use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
+use sm_attack::Parallelism;
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 
@@ -75,7 +76,9 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             print_help();
             Ok(())
         }
-        other => Err(CliError::Usage(format!("unknown command '{other}' (try 'help')"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}' (try 'help')"
+        ))),
     }
 }
 
@@ -88,10 +91,13 @@ pub fn print_help() {
          \x20 gen    --out DIR [--scale 0.2] [--split 8] [--seed N]   generate the 5-design suite\n\
          \x20 info   --dir DIR                                        summarise challenge files\n\
          \x20 attack --dir DIR --target NAME [--config imp-11]\n\
-         \x20        [--threshold 0.5]                                leave-one-out ML attack\n\
-         \x20 pa     --dir DIR --target NAME [--config imp-9y]        validated proximity attack\n\
+         \x20        [--threshold 0.5] [--threads auto]               leave-one-out ML attack\n\
+         \x20 pa     --dir DIR --target NAME [--config imp-9y]\n\
+         \x20        [--threads auto]                                 validated proximity attack\n\
          \n\
-         configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)"
+         configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
+         --threads takes 'auto', 'sequential', or a worker count; results\n\
+         are identical for every setting (deterministic parallelism)"
     );
 }
 
@@ -112,12 +118,13 @@ fn parse_config(name: &str) -> Result<AttackConfig, CliError> {
 }
 
 fn cmd_gen(args: &Args) -> Result<(), CliError> {
-    let out: String =
-        args.get_str("out").ok_or_else(|| CliError::Usage("--out DIR required".into()))?.into();
+    let out: String = args
+        .get_str("out")
+        .ok_or_else(|| CliError::Usage("--out DIR required".into()))?
+        .into();
     let scale: f64 = args.get_or("scale", 0.2)?;
     let split: u8 = args.get_or("split", 8)?;
-    let layer = SplitLayer::new(split)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let layer = SplitLayer::new(split).map_err(|e| CliError::Usage(e.to_string()))?;
     fs::create_dir_all(&out)?;
     eprintln!("generating 5-design suite at scale {scale}, split layer {split} ...");
     let suite = Suite::ispd2011_like(scale).map_err(|e| CliError::Usage(e.to_string()))?;
@@ -126,7 +133,12 @@ fn cmd_gen(args: &Args) -> Result<(), CliError> {
         let base = Path::new(&out).join(view.name.clone());
         fs::write(base.with_extension("challenge"), write_challenge(&view))?;
         fs::write(base.with_extension("truth"), write_truth(&view))?;
-        println!("{}: {} v-pins -> {}.challenge / .truth", view.name, view.num_vpins(), base.display());
+        println!(
+            "{}: {} v-pins -> {}.challenge / .truth",
+            view.name,
+            view.num_vpins(),
+            base.display()
+        );
     }
     Ok(())
 }
@@ -160,16 +172,23 @@ fn split_target<'v>(
         .ok_or_else(|| CliError::Usage(format!("target '{target}' not found")))?;
     let train: Vec<&SplitView> = views.iter().filter(|v| v.name != target).collect();
     if train.is_empty() {
-        return Err(CliError::Usage("need at least one non-target design for training".into()));
+        return Err(CliError::Usage(
+            "need at least one non-target design for training".into(),
+        ));
     }
     Ok((train, test))
 }
 
 fn cmd_info(args: &Args) -> Result<(), CliError> {
-    let dir: String =
-        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let dir: String = args
+        .get_str("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR required".into()))?
+        .into();
     let views = load_dir(&dir)?;
-    println!("{:<8} {:>7} {:>9} {:>14} {:>12}", "design", "split", "v-pins", "die (um x um)", "drivers");
+    println!(
+        "{:<8} {:>7} {:>9} {:>14} {:>12}",
+        "design", "split", "v-pins", "die (um x um)", "drivers"
+    );
     for v in &views {
         let drivers = v.vpins().iter().filter(|p| p.drives()).count();
         println!(
@@ -185,10 +204,14 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_attack(args: &Args) -> Result<(), CliError> {
-    let dir: String =
-        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let dir: String = args
+        .get_str("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR required".into()))?
+        .into();
     let target: String = args.require("target")?;
-    let config = parse_config(args.get_str("config").unwrap_or("imp-11"))?;
+    let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
+    let config =
+        parse_config(args.get_str("config").unwrap_or("imp-11"))?.with_parallelism(parallelism);
     let threshold: f64 = args.get_or("threshold", 0.5)?;
 
     let views = load_dir(&dir)?;
@@ -202,11 +225,20 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         model.num_training_samples(),
         model.radius()
     );
-    let scored = model.score(test, &ScoreOptions::default());
+    let scored = model.score(
+        test,
+        &ScoreOptions {
+            parallelism,
+            ..ScoreOptions::default()
+        },
+    );
     println!("pairs evaluated : {}", scored.pairs_scored);
     println!("threshold       : {threshold}");
     println!("mean |LoC|      : {:.2}", scored.mean_loc_at(threshold));
-    println!("accuracy        : {:.2}%", 100.0 * scored.accuracy_at(threshold));
+    println!(
+        "accuracy        : {:.2}%",
+        100.0 * scored.accuracy_at(threshold)
+    );
     println!("max accuracy    : {:.2}%", 100.0 * scored.max_accuracy());
     let curve = scored.curve();
     for acc in [0.95, 0.90, 0.80] {
@@ -217,17 +249,24 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
                 pt.mean_loc,
                 pt.threshold
             ),
-            None => println!("|LoC| @ {:>3.0}% acc: unreachable (saturation)", acc * 100.0),
+            None => println!(
+                "|LoC| @ {:>3.0}% acc: unreachable (saturation)",
+                acc * 100.0
+            ),
         }
     }
     Ok(())
 }
 
 fn cmd_pa(args: &Args) -> Result<(), CliError> {
-    let dir: String =
-        args.get_str("dir").ok_or_else(|| CliError::Usage("--dir DIR required".into()))?.into();
+    let dir: String = args
+        .get_str("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR required".into()))?
+        .into();
     let target: String = args.require("target")?;
-    let config = parse_config(args.get_str("config").unwrap_or("imp-9"))?;
+    let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
+    let config =
+        parse_config(args.get_str("config").unwrap_or("imp-9"))?.with_parallelism(parallelism);
     let seed: u64 = args.get_or("seed", 17)?;
 
     let views = load_dir(&dir)?;
@@ -235,11 +274,21 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     eprintln!("validating PA-LoC fractions on {} designs ...", train.len());
     let val = validate_pa_fraction(&config, &train, &DEFAULT_PA_FRACTIONS, seed)?;
     for (f, r) in &val.rates {
-        println!("fraction {:>7.3}% -> validation success {:>6.2}%", f * 100.0, r * 100.0);
+        println!(
+            "fraction {:>7.3}% -> validation success {:>6.2}%",
+            f * 100.0,
+            r * 100.0
+        );
     }
     println!("selected fraction: {:.3}%", val.best_fraction * 100.0);
     let model = TrainedAttack::train(&config, &train, None)?;
-    let scored = model.score(test, &ScoreOptions::default());
+    let scored = model.score(
+        test,
+        &ScoreOptions {
+            parallelism,
+            ..ScoreOptions::default()
+        },
+    );
     let outcome = proximity_attack(&scored, test, val.best_fraction, seed ^ 1);
     println!("proximity attack on {}: {}", test.name, outcome);
     Ok(())
@@ -262,9 +311,17 @@ mod tests {
         let dir = std::env::temp_dir().join("splitmfg_cli_test");
         let _ = fs::remove_dir_all(&dir);
         let gen = Args::parse(
-            ["gen", "--out", dir.to_str().expect("utf8"), "--scale", "0.01", "--split", "8"]
-                .iter()
-                .map(|s| (*s).to_owned()),
+            [
+                "gen",
+                "--out",
+                dir.to_str().expect("utf8"),
+                "--scale",
+                "0.01",
+                "--split",
+                "8",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
         )
         .expect("parses");
         dispatch(&gen).expect("gen runs");
@@ -290,6 +347,47 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_test_threads");
+        let _ = fs::remove_dir_all(&dir);
+        let gen = Args::parse(
+            [
+                "gen",
+                "--out",
+                dir.to_str().expect("utf8"),
+                "--scale",
+                "0.01",
+                "--split",
+                "8",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        )
+        .expect("parses");
+        dispatch(&gen).expect("gen runs");
+        let base = [
+            "attack",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--target",
+            "sb1",
+            "--config",
+            "imp-9",
+        ];
+        for threads in ["2", "sequential", "auto"] {
+            let mut argv: Vec<String> = base.iter().map(|s| (*s).to_owned()).collect();
+            argv.extend(["--threads".to_owned(), threads.to_owned()]);
+            let attack = Args::parse(argv).expect("parses");
+            dispatch(&attack).expect("attack runs");
+        }
+        let mut argv: Vec<String> = base.iter().map(|s| (*s).to_owned()).collect();
+        argv.extend(["--threads".to_owned(), "banana".to_owned()]);
+        let attack = Args::parse(argv).expect("parses");
+        assert!(matches!(dispatch(&attack), Err(CliError::Args(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn unknown_command_reports_usage() {
         let args = Args::parse(["frobnicate"].iter().map(|s| (*s).to_owned())).expect("parses");
         assert!(matches!(dispatch(&args), Err(CliError::Usage(_))));
@@ -300,16 +398,28 @@ mod tests {
         let dir = std::env::temp_dir().join("splitmfg_cli_test2");
         let _ = fs::remove_dir_all(&dir);
         let gen = Args::parse(
-            ["gen", "--out", dir.to_str().expect("utf8"), "--scale", "0.01"]
-                .iter()
-                .map(|s| (*s).to_owned()),
+            [
+                "gen",
+                "--out",
+                dir.to_str().expect("utf8"),
+                "--scale",
+                "0.01",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
         )
         .expect("parses");
         dispatch(&gen).expect("gen runs");
         let attack = Args::parse(
-            ["attack", "--dir", dir.to_str().expect("utf8"), "--target", "nope"]
-                .iter()
-                .map(|s| (*s).to_owned()),
+            [
+                "attack",
+                "--dir",
+                dir.to_str().expect("utf8"),
+                "--target",
+                "nope",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
         )
         .expect("parses");
         assert!(matches!(dispatch(&attack), Err(CliError::Usage(_))));

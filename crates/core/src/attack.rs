@@ -11,7 +11,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sm_layout::SplitView;
-use sm_ml::{Bagging, RandomTreeLearner, RepTreeLearner};
+use sm_ml::parallel::par_chunks;
+use sm_ml::{Bagging, Parallelism, RandomTreeLearner, RepTreeLearner};
 
 use crate::error::AttackError;
 use crate::features::FeatureSet;
@@ -63,6 +64,9 @@ pub struct AttackConfig {
     pub base: BaseClassifier,
     /// Seed driving sampling and training.
     pub seed: u64,
+    /// Parallelism of training (per-tree) and of cross-validation folds.
+    /// Results are bit-identical across settings; only wall-clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl AttackConfig {
@@ -75,7 +79,14 @@ impl AttackConfig {
             limit_diff_vpin_y: false,
             base: BaseClassifier::default(),
             seed: 0xa77ac4,
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// This configuration with an explicit [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// `ML-9`: first 9 features, no scalability restriction.
@@ -123,7 +134,10 @@ impl AttackConfig {
     /// The sampling options this configuration implies given a resolved
     /// neighborhood radius.
     fn sample_options(&self, radius: Option<i64>) -> SampleOptions {
-        SampleOptions { radius, limit_diff_vpin_y: self.limit_diff_vpin_y }
+        SampleOptions {
+            radius,
+            limit_diff_vpin_y: self.limit_diff_vpin_y,
+        }
     }
 }
 
@@ -172,14 +186,27 @@ impl TrainedAttack {
             return Err(AttackError::NoSamples);
         }
         let model = match config.base {
-            BaseClassifier::RepTreeBagging { n_trees } => {
-                Bagging::fit(&samples, &RepTreeLearner::default(), n_trees, config.seed)?
-            }
-            BaseClassifier::RandomTreeBagging { n_trees } => {
-                Bagging::fit(&samples, &RandomTreeLearner::default(), n_trees, config.seed)?
-            }
+            BaseClassifier::RepTreeBagging { n_trees } => Bagging::fit_with(
+                &samples,
+                &RepTreeLearner::default(),
+                n_trees,
+                config.seed,
+                config.parallelism,
+            )?,
+            BaseClassifier::RandomTreeBagging { n_trees } => Bagging::fit_with(
+                &samples,
+                &RandomTreeLearner::default(),
+                n_trees,
+                config.seed,
+                config.parallelism,
+            )?,
         };
-        Ok(Self { config: config.clone(), model, radius, num_training_samples: samples.len() })
+        Ok(Self {
+            config: config.clone(),
+            model,
+            radius,
+            num_training_samples: samples.len(),
+        })
     }
 
     /// Assembles a model from pre-trained parts (two-level pruning builds
@@ -190,7 +217,12 @@ impl TrainedAttack {
         radius: Option<i64>,
         num_training_samples: usize,
     ) -> Self {
-        Self { config, model, radius, num_training_samples }
+        Self {
+            config,
+            model,
+            radius,
+            num_training_samples,
+        }
     }
 
     /// The configuration this model was trained with.
@@ -235,13 +267,18 @@ pub struct ScoreOptions {
     /// If set, only these v-pins are scored as targets (candidates still
     /// come from the whole view). Used by PA validation.
     pub targets: Option<Vec<u32>>,
-    /// Number of worker threads (defaults to available parallelism).
-    pub threads: Option<usize>,
+    /// Worker threads for pair scoring. The scored result is bit-identical
+    /// across settings; only wall-clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ScoreOptions {
     fn default() -> Self {
-        Self { top_fraction: 0.06, targets: None, threads: None }
+        Self {
+            top_fraction: 0.06,
+            targets: None,
+            parallelism: Parallelism::Auto,
+        }
     }
 }
 
@@ -285,7 +322,8 @@ pub struct ScoredView {
     /// Per-target records.
     pub slots: Vec<VpinScore>,
     /// Histogram over all scored candidate probabilities (per-target
-    /// entries; bin `k` covers `p ≈ k / (HIST_BINS − 1)`).
+    /// entries; bin `k` covers `k / HIST_BINS <= p < (k + 1) / HIST_BINS`,
+    /// with the top bin closed so it also holds `p = 1`).
     pub hist: Vec<u64>,
     /// Total v-pins in the underlying view (denominator of LoC fractions).
     pub num_view_vpins: usize,
@@ -293,15 +331,25 @@ pub struct ScoredView {
     pub pairs_scored: u64,
 }
 
-/// Maps a probability to its histogram bin.
+/// Maps a probability to its histogram bin: floor-based edges, so bin `k`
+/// holds `k / HIST_BINS <= p < (k + 1) / HIST_BINS` (top bin closed).
 pub(crate) fn hist_bin(p: f64) -> usize {
-    ((p * (HIST_BINS - 1) as f64).round() as usize).min(HIST_BINS - 1)
+    ((p * HIST_BINS as f64) as usize).min(HIST_BINS - 1)
 }
 
-/// Probability represented by histogram bin `k` (its lower edge for
-/// threshold sweeps).
+/// Lower edge of histogram bin `k`, the probability threshold it
+/// represents in sweeps.
 pub(crate) fn bin_threshold(k: usize) -> f64 {
-    k as f64 / (HIST_BINS - 1) as f64
+    k as f64 / HIST_BINS as f64
+}
+
+/// First histogram bin containing only probabilities `>= t`: the shared
+/// bin-edge convention of every threshold query. A threshold is snapped
+/// *up* to the next bin edge (capped at the top bin), so a bin is counted
+/// iff all its probabilities meet the effective threshold
+/// [`bin_threshold`]`(first_bin(t))`.
+pub(crate) fn first_bin(t: f64) -> usize {
+    ((t * HIST_BINS as f64).ceil() as usize).min(HIST_BINS - 1)
 }
 
 pub(crate) fn score_with(
@@ -327,84 +375,78 @@ pub(crate) fn score_with(
         None
     };
 
-    let threads = options
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
-        .clamp(1, 64);
-    let chunk = targets.len().div_euclid(threads).max(1) + 1;
+    // Shard the targets into contiguous v-pin ranges: each worker fills its
+    // own slot list, feature buffer and local histogram, and the parts are
+    // merged in target order, so the result is bit-identical for any
+    // parallelism setting.
+    let index = index.as_ref();
+    let targets = &targets[..];
+    let parts = par_chunks(options.parallelism, targets.len(), |range| {
+        let mut local_hist = vec![0u64; HIST_BINS];
+        let mut local_pairs = 0u64;
+        let mut local_slots = Vec::with_capacity(range.len());
+        let mut buf = Vec::with_capacity(attack.config.features.len());
+        let mut cands: Vec<u32> = Vec::new();
+        for slot_idx in range {
+            let i = targets[slot_idx];
+            let iu = i as usize;
+            let truth = view.true_match(iu);
+            enumerate_candidates(attack, view, source, index, slot_idx, i, n, &mut cands);
+            let mut slot = VpinScore {
+                vpin: i,
+                true_prob: None,
+                top: Vec::new(),
+            };
+            let mut top: Vec<Cand> = Vec::with_capacity(top_k + 1);
+            for &j in &*cands {
+                let ju = j as usize;
+                if !view.is_legal_pair(iu, ju) {
+                    continue;
+                }
+                attack
+                    .config
+                    .features
+                    .compute_into(&view.vpins()[iu], &view.vpins()[ju], &mut buf);
+                let p = attack.model.proba(&buf);
+                local_pairs += 1;
+                local_hist[hist_bin(p)] += 1;
+                if ju == truth {
+                    slot.true_prob = Some(p);
+                }
+                push_top(
+                    &mut top,
+                    Cand {
+                        p,
+                        index: j,
+                        dist: view.distance(iu, ju),
+                    },
+                    top_k,
+                );
+            }
+            top.sort_by(|a, b| b.p.total_cmp(&a.p).then(a.dist.cmp(&b.dist)));
+            slot.top = top;
+            local_slots.push(slot);
+        }
+        (local_slots, local_hist, local_pairs)
+    });
 
     let mut slots: Vec<VpinScore> = Vec::with_capacity(targets.len());
     let mut hist = vec![0u64; HIST_BINS];
     let mut pairs_scored = 0u64;
-
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (c, target_chunk) in targets.chunks(chunk).enumerate() {
-            let index = index.as_ref();
-            let handle = s.spawn(move |_| {
-                let mut local_hist = vec![0u64; HIST_BINS];
-                let mut local_pairs = 0u64;
-                let mut local_slots = Vec::with_capacity(target_chunk.len());
-                let mut buf = Vec::with_capacity(attack.config.features.len());
-                let mut cands: Vec<u32> = Vec::new();
-                for (t_off, &i) in target_chunk.iter().enumerate() {
-                    let iu = i as usize;
-                    let truth = view.true_match(iu);
-                    enumerate_candidates(
-                        attack,
-                        view,
-                        source,
-                        index,
-                        c * chunk + t_off,
-                        i,
-                        n,
-                        &mut cands,
-                    );
-                    let mut slot =
-                        VpinScore { vpin: i, true_prob: None, top: Vec::new() };
-                    let mut top: Vec<Cand> = Vec::with_capacity(top_k + 1);
-                    for &j in &*cands {
-                        let ju = j as usize;
-                        if !view.is_legal_pair(iu, ju) {
-                            continue;
-                        }
-                        attack.config.features.compute_into(
-                            &view.vpins()[iu],
-                            &view.vpins()[ju],
-                            &mut buf,
-                        );
-                        let p = attack.model.proba(&buf);
-                        local_pairs += 1;
-                        local_hist[hist_bin(p)] += 1;
-                        if ju == truth {
-                            slot.true_prob = Some(p);
-                        }
-                        push_top(&mut top, Cand { p, index: j, dist: view.distance(iu, ju) }, top_k);
-                    }
-                    top.sort_by(|a, b| b.p.total_cmp(&a.p).then(a.dist.cmp(&b.dist)));
-                    slot.top = top;
-                    local_slots.push(slot);
-                }
-                (c, local_slots, local_hist, local_pairs)
-            });
-            handles.push(handle);
+    for (part_slots, part_hist, part_pairs) in parts {
+        slots.extend(part_slots);
+        for (h, ph) in hist.iter_mut().zip(part_hist) {
+            *h += ph;
         }
-        let mut parts: Vec<(usize, Vec<VpinScore>, Vec<u64>, u64)> = handles
-            .into_iter()
-            .map(|h| h.join().expect("scoring worker panicked"))
-            .collect();
-        parts.sort_by_key(|p| p.0);
-        for (_, part_slots, part_hist, part_pairs) in parts {
-            slots.extend(part_slots);
-            for (h, ph) in hist.iter_mut().zip(part_hist) {
-                *h += ph;
-            }
-            pairs_scored += part_pairs;
-        }
-    })
-    .expect("crossbeam scope");
+        pairs_scored += part_pairs;
+    }
 
-    ScoredView { slots, hist, num_view_vpins: n, pairs_scored }
+    ScoredView {
+        slots,
+        hist,
+        num_view_vpins: n,
+        pairs_scored,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -476,8 +518,12 @@ mod tests {
     }
 
     fn leave_one_out(views: &[SplitView], test: usize) -> (Vec<&SplitView>, &SplitView) {
-        let train: Vec<&SplitView> =
-            views.iter().enumerate().filter(|(i, _)| *i != test).map(|(_, v)| v).collect();
+        let train: Vec<&SplitView> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != test)
+            .map(|(_, v)| v)
+            .collect();
         (train, &views[test])
     }
 
@@ -515,7 +561,11 @@ mod tests {
         let model = TrainedAttack::train(&AttackConfig::imp11(), &train, None).expect("train");
         let scored = model.score(test, &ScoreOptions::default());
         assert_eq!(scored.slots.len(), test.num_vpins());
-        let with_truth = scored.slots.iter().filter(|s| s.true_prob.is_some()).count();
+        let with_truth = scored
+            .slots
+            .iter()
+            .filter(|s| s.true_prob.is_some())
+            .count();
         // The 90% neighborhood must retain the large majority of matches.
         assert!(
             with_truth as f64 / scored.slots.len() as f64 > 0.6,
@@ -569,7 +619,10 @@ mod tests {
         let views = suite_views(6);
         let (train, test) = leave_one_out(&views, 0);
         let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
-        let opts = ScoreOptions { targets: Some(vec![0, 5, 7]), ..ScoreOptions::default() };
+        let opts = ScoreOptions {
+            targets: Some(vec![0, 5, 7]),
+            ..ScoreOptions::default()
+        };
         let scored = model.score(test, &opts);
         assert_eq!(scored.slots.len(), 3);
         assert_eq!(scored.slots[1].vpin, 5);
@@ -581,12 +634,18 @@ mod tests {
         let views = suite_views(6);
         let (train, test) = leave_one_out(&views, 2);
         let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
-        let opts = ScoreOptions { top_fraction: 0.01, ..ScoreOptions::default() };
+        let opts = ScoreOptions {
+            top_fraction: 0.01,
+            ..ScoreOptions::default()
+        };
         let scored = model.score(test, &opts);
         let cap = ((0.01 * test.num_vpins() as f64).ceil() as usize).max(16);
         for s in &scored.slots {
             assert!(s.top.len() <= cap);
-            assert!(s.top.windows(2).all(|w| w[0].p >= w[1].p), "top list must be sorted");
+            assert!(
+                s.top.windows(2).all(|w| w[0].p >= w[1].p),
+                "top list must be sorted"
+            );
         }
     }
 
@@ -595,21 +654,39 @@ mod tests {
         let views = suite_views(8);
         let (train, test) = leave_one_out(&views, 0);
         let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
-        let one = model.score(test, &ScoreOptions { threads: Some(1), ..ScoreOptions::default() });
-        let four = model.score(test, &ScoreOptions { threads: Some(4), ..ScoreOptions::default() });
-        assert_eq!(one.hist, four.hist);
-        assert_eq!(one.pairs_scored, four.pairs_scored);
-        for (a, b) in one.slots.iter().zip(&four.slots) {
-            assert_eq!(a.vpin, b.vpin);
-            assert_eq!(a.true_prob, b.true_prob);
-        }
+        let one = model.score(
+            test,
+            &ScoreOptions {
+                parallelism: Parallelism::Sequential,
+                ..ScoreOptions::default()
+            },
+        );
+        let four = model.score(
+            test,
+            &ScoreOptions {
+                parallelism: Parallelism::Threads(4),
+                ..ScoreOptions::default()
+            },
+        );
+        assert_eq!(
+            one, four,
+            "scoring must be bit-identical across thread counts"
+        );
     }
 
     #[test]
     fn push_top_keeps_the_k_best() {
         let mut top = Vec::new();
         for (i, p) in [0.1, 0.9, 0.5, 0.95, 0.2, 0.8].iter().enumerate() {
-            push_top(&mut top, Cand { p: *p, index: i as u32, dist: 0 }, 3);
+            push_top(
+                &mut top,
+                Cand {
+                    p: *p,
+                    index: i as u32,
+                    dist: 0,
+                },
+                3,
+            );
         }
         let mut ps: Vec<f64> = top.iter().map(|c| c.p).collect();
         ps.sort_by(f64::total_cmp);
@@ -622,5 +699,23 @@ mod tests {
         assert_eq!(hist_bin(1.0), HIST_BINS - 1);
         assert!(hist_bin(0.5) < hist_bin(0.75));
         assert!((bin_threshold(hist_bin(0.5)) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bin_edges_share_one_convention() {
+        // A probability on a bin edge stays at or above that edge's
+        // threshold; first_bin snaps thresholds up to the next edge.
+        assert_eq!(first_bin(0.0), 0);
+        assert_eq!(first_bin(1.0), HIST_BINS - 1);
+        assert_eq!(first_bin(0.5), hist_bin(0.5));
+        assert_eq!(bin_threshold(hist_bin(0.5)), 0.5);
+        // Off-edge thresholds round up, never down: a candidate strictly
+        // below t must never be counted by a histogram sweep from
+        // first_bin(t).
+        let t = 0.5 + 0.25 / HIST_BINS as f64;
+        assert_eq!(first_bin(t), hist_bin(0.5) + 1);
+        for k in 0..HIST_BINS {
+            assert_eq!(first_bin(bin_threshold(k)), k.min(HIST_BINS - 1));
+        }
     }
 }

@@ -89,7 +89,12 @@ impl PriorWorkModel {
     pub fn evaluate(&self, view: &SplitView, margin: f64) -> BaselineResult {
         let n = view.num_vpins();
         if n == 0 {
-            return BaselineResult { mean_loc: 0.0, accuracy: 0.0, loc_fraction: 0.0, pa_rate: 0.0 };
+            return BaselineResult {
+                mean_loc: 0.0,
+                accuracy: 0.0,
+                loc_fraction: 0.0,
+                pa_rate: 0.0,
+            };
         }
         let index = VpinIndex::new(view, 10_000);
         let mut cands: Vec<u32> = Vec::new();
@@ -158,15 +163,20 @@ fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
                 continue;
             }
             let f = a[row][col] / diag;
-            for k in col..4 {
-                a[row][k] -= f * a[col][k];
+            let pivot_row = a[col];
+            for (av, pv) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *av -= f * pv;
             }
             b[row] -= f * b[col];
         }
     }
     let mut x = [0.0; 4];
     for i in 0..4 {
-        x[i] = if a[i][i].abs() < 1e-30 { 0.0 } else { b[i] / a[i][i] };
+        x[i] = if a[i][i].abs() < 1e-30 {
+            0.0
+        } else {
+            b[i] / a[i][i]
+        };
     }
     x
 }

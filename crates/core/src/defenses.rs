@@ -79,9 +79,12 @@ pub fn decoy_pairs(view: &SplitView, fraction: f64, seed: u64) -> SplitView {
         for vp in [&mut a, &mut b] {
             let jx = rng.gen_range(-wiggle..=wiggle);
             let jy = rng.gen_range(-wiggle..=wiggle);
-            vp.loc = view.die.clamp(Point::new(vp.loc.x + dx + jx, vp.loc.y + dy + jy));
-            vp.pin_loc =
-                view.die.clamp(Point::new(vp.pin_loc.x + dx + jx, vp.pin_loc.y + dy + jy));
+            vp.loc = view
+                .die
+                .clamp(Point::new(vp.loc.x + dx + jx, vp.loc.y + dy + jy));
+            vp.pin_loc = view
+                .die
+                .clamp(Point::new(vp.pin_loc.x + dx + jx, vp.pin_loc.y + dy + jy));
             vp.wirelength = (vp.wirelength as f64 * rng.gen_range(0.8..1.25)) as i64;
         }
         let ia = vpins.len() as u32;
@@ -115,8 +118,12 @@ pub fn wirelength_scramble(view: &SplitView, strength: f64, seed: u64) -> SplitV
 /// (camouflaged drive strengths, cf. [7]): `InArea`/`OutArea` keep their
 /// direction information but lose their magnitudes.
 pub fn area_camouflage(view: &SplitView) -> SplitView {
-    let mut in_areas: Vec<i64> =
-        view.vpins().iter().map(|v| v.in_area).filter(|&a| a > 0).collect();
+    let mut in_areas: Vec<i64> = view
+        .vpins()
+        .iter()
+        .map(|v| v.in_area)
+        .filter(|&a| a > 0)
+        .collect();
     in_areas.sort_unstable();
     let unit = in_areas.get(in_areas.len() / 2).copied().unwrap_or(1);
     let vpins: Vec<VPin> = view
@@ -134,8 +141,9 @@ pub fn area_camouflage(view: &SplitView) -> SplitView {
 
 /// Rebuilds a view with modified v-pins and the original matching.
 fn rebuild(view: &SplitView, vpins: Vec<VPin>) -> SplitView {
-    let partner: Vec<u32> =
-        (0..view.num_vpins()).map(|i| view.true_match(i) as u32).collect();
+    let partner: Vec<u32> = (0..view.num_vpins())
+        .map(|i| view.true_match(i) as u32)
+        .collect();
     SplitView::from_parts(view.name.clone(), view.split, view.die, vpins, partner)
         .expect("transforms preserve the matching invariants")
 }
@@ -162,10 +170,12 @@ mod tests {
     fn xy_noise_moves_both_axes_but_keeps_truth() {
         let v = view();
         let noisy = xy_noise(&v, 0.01, 3);
-        let moved_x =
-            (0..v.num_vpins()).filter(|&i| noisy.vpins()[i].loc.x != v.vpins()[i].loc.x).count();
-        let moved_y =
-            (0..v.num_vpins()).filter(|&i| noisy.vpins()[i].loc.y != v.vpins()[i].loc.y).count();
+        let moved_x = (0..v.num_vpins())
+            .filter(|&i| noisy.vpins()[i].loc.x != v.vpins()[i].loc.x)
+            .count();
+        let moved_y = (0..v.num_vpins())
+            .filter(|&i| noisy.vpins()[i].loc.y != v.vpins()[i].loc.y)
+            .count();
         assert!(moved_x > v.num_vpins() / 2);
         assert!(moved_y > v.num_vpins() / 2);
         for i in 0..v.num_vpins() {
@@ -216,8 +226,12 @@ mod tests {
     fn area_camouflage_flattens_magnitudes_and_keeps_direction() {
         let v = view();
         let c = area_camouflage(&v);
-        let distinct: std::collections::HashSet<i64> =
-            c.vpins().iter().map(|vp| vp.in_area).filter(|&a| a > 0).collect();
+        let distinct: std::collections::HashSet<i64> = c
+            .vpins()
+            .iter()
+            .map(|vp| vp.in_area)
+            .filter(|&a| a > 0)
+            .collect();
         assert_eq!(distinct.len(), 1, "all load areas collapse to one class");
         for i in 0..v.num_vpins() {
             assert_eq!(c.vpins()[i].drives(), v.vpins()[i].drives());
@@ -229,8 +243,7 @@ mod tests {
         use crate::attack::{AttackConfig, ScoreOptions, TrainedAttack};
         let suite = Suite::ispd2011_like(0.02).expect("valid scale");
         let views = suite.split_all(SplitLayer::new(6).expect("valid"));
-        let defended: Vec<SplitView> =
-            views.iter().map(|v| decoy_pairs(v, 0.3, 9)).collect();
+        let defended: Vec<SplitView> = views.iter().map(|v| decoy_pairs(v, 0.3, 9)).collect();
         let train: Vec<&SplitView> = defended[1..].iter().collect();
         let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
         let scored = model.score(&defended[0], &ScoreOptions::default());

@@ -81,12 +81,8 @@ impl PairFeature {
             PairFeature::DiffVpinY => (a.loc.y - b.loc.y).abs() as f64,
             PairFeature::ManhattanVpin => a.loc.manhattan(b.loc) as f64,
             PairFeature::TotalWirelength => (a.wirelength + b.wirelength) as f64,
-            PairFeature::TotalArea => {
-                (a.in_area + a.out_area + b.in_area + b.out_area) as f64
-            }
-            PairFeature::DiffArea => {
-                ((a.out_area + b.out_area) - (a.in_area + b.in_area)) as f64
-            }
+            PairFeature::TotalArea => (a.in_area + a.out_area + b.in_area + b.out_area) as f64,
+            PairFeature::DiffArea => ((a.out_area + b.out_area) - (a.in_area + b.in_area)) as f64,
             PairFeature::PlacementCongestion => a.pc + b.pc,
             PairFeature::RoutingCongestion => a.rc + b.rc,
         }
@@ -110,7 +106,9 @@ impl FeatureSet {
     /// The "9-feature" set of `ML-9`/`Imp-9`: the first nine features
     /// (everything except the two congestion measurements).
     pub fn nine() -> Self {
-        Self { features: ALL_FEATURES[..9].to_vec() }
+        Self {
+            features: ALL_FEATURES[..9].to_vec(),
+        }
     }
 
     /// The "7-feature" set of `Imp-7`: the nine-feature set minus the two
@@ -120,16 +118,16 @@ impl FeatureSet {
             features: ALL_FEATURES[..9]
                 .iter()
                 .copied()
-                .filter(|f| {
-                    !matches!(f, PairFeature::TotalWirelength | PairFeature::TotalArea)
-                })
+                .filter(|f| !matches!(f, PairFeature::TotalWirelength | PairFeature::TotalArea))
                 .collect(),
         }
     }
 
     /// All 11 features (`Imp-11`).
     pub fn eleven() -> Self {
-        Self { features: ALL_FEATURES.to_vec() }
+        Self {
+            features: ALL_FEATURES.to_vec(),
+        }
     }
 
     /// A custom selection (useful for ablations).
@@ -221,7 +219,11 @@ mod tests {
         let a = vpin(10, 20, 1, 2, 100, 50, 0);
         let b = vpin(-3, 8, 5, -9, 200, 0, 70);
         for f in ALL_FEATURES {
-            assert_eq!(f.compute(&a, &b), f.compute(&b, &a), "{f} must be symmetric");
+            assert_eq!(
+                f.compute(&a, &b),
+                f.compute(&b, &a),
+                "{f} must be symmetric"
+            );
         }
     }
 

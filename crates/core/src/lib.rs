@@ -60,3 +60,4 @@ pub use features::{FeatureSet, PairFeature, ALL_FEATURES};
 pub use loc::{CurvePoint, LocCurve};
 pub use matching::{greedy_matching, mutual_best, MatchingOutcome};
 pub use proximity::{proximity_attack, validate_pa_fraction, PaOutcome, PaValidation};
+pub use sm_ml::Parallelism;

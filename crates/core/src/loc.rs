@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::attack::{bin_threshold, ScoredView, HIST_BINS};
+use crate::attack::{bin_threshold, first_bin, ScoredView, HIST_BINS};
 
 /// One point of the LoC/accuracy trade-off.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,24 +35,33 @@ pub struct LocCurve {
 
 impl ScoredView {
     /// Accuracy at threshold `t`: the fraction of scored v-pins whose true
-    /// match was evaluated and received `p >= t`.
+    /// match was evaluated and received a probability at or above `t`.
+    ///
+    /// `t` is snapped up to the next histogram bin edge — the same
+    /// convention [`ScoredView::mean_loc_at`] uses — so a candidate counts
+    /// toward the LoC exactly when an identical true-match probability
+    /// counts toward accuracy.
     pub fn accuracy_at(&self, t: f64) -> f64 {
         if self.slots.is_empty() {
             return 0.0;
         }
-        let hits =
-            self.slots.iter().filter(|s| s.true_prob.is_some_and(|p| p >= t)).count();
+        let t_eff = bin_threshold(first_bin(t));
+        let hits = self
+            .slots
+            .iter()
+            .filter(|s| s.true_prob.is_some_and(|p| p >= t_eff))
+            .count();
         hits as f64 / self.slots.len() as f64
     }
 
     /// Mean LoC size at threshold `t` (candidates with `p >= t`, averaged
-    /// over scored v-pins).
+    /// over scored v-pins). Uses the same snapped-up bin-edge convention as
+    /// [`ScoredView::accuracy_at`].
     pub fn mean_loc_at(&self, t: f64) -> f64 {
         if self.slots.is_empty() {
             return 0.0;
         }
-        let first = crate::attack::hist_bin(t);
-        let count: u64 = self.hist[first..].iter().sum();
+        let count: u64 = self.hist[first_bin(t)..].iter().sum();
         count as f64 / self.slots.len() as f64
     }
 
@@ -100,9 +109,9 @@ impl LocCurve {
                 suffix[vi] += view.hist[k];
                 let n_slots = view.slots.len().max(1) as f64;
                 let truths = &sorted_truth[vi];
-                // Count truths with p >= t. The histogram binned candidates
-                // by *rounding*, so compare against the bin's lower edge
-                // consistently.
+                // Count truths with p >= t. The histogram bins candidates
+                // by floor, so comparing against bin k's lower edge counts
+                // exactly the probabilities the suffix sum counts.
                 let hits = truths.len() - truths.partition_point(|p| *p < t);
                 acc += hits as f64 / view.slots.len().max(1) as f64;
                 let ml = suffix[vi] as f64 / n_slots;
@@ -132,7 +141,11 @@ impl LocCurve {
     pub fn min_loc_at_accuracy(&self, target: f64) -> Option<CurvePoint> {
         // Accuracy is non-increasing in threshold: take the largest
         // threshold still meeting the target.
-        self.points.iter().rev().find(|p| p.accuracy >= target).copied()
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.accuracy >= target)
+            .copied()
     }
 
     /// Highest accuracy achievable with mean LoC at most `target` (Table
@@ -152,7 +165,10 @@ impl LocCurve {
 
     /// Accuracy at the given LoC fraction (Table IV's right block).
     pub fn accuracy_at_loc_fraction(&self, fraction: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.loc_fraction <= fraction).map(|p| p.accuracy)
+        self.points
+            .iter()
+            .find(|p| p.loc_fraction <= fraction)
+            .map(|p| p.accuracy)
     }
 }
 
@@ -167,13 +183,22 @@ mod tests {
         let slots: Vec<VpinScore> = truths
             .iter()
             .enumerate()
-            .map(|(i, t)| VpinScore { vpin: i as u32, true_prob: *t, top: Vec::new() })
+            .map(|(i, t)| VpinScore {
+                vpin: i as u32,
+                true_prob: *t,
+                top: Vec::new(),
+            })
             .collect();
         let mut hist = vec![0u64; HIST_BINS];
         for &p in cand_probs {
             hist[hist_bin(p)] += 1;
         }
-        ScoredView { slots, hist, num_view_vpins: n_view, pairs_scored: cand_probs.len() as u64 }
+        ScoredView {
+            slots,
+            hist,
+            num_view_vpins: n_view,
+            pairs_scored: cand_probs.len() as u64,
+        }
     }
 
     #[test]
@@ -197,6 +222,33 @@ mod tests {
     }
 
     #[test]
+    fn accuracy_and_loc_share_the_bin_edge_convention() {
+        // Regression for a threshold/binning mismatch: accuracy_at used an
+        // exact `p >= t` filter while mean_loc_at rounded `t` to the
+        // nearest bin, so a candidate up to half a bin *below* t was
+        // counted in the LoC but its identical true-match probability was
+        // not counted as accurate. Pin a probability exactly between two
+        // bin centers and sweep thresholds around it: the two metrics must
+        // always agree on whether it counts.
+        let p0 = (1023.5) / HIST_BINS as f64; // midway inside bin 1023
+        let v = synthetic(&[Some(p0)], &[p0], 1);
+        let half_bin = 0.5 / HIST_BINS as f64;
+        for t in [0.0, p0 - half_bin, p0, p0 + half_bin, p0 + 3.0 * half_bin] {
+            let acc = v.accuracy_at(t);
+            let loc = v.mean_loc_at(t);
+            assert_eq!(
+                acc, loc,
+                "metrics disagree at t={t}: accuracy {acc} vs mean LoC {loc}"
+            );
+        }
+        // And the snapping is upward: a threshold just above the bin's
+        // lower edge excludes the bin entirely in both metrics.
+        let above_edge = 1023.25 / HIST_BINS as f64;
+        assert_eq!(v.accuracy_at(above_edge), 0.0);
+        assert_eq!(v.mean_loc_at(above_edge), 0.0);
+    }
+
+    #[test]
     fn curve_is_monotone() {
         let v = synthetic(
             &[Some(0.95), Some(0.6), Some(0.3), None],
@@ -205,8 +257,14 @@ mod tests {
         );
         let c = v.curve();
         for w in c.points().windows(2) {
-            assert!(w[0].accuracy >= w[1].accuracy, "accuracy must not rise with threshold");
-            assert!(w[0].mean_loc >= w[1].mean_loc, "LoC must not rise with threshold");
+            assert!(
+                w[0].accuracy >= w[1].accuracy,
+                "accuracy must not rise with threshold"
+            );
+            assert!(
+                w[0].mean_loc >= w[1].mean_loc,
+                "LoC must not rise with threshold"
+            );
         }
     }
 

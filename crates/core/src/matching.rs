@@ -77,7 +77,11 @@ pub fn greedy_matching(scored: &ScoredView, view: &SplitView, min_prob: f64) -> 
     for slot in &scored.slots {
         for c in &slot.top {
             if c.p >= min_prob {
-                let (a, b) = if slot.vpin < c.index { (slot.vpin, c.index) } else { (c.index, slot.vpin) };
+                let (a, b) = if slot.vpin < c.index {
+                    (slot.vpin, c.index)
+                } else {
+                    (c.index, slot.vpin)
+                };
                 pairs.push((c.p, a, b));
             }
         }
@@ -101,7 +105,11 @@ pub fn greedy_matching(scored: &ScoredView, view: &SplitView, min_prob: f64) -> 
             correct += 1;
         }
     }
-    MatchingOutcome { correct, committed, total_vpins: n }
+    MatchingOutcome {
+        correct,
+        committed,
+        total_vpins: n,
+    }
 }
 
 /// Commits only pairs that are mutually each other's highest-probability
@@ -130,7 +138,11 @@ pub fn mutual_best(scored: &ScoredView, view: &SplitView, min_prob: f64) -> Matc
             }
         }
     }
-    MatchingOutcome { correct, committed, total_vpins: n }
+    MatchingOutcome {
+        correct,
+        committed,
+        total_vpins: n,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +163,11 @@ mod tests {
             slots: top
                 .into_iter()
                 .enumerate()
-                .map(|(i, t)| VpinScore { vpin: i as u32, true_prob: None, top: t })
+                .map(|(i, t)| VpinScore {
+                    vpin: i as u32,
+                    true_prob: None,
+                    top: t,
+                })
                 .collect(),
             hist: vec![0; HIST_BINS],
             num_view_vpins: n,
@@ -166,7 +182,11 @@ mod tests {
         // Every slot claims v-pin 0 with high probability.
         let tops: Vec<Vec<Cand>> = (0..v.num_vpins())
             .map(|i| {
-                vec![Cand { p: 1.0 - i as f64 * 1e-4, index: 0, dist: 1 }]
+                vec![Cand {
+                    p: 1.0 - i as f64 * 1e-4,
+                    index: 0,
+                    dist: 1,
+                }]
             })
             .collect();
         let scored = synthetic(tops, v.num_vpins());
@@ -206,10 +226,18 @@ mod tests {
 
     #[test]
     fn outcome_metrics_handle_degenerate_cases() {
-        let o = MatchingOutcome { correct: 0, committed: 0, total_vpins: 0 };
+        let o = MatchingOutcome {
+            correct: 0,
+            committed: 0,
+            total_vpins: 0,
+        };
         assert_eq!(o.precision(), 0.0);
         assert_eq!(o.recall(), 0.0);
-        let o = MatchingOutcome { correct: 3, committed: 4, total_vpins: 10 };
+        let o = MatchingOutcome {
+            correct: 3,
+            committed: 4,
+            total_vpins: 10,
+        };
         assert!((o.precision() - 0.75).abs() < 1e-12);
         assert!((o.recall() - 0.6).abs() < 1e-12);
     }
@@ -218,7 +246,11 @@ mod tests {
     fn min_prob_filters_commitments() {
         let vs = views(8);
         let v = &vs[0];
-        let tops = vec![vec![Cand { p: 0.4, index: 1, dist: 5 }]];
+        let tops = vec![vec![Cand {
+            p: 0.4,
+            index: 1,
+            dist: 5,
+        }]];
         let scored = synthetic(tops, v.num_vpins());
         assert_eq!(greedy_matching(&scored, v, 0.5).committed, 0);
         assert_eq!(greedy_matching(&scored, v, 0.3).committed, 1);

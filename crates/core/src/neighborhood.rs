@@ -53,7 +53,10 @@ pub fn match_distance_cdf(views: &[&SplitView]) -> Vec<i64> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn neighborhood_radius(views: &[&SplitView], quantile: f64) -> Option<i64> {
-    assert!(quantile > 0.0 && quantile <= 1.0, "quantile must be in (0, 1]");
+    assert!(
+        quantile > 0.0 && quantile <= 1.0,
+        "quantile must be in (0, 1]"
+    );
     let cdf = match_distance_cdf(views);
     if cdf.is_empty() {
         return None;
@@ -91,7 +94,11 @@ impl VpinIndex {
             buckets[grid.flat_of(vp.loc)].push(i as u32);
             by_y.entry(vp.loc.y).or_default().push(i as u32);
         }
-        Self { grid, buckets, by_y }
+        Self {
+            grid,
+            buckets,
+            by_y,
+        }
     }
 
     /// Builds the index with a cell size matched to `radius` (clamped to a

@@ -54,7 +54,10 @@ mod tests {
                 .map(|(a, b)| (a.loc.y - b.loc.y) as f64)
                 .collect();
             let mean = displacements.iter().sum::<f64>() / displacements.len() as f64;
-            let var = displacements.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            let var = displacements
+                .iter()
+                .map(|d| (d - mean) * (d - mean))
+                .sum::<f64>()
                 / displacements.len() as f64;
             let sd = var.sqrt();
             // Clamping at the die edge skews this slightly; allow slack.

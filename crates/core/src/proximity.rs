@@ -12,6 +12,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sm_layout::SplitView;
+use sm_ml::parallel::par_map;
+use sm_ml::Parallelism;
 
 use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainedAttack};
 use crate::error::AttackError;
@@ -45,7 +47,13 @@ impl PaOutcome {
 
 impl std::fmt::Display for PaOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.successes, self.total, 100.0 * self.rate())
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.successes,
+            self.total,
+            100.0 * self.rate()
+        )
     }
 }
 
@@ -100,7 +108,10 @@ pub fn proximity_attack(
             successes += 1;
         }
     }
-    PaOutcome { successes, total: scored.slots.len() }
+    PaOutcome {
+        successes,
+        total: scored.slots.len(),
+    }
 }
 
 /// Proximity attack with the PA-LoC defined by a fixed probability
@@ -136,7 +147,10 @@ pub fn pa_at_threshold(scored: &ScoredView, view: &SplitView, t: f64, seed: u64)
             successes += 1;
         }
     }
-    PaOutcome { successes, total: scored.slots.len() }
+    PaOutcome {
+        successes,
+        total: scored.slots.len(),
+    }
 }
 
 /// Result of the PA-LoC fraction validation.
@@ -167,7 +181,10 @@ pub fn validate_pa_fraction(
     fractions: &[f64],
     seed: u64,
 ) -> Result<PaValidation, AttackError> {
-    assert!(!fractions.is_empty(), "need at least one candidate fraction");
+    assert!(
+        !fractions.is_empty(),
+        "need at least one candidate fraction"
+    );
     if training_views.is_empty() {
         return Err(AttackError::NoTrainingData);
     }
@@ -182,9 +199,14 @@ pub fn validate_pa_fraction(
         .collect();
     let model = TrainedAttack::train(config, training_views, Some(&masks))?;
 
+    // Each training view is scored and attacked independently, so the
+    // per-view evaluation parallelises per `config.parallelism`; the inner
+    // scoring stays sequential to avoid nesting thread pools. Per-view
+    // rate vectors are accumulated in view order, keeping the floating
+    // sums bit-identical to a sequential run.
     let max_fraction = fractions.iter().copied().fold(0.0, f64::max);
-    let mut sum_rates = vec![0.0f64; fractions.len()];
-    for (vi, view) in training_views.iter().enumerate() {
+    let per_view: Vec<Vec<f64>> = par_map(config.parallelism, training_views.len(), |vi| {
+        let view = training_views[vi];
         let targets: Vec<u32> = masks[vi]
             .iter()
             .enumerate()
@@ -192,30 +214,44 @@ pub fn validate_pa_fraction(
             .map(|(i, _)| i as u32)
             .collect();
         if targets.is_empty() {
-            continue;
+            return vec![0.0; fractions.len()];
         }
         let scored = model.score(
             view,
             &ScoreOptions {
                 top_fraction: (max_fraction * 1.05).max(0.01),
                 targets: Some(targets),
-                threads: None,
+                parallelism: Parallelism::Sequential,
             },
         );
-        for (fi, &f) in fractions.iter().enumerate() {
-            sum_rates[fi] += proximity_attack(&scored, view, f, seed ^ fi as u64).rate();
+        fractions
+            .iter()
+            .enumerate()
+            .map(|(fi, &f)| proximity_attack(&scored, view, f, seed ^ fi as u64).rate())
+            .collect()
+    });
+    let mut sum_rates = vec![0.0f64; fractions.len()];
+    for rates in &per_view {
+        for (fi, r) in rates.iter().enumerate() {
+            sum_rates[fi] += r;
         }
     }
     let n = training_views.len() as f64;
-    let rates: Vec<(f64, f64)> =
-        fractions.iter().zip(&sum_rates).map(|(&f, &s)| (f, s / n)).collect();
+    let rates: Vec<(f64, f64)> = fractions
+        .iter()
+        .zip(&sum_rates)
+        .map(|(&f, &s)| (f, s / n))
+        .collect();
     let best_fraction = rates
         .iter()
         .copied()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(f, _)| f)
         .expect("fractions non-empty");
-    Ok(PaValidation { best_fraction, rates })
+    Ok(PaValidation {
+        best_fraction,
+        rates,
+    })
 }
 
 #[cfg(test)]
@@ -228,9 +264,18 @@ mod tests {
         let slots = top
             .into_iter()
             .enumerate()
-            .map(|(i, t)| VpinScore { vpin: i as u32, true_prob: None, top: t })
+            .map(|(i, t)| VpinScore {
+                vpin: i as u32,
+                true_prob: None,
+                top: t,
+            })
             .collect();
-        ScoredView { slots, hist: vec![0; HIST_BINS], num_view_vpins: n_view, pairs_scored: 0 }
+        ScoredView {
+            slots,
+            hist: vec![0; HIST_BINS],
+            num_view_vpins: n_view,
+            pairs_scored: 0,
+        }
     }
 
     fn views(split: u8) -> Vec<SplitView> {
@@ -248,8 +293,16 @@ mod tests {
         let view = &suite[0];
         let truth = view.true_match(0) as u32;
         let top = vec![vec![
-            Cand { p: 0.99, index: truth, dist: 10 },
-            Cand { p: 0.40, index: (truth + 1) % view.num_vpins() as u32, dist: 5 },
+            Cand {
+                p: 0.99,
+                index: truth,
+                dist: 10,
+            },
+            Cand {
+                p: 0.40,
+                index: (truth + 1) % view.num_vpins() as u32,
+                dist: 5,
+            },
         ]];
         let scored = synthetic_scored(top, view.num_vpins());
         // Fraction so small the PA-LoC has exactly one entry -> success.
@@ -268,8 +321,16 @@ mod tests {
         let truth = view.true_match(0) as u32;
         let other = (truth + 1) % view.num_vpins() as u32;
         let top = vec![vec![
-            Cand { p: 0.9, index: truth, dist: 7 },
-            Cand { p: 0.5, index: other, dist: 7 },
+            Cand {
+                p: 0.9,
+                index: truth,
+                dist: 7,
+            },
+            Cand {
+                p: 0.5,
+                index: other,
+                dist: 7,
+            },
         ]];
         let scored = synthetic_scored(top, view.num_vpins());
         let out = proximity_attack(&scored, view, 1.0, 0);
@@ -288,10 +349,20 @@ mod tests {
 
     #[test]
     fn outcome_rate_and_display() {
-        let o = PaOutcome { successes: 1, total: 4 };
+        let o = PaOutcome {
+            successes: 1,
+            total: 4,
+        };
         assert!((o.rate() - 0.25).abs() < 1e-12);
         assert!(o.to_string().contains("25.00%"));
-        assert_eq!(PaOutcome { successes: 0, total: 0 }.rate(), 0.0);
+        assert_eq!(
+            PaOutcome {
+                successes: 0,
+                total: 0
+            }
+            .rate(),
+            0.0
+        );
     }
 
     #[test]
@@ -299,8 +370,8 @@ mod tests {
         let vs = views(8);
         let train: Vec<&SplitView> = vs[..4].iter().collect();
         let grid = [0.01, 0.05];
-        let val = validate_pa_fraction(&AttackConfig::imp9(), &train, &grid, 3)
-            .expect("validation runs");
+        let val =
+            validate_pa_fraction(&AttackConfig::imp9(), &train, &grid, 3).expect("validation runs");
         assert!(grid.contains(&val.best_fraction));
         assert_eq!(val.rates.len(), 2);
         for (_, r) in &val.rates {
@@ -323,6 +394,9 @@ mod tests {
         let scored = model.score(&vs[0], &ScoreOptions::default());
         let out = proximity_attack(&scored, &vs[0], 0.02, 1);
         assert!(out.total > 0);
-        assert!(out.rate() > 0.0, "split-8 Y-limited PA should land some hits");
+        assert!(
+            out.rate() > 0.0,
+            "split-8 Y-limited PA should land some hits"
+        );
     }
 }

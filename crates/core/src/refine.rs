@@ -32,7 +32,10 @@ impl WirelengthBudget {
     ///
     /// Panics if `quantile` is outside `(0, 1]`.
     pub fn learn(views: &[&SplitView], quantile: f64) -> Self {
-        assert!(quantile > 0.0 && quantile <= 1.0, "quantile must be in (0, 1]");
+        assert!(
+            quantile > 0.0 && quantile <= 1.0,
+            "quantile must be in (0, 1]"
+        );
         let mut lengths: Vec<i64> = Vec::new();
         for v in views {
             for i in 0..v.num_vpins() {
@@ -43,11 +46,15 @@ impl WirelengthBudget {
             }
         }
         if lengths.is_empty() {
-            return Self { max_length: i64::MAX };
+            return Self {
+                max_length: i64::MAX,
+            };
         }
         lengths.sort_unstable();
         let k = ((lengths.len() as f64 * quantile).ceil() as usize).clamp(1, lengths.len());
-        Self { max_length: lengths[k - 1] + lengths[k - 1] / 4 }
+        Self {
+            max_length: lengths[k - 1] + lengths[k - 1] / 4,
+        }
     }
 
     /// Whether a candidate pair of `view` fits the budget.
@@ -88,10 +95,19 @@ pub fn timing_prune(scored: &ScoredView, view: &SplitView, budget: WirelengthBud
             // unreachable).
             let m = view.true_match(i);
             let true_prob = slot.true_prob.filter(|_| budget.admits(view, i, m));
-            VpinScore { vpin: slot.vpin, true_prob, top }
+            VpinScore {
+                vpin: slot.vpin,
+                true_prob,
+                top,
+            }
         })
         .collect();
-    ScoredView { slots, hist, num_view_vpins: scored.num_view_vpins, pairs_scored: pairs }
+    ScoredView {
+        slots,
+        hist,
+        num_view_vpins: scored.num_view_vpins,
+        pairs_scored: pairs,
+    }
 }
 
 #[cfg(test)]

@@ -90,7 +90,7 @@ pub fn generate_samples(
             continue;
         }
         let filter = vpin_filter.map(|f| &f[vi]);
-        let included = |i: usize| filter.map_or(true, |m| m[i]);
+        let included = |i: usize| filter.is_none_or(|m| m[i]);
         let index = if opts.radius.is_some() || opts.limit_diff_vpin_y {
             Some(match opts.radius {
                 Some(r) => VpinIndex::with_radius(view, r),
@@ -113,7 +113,16 @@ pub fn generate_samples(
 
             // One matching negative, drawn from the same candidate pool the
             // testing stage will use.
-            let drew = draw_negative(view, i, m, &opts, index.as_ref(), &included, rng, &mut cands);
+            let drew = draw_negative(
+                view,
+                i,
+                m,
+                &opts,
+                index.as_ref(),
+                &included,
+                rng,
+                &mut cands,
+            );
             if let Some(j) = drew {
                 features.compute_into(&view.vpins()[i], &view.vpins()[j], &mut buf);
                 ds.push(&buf, false).expect("buffer arity matches");
@@ -217,14 +226,23 @@ mod tests {
         let vs = views(6);
         let all = {
             let mut rng = ChaCha8Rng::seed_from_u64(0);
-            generate_samples(&refs(&vs), &FeatureSet::nine(), SampleOptions::default(), None, &mut rng)
+            generate_samples(
+                &refs(&vs),
+                &FeatureSet::nine(),
+                SampleOptions::default(),
+                None,
+                &mut rng,
+            )
         };
         let tight = {
             let mut rng = ChaCha8Rng::seed_from_u64(0);
             generate_samples(
                 &refs(&vs),
                 &FeatureSet::nine(),
-                SampleOptions { radius: Some(10_000), limit_diff_vpin_y: false },
+                SampleOptions {
+                    radius: Some(10_000),
+                    limit_diff_vpin_y: false,
+                },
                 None,
                 &mut rng,
             )
@@ -239,7 +257,10 @@ mod tests {
         let ds = generate_samples(
             &refs(&vs),
             &FeatureSet::nine(),
-            SampleOptions { radius: None, limit_diff_vpin_y: true },
+            SampleOptions {
+                radius: None,
+                limit_diff_vpin_y: true,
+            },
             None,
             &mut rng,
         );
@@ -255,8 +276,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         // Mask out every odd v-pin; since partners are (2k, 2k+1), every
         // positive pair touches a masked v-pin and must be dropped.
-        let masks: Vec<Vec<bool>> =
-            vs.iter().map(|v| (0..v.num_vpins()).map(|i| i % 2 == 0).collect()).collect();
+        let masks: Vec<Vec<bool>> = vs
+            .iter()
+            .map(|v| (0..v.num_vpins()).map(|i| i % 2 == 0).collect())
+            .collect();
         let ds = generate_samples(
             &refs(&vs),
             &FeatureSet::nine(),
@@ -271,8 +294,10 @@ mod tests {
     fn eligibility_respects_all_three_constraints() {
         let vs = views(8);
         let v = &vs[0];
-        let opts =
-            SampleOptions { radius: Some(1), limit_diff_vpin_y: true };
+        let opts = SampleOptions {
+            radius: Some(1),
+            limit_diff_vpin_y: true,
+        };
         // Distance 0 to itself is excluded by legality (i == j).
         assert!(!opts.eligible(v, 0, 0));
         // The true match is farther than radius 1 for essentially every pair.
@@ -288,7 +313,10 @@ mod tests {
             generate_samples(
                 &refs(&vs),
                 &FeatureSet::seven(),
-                SampleOptions { radius: Some(50_000), limit_diff_vpin_y: false },
+                SampleOptions {
+                    radius: Some(50_000),
+                    limit_diff_vpin_y: false,
+                },
                 None,
                 &mut rng,
             )

@@ -70,8 +70,10 @@ pub fn two_level_attack(
 
     // --- Build the Level-2 training set from Level-1 LoCs ----------------
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x2e7e1);
-    let sample_opts =
-        SampleOptions { radius: level1.radius(), limit_diff_vpin_y: config.limit_diff_vpin_y };
+    let sample_opts = SampleOptions {
+        radius: level1.radius(),
+        limit_diff_vpin_y: config.limit_diff_vpin_y,
+    };
     let mut l2_data = Dataset::new(config.features.len());
     let mut buf = Vec::with_capacity(config.features.len());
     for view in training_views {
@@ -83,7 +85,9 @@ pub fn two_level_attack(
                 continue;
             }
             // All positives, as in Level 1.
-            config.features.compute_into(&view.vpins()[i], &view.vpins()[m], &mut buf);
+            config
+                .features
+                .compute_into(&view.vpins()[i], &view.vpins()[m], &mut buf);
             l2_data.push(&buf, true).expect("arity matches");
             // One hard negative from the Level-1 LoC.
             let loc: Vec<u32> = slot
@@ -93,11 +97,9 @@ pub fn two_level_attack(
                 .map(|c| c.index)
                 .collect();
             if let Some(&j) = pick(&loc, &mut rng) {
-                config.features.compute_into(
-                    &view.vpins()[i],
-                    &view.vpins()[j as usize],
-                    &mut buf,
-                );
+                config
+                    .features
+                    .compute_into(&view.vpins()[i], &view.vpins()[j as usize], &mut buf);
                 l2_data.push(&buf, false).expect("arity matches");
             }
         }
@@ -106,12 +108,18 @@ pub fn two_level_attack(
         return Err(AttackError::NoSamples);
     }
     let l2_model = match config.base {
-        BaseClassifier::RepTreeBagging { n_trees } => {
-            Bagging::fit(&l2_data, &RepTreeLearner::default(), n_trees, config.seed ^ 0xb)?
-        }
-        BaseClassifier::RandomTreeBagging { n_trees } => {
-            Bagging::fit(&l2_data, &RandomTreeLearner::default(), n_trees, config.seed ^ 0xb)?
-        }
+        BaseClassifier::RepTreeBagging { n_trees } => Bagging::fit(
+            &l2_data,
+            &RepTreeLearner::default(),
+            n_trees,
+            config.seed ^ 0xb,
+        )?,
+        BaseClassifier::RandomTreeBagging { n_trees } => Bagging::fit(
+            &l2_data,
+            &RandomTreeLearner::default(),
+            n_trees,
+            config.seed ^ 0xb,
+        )?,
     };
     let mut l2_config = config.clone();
     l2_config.name = format!("{}-L2", config.name);
@@ -132,10 +140,21 @@ pub fn two_level_attack(
         })
         .collect();
     let targets: Vec<u32> = scored1.slots.iter().map(|s| s.vpin).collect();
-    let opts2 = ScoreOptions { targets: Some(targets), ..score_options.clone() };
-    let scored2 = score_with(&level2_attack, test_view, &opts2, &CandidateSource::Explicit(&lists));
+    let opts2 = ScoreOptions {
+        targets: Some(targets),
+        ..score_options.clone()
+    };
+    let scored2 = score_with(
+        &level2_attack,
+        test_view,
+        &opts2,
+        &CandidateSource::Explicit(&lists),
+    );
 
-    Ok(TwoLevelOutcome { level1: scored1, level2: scored2 })
+    Ok(TwoLevelOutcome {
+        level1: scored1,
+        level2: scored2,
+    })
 }
 
 fn pick<'a, T, R: Rng>(xs: &'a [T], rng: &mut R) -> Option<&'a T> {

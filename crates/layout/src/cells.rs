@@ -140,7 +140,10 @@ impl CellLibrary {
 
     /// Looks up a kind by name.
     pub fn find(&self, name: &str) -> Option<KindId> {
-        self.kinds.iter().position(|k| k.name == name).map(|i| KindId(i as u32))
+        self.kinds
+            .iter()
+            .position(|k| k.name == name)
+            .map(|i| KindId(i as u32))
     }
 
     /// Ids of all non-macro kinds.
@@ -161,7 +164,10 @@ impl CellLibrary {
 
     /// Iterates over `(id, kind)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (KindId, &CellKind)> {
-        self.kinds.iter().enumerate().map(|(i, k)| (KindId(i as u32), k))
+        self.kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (KindId(i as u32), k))
     }
 }
 

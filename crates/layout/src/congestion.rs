@@ -40,7 +40,11 @@ impl DensityMap {
     pub fn new(bounds: Rect, cell: i64) -> Self {
         let grid = Grid::new(bounds, cell);
         let counts = vec![0; grid.len()];
-        Self { grid, counts, total: 0 }
+        Self {
+            grid,
+            counts,
+            total: 0,
+        }
     }
 
     /// Builds a map directly from a set of points.
@@ -117,7 +121,11 @@ impl DemandMap {
         assert_eq!(capacity.len(), layers as usize, "one capacity per layer");
         let grid = Grid::new(bounds, cell);
         let demand = (0..layers).map(|_| vec![0; grid.len()]).collect();
-        Self { grid, demand, capacity }
+        Self {
+            grid,
+            demand,
+            capacity,
+        }
     }
 
     /// Adds one track of demand on layer `m` along the axis-aligned segment

@@ -124,7 +124,10 @@ impl DesignSpec {
             )));
         }
         if !(self.aspect > 0.1 && self.aspect < 10.0) {
-            return Err(LayoutError::InvalidSpec(format!("extreme aspect {}", self.aspect)));
+            return Err(LayoutError::InvalidSpec(format!(
+                "extreme aspect {}",
+                self.aspect
+            )));
         }
         self.cuts.validate(self.num_nets)?;
         Ok(())
@@ -170,13 +173,20 @@ pub fn generate(spec: &DesignSpec) -> Result<PlacedDesign, LayoutError> {
     place_cells(spec, &mut netlist, die, &macro_rects, &mut rng);
     generate_nets(spec, &mut netlist, die, &mut rng)?;
 
-    Ok(PlacedDesign { spec: spec.clone(), netlist, die })
+    Ok(PlacedDesign {
+        spec: spec.clone(),
+        netlist,
+        die,
+    })
 }
 
 /// Picks die dimensions so that total cell area / die area ≈ `spec.density`.
 fn size_die(spec: &DesignSpec, library: &CellLibrary) -> Rect {
     let std_ids = library.standard_kind_ids();
-    let mean_area: f64 = std_ids.iter().map(|&id| library.kind(id).area() as f64).sum::<f64>()
+    let mean_area: f64 = std_ids
+        .iter()
+        .map(|&id| library.kind(id).area() as f64)
+        .sum::<f64>()
         / std_ids.len() as f64;
     let macro_area: f64 = library
         .macro_kind_ids()
@@ -252,12 +262,13 @@ fn place_cells(
     let rows = (die.height() / ROW_HEIGHT) as usize;
     // Mean free gap required to fit num_cells at the target density given
     // hotspot-modulated local gaps.
-    let mean_width: f64 =
-        std_ids.iter().map(|&id| netlist.library().kind(id).width as f64).sum::<f64>()
-            / std_ids.len() as f64;
+    let mean_width: f64 = std_ids
+        .iter()
+        .map(|&id| netlist.library().kind(id).width as f64)
+        .sum::<f64>()
+        / std_ids.len() as f64;
     let row_capacity_target = f64::from(spec.num_cells) / rows as f64;
-    let base_gap =
-        ((die.width() as f64 / row_capacity_target) - mean_width).max(mean_width * 0.05);
+    let base_gap = ((die.width() as f64 / row_capacity_target) - mean_width).max(mean_width * 0.05);
 
     let mut placed = 0u32;
     let mut row = 0usize;
@@ -313,14 +324,19 @@ fn generate_nets(
 ) -> Result<(), LayoutError> {
     let n_cells = netlist.num_cells();
     if n_cells < 2 {
-        return Err(LayoutError::InvalidSpec("placement produced fewer than two cells".into()));
+        return Err(LayoutError::InvalidSpec(
+            "placement produced fewer than two cells".into(),
+        ));
     }
     // Spatial index of cells for locality queries.
     let gcell = (die.width() / 64).max(ROW_HEIGHT);
     let grid = Grid::new(die, gcell);
     let mut buckets: Vec<Vec<CellId>> = vec![Vec::new(); grid.len()];
     for id in netlist.cell_ids().collect::<Vec<_>>() {
-        let loc = netlist.pin_location(PinRef { cell: id, dir: PinDir::Output });
+        let loc = netlist.pin_location(PinRef {
+            cell: id,
+            dir: PinDir::Output,
+        });
         buckets[grid.flat_of(loc)].push(id);
     }
     let radius = (spec.locality_radius * die.width() as f64) as i64;
@@ -328,7 +344,10 @@ fn generate_nets(
 
     for _ in 0..spec.num_nets {
         let driver_cell = CellId(rng.gen_range(0..n_cells as u32));
-        let driver_loc = netlist.pin_location(PinRef { cell: driver_cell, dir: PinDir::Output });
+        let driver_loc = netlist.pin_location(PinRef {
+            cell: driver_cell,
+            dir: PinDir::Output,
+        });
         // Geometric fanout with mean ≈ mean_fanout, capped at 6.
         let p = 1.0 / spec.mean_fanout.max(1.0);
         let mut fanout = 1usize;
@@ -353,8 +372,7 @@ fn generate_nets(
                 // percent of nets span a modest fraction of the die, not the
                 // whole of it.
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let dist = (radius as f64 * u.powf(-1.0 / 1.5))
-                    .min(die.width() as f64 * 0.9);
+                let dist = (radius as f64 * u.powf(-1.0 / 1.5)).min(die.width() as f64 * 0.9);
                 let angle = rng.gen_range(0.0..std::f64::consts::TAU);
                 let target = die.clamp(Point::new(
                     driver_loc.x + (dist * angle.cos()) as i64,
@@ -369,14 +387,26 @@ fn generate_nets(
             if cand == driver_cell || sinks.iter().any(|s: &PinRef| s.cell == cand) {
                 continue;
             }
-            sinks.push(PinRef { cell: cand, dir: PinDir::Input });
+            sinks.push(PinRef {
+                cell: cand,
+                dir: PinDir::Input,
+            });
         }
         if sinks.is_empty() {
             // Degenerate fallback: connect to any other cell.
             let other = CellId((driver_cell.0 + 1) % n_cells as u32);
-            sinks.push(PinRef { cell: other, dir: PinDir::Input });
+            sinks.push(PinRef {
+                cell: other,
+                dir: PinDir::Input,
+            });
         }
-        netlist.add_net(PinRef { cell: driver_cell, dir: PinDir::Output }, sinks)?;
+        netlist.add_net(
+            PinRef {
+                cell: driver_cell,
+                dir: PinDir::Output,
+            },
+            sinks,
+        )?;
     }
     Ok(())
 }
@@ -399,8 +429,16 @@ mod tests {
         let a = generate(&spec).expect("valid spec");
         let b = generate(&spec).expect("valid spec");
         assert_eq!(a.netlist.num_cells(), b.netlist.num_cells());
-        let ca = a.netlist.cell_ids().map(|id| a.netlist.cell(id).origin).collect::<Vec<_>>();
-        let cb = b.netlist.cell_ids().map(|id| b.netlist.cell(id).origin).collect::<Vec<_>>();
+        let ca = a
+            .netlist
+            .cell_ids()
+            .map(|id| a.netlist.cell(id).origin)
+            .collect::<Vec<_>>();
+        let cb = b
+            .netlist
+            .cell_ids()
+            .map(|id| b.netlist.cell(id).origin)
+            .collect::<Vec<_>>();
         assert_eq!(ca, cb);
     }
 
@@ -411,8 +449,16 @@ mod tests {
         spec2.seed ^= 0xdead_beef;
         let a = generate(&spec).expect("valid spec");
         let b = generate(&spec2).expect("valid spec");
-        let ca: Vec<_> = a.netlist.cell_ids().map(|id| a.netlist.cell(id).origin).collect();
-        let cb: Vec<_> = b.netlist.cell_ids().map(|id| b.netlist.cell(id).origin).collect();
+        let ca: Vec<_> = a
+            .netlist
+            .cell_ids()
+            .map(|id| a.netlist.cell(id).origin)
+            .collect();
+        let cb: Vec<_> = b
+            .netlist
+            .cell_ids()
+            .map(|id| b.netlist.cell(id).origin)
+            .collect();
         assert_ne!(ca, cb);
     }
 
@@ -446,12 +492,18 @@ mod tests {
     #[test]
     fn net_length_distribution_has_a_long_tail() {
         let d = generate(&small_spec()).expect("valid spec");
-        let mut lens: Vec<i64> =
-            d.netlist.net_ids().map(|id| hpwl(&d.netlist.net_pin_locations(id))).collect();
+        let mut lens: Vec<i64> = d
+            .netlist
+            .net_ids()
+            .map(|id| hpwl(&d.netlist.net_pin_locations(id)))
+            .collect();
         lens.sort_unstable();
         let median = lens[lens.len() / 2];
         let p99 = lens[lens.len() * 99 / 100];
-        assert!(p99 > 2 * median.max(1), "no long-net tail: median {median}, p99 {p99}");
+        assert!(
+            p99 > 2 * median.max(1),
+            "no long-net tail: median {median}, p99 {p99}"
+        );
     }
 
     #[test]
@@ -473,12 +525,19 @@ mod tests {
     #[test]
     fn hotspots_create_density_contrast() {
         let mut spec = small_spec();
-        spec.hotspots = vec![Hotspot { at: (0.25, 0.5), amplitude: 6.0, sigma: 0.08 }];
+        spec.hotspots = vec![Hotspot {
+            at: (0.25, 0.5),
+            amplitude: 6.0,
+            sigma: 0.08,
+        }];
         let d = generate(&spec).expect("valid spec");
         let die = d.die;
         use crate::congestion::DensityMap;
         let pins = d.netlist.cell_ids().map(|id| {
-            d.netlist.pin_location(crate::netlist::PinRef { cell: id, dir: PinDir::Output })
+            d.netlist.pin_location(crate::netlist::PinRef {
+                cell: id,
+                dir: PinDir::Output,
+            })
         });
         let map = DensityMap::from_points(die, die.width() / 16, pins);
         let hot = map.density(
@@ -486,9 +545,15 @@ mod tests {
             1,
         );
         let cold = map.density(
-            Point::new(die.lo.x + 15 * die.width() / 16, die.lo.y + die.height() / 8),
+            Point::new(
+                die.lo.x + 15 * die.width() / 16,
+                die.lo.y + die.height() / 8,
+            ),
             1,
         );
-        assert!(hot > cold, "hotspot density {hot:.2} not above background {cold:.2}");
+        assert!(
+            hot > cold,
+            "hotspot density {hot:.2} not above background {cold:.2}"
+        );
     }
 }

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// let b = Point::new(3, 4);
 /// assert_eq!(a.manhattan(b), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in DBU.
     pub x: i64,
@@ -188,10 +190,18 @@ impl Grid {
     /// Panics if `cell <= 0` or `bounds` is degenerate.
     pub fn new(bounds: Rect, cell: i64) -> Self {
         assert!(cell > 0, "grid cell must be positive");
-        assert!(bounds.width() > 0 && bounds.height() > 0, "degenerate grid bounds");
+        assert!(
+            bounds.width() > 0 && bounds.height() > 0,
+            "degenerate grid bounds"
+        );
         let nx = ((bounds.width() + cell - 1) / cell) as usize;
         let ny = ((bounds.height() + cell - 1) / cell) as usize;
-        Self { bounds, cell, nx, ny }
+        Self {
+            bounds,
+            cell,
+            nx,
+            ny,
+        }
     }
 
     /// Grid extent in cells along x.

@@ -123,10 +123,7 @@ pub fn write_truth(view: &SplitView) -> String {
 /// # Errors
 ///
 /// Returns a [`ParseChallengeError`] describing the first malformed line.
-pub fn read_challenge(
-    challenge: &str,
-    truth: &str,
-) -> Result<SplitView, ParseChallengeError> {
+pub fn read_challenge(challenge: &str, truth: &str) -> Result<SplitView, ParseChallengeError> {
     let mut lines = challenge.lines().enumerate();
     let (_, header) = lines
         .next()
@@ -154,10 +151,12 @@ pub fn read_challenge(
             }
             "split" => {
                 let v: u8 = parse_tok(&mut tok, ln, "split layer")?;
-                split = Some(SplitLayer::new(v).map_err(|e| ParseChallengeError::BadField {
-                    line: ln + 1,
-                    message: e.to_string(),
-                })?);
+                split = Some(
+                    SplitLayer::new(v).map_err(|e| ParseChallengeError::BadField {
+                        line: ln + 1,
+                        message: e.to_string(),
+                    })?,
+                );
             }
             "die" => {
                 let x0: i64 = parse_tok(&mut tok, ln, "die x0")?;
@@ -207,7 +206,10 @@ pub fn read_challenge(
     let die = die.ok_or_else(|| ParseChallengeError::BadHeader("missing die".into()))?;
     if let Some(d) = declared {
         if d != vpins.len() {
-            return Err(ParseChallengeError::CountMismatch { declared: d, found: vpins.len() });
+            return Err(ParseChallengeError::CountMismatch {
+                declared: d,
+                found: vpins.len(),
+            });
         }
     }
 
@@ -229,8 +231,10 @@ pub fn read_challenge(
         partner[i] = j as u32;
         partner[j] = i as u32;
     }
-    if partner.iter().any(|&p| p == u32::MAX) {
-        return Err(ParseChallengeError::BadTruth("some v-pins are unmatched".into()));
+    if partner.contains(&u32::MAX) {
+        return Err(ParseChallengeError::BadTruth(
+            "some v-pins are unmatched".into(),
+        ));
     }
 
     SplitView::from_parts(name, split, die, vpins, partner)
@@ -269,8 +273,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything_observable() {
         let v = view();
-        let restored = read_challenge(&write_challenge(&v), &write_truth(&v))
-            .expect("roundtrip parses");
+        let restored =
+            read_challenge(&write_challenge(&v), &write_truth(&v)).expect("roundtrip parses");
         assert_eq!(restored.name, v.name);
         assert_eq!(restored.split, v.split);
         assert_eq!(restored.die, v.die);
@@ -297,7 +301,10 @@ mod tests {
         // Drop the final v-pin record.
         text.truncate(text.trim_end().rfind('\n').expect("multi-line"));
         let err = read_challenge(&text, &write_truth(&v));
-        assert!(matches!(err, Err(ParseChallengeError::CountMismatch { .. })));
+        assert!(matches!(
+            err,
+            Err(ParseChallengeError::CountMismatch { .. })
+        ));
     }
 
     #[test]

@@ -85,7 +85,11 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist over `library`.
     pub fn new(library: CellLibrary) -> Self {
-        Self { library, cells: Vec::new(), nets: Vec::new() }
+        Self {
+            library,
+            cells: Vec::new(),
+            nets: Vec::new(),
+        }
     }
 
     /// The cell library.
@@ -96,7 +100,10 @@ impl Netlist {
     /// Adds an (unplaced) instance of `kind` and returns its id.
     pub fn add_cell(&mut self, kind: KindId) -> CellId {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(CellInst { kind, origin: Point::new(0, 0) });
+        self.cells.push(CellInst {
+            kind,
+            origin: Point::new(0, 0),
+        });
         id
     }
 
@@ -109,10 +116,14 @@ impl Netlist {
     /// input pin, or the sink list is empty.
     pub fn add_net(&mut self, driver: PinRef, sinks: Vec<PinRef>) -> Result<NetId, LayoutError> {
         if driver.dir != PinDir::Output {
-            return Err(LayoutError::DanglingReference("net driver must be an output pin".into()));
+            return Err(LayoutError::DanglingReference(
+                "net driver must be an output pin".into(),
+            ));
         }
         if sinks.is_empty() {
-            return Err(LayoutError::DanglingReference("net must have at least one sink".into()));
+            return Err(LayoutError::DanglingReference(
+                "net must have at least one sink".into(),
+            ));
         }
         for pin in std::iter::once(&driver).chain(sinks.iter()) {
             if pin.cell.0 as usize >= self.cells.len() {
@@ -123,7 +134,9 @@ impl Netlist {
             }
         }
         if sinks.iter().any(|s| s.dir != PinDir::Input) {
-            return Err(LayoutError::DanglingReference("net sinks must be input pins".into()));
+            return Err(LayoutError::DanglingReference(
+                "net sinks must be input pins".into(),
+            ));
         }
         let id = NetId(self.nets.len() as u32);
         self.nets.push(Net { driver, sinks });
@@ -186,7 +199,10 @@ impl Netlist {
     pub fn pin_location(&self, pin: PinRef) -> Point {
         let inst = self.cell(pin.cell);
         let kind = self.library.kind(inst.kind);
-        Point::new(inst.origin.x + kind.width / 2, inst.origin.y + kind.height / 2)
+        Point::new(
+            inst.origin.x + kind.width / 2,
+            inst.origin.y + kind.height / 2,
+        )
     }
 
     /// Locations of every pin of net `id` (driver first).
@@ -213,8 +229,14 @@ mod tests {
     fn add_net_validates_driver_direction() {
         let (mut nl, a, b) = tiny();
         let err = nl.add_net(
-            PinRef { cell: a, dir: PinDir::Input },
-            vec![PinRef { cell: b, dir: PinDir::Input }],
+            PinRef {
+                cell: a,
+                dir: PinDir::Input,
+            },
+            vec![PinRef {
+                cell: b,
+                dir: PinDir::Input,
+            }],
         );
         assert!(err.is_err());
     }
@@ -222,11 +244,25 @@ mod tests {
     #[test]
     fn add_net_validates_sink_direction_and_nonempty() {
         let (mut nl, a, b) = tiny();
-        assert!(nl.add_net(PinRef { cell: a, dir: PinDir::Output }, vec![]).is_err());
         assert!(nl
             .add_net(
-                PinRef { cell: a, dir: PinDir::Output },
-                vec![PinRef { cell: b, dir: PinDir::Output }],
+                PinRef {
+                    cell: a,
+                    dir: PinDir::Output
+                },
+                vec![]
+            )
+            .is_err());
+        assert!(nl
+            .add_net(
+                PinRef {
+                    cell: a,
+                    dir: PinDir::Output
+                },
+                vec![PinRef {
+                    cell: b,
+                    dir: PinDir::Output
+                }],
             )
             .is_err());
     }
@@ -237,8 +273,14 @@ mod tests {
         let ghost = CellId(999);
         assert!(nl
             .add_net(
-                PinRef { cell: a, dir: PinDir::Output },
-                vec![PinRef { cell: ghost, dir: PinDir::Input }],
+                PinRef {
+                    cell: a,
+                    dir: PinDir::Output
+                },
+                vec![PinRef {
+                    cell: ghost,
+                    dir: PinDir::Input
+                }],
             )
             .is_err());
     }
@@ -248,8 +290,14 @@ mod tests {
         let (mut nl, a, b) = tiny();
         let net = nl
             .add_net(
-                PinRef { cell: a, dir: PinDir::Output },
-                vec![PinRef { cell: b, dir: PinDir::Input }],
+                PinRef {
+                    cell: a,
+                    dir: PinDir::Output,
+                },
+                vec![PinRef {
+                    cell: b,
+                    dir: PinDir::Input,
+                }],
             )
             .expect("valid net");
         nl.place_cell(a, Point::new(0, 0));
@@ -265,10 +313,19 @@ mod tests {
         let c = nl.add_cell(nl.library().find("NAND2_X1").expect("exists"));
         let net = nl
             .add_net(
-                PinRef { cell: a, dir: PinDir::Output },
+                PinRef {
+                    cell: a,
+                    dir: PinDir::Output,
+                },
                 vec![
-                    PinRef { cell: b, dir: PinDir::Input },
-                    PinRef { cell: c, dir: PinDir::Input },
+                    PinRef {
+                        cell: b,
+                        dir: PinDir::Input,
+                    },
+                    PinRef {
+                        cell: c,
+                        dir: PinDir::Input,
+                    },
                 ],
             )
             .expect("valid net");

@@ -26,10 +26,9 @@
 //! pairs are collinear along the top layer's routing direction.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-
 
 use crate::congestion::{DemandMap, DensityMap};
 use crate::generator::PlacedDesign;
@@ -122,8 +121,16 @@ impl RoutedNet {
         if v < self.trunk_low {
             // Both crossings are inside the escape stacks.
             return Some([
-                Crossing { loc: self.a_stack, side: Side::A, below_trunk_len: 0 },
-                Crossing { loc: self.b_stack, side: Side::B, below_trunk_len: 0 },
+                Crossing {
+                    loc: self.a_stack,
+                    side: Side::A,
+                    below_trunk_len: 0,
+                },
+                Crossing {
+                    loc: self.b_stack,
+                    side: Side::B,
+                    below_trunk_len: 0,
+                },
             ]);
         }
         // v == trunk_low: the crossings are the trunk vias.
@@ -139,8 +146,16 @@ impl RoutedNet {
                 };
                 let below_a = self.a_stack.manhattan(corner);
                 Some([
-                    Crossing { loc: corner, side: Side::A, below_trunk_len: below_a },
-                    Crossing { loc: self.b_stack, side: Side::B, below_trunk_len: 0 },
+                    Crossing {
+                        loc: corner,
+                        side: Side::A,
+                        below_trunk_len: below_a,
+                    },
+                    Crossing {
+                        loc: self.b_stack,
+                        side: Side::B,
+                        below_trunk_len: 0,
+                    },
                 ])
             }
             TrunkShape::ZShape { mid } => {
@@ -159,8 +174,16 @@ impl RoutedNet {
                 let below_a = self.a_stack.manhattan(j1);
                 let below_b = self.b_stack.manhattan(j2);
                 Some([
-                    Crossing { loc: j1, side: Side::A, below_trunk_len: below_a },
-                    Crossing { loc: j2, side: Side::B, below_trunk_len: below_b },
+                    Crossing {
+                        loc: j1,
+                        side: Side::A,
+                        below_trunk_len: below_a,
+                    },
+                    Crossing {
+                        loc: j2,
+                        side: Side::B,
+                        below_trunk_len: below_b,
+                    },
                 ])
             }
         }
@@ -255,19 +278,31 @@ pub fn route(placed: PlacedDesign) -> RoutedDesign {
         } else if r < c.at_l6 {
             // Routers take the lowest feasible layer, so within a band the
             // lower pair dominates.
-            if rng.gen_bool(0.65) { 6 } else { 7 }
+            if rng.gen_bool(0.65) {
+                6
+            } else {
+                7
+            }
         } else if r < c.at_l4 {
-            if rng.gen_bool(0.65) { 4 } else { 5 }
+            if rng.gen_bool(0.65) {
+                4
+            } else {
+                5
+            }
         } else {
             // Below-split nets: mostly the bottom pairs, congestion pushes a
             // few up to M3.
-            *[1u8, 1, 2, 2, 2, 3].get(rng.gen_range(0..6)).expect("non-empty")
+            *[1u8, 1, 2, 2, 2, 3]
+                .get(rng.gen_range(0..6usize))
+                .expect("non-empty")
         };
         trunk_low_of[id.0 as usize] = low;
     }
 
     // --- Demand-aware trunk construction ----------------------------------
-    let caps: Vec<u32> = (1..=tech.num_metal_layers()).map(|m| tech.gcell_capacity(m)).collect();
+    let caps: Vec<u32> = (1..=tech.num_metal_layers())
+        .map(|m| tech.gcell_capacity(m))
+        .collect();
     let mut demand = DemandMap::new(die, tech.gcell_size(), tech.num_metal_layers(), caps);
 
     // Route in descending length order so long nets set the congestion
@@ -286,8 +321,10 @@ pub fn route(placed: PlacedDesign) -> RoutedDesign {
         );
         routed[id.0 as usize] = Some(rn);
     }
-    let routed: Vec<RoutedNet> =
-        routed.into_iter().map(|r| r.expect("every net routed")).collect();
+    let routed: Vec<RoutedNet> = routed
+        .into_iter()
+        .map(|r| r.expect("every net routed"))
+        .collect();
 
     // --- Placement pin density (PC feature source) ------------------------
     let mut pin_density = DensityMap::new(die, tech.gcell_size());
@@ -297,7 +334,14 @@ pub fn route(placed: PlacedDesign) -> RoutedDesign {
         }
     }
 
-    RoutedDesign { name: spec.name.clone(), netlist, die, tech, routed, pin_density }
+    RoutedDesign {
+        name: spec.name.clone(),
+        netlist,
+        die,
+        tech,
+        routed,
+        pin_density,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -320,8 +364,14 @@ fn route_net(
     let pts: Vec<Point> = net.pins().map(|p| netlist.pin_location(p)).collect();
     let span = hpwl(&pts).max(1);
     let near = span / 4;
-    let mut side_a = SideInfo { pins: vec![driver], has_driver: true };
-    let mut side_b = SideInfo { pins: Vec::new(), has_driver: false };
+    let mut side_a = SideInfo {
+        pins: vec![driver],
+        has_driver: true,
+    };
+    let mut side_b = SideInfo {
+        pins: Vec::new(),
+        has_driver: false,
+    };
     for &s in &net.sinks {
         if netlist.pin_location(s).manhattan(driver_loc) <= near {
             side_a.pins.push(s);
@@ -387,7 +437,10 @@ fn route_net(
         }
     };
     let on_track = |p: Point| -> Point {
-        die.clamp(Point::new(snap(p.x, bundle(v_layer)), snap(p.y, bundle(h_layer))))
+        die.clamp(Point::new(
+            snap(p.x, bundle(v_layer)),
+            snap(p.y, bundle(h_layer)),
+        ))
     };
     let a_stack = on_track(jittered(centroid(&side_a.pins), rng));
     let b_stack = on_track(jittered(centroid(&side_b.pins), rng));
@@ -426,12 +479,8 @@ fn route_net(
         }
         TrunkShape::ZShape { mid } => {
             let (j1, j2) = match dir_low {
-                Direction::Horizontal => {
-                    (Point::new(mid, a_stack.y), Point::new(mid, b_stack.y))
-                }
-                Direction::Vertical => {
-                    (Point::new(a_stack.x, mid), Point::new(b_stack.x, mid))
-                }
+                Direction::Horizontal => (Point::new(mid, a_stack.y), Point::new(mid, b_stack.y)),
+                Direction::Vertical => (Point::new(a_stack.x, mid), Point::new(b_stack.x, mid)),
             };
             demand.add_segment(trunk_low, a_stack, j1);
             demand.add_segment(trunk_low + 1, j1, j2);
@@ -439,7 +488,15 @@ fn route_net(
         }
     }
 
-    RoutedNet { net: id, trunk_low, shape, a_stack, b_stack, side_a, side_b }
+    RoutedNet {
+        net: id,
+        trunk_low,
+        shape,
+        a_stack,
+        b_stack,
+        side_a,
+        side_b,
+    }
 }
 
 /// Standard-normal sample via Box–Muller (avoids a rand_distr dependency).
@@ -539,7 +596,10 @@ mod tests {
             }
         }
         let mean = |v: &[i64]| v.iter().sum::<i64>() as f64 / v.len().max(1) as f64;
-        assert!(mean(&hi) > 2.0 * mean(&lo), "top-layer nets should be much longer");
+        assert!(
+            mean(&hi) > 2.0 * mean(&lo),
+            "top-layer nets should be much longer"
+        );
     }
 
     #[test]
@@ -549,12 +609,14 @@ mod tests {
             if let TrunkShape::ZShape { mid } = rn.shape {
                 let dir = d.tech.metal(rn.trunk_low).direction;
                 let (lo, hi) = match dir {
-                    Direction::Horizontal => {
-                        (rn.a_stack.x.min(rn.b_stack.x), rn.a_stack.x.max(rn.b_stack.x))
-                    }
-                    Direction::Vertical => {
-                        (rn.a_stack.y.min(rn.b_stack.y), rn.a_stack.y.max(rn.b_stack.y))
-                    }
+                    Direction::Horizontal => (
+                        rn.a_stack.x.min(rn.b_stack.x),
+                        rn.a_stack.x.max(rn.b_stack.x),
+                    ),
+                    Direction::Vertical => (
+                        rn.a_stack.y.min(rn.b_stack.y),
+                        rn.a_stack.y.max(rn.b_stack.y),
+                    ),
                 };
                 assert!(mid > lo && mid < hi);
             }

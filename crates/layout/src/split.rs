@@ -143,8 +143,11 @@ impl SplitView {
         }
 
         // Second pass: congestion features need the full v-pin population.
-        let rc_map =
-            DensityMap::from_points(design.die, design.tech.gcell_size(), raws.iter().map(|r| r.loc));
+        let rc_map = DensityMap::from_points(
+            design.die,
+            design.tech.gcell_size(),
+            raws.iter().map(|r| r.loc),
+        );
         let vpins: Vec<VPin> = raws
             .iter()
             .map(|r| VPin {
@@ -159,7 +162,14 @@ impl SplitView {
             .collect();
         let net_of = raws.iter().map(|r| r.net).collect();
 
-        Self { name: design.name.clone(), split, die: design.die, vpins, partner, net_of }
+        Self {
+            name: design.name.clone(),
+            split,
+            die: design.die,
+            vpins,
+            partner,
+            net_of,
+        }
     }
 
     /// Assembles a view from explicit parts — the entry point for defence
@@ -205,7 +215,14 @@ impl SplitView {
                 next_net += 1;
             }
         }
-        Ok(Self { name, split, die, vpins, partner, net_of })
+        Ok(Self {
+            name,
+            split,
+            die,
+            vpins,
+            partner,
+            net_of,
+        })
     }
 
     /// Number of v-pins.
@@ -346,7 +363,10 @@ mod tests {
         for p in v.vpins() {
             assert!(p.wirelength >= 0);
             assert!(p.in_area >= 0 && p.out_area >= 0);
-            assert!(p.in_area + p.out_area > 0, "a fragment connects at least one pin");
+            assert!(
+                p.in_area + p.out_area > 0,
+                "a fragment connects at least one pin"
+            );
             assert!(p.pc >= 0.0 && p.rc > 0.0);
             assert!(v.die.contains(p.loc) || v.die.clamp(p.loc) == p.loc);
         }
@@ -361,9 +381,11 @@ mod tests {
         let moved = (0..v.num_vpins())
             .filter(|&i| noisy.vpins()[i].loc != v.vpins()[i].loc)
             .count();
-        assert!(moved > v.num_vpins() / 2, "noise should displace most v-pins");
-        let same_x = (0..v.num_vpins())
-            .all(|i| noisy.vpins()[i].loc.x == v.vpins()[i].loc.x);
+        assert!(
+            moved > v.num_vpins() / 2,
+            "noise should displace most v-pins"
+        );
+        let same_x = (0..v.num_vpins()).all(|i| noisy.vpins()[i].loc.x == v.vpins()[i].loc.x);
         assert!(same_x, "only y is obfuscated");
         for i in 0..v.num_vpins() {
             assert_eq!(noisy.true_match(i), v.true_match(i));

@@ -147,20 +147,33 @@ mod tests {
             assert!(h <= est, "hpwl {h} must lower-bound the estimate {est}");
             assert!(est <= mst, "estimate {est} must not exceed the RMST {mst}");
             // Classic bound: RMST <= 1.5 * RSMT, so est >= 2/3 RMST.
-            assert!(3 * est >= 2 * mst, "estimate {est} below the 2/3 RMST bound of {mst}");
+            assert!(
+                3 * est >= 2 * mst,
+                "estimate {est} below the 2/3 RMST bound of {mst}"
+            );
         }
     }
 
     #[test]
     fn collinear_points_need_no_steiner_points() {
-        let pts = [Point::new(0, 0), Point::new(5, 0), Point::new(9, 0), Point::new(20, 0)];
+        let pts = [
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(9, 0),
+            Point::new(20, 0),
+        ];
         assert_eq!(rmst_length(&pts), 20);
         assert_eq!(rsmt_estimate(&pts), 20);
     }
 
     #[test]
     fn rmst_is_permutation_invariant() {
-        let a = [Point::new(0, 0), Point::new(10, 3), Point::new(-4, 7), Point::new(2, -9)];
+        let a = [
+            Point::new(0, 0),
+            Point::new(10, 3),
+            Point::new(-4, 7),
+            Point::new(2, -9),
+        ];
         let mut b = a.to_vec();
         b.reverse();
         assert_eq!(rmst_length(&a), rmst_length(&b));

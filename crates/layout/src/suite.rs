@@ -69,7 +69,9 @@ impl Suite {
         let mut benchmarks = Vec::with_capacity(specs.len());
         for spec in specs {
             let placed = generate(&spec)?;
-            benchmarks.push(Benchmark { design: route(placed) });
+            benchmarks.push(Benchmark {
+                design: route(placed),
+            });
         }
         Ok(Self { benchmarks })
     }
@@ -132,13 +134,25 @@ impl Suite {
                 density: 0.55,
                 aspect: 1.0,
                 hotspots: vec![
-                    Hotspot { at: (0.3, 0.4), amplitude: 2.0, sigma: 0.10 },
-                    Hotspot { at: (0.75, 0.7), amplitude: 1.5, sigma: 0.08 },
+                    Hotspot {
+                        at: (0.3, 0.4),
+                        amplitude: 2.0,
+                        sigma: 0.10,
+                    },
+                    Hotspot {
+                        at: (0.75, 0.7),
+                        amplitude: 1.5,
+                        sigma: 0.08,
+                    },
                 ],
                 locality: 0.92,
                 locality_radius: 0.05,
                 mean_fanout: 2.2,
-                cuts: CutProfile { at_l4: 3_738, at_l6: 1_075, at_l8: 196 },
+                cuts: CutProfile {
+                    at_l4: 3_738,
+                    at_l6: 1_075,
+                    at_l8: 196,
+                },
                 jitter: 900,
                 congestion_jitter: 3.0,
                 z_shape_prob: 0.15,
@@ -159,13 +173,25 @@ impl Suite {
                 density: 0.58,
                 aspect: 1.2,
                 hotspots: vec![
-                    Hotspot { at: (0.5, 0.5), amplitude: 2.5, sigma: 0.12 },
-                    Hotspot { at: (0.2, 0.8), amplitude: 1.2, sigma: 0.07 },
+                    Hotspot {
+                        at: (0.5, 0.5),
+                        amplitude: 2.5,
+                        sigma: 0.12,
+                    },
+                    Hotspot {
+                        at: (0.2, 0.8),
+                        amplitude: 1.2,
+                        sigma: 0.07,
+                    },
                 ],
                 locality: 0.90,
                 locality_radius: 0.06,
                 mean_fanout: 2.4,
-                cuts: CutProfile { at_l4: 4_453, at_l6: 1_404, at_l8: 275 },
+                cuts: CutProfile {
+                    at_l4: 4_453,
+                    at_l6: 1_404,
+                    at_l8: 275,
+                },
                 jitter: 1_100,
                 congestion_jitter: 3.5,
                 z_shape_prob: 0.20,
@@ -188,11 +214,19 @@ impl Suite {
                 num_macros: 4,
                 density: 0.45,
                 aspect: 0.9,
-                hotspots: vec![Hotspot { at: (0.5, 0.35), amplitude: 1.2, sigma: 0.15 }],
+                hotspots: vec![Hotspot {
+                    at: (0.5, 0.35),
+                    amplitude: 1.2,
+                    sigma: 0.15,
+                }],
                 locality: 0.98,
                 locality_radius: 0.03,
                 mean_fanout: 2.0,
-                cuts: CutProfile { at_l4: 5_382, at_l6: 2_180, at_l8: 322 },
+                cuts: CutProfile {
+                    at_l4: 5_382,
+                    at_l6: 2_180,
+                    at_l8: 322,
+                },
                 jitter: 400,
                 congestion_jitter: 1.5,
                 z_shape_prob: 0.08,
@@ -214,14 +248,30 @@ impl Suite {
                 density: 0.68,
                 aspect: 1.0,
                 hotspots: vec![
-                    Hotspot { at: (0.35, 0.5), amplitude: 3.5, sigma: 0.14 },
-                    Hotspot { at: (0.7, 0.3), amplitude: 3.0, sigma: 0.10 },
-                    Hotspot { at: (0.6, 0.8), amplitude: 2.0, sigma: 0.08 },
+                    Hotspot {
+                        at: (0.35, 0.5),
+                        amplitude: 3.5,
+                        sigma: 0.14,
+                    },
+                    Hotspot {
+                        at: (0.7, 0.3),
+                        amplitude: 3.0,
+                        sigma: 0.10,
+                    },
+                    Hotspot {
+                        at: (0.6, 0.8),
+                        amplitude: 2.0,
+                        sigma: 0.08,
+                    },
                 ],
                 locality: 0.86,
                 locality_radius: 0.08,
                 mean_fanout: 2.6,
-                cuts: CutProfile { at_l4: 4_264, at_l6: 1_900, at_l8: 433 },
+                cuts: CutProfile {
+                    at_l4: 4_264,
+                    at_l6: 1_900,
+                    at_l8: 433,
+                },
                 jitter: 2_200,
                 congestion_jitter: 5.0,
                 z_shape_prob: 0.35,
@@ -241,11 +291,19 @@ impl Suite {
                 num_macros: 5,
                 density: 0.60,
                 aspect: 1.1,
-                hotspots: vec![Hotspot { at: (0.4, 0.6), amplitude: 2.2, sigma: 0.11 }],
+                hotspots: vec![Hotspot {
+                    at: (0.4, 0.6),
+                    amplitude: 2.2,
+                    sigma: 0.11,
+                }],
                 locality: 0.91,
                 locality_radius: 0.05,
                 mean_fanout: 2.3,
-                cuts: CutProfile { at_l4: 2_129, at_l6: 840, at_l8: 188 },
+                cuts: CutProfile {
+                    at_l4: 2_129,
+                    at_l6: 840,
+                    at_l8: 188,
+                },
                 jitter: 1_000,
                 congestion_jitter: 3.0,
                 z_shape_prob: 0.18,
@@ -281,7 +339,8 @@ mod tests {
     fn specs_are_internally_valid_at_many_scales() {
         for scale in [0.004, 0.02, 0.1, 1.0] {
             for spec in Suite::specs_scaled(scale) {
-                spec.validate().unwrap_or_else(|e| panic!("{} at {scale}: {e}", spec.name));
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} at {scale}: {e}", spec.name));
             }
         }
     }

@@ -138,12 +138,19 @@ impl Technology {
         let layers = (1..=9)
             .map(|m| MetalLayer {
                 index: m,
-                direction: if m % 2 == 1 { Direction::Horizontal } else { Direction::Vertical },
+                direction: if m % 2 == 1 {
+                    Direction::Horizontal
+                } else {
+                    Direction::Vertical
+                },
                 width: width_of(m),
                 pitch: 2 * width_of(m),
             })
             .collect();
-        Self { layers, gcell: 3_500 }
+        Self {
+            layers,
+            gcell: 3_500,
+        }
     }
 
     /// Number of metal layers.
@@ -162,7 +169,10 @@ impl Technology {
     ///
     /// Panics if `m` is 0 or exceeds the stack height.
     pub fn metal(&self, m: u8) -> &MetalLayer {
-        assert!(m >= 1 && m <= self.num_metal_layers(), "metal layer M{m} out of range");
+        assert!(
+            m >= 1 && m <= self.num_metal_layers(),
+            "metal layer M{m} out of range"
+        );
         &self.layers[(m - 1) as usize]
     }
 
@@ -204,7 +214,11 @@ mod tests {
     fn directions_alternate_with_m9_horizontal() {
         let t = Technology::ispd9();
         for m in 1..=9u8 {
-            let expect = if m % 2 == 1 { Direction::Horizontal } else { Direction::Vertical };
+            let expect = if m % 2 == 1 {
+                Direction::Horizontal
+            } else {
+                Direction::Vertical
+            };
             assert_eq!(t.metal(m).direction, expect, "M{m}");
         }
         assert_eq!(t.metal(9).direction, Direction::Horizontal);
@@ -248,6 +262,9 @@ mod tests {
 
     #[test]
     fn direction_flip_roundtrips() {
-        assert_eq!(Direction::Horizontal.flipped().flipped(), Direction::Horizontal);
+        assert_eq!(
+            Direction::Horizontal.flipped().flipped(),
+            Direction::Horizontal
+        );
     }
 }

@@ -8,7 +8,6 @@ use sm_layout::split::SplitView;
 use sm_layout::suite::Suite;
 use sm_layout::tech::{SplitLayer, Technology};
 
-
 #[test]
 fn geometry_roundtrips() {
     let p = Point::new(-3, 99);

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::data::Dataset;
 use crate::error::TrainError;
 use crate::learners::TreeLearner;
+use crate::parallel::{par_map, Parallelism};
 use crate::tree::Tree;
 
 /// Default number of REPTrees in Weka's `Bagging` meta-classifier.
@@ -51,19 +52,39 @@ impl Bagging {
     ///
     /// Returns [`TrainError::EmptyDataset`] if `data` is empty and
     /// [`TrainError::SingleClass`] if it contains only one class.
-    pub fn fit<L: TreeLearner>(
+    pub fn fit<L: TreeLearner + Sync>(
         data: &Dataset,
         learner: &L,
         n_trees: usize,
         seed: u64,
     ) -> Result<Self, TrainError> {
+        Self::fit_with(data, learner, n_trees, seed, Parallelism::Sequential)
+    }
+
+    /// [`Bagging::fit`] with an explicit [`Parallelism`] setting. Each tree
+    /// derives its own RNG from `seed` and its tree index, so members are
+    /// independent of fit order and the ensemble is bit-identical across
+    /// every parallelism setting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bagging::fit`].
+    pub fn fit_with<L: TreeLearner + Sync>(
+        data: &Dataset,
+        learner: &L,
+        n_trees: usize,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Result<Self, TrainError> {
         data.check_trainable()?;
-        let mut trees = Vec::with_capacity(n_trees);
-        for t in 0..n_trees {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let trees = par_map(parallelism, n_trees, |t| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let idx = data.bootstrap_indices(&mut rng);
-            trees.push(learner.fit_tree(data, &idx, &mut rng)?);
-        }
+            learner.fit_tree(data, &idx, &mut rng)
+        })
+        .into_iter()
+        .collect::<Result<Vec<Tree>, TrainError>>()?;
         Ok(Self { trees })
     }
 
@@ -174,6 +195,31 @@ mod tests {
         assert_eq!(a, b);
         let c = Bagging::fit(&ds, &RepTreeLearner::default(), 5, 10).expect("fit");
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let ds = noisy(300);
+        for learner_trees in [(5usize, 11u64), (10, 12)] {
+            let (n, seed) = learner_trees;
+            let seq = Bagging::fit_with(
+                &ds,
+                &RepTreeLearner::default(),
+                n,
+                seed,
+                Parallelism::Sequential,
+            )
+            .expect("fit");
+            for par in [
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+                Parallelism::Auto,
+            ] {
+                let p =
+                    Bagging::fit_with(&ds, &RepTreeLearner::default(), n, seed, par).expect("fit");
+                assert_eq!(seq, p, "{par:?}");
+            }
+        }
     }
 
     #[test]

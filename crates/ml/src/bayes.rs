@@ -51,13 +51,13 @@ impl GaussianNaiveBayes {
         for i in 0..data.len() {
             let c = usize::from(data.label(i));
             count[c] += 1;
-            for j in 0..m {
-                mean[c][j] += data.feature(i, j);
+            for (j, mu) in mean[c].iter_mut().enumerate() {
+                *mu += data.feature(i, j);
             }
         }
         for c in 0..2 {
-            for j in 0..m {
-                mean[c][j] /= count[c] as f64;
+            for mu in &mut mean[c] {
+                *mu /= count[c] as f64;
             }
         }
         for i in 0..data.len() {
@@ -70,11 +70,15 @@ impl GaussianNaiveBayes {
         // Variance floor keeps degenerate features from producing infinite
         // likelihood ratios.
         for c in 0..2 {
-            for j in 0..m {
-                var[c][j] = (var[c][j] / count[c] as f64).max(1e-9);
+            for v in &mut var[c] {
+                *v = (*v / count[c] as f64).max(1e-9);
             }
         }
-        Ok(Self { prior_pos: count[1] as f64 / data.len() as f64, mean, var })
+        Ok(Self {
+            prior_pos: count[1] as f64 / data.len() as f64,
+            mean,
+            var,
+        })
     }
 
     /// Posterior probability that `x` is positive.

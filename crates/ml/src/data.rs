@@ -32,12 +32,20 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset whose samples carry `num_features` features.
     pub fn new(num_features: usize) -> Self {
-        Self { num_features, x: Vec::new(), y: Vec::new() }
+        Self {
+            num_features,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Creates an empty dataset with capacity for `n` samples.
     pub fn with_capacity(num_features: usize, n: usize) -> Self {
-        Self { num_features, x: Vec::with_capacity(n * num_features), y: Vec::with_capacity(n) }
+        Self {
+            num_features,
+            x: Vec::with_capacity(n * num_features),
+            y: Vec::with_capacity(n),
+        }
     }
 
     /// Appends one sample.
@@ -160,7 +168,8 @@ impl Extend<(Vec<f64>, bool)> for Dataset {
     /// [`Dataset::push`] for fallible insertion).
     fn extend<T: IntoIterator<Item = (Vec<f64>, bool)>>(&mut self, iter: T) {
         for (row, label) in iter {
-            self.push(&row, label).expect("extend requires matching feature counts");
+            self.push(&row, label)
+                .expect("extend requires matching feature counts");
         }
     }
 }
@@ -174,7 +183,8 @@ mod tests {
     fn sample_set(n: usize) -> Dataset {
         let mut ds = Dataset::new(3);
         for i in 0..n {
-            ds.push(&[i as f64, (i * 2) as f64, -(i as f64)], i % 2 == 0).expect("3 features");
+            ds.push(&[i as f64, (i * 2) as f64, -(i as f64)], i % 2 == 0)
+                .expect("3 features");
         }
         ds
     }
@@ -183,7 +193,13 @@ mod tests {
     fn push_rejects_wrong_arity() {
         let mut ds = Dataset::new(3);
         let err = ds.push(&[1.0], true).expect_err("arity mismatch");
-        assert_eq!(err, TrainError::FeatureMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            TrainError::FeatureMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -196,7 +212,10 @@ mod tests {
 
     #[test]
     fn trainable_checks() {
-        assert_eq!(Dataset::new(1).check_trainable(), Err(TrainError::EmptyDataset));
+        assert_eq!(
+            Dataset::new(1).check_trainable(),
+            Err(TrainError::EmptyDataset)
+        );
         let mut one_class = Dataset::new(1);
         one_class.push(&[0.0], true).expect("ok");
         one_class.push(&[1.0], true).expect("ok");

@@ -23,7 +23,10 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
             TrainError::SingleClass => {
-                write!(f, "training set contains a single class; nothing to discriminate")
+                write!(
+                    f,
+                    "training set contains a single class; nothing to discriminate"
+                )
             }
             TrainError::FeatureMismatch { expected, got } => {
                 write!(f, "sample has {got} features, dataset expects {expected}")
@@ -40,7 +43,10 @@ mod tests {
 
     #[test]
     fn messages_carry_detail() {
-        let e = TrainError::FeatureMismatch { expected: 11, got: 9 };
+        let e = TrainError::FeatureMismatch {
+            expected: 11,
+            got: 9,
+        };
         let msg = e.to_string();
         assert!(msg.contains("11") && msg.contains('9'));
     }

@@ -82,7 +82,14 @@ impl KNearest {
             }
             y.push(data.label(i));
         }
-        Ok(Self { k: k.min(n), x, y, num_features: m, mean, std })
+        Ok(Self {
+            k: k.min(n),
+            x,
+            y,
+            num_features: m,
+            mean,
+            std,
+        })
     }
 
     /// Distance-weighted positive vote among the k nearest neighbours.
@@ -92,14 +99,15 @@ impl KNearest {
     /// Panics if `q` is shorter than the trained feature count.
     pub fn proba(&self, q: &[f64]) -> f64 {
         let m = self.num_features;
-        let qs: Vec<f64> =
-            (0..m).map(|j| (q[j] - self.mean[j]) / self.std[j]).collect();
+        let qs: Vec<f64> = (0..m)
+            .map(|j| (q[j] - self.mean[j]) / self.std[j])
+            .collect();
         // Max-heap of (distance², index) keeping the k smallest.
         let mut heap: Vec<(f64, usize)> = Vec::with_capacity(self.k + 1);
         for i in 0..self.y.len() {
             let mut d2 = 0.0;
-            for j in 0..m {
-                let d = self.x[i * m + j] - qs[j];
+            for (xv, qv) in self.x[i * m..(i + 1) * m].iter().zip(&qs) {
+                let d = xv - qv;
                 d2 += d * d;
             }
             if heap.len() < self.k {
@@ -156,8 +164,11 @@ mod tests {
         for _ in 0..n {
             let label = rng.gen_bool(0.5);
             let s = if label { 1.0 } else { -1.0 };
-            ds.push(&[s + rng.gen_range(-0.5..0.5), s + rng.gen_range(-0.5..0.5)], label)
-                .expect("2 features");
+            ds.push(
+                &[s + rng.gen_range(-0.5..0.5), s + rng.gen_range(-0.5..0.5)],
+                label,
+            )
+            .expect("2 features");
         }
         ds
     }
@@ -184,13 +195,16 @@ mod tests {
         let ds = blobs(100);
         let m = KNearest::fit(&ds, 1).expect("fit");
         for i in 0..ds.len() {
-            assert_eq!(m.predict(ds.row(i)), ds.label(i), "k=1 memorises training data");
+            assert_eq!(
+                m.predict(ds.row(i)),
+                ds.label(i),
+                "k=1 memorises training data"
+            );
         }
     }
 
     #[test]
-    fn proba_is_bounded(
-    ) {
+    fn proba_is_bounded() {
         let ds = blobs(50);
         let m = KNearest::fit(&ds, 5).expect("fit");
         for q in [[-3.0, 3.0], [0.0, 0.0], [5.0, 5.0]] {

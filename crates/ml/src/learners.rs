@@ -25,8 +25,12 @@ pub trait TreeLearner {
     /// # Errors
     ///
     /// Returns [`TrainError::EmptyDataset`] if `idx` is empty.
-    fn fit_tree(&self, data: &Dataset, idx: &[u32], rng: &mut ChaCha8Rng)
-        -> Result<Tree, TrainError>;
+    fn fit_tree(
+        &self,
+        data: &Dataset,
+        idx: &[u32],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tree, TrainError>;
 }
 
 /// Reduced-Error-Pruning tree (Weka `REPTree`).
@@ -49,7 +53,10 @@ impl Default for RepTreeLearner {
     fn default() -> Self {
         Self {
             grow_fraction: 2.0 / 3.0,
-            params: TreeParams { min_samples_split: 2, ..TreeParams::default() },
+            params: TreeParams {
+                min_samples_split: 2,
+                ..TreeParams::default()
+            },
         }
     }
 }
@@ -89,7 +96,13 @@ pub struct RandomTreeLearner {
 
 impl Default for RandomTreeLearner {
     fn default() -> Self {
-        Self { k: None, params: TreeParams { min_samples_split: 2, ..TreeParams::default() } }
+        Self {
+            k: None,
+            params: TreeParams {
+                min_samples_split: 2,
+                ..TreeParams::default()
+            },
+        }
     }
 }
 
@@ -101,8 +114,14 @@ impl TreeLearner for RandomTreeLearner {
         rng: &mut ChaCha8Rng,
     ) -> Result<Tree, TrainError> {
         let m = data.num_features().max(1);
-        let k = self.k.unwrap_or_else(|| (m as f64).log2().floor() as usize + 1).clamp(1, m);
-        let params = TreeParams { feature_subset: Some(k), ..self.params };
+        let k = self
+            .k
+            .unwrap_or_else(|| (m as f64).log2().floor() as usize + 1)
+            .clamp(1, m);
+        let params = TreeParams {
+            feature_subset: Some(k),
+            ..self.params
+        };
         Tree::fit(data, idx, params, rng)
     }
 }
@@ -203,8 +222,12 @@ mod tests {
     #[test]
     fn empty_index_set_is_rejected() {
         let ds = noisy_step(10);
-        assert!(RepTreeLearner::default().fit_tree(&ds, &[], &mut rng()).is_err());
-        assert!(RandomTreeLearner::default().fit_tree(&ds, &[], &mut rng()).is_err());
+        assert!(RepTreeLearner::default()
+            .fit_tree(&ds, &[], &mut rng())
+            .is_err());
+        assert!(RandomTreeLearner::default()
+            .fit_tree(&ds, &[], &mut rng())
+            .is_err());
     }
 
     #[test]

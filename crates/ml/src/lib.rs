@@ -32,17 +32,19 @@ pub mod data;
 pub mod error;
 pub mod forest;
 pub mod knn;
-pub mod linear;
 pub mod learners;
+pub mod linear;
 pub mod metrics;
+pub mod parallel;
 pub mod tree;
 
 pub use bagging::Bagging;
 pub use bayes::GaussianNaiveBayes;
-pub use knn::KNearest;
-pub use linear::{LogisticParams, LogisticRegression};
 pub use data::Dataset;
 pub use error::TrainError;
 pub use forest::RandomForest;
+pub use knn::KNearest;
 pub use learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
+pub use linear::{LogisticParams, LogisticRegression};
+pub use parallel::Parallelism;
 pub use tree::{Tree, TreeParams};

@@ -60,7 +60,12 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        Self { epochs: 40, learning_rate: 0.1, l2: 1e-4, batch: 256 }
+        Self {
+            epochs: 40,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch: 256,
+        }
     }
 }
 
@@ -129,7 +134,12 @@ impl LogisticRegression {
                 b -= scale * gb;
             }
         }
-        Ok(Self { weights: w, bias: b, mean, std })
+        Ok(Self {
+            weights: w,
+            bias: b,
+            mean,
+            std,
+        })
     }
 
     /// Probability that `x` is positive.
@@ -182,13 +192,16 @@ mod tests {
         for _ in 0..n {
             let a: f64 = rng.gen_range(0.0..1.0);
             let b: f64 = rng.gen_range(0.0..1.0);
-            ds.push(&[a, b], (a > 0.5) != (b > 0.5)).expect("2 features");
+            ds.push(&[a, b], (a > 0.5) != (b > 0.5))
+                .expect("2 features");
         }
         ds
     }
 
     fn accuracy(m: &LogisticRegression, ds: &Dataset) -> f64 {
-        (0..ds.len()).filter(|&i| m.predict(ds.row(i)) == ds.label(i)).count() as f64
+        (0..ds.len())
+            .filter(|&i| m.predict(ds.row(i)) == ds.label(i))
+            .count() as f64
             / ds.len() as f64
     }
 
@@ -228,7 +241,10 @@ mod tests {
         assert!(m.proba(&[1.0, 1.0]) > 0.9);
         assert!(m.proba(&[-1.0, -1.0]) < 0.1);
         let p = m.proba(&[0.0, 0.0]);
-        assert!(p > 0.2 && p < 0.8, "boundary point should be uncertain, got {p}");
+        assert!(
+            p > 0.2 && p < 0.8,
+            "boundary point should be uncertain, got {p}"
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub fn information_gain(values: &[f64], labels: &[bool]) -> f64 {
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let pos_total = labels.iter().filter(|&&l| l).count() as f64;
     let neg_total = n as f64 - pos_total;
@@ -57,8 +59,9 @@ pub fn information_gain(values: &[f64], labels: &[bool]) -> f64 {
         }
         let l = lp + ln;
         let r = n as f64 - l;
-        let gain =
-            h - (l / n as f64) * entropy(lp, ln) - (r / n as f64) * entropy(pos_total - lp, neg_total - ln);
+        let gain = h
+            - (l / n as f64) * entropy(lp, ln)
+            - (r / n as f64) * entropy(pos_total - lp, neg_total - ln);
         if gain > best {
             best = gain;
         }
@@ -245,7 +248,10 @@ mod tests {
     #[test]
     fn fisher_ratio_degenerate_cases() {
         assert_eq!(fisher_ratio(&[1.0, 2.0], &[true, true]), 0.0);
-        assert_eq!(fisher_ratio(&[1.0, 1.0, 2.0, 2.0], &[true, true, false, false]), f64::INFINITY);
+        assert_eq!(
+            fisher_ratio(&[1.0, 1.0, 2.0, 2.0], &[true, true, false, false]),
+            f64::INFINITY
+        );
         assert_eq!(fisher_ratio(&[1.0, 1.0], &[true, false]), 0.0);
     }
 
@@ -264,7 +270,10 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(
+            accuracy(&[true, false, true], &[true, true, true]),
+            2.0 / 3.0
+        );
         assert_eq!(accuracy(&[], &[]), 0.0);
     }
 }

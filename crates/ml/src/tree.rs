@@ -36,7 +36,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 60, min_samples_split: 2, feature_subset: None, bins: 256 }
+        Self {
+            max_depth: 60,
+            min_samples_split: 2,
+            feature_subset: None,
+            bins: 256,
+        }
     }
 }
 
@@ -56,7 +61,14 @@ struct Node {
 
 impl Node {
     fn leaf(pos: u32, neg: u32) -> Self {
-        Node { feature: LEAF, threshold: 0.0, left: 0, right: 0, pos, neg }
+        Node {
+            feature: LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            pos,
+            neg,
+        }
     }
 
     fn is_leaf(&self) -> bool {
@@ -111,7 +123,10 @@ impl Tree {
             return Err(TrainError::EmptyDataset);
         }
         let thresholds = quantile_thresholds(data, idx, params.bins);
-        let mut tree = Tree { nodes: Vec::new(), num_features: data.num_features() };
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            num_features: data.num_features(),
+        };
         let mut scratch = idx.to_vec();
         tree.build(data, &mut scratch, &thresholds, &params, 0, rng);
         Ok(tree)
@@ -129,10 +144,7 @@ impl Tree {
         let (pos, neg) = count_labels(data, idx);
         let me = self.nodes.len() as u32;
         self.nodes.push(Node::leaf(pos, neg));
-        if pos == 0
-            || neg == 0
-            || idx.len() < params.min_samples_split
-            || depth >= params.max_depth
+        if pos == 0 || neg == 0 || idx.len() < params.min_samples_split || depth >= params.max_depth
         {
             return me;
         }
@@ -181,7 +193,11 @@ impl Tree {
             if n.is_leaf() {
                 return at;
             }
-            at = if x[n.feature as usize] <= n.threshold { n.left as usize } else { n.right as usize };
+            at = if x[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
         }
     }
 
@@ -257,8 +273,8 @@ impl Tree {
         let threshold = node.threshold;
         let cut = partition(held, |&i| data.feature(i as usize, feature) <= threshold);
         let (lh, rh) = held.split_at_mut(cut);
-        let subtree_err =
-            self.prune_node(data, node.left as usize, lh) + self.prune_node(data, node.right as usize, rh);
+        let subtree_err = self.prune_node(data, node.left as usize, lh)
+            + self.prune_node(data, node.right as usize, rh);
         if leaf_err <= subtree_err {
             // Collapse: children become unreachable and are swept later.
             let n = &mut self.nodes[at];
@@ -445,7 +461,7 @@ fn best_split(
             let gain = parent
                 - (l / n) * entropy(f64::from(lp), f64::from(ln))
                 - (r / n) * entropy(f64::from(pos - lp), f64::from(neg - ln));
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((j, ts[k], gain));
             }
         }
@@ -470,7 +486,8 @@ mod tests {
         for _ in 0..n {
             let a: f64 = r.gen_range(0.0..1.0);
             let b: f64 = r.gen_range(0.0..1.0);
-            ds.push(&[a, b], (a > 0.5) != (b > 0.5)).expect("2 features");
+            ds.push(&[a, b], (a > 0.5) != (b > 0.5))
+                .expect("2 features");
         }
         ds
     }
@@ -508,7 +525,10 @@ mod tests {
     #[test]
     fn max_depth_caps_tree() {
         let ds = xor_data(400);
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
         assert!(t.depth() <= 1);
         assert!(t.num_nodes() <= 3);
@@ -524,7 +544,10 @@ mod tests {
         for _ in 0..100 {
             ds.push(&[10.0], false).expect("ok");
         }
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
         assert!((t.proba(&[0.0]) - 0.8).abs() < 1e-9);
         assert!(t.proba(&[10.0]) < 1e-9);
@@ -544,8 +567,7 @@ mod tests {
         }
         let mut r2 = rng();
         let (grow, held) = ds.split_indices(2.0 / 3.0, &mut r2);
-        let mut t =
-            Tree::fit(&ds, &grow, TreeParams::default(), &mut r2).expect("fit");
+        let mut t = Tree::fit(&ds, &grow, TreeParams::default(), &mut r2).expect("fit");
         let before = t.num_nodes();
         t.prune_with(&ds, &held);
         t.backfit(&ds, &ds.all_indices());
@@ -573,7 +595,10 @@ mod tests {
     #[test]
     fn feature_subset_still_learns() {
         let ds = xor_data(600);
-        let params = TreeParams { feature_subset: Some(1), ..TreeParams::default() };
+        let params = TreeParams {
+            feature_subset: Some(1),
+            ..TreeParams::default()
+        };
         let t = Tree::fit(&ds, &ds.all_indices(), params, &mut rng()).expect("fit");
         // With one random feature per node the tree is bigger but still
         // separates XOR reasonably.

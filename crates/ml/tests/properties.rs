@@ -19,7 +19,13 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
         let mut ds = Dataset::new(3);
         for (i, (x, y)) in rows.iter().enumerate() {
             // Force both classes to exist.
-            let label = if i == 0 { true } else if i == 1 { false } else { *y };
+            let label = if i == 0 {
+                true
+            } else if i == 1 {
+                false
+            } else {
+                *y
+            };
             ds.push(x, label).expect("3 features");
         }
         ds

@@ -5,10 +5,10 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use sm_ml::learners::RepTreeLearner as Rep;
 use sm_ml::learners::{RepTreeLearner, TreeLearner};
 use sm_ml::tree::{Tree, TreeParams};
 use sm_ml::{Bagging, Dataset, GaussianNaiveBayes, KNearest};
-use sm_ml::learners::RepTreeLearner as Rep;
 
 fn dataset(n: usize) -> Dataset {
     let mut ds = Dataset::new(3);
@@ -64,7 +64,9 @@ fn rep_tree_learner_config_roundtrips() {
     let mut r1 = ChaCha8Rng::seed_from_u64(3);
     let mut r2 = ChaCha8Rng::seed_from_u64(3);
     assert_eq!(
-        learner.fit_tree(&ds, &ds.all_indices(), &mut r1).expect("fit"),
+        learner
+            .fit_tree(&ds, &ds.all_indices(), &mut r1)
+            .expect("fit"),
         back.fit_tree(&ds, &ds.all_indices(), &mut r2).expect("fit")
     );
 }

@@ -18,9 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = AttackConfig::imp11();
 
     println!("Attack accuracy at fixed LoC fractions, with obfuscation noise on v-pin y:\n");
-    println!("{:<10} {:>12} {:>12} {:>12}", "noise SD", "LoC 0.1%", "LoC 1%", "LoC 10%");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "noise SD", "LoC 0.1%", "LoC 1%", "LoC 10%"
+    );
     for sd in [0.0, 0.005, 0.01, 0.02] {
-        let views = if sd == 0.0 { clean.clone() } else { obfuscate_views(&clean, sd, 5) };
+        let views = if sd == 0.0 {
+            clean.clone()
+        } else {
+            obfuscate_views(&clean, sd, 5)
+        };
         let folds = leave_one_out(&config, &views, &ScoreOptions::default())?;
         let scored: Vec<_> = folds.into_iter().map(|f| f.scored).collect();
         let curve = LocCurve::from_views(&scored);

@@ -24,9 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Validating PA-LoC fractions on the training designs...");
     let validation = validate_pa_fraction(&config, &training, &DEFAULT_PA_FRACTIONS, 7)?;
     for (fraction, rate) in &validation.rates {
-        println!("  fraction {:>6.3}%: validation success {:>6.2}%", 100.0 * fraction, 100.0 * rate);
+        println!(
+            "  fraction {:>6.3}%: validation success {:>6.2}%",
+            100.0 * fraction,
+            100.0 * rate
+        );
     }
-    println!("  -> selected fraction {:.3}%", 100.0 * validation.best_fraction);
+    println!(
+        "  -> selected fraction {:.3}%",
+        100.0 * validation.best_fraction
+    );
 
     // Step 2: train on the full N-1 designs and attack the target.
     let model = TrainedAttack::train(&config, &training, None)?;
@@ -34,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let validated = proximity_attack(&scored, target, validation.best_fraction, 11);
     let fixed = pa_at_threshold(&scored, target, 0.5, 13);
-    println!("\nProximity attack on {} ({} v-pins):", target.name, target.num_vpins());
+    println!(
+        "\nProximity attack on {} ({} v-pins):",
+        target.name,
+        target.num_vpins()
+    );
     println!("  validated PA-LoC : {validated}");
     println!("  fixed t=0.5 [18] : {fixed}");
 

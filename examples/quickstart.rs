@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = &views[0];
     let training: Vec<_> = views[1..].iter().collect();
     let config = AttackConfig::imp11();
-    println!("\nTraining {} on {} designs...", config.name, training.len());
+    println!(
+        "\nTraining {} on {} designs...",
+        config.name,
+        training.len()
+    );
     let model = TrainedAttack::train(&config, &training, None)?;
     println!(
         "  {} training samples, neighborhood radius {:?} DBU",

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = Suite::ispd2011_like(0.1)?;
     let config = AttackConfig::imp11();
 
-    println!("Attack effectiveness per candidate split layer ({}):\n", config.name);
+    println!(
+        "Attack effectiveness per candidate split layer ({}):\n",
+        config.name
+    );
     println!(
         "{:<8} {:>9} {:>16} {:>16} {:>14}",
         "split", "#v-pins", "acc @ |LoC|=10", "|LoC| @ 90% acc", "attack time"

@@ -23,7 +23,11 @@ fn full_pipeline_recovers_most_matches_at_split8() {
     // At the top split layer the attack keeps >=80% of matches with a
     // small candidate list (the paper reaches ~100% at |LoC| ~ a few).
     let pt = curve.max_accuracy_at_loc(10.0).expect("curve point exists");
-    assert!(pt.accuracy > 0.8, "accuracy {:.3} too low at |LoC| 10", pt.accuracy);
+    assert!(
+        pt.accuracy > 0.8,
+        "accuracy {:.3} too low at |LoC| 10",
+        pt.accuracy
+    );
 }
 
 #[test]
@@ -80,14 +84,21 @@ fn training_and_testing_designs_are_separated() {
     let cfg = AttackConfig::imp9();
     let mut radii = Vec::new();
     for t in 0..views.len() {
-        let train: Vec<_> =
-            views.iter().enumerate().filter(|(i, _)| *i != t).map(|(_, v)| v).collect();
+        let train: Vec<_> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t)
+            .map(|(_, v)| v)
+            .collect();
         let model = TrainedAttack::train(&cfg, &train, None).expect("train");
         radii.push(model.radius().expect("imp has radius"));
     }
     assert_eq!(radii.len(), 5);
     let distinct: std::collections::HashSet<i64> = radii.iter().copied().collect();
-    assert!(distinct.len() > 1, "folds should see different training aggregates");
+    assert!(
+        distinct.len() > 1,
+        "folds should see different training aggregates"
+    );
 }
 
 #[test]
@@ -100,8 +111,11 @@ fn scored_views_are_self_consistent() {
     let hist_total: u64 = scored.hist.iter().sum();
     assert_eq!(hist_total, scored.pairs_scored);
     // Accuracy at threshold 0 equals the fraction of evaluated truths.
-    let evaluated =
-        scored.slots.iter().filter(|s| s.true_prob.is_some()).count() as f64;
+    let evaluated = scored
+        .slots
+        .iter()
+        .filter(|s| s.true_prob.is_some())
+        .count() as f64;
     assert!((scored.accuracy_at(0.0) - evaluated / scored.slots.len() as f64).abs() < 1e-12);
     // Each slot's top list only references v-pins of the view.
     for s in &scored.slots {

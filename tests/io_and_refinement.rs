@@ -22,16 +22,17 @@ fn attack_results_survive_an_io_roundtrip() {
     let vs = views(8);
     let roundtripped: Vec<SplitView> = vs
         .iter()
-        .map(|v| {
-            read_challenge(&write_challenge(v), &write_truth(v)).expect("roundtrip parses")
-        })
+        .map(|v| read_challenge(&write_challenge(v), &write_truth(v)).expect("roundtrip parses"))
         .collect();
     let cfg = AttackConfig::imp9();
     let train_a: Vec<&SplitView> = vs[1..].iter().collect();
     let train_b: Vec<&SplitView> = roundtripped[1..].iter().collect();
     let model_a = TrainedAttack::train(&cfg, &train_a, None).expect("train");
     let model_b = TrainedAttack::train(&cfg, &train_b, None).expect("train");
-    let opts = ScoreOptions { threads: Some(1), ..ScoreOptions::default() };
+    let opts = ScoreOptions {
+        parallelism: splitmfg::attack::Parallelism::Sequential,
+        ..ScoreOptions::default()
+    };
     let scored_a = model_a.score(&vs[0], &opts);
     let scored_b = model_b.score(&roundtripped[0], &opts);
     assert_eq!(scored_a.pairs_scored, scored_b.pairs_scored);
@@ -54,8 +55,16 @@ fn timing_refinement_composes_with_the_attack() {
     assert!(refined.mean_loc_at(0.0) <= scored.mean_loc_at(0.0));
     // With a 98% budget + safety margin, nearly all reachable truths
     // survive refinement.
-    let truths_before = scored.slots.iter().filter(|s| s.true_prob.is_some()).count();
-    let truths_after = refined.slots.iter().filter(|s| s.true_prob.is_some()).count();
+    let truths_before = scored
+        .slots
+        .iter()
+        .filter(|s| s.true_prob.is_some())
+        .count();
+    let truths_after = refined
+        .slots
+        .iter()
+        .filter(|s| s.true_prob.is_some())
+        .count();
     assert!(
         truths_after as f64 >= 0.9 * truths_before as f64,
         "{truths_after}/{truths_before} truths survived"
@@ -82,7 +91,10 @@ fn challenge_files_hide_the_matching() {
     // matching lives only in the truth file.
     let v = &views(8)[0];
     let challenge = write_challenge(v);
-    assert!(!challenge.contains("truth"), "challenge must not embed truth data");
+    assert!(
+        !challenge.contains("truth"),
+        "challenge must not embed truth data"
+    );
     // Build an alternative valid involution: rotate pairs.
     let n = v.num_vpins();
     if n >= 4 {
@@ -95,7 +107,10 @@ fn challenge_files_hide_the_matching() {
             }
             let parsed = read_challenge(&challenge, &alt).expect("alt truth parses");
             let differs = (0..n).any(|i| parsed.true_match(i) != v.true_match(i));
-            assert!(differs, "alternative truth must produce a different matching");
+            assert!(
+                differs,
+                "alternative truth must produce a different matching"
+            );
         }
     }
 }

@@ -1,0 +1,133 @@
+//! Parallel execution must be invisible in results: every parallel site of
+//! the pipeline (bagged training, pair scoring, leave-one-out folds, PA
+//! validation) is asserted bit-identical to its sequential run — on every
+//! benchmark/split-layer combination and for arbitrary thread counts.
+
+use proptest::prelude::*;
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use splitmfg::attack::proximity::validate_pa_fraction;
+use splitmfg::attack::xval::leave_one_out;
+use splitmfg::attack::Parallelism;
+use splitmfg::layout::{SplitLayer, SplitView, Suite};
+
+const SCALE: f64 = 0.02;
+
+fn views(split: u8) -> Vec<SplitView> {
+    Suite::ispd2011_like(SCALE)
+        .expect("suite generation")
+        .split_all(SplitLayer::new(split).expect("valid"))
+}
+
+fn score_opts(parallelism: Parallelism) -> ScoreOptions {
+    ScoreOptions {
+        parallelism,
+        ..ScoreOptions::default()
+    }
+}
+
+#[test]
+fn every_benchmark_and_layer_scores_identically_in_parallel() {
+    for split in [4u8, 6, 8] {
+        let vs = views(split);
+        for t in 0..vs.len() {
+            let train: Vec<&SplitView> = vs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != t)
+                .map(|(_, v)| v)
+                .collect();
+            let seq_cfg = AttackConfig::imp9().with_parallelism(Parallelism::Sequential);
+            let par_cfg = AttackConfig::imp9().with_parallelism(Parallelism::Threads(2));
+            let m_seq = TrainedAttack::train(&seq_cfg, &train, None).expect("train");
+            let m_par = TrainedAttack::train(&par_cfg, &train, None).expect("train");
+            assert_eq!(
+                m_seq.model(),
+                m_par.model(),
+                "layer {split}, fold {t}: parallel training diverged"
+            );
+            let s_seq = m_seq.score(&vs[t], &score_opts(Parallelism::Sequential));
+            let s_par = m_seq.score(&vs[t], &score_opts(Parallelism::Threads(4)));
+            assert_eq!(
+                s_seq, s_par,
+                "layer {split}, fold {t}: parallel scoring diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_attack_is_bit_identical_sequential_vs_four_threads() {
+    // The satellite end-to-end check: train + score + derive the curve for
+    // every fold, sequentially and with four threads, and require the
+    // ScoredView histograms, slot probabilities, and LocCurve points to be
+    // identical — not approximately, exactly.
+    let vs = views(8);
+    let seq = leave_one_out(
+        &AttackConfig::imp11().with_parallelism(Parallelism::Sequential),
+        &vs,
+        &score_opts(Parallelism::Sequential),
+    )
+    .expect("sequential xval");
+    let par = leave_one_out(
+        &AttackConfig::imp11().with_parallelism(Parallelism::Threads(4)),
+        &vs,
+        &score_opts(Parallelism::Threads(4)),
+    )
+    .expect("parallel xval");
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.test_name, b.test_name);
+        assert_eq!(
+            a.scored.hist, b.scored.hist,
+            "{}: histogram diverged",
+            a.test_name
+        );
+        assert_eq!(a.scored, b.scored, "{}: scored view diverged", a.test_name);
+        assert_eq!(
+            a.scored.curve().points(),
+            b.scored.curve().points(),
+            "{}: LoC curve diverged",
+            a.test_name
+        );
+    }
+}
+
+#[test]
+fn pa_validation_is_bit_identical_across_parallelism() {
+    let vs = views(8);
+    let train: Vec<&SplitView> = vs[..4].iter().collect();
+    let grid = [0.01, 0.05];
+    let seq = validate_pa_fraction(
+        &AttackConfig::imp9().with_parallelism(Parallelism::Sequential),
+        &train,
+        &grid,
+        7,
+    )
+    .expect("sequential validation");
+    let par = validate_pa_fraction(
+        &AttackConfig::imp9().with_parallelism(Parallelism::Threads(3)),
+        &train,
+        &grid,
+        7,
+    )
+    .expect("parallel validation");
+    assert_eq!(
+        seq, par,
+        "validated PA rates must not depend on parallelism"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn arbitrary_thread_counts_reproduce_sequential_scoring(threads in 2usize..9) {
+        let vs = views(8);
+        let train: Vec<&SplitView> = vs[1..].iter().collect();
+        let cfg = AttackConfig::imp7().with_parallelism(Parallelism::Threads(threads));
+        let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+        let baseline = model.score(&vs[0], &score_opts(Parallelism::Sequential));
+        let scored = model.score(&vs[0], &score_opts(Parallelism::Threads(threads)));
+        prop_assert_eq!(baseline, scored);
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace's `harness = false` benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a timed warm-up estimates the cost
+//! of one iteration, then `sample_size` samples are collected, each timing
+//! a batch sized so all samples together fill the configured measurement
+//! time. Reported statistics are min / mean / max per-iteration time —
+//! no outlier analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Top-level benchmark driver. `Default` reads the process arguments and
+/// treats the first non-flag argument as a substring filter on benchmark
+/// ids (so `cargo bench -- score` runs only scoring benches).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for measurement samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark; the closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full_id);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (separator line, criterion-compat no-op otherwise).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean per-iteration nanoseconds of each collected sample.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding its output via an implicit
+    /// black-box (the timing loop consumes it).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size each sample's batch so all samples fit the budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / est_iter_ns).floor() as u64).max(1);
+
+        self.sample_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.sample_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.sample_ns.is_empty() {
+            println!("{id:<40} no measurement (Bencher::iter never called)");
+            return;
+        }
+        let min = self.sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .sample_ns
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_samples() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match_me".to_string()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("other", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("fit", 10).id, "fit/10");
+        assert_eq!(BenchmarkId::from_parameter("ml9").id, "ml9");
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline shim for the `crossbeam` scoped-thread API used by this
+//! workspace, backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / join are provided —
+//! exactly the surface the attack engine's deterministic parallel layer
+//! uses. Semantics match crossbeam's: `spawn` closures receive a `&Scope`
+//! so workers can spawn siblings, and `scope` returns a `Result` (always
+//! `Ok` here; a panicking worker propagates its panic at the end of the
+//! scope, as with `std::thread::scope`).
+
+pub mod thread {
+    /// Scope handle passed to [`scope`] closures and workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope so it can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (kept for crossbeam signature compatibility);
+    /// worker panics propagate as panics.
+    #[allow(clippy::missing_panics_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = s.spawn(move |_| a.iter().sum::<u64>());
+            let hb = s.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().expect("a") + hb.join().expect("b")
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,70 @@
+//! Slice sampling helpers mirroring `rand::seq`.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j: usize = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut Lcg(9));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn choose_respects_emptiness() {
+        let mut rng = Lcg(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut rng), Some(&42));
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline `#[derive(Serialize, Deserialize)]` implementation built on the
+//! bare `proc_macro` API — no `syn`/`quote`, since those aren't available
+//! offline either. It hand-parses the item's token stream into a small IR
+//! (named struct / tuple struct / enum) and emits the trait impls as
+//! formatted source strings re-parsed into a `TokenStream`.
+//!
+//! Supported shapes, matching everything this workspace derives:
+//! - structs with named fields (any field types that implement the traits)
+//! - tuple structs (newtypes serialize transparently; wider ones as a
+//!   sequence)
+//! - enums with unit variants (including explicit discriminants), named
+//!   field variants, and tuple variants, using serde's externally-tagged
+//!   representation: `"Variant"` for unit, `{"Variant": payload}` for data
+//!
+//! Generics and `#[serde(...)]` attributes are not supported (the
+//! workspace uses neither).
+
+// Generated source strings end lines with an explicit `\n` so the emitted
+// code stays readable when debugged; `writeln!` would obscure that every
+// newline is part of the generated text.
+#![allow(clippy::write_with_newline)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "item name");
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic item `{name}` is not supported");
+    }
+    match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("derive(Serialize/Deserialize): unsupported item shape for `{name}`"),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(toks.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("derive(Serialize/Deserialize): expected {what}, found {other:?}"),
+    }
+}
+
+/// Advances past one field's type (or an enum discriminant expression):
+/// everything up to the next `,` at angle-bracket depth zero.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i, "field name"));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("derive(Serialize/Deserialize): expected `:` after field, found {other:?}")
+            }
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1; // past the comma (or off the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        arity += 1;
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_to_comma(&toks, &mut i); // discriminant expression, ignored
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![\n"
+            );
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),\n"
+                );
+            }
+            s.push_str("])\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\n"
+            );
+            if *arity == 1 {
+                s.push_str("::serde::Serialize::to_value(&self.0)\n");
+            } else {
+                s.push_str("::serde::Value::Seq(vec![\n");
+                for k in 0..*arity {
+                    let _ = write!(s, "::serde::Serialize::to_value(&self.{k}),\n");
+                }
+                s.push_str("])\n");
+            }
+            s.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            s,
+                            "Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let _ = write!(
+                            s,
+                            "Self::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![\n"
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                s,
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),\n"
+                            );
+                        }
+                        s.push_str("]))]),\n");
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(s, "Self::{vn}({}) => ", binds.join(", "));
+                        if *arity == 1 {
+                            let _ = write!(
+                                s,
+                                "::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                            );
+                        } else {
+                            let _ = write!(
+                                s,
+                                "::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![\n"
+                            );
+                            for b in &binds {
+                                let _ = write!(s, "::serde::Serialize::to_value({b}),\n");
+                            }
+                            s.push_str("]))]),\n");
+                        }
+                    }
+                }
+            }
+            s.push_str("}\n}\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\", v))?;\n\
+                 Ok(Self {{\n"
+            );
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\"))?,\n"
+                );
+            }
+            s.push_str("})\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            );
+            if *arity == 1 {
+                s.push_str("Ok(Self(::serde::Deserialize::from_value(v)?))\n");
+            } else {
+                let _ = write!(
+                    s,
+                    "let seq = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\", v))?;\n\
+                     if seq.len() != {arity} {{\n\
+                     return Err(::serde::DeError::custom(format!(\"expected {arity} elements for {name}, found {{}}\", seq.len())));\n\
+                     }}\n\
+                     Ok(Self(\n"
+                );
+                for k in 0..*arity {
+                    let _ = write!(s, "::serde::Deserialize::from_value(&seq[{k}])?,\n");
+                }
+                s.push_str("))\n");
+            }
+            s.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n"
+            );
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(s, "\"{vn}\" => Ok(Self::{vn}),\n");
+                }
+            }
+            let _ = write!(
+                s,
+                "__other => Err(::serde::DeError::custom(format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__name, __payload) = &__m[0];\n\
+                 match __name.as_str() {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            s,
+                            "\"{vn}\" => {{\n\
+                             let __fm = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vn}\", __payload))?;\n\
+                             Ok(Self::{vn} {{\n"
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                s,
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(__fm, \"{f}\"))?,\n"
+                            );
+                        }
+                        s.push_str("})\n}\n");
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            let _ = write!(
+                                s,
+                                "\"{vn}\" => Ok(Self::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                            );
+                        } else {
+                            let _ = write!(
+                                s,
+                                "\"{vn}\" => {{\n\
+                                 let __seq = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{vn}\", __payload))?;\n\
+                                 if __seq.len() != {arity} {{\n\
+                                 return Err(::serde::DeError::custom(format!(\"expected {arity} elements for {name}::{vn}, found {{}}\", __seq.len())));\n\
+                                 }}\n\
+                                 Ok(Self::{vn}(\n"
+                            );
+                            for k in 0..*arity {
+                                let _ =
+                                    write!(s, "::serde::Deserialize::from_value(&__seq[{k}])?,\n");
+                            }
+                            s.push_str("))\n}\n");
+                        }
+                    }
+                }
+            }
+            let _ = write!(
+                s,
+                "__other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => Err(::serde::DeError::expected(\"variant\", \"{name}\", __other)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            );
+        }
+    }
+    s
+}

@@ -1,0 +1,144 @@
+//! End-to-end checks of the hand-written derive macros through JSON,
+//! mirroring every type shape the workspace serializes.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Named {
+    pub id: u32,
+    pub weight: f64,
+    pub label: String,
+    pub maybe: Option<i64>,
+    pub coords: Vec<(f64, f64)>,
+    pub fixed: [f64; 3],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Newtype(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Private(u8);
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pair(pub i64, pub f64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitEnum {
+    North = 0,
+    East = 1,
+    South = 5,
+    West,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mixed {
+    Nothing,
+    Z { mid: i64 },
+    Tree { depth: u32, trees: u32 },
+    One(f64),
+    Two(u8, String),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nested {
+    pub kind: UnitEnum,
+    pub shape: Mixed,
+    pub cell: Newtype,
+    pub layers: Vec<Private>,
+}
+
+fn roundtrip<T>(x: &T) -> T
+where
+    T: Serialize + Deserialize + std::fmt::Debug,
+{
+    let json = serde_json::to_string(x).expect("serialize");
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("deserialize {json}: {e}"))
+}
+
+#[test]
+fn named_struct_roundtrips() {
+    let x = Named {
+        id: 7,
+        weight: 0.1,
+        label: "sb\"1\"".to_string(),
+        maybe: None,
+        coords: vec![(1.5, -2.0), (0.0, 1.0 / 3.0)],
+        fixed: [0.25, 0.5, 0.75],
+    };
+    assert_eq!(roundtrip(&x), x);
+    let with_some = Named {
+        maybe: Some(-42),
+        ..x
+    };
+    assert_eq!(roundtrip(&with_some), with_some);
+}
+
+#[test]
+fn newtype_is_transparent() {
+    assert_eq!(serde_json::to_string(&Newtype(9)).expect("ser"), "9");
+    assert_eq!(roundtrip(&Newtype(u32::MAX)), Newtype(u32::MAX));
+    assert_eq!(roundtrip(&Private(3)), Private(3));
+}
+
+#[test]
+fn tuple_struct_is_a_sequence() {
+    assert_eq!(
+        serde_json::to_string(&Pair(-1, 2.5)).expect("ser"),
+        "[-1,2.5]"
+    );
+    assert_eq!(roundtrip(&Pair(i64::MIN, 0.1)), Pair(i64::MIN, 0.1));
+}
+
+#[test]
+fn unit_enum_uses_variant_names() {
+    assert_eq!(
+        serde_json::to_string(&UnitEnum::South).expect("ser"),
+        "\"South\""
+    );
+    for v in [
+        UnitEnum::North,
+        UnitEnum::East,
+        UnitEnum::South,
+        UnitEnum::West,
+    ] {
+        assert_eq!(roundtrip(&v), v);
+    }
+    assert!(serde_json::from_str::<UnitEnum>("\"Up\"").is_err());
+}
+
+#[test]
+fn data_enum_is_externally_tagged() {
+    assert_eq!(
+        serde_json::to_string(&Mixed::Z { mid: -5 }).expect("ser"),
+        "{\"Z\":{\"mid\":-5}}"
+    );
+    assert_eq!(
+        serde_json::to_string(&Mixed::One(1.5)).expect("ser"),
+        "{\"One\":1.5}"
+    );
+    for v in [
+        Mixed::Nothing,
+        Mixed::Z { mid: i64::MAX },
+        Mixed::Tree {
+            depth: 12,
+            trees: 100,
+        },
+        Mixed::One(0.1),
+        Mixed::Two(8, "x".to_string()),
+    ] {
+        assert_eq!(roundtrip(&v), v);
+    }
+}
+
+#[test]
+fn nested_composition_roundtrips() {
+    let x = Nested {
+        kind: UnitEnum::West,
+        shape: Mixed::Tree { depth: 3, trees: 9 },
+        cell: Newtype(11),
+        layers: vec![Private(1), Private(2)],
+    };
+    assert_eq!(roundtrip(&x), x);
+    let pretty = serde_json::to_string_pretty(&x).expect("ser");
+    assert_eq!(serde_json::from_str::<Nested>(&pretty).expect("de"), x);
+}
