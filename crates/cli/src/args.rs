@@ -26,6 +26,13 @@ pub enum ParseArgsError {
     },
     /// A required flag is absent.
     MissingFlag(String),
+    /// A flag the subcommand does not understand.
+    UnknownFlag {
+        /// Flag name without dashes.
+        flag: String,
+        /// The subcommand that rejected it.
+        command: String,
+    },
 }
 
 impl std::fmt::Display for ParseArgsError {
@@ -37,6 +44,9 @@ impl std::fmt::Display for ParseArgsError {
                 write!(f, "flag --{flag} has malformed value '{value}'")
             }
             ParseArgsError::MissingFlag(k) => write!(f, "required flag --{k} missing"),
+            ParseArgsError::UnknownFlag { flag, command } => {
+                write!(f, "unknown flag --{flag} for '{command}' (try 'help')")
+            }
         }
     }
 }
@@ -105,6 +115,30 @@ impl Args {
     pub fn get_str(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
     }
+
+    /// Rejects any flag not in `allowed` (typo defence: `--treads 4` must
+    /// be an error, not a silently ignored token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::UnknownFlag`] naming the
+    /// lexicographically first offender, for deterministic messages.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ParseArgsError> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.first() {
+            None => Ok(()),
+            Some(flag) => Err(ParseArgsError::UnknownFlag {
+                flag: (*flag).to_owned(),
+                command: self.command.clone(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +186,19 @@ mod tests {
                 flag: "scale".into(),
                 value: "banana".into()
             }
+        );
+    }
+
+    #[test]
+    fn check_known_accepts_allowed_and_names_the_first_offender() {
+        let a = parse(&["attack", "--dir", "d", "--zeta", "1", "--alpha", "2"]).expect("parses");
+        assert!(a.check_known(&["dir", "zeta", "alpha"]).is_ok());
+        assert_eq!(
+            a.check_known(&["dir"]),
+            Err(ParseArgsError::UnknownFlag {
+                flag: "alpha".into(),
+                command: "attack".into()
+            })
         );
     }
 

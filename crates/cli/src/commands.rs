@@ -1,13 +1,18 @@
 //! Subcommand implementations for the `splitmfg` binary.
 
 use std::fs;
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
 use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
 use sm_attack::Parallelism;
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
+use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
+use sm_serve::client::{bench, BenchConfig, ClientError};
+use sm_serve::server::{serve, ServeOptions};
 
 use crate::args::Args;
 
@@ -22,6 +27,10 @@ pub enum CliError {
     Parse(sm_layout::io::ParseChallengeError),
     /// Anything the attack layer reports.
     Attack(sm_attack::AttackError),
+    /// A model artifact failed to load, validate, or save.
+    Artifact(ArtifactError),
+    /// A `bench-serve` client failure.
+    Client(ClientError),
     /// User-level misuse (unknown command, missing target, ...).
     Usage(String),
 }
@@ -33,6 +42,8 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o: {e}"),
             CliError::Parse(e) => write!(f, "parse: {e}"),
             CliError::Attack(e) => write!(f, "attack: {e}"),
+            CliError::Artifact(e) => write!(f, "{e}"),
+            CliError::Client(e) => write!(f, "{e}"),
             CliError::Usage(m) => write!(f, "{m}"),
         }
     }
@@ -60,6 +71,16 @@ impl From<sm_attack::AttackError> for CliError {
         CliError::Attack(e)
     }
 }
+impl From<ArtifactError> for CliError {
+    fn from(e: ArtifactError) -> Self {
+        CliError::Artifact(e)
+    }
+}
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        CliError::Client(e)
+    }
+}
 
 /// Routes a parsed command line to its implementation.
 ///
@@ -68,10 +89,34 @@ impl From<sm_attack::AttackError> for CliError {
 /// Returns a [`CliError`] describing the failure; `main` prints it.
 pub fn dispatch(args: &Args) -> Result<(), CliError> {
     match args.command.as_str() {
-        "gen" => cmd_gen(args),
-        "info" => cmd_info(args),
-        "attack" => cmd_attack(args),
-        "pa" => cmd_pa(args),
+        "gen" => {
+            args.check_known(&["out", "scale", "split"])?;
+            cmd_gen(args)
+        }
+        "info" => {
+            args.check_known(&["dir"])?;
+            cmd_info(args)
+        }
+        "attack" => {
+            args.check_known(&["dir", "target", "config", "threshold", "threads", "model"])?;
+            cmd_attack(args)
+        }
+        "pa" => {
+            args.check_known(&["dir", "target", "config", "threads", "seed", "model"])?;
+            cmd_pa(args)
+        }
+        "train" => {
+            args.check_known(&["dir", "target", "config", "threads", "out"])?;
+            cmd_train(args)
+        }
+        "serve" => {
+            args.check_known(&["model", "addr", "threads", "batch-threads"])?;
+            cmd_serve(args)
+        }
+        "bench-serve" => {
+            args.check_known(&["addr", "connections", "requests", "batch", "json", "seed"])?;
+            cmd_bench_serve(args)
+        }
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -82,22 +127,32 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// Prints usage text.
+/// Prints usage text to stdout (`help` is an answer, not a diagnostic).
 pub fn print_help() {
-    eprintln!(
+    println!(
         "splitmfg — ML security analysis of split manufacturing\n\
          \n\
          commands:\n\
-         \x20 gen    --out DIR [--scale 0.2] [--split 8] [--seed N]   generate the 5-design suite\n\
-         \x20 info   --dir DIR                                        summarise challenge files\n\
-         \x20 attack --dir DIR --target NAME [--config imp-11]\n\
-         \x20        [--threshold 0.5] [--threads auto]               leave-one-out ML attack\n\
-         \x20 pa     --dir DIR --target NAME [--config imp-9y]\n\
-         \x20        [--threads auto]                                 validated proximity attack\n\
+         \x20 gen         --out DIR [--scale 0.2] [--split 8]         generate the 5-design suite\n\
+         \x20 info        --dir DIR                                   summarise challenge files\n\
+         \x20 attack      --dir DIR --target NAME [--config imp-11]\n\
+         \x20             [--model FILE] [--threshold 0.5]\n\
+         \x20             [--threads auto]                            leave-one-out ML attack\n\
+         \x20 pa          --dir DIR --target NAME [--config imp-9]\n\
+         \x20             [--model FILE] [--threads auto]             validated proximity attack\n\
+         \x20 train       --dir DIR --out FILE [--target NAME]\n\
+         \x20             [--config imp-11] [--threads auto]          fit once, write a model artifact\n\
+         \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
+         \x20             [--threads auto] [--batch-threads seq]      TCP inference server (NDJSON)\n\
+         \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
+         \x20             [--requests 50] [--batch 64] [--json FILE]  load-test a running server\n\
+         \x20 help                                                    this text\n\
          \n\
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
          --threads takes 'auto', 'sequential', or a worker count; results\n\
-         are identical for every setting (deterministic parallelism)"
+         are identical for every setting (deterministic parallelism).\n\
+         --model FILE loads a 'train' artifact instead of retraining; the\n\
+         artifact records its own configuration, so --config is rejected."
     );
 }
 
@@ -203,6 +258,30 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Loads a model artifact for `--model`, rejecting a simultaneous
+/// `--config` (the artifact records its own configuration).
+fn load_model_flag(args: &Args) -> Result<Option<TrainedAttack>, CliError> {
+    let Some(path) = args.get_str("model") else {
+        return Ok(None);
+    };
+    if args.get_str("config").is_some() {
+        return Err(CliError::Usage(
+            "--model and --config are mutually exclusive; the artifact records its \
+             configuration"
+                .into(),
+        ));
+    }
+    let artifact = ModelArtifact::load(Path::new(path))?;
+    let model = artifact.into_trained()?;
+    eprintln!(
+        "loaded {} from {path} ({} trees, {} training samples)",
+        model.config().name,
+        model.model().num_trees(),
+        model.num_training_samples()
+    );
+    Ok(Some(model))
+}
+
 fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let dir: String = args
         .get_str("dir")
@@ -210,14 +289,19 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         .into();
     let target: String = args.require("target")?;
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
-    let config =
-        parse_config(args.get_str("config").unwrap_or("imp-11"))?.with_parallelism(parallelism);
     let threshold: f64 = args.get_or("threshold", 0.5)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
-    eprintln!("training {} on {} designs ...", config.name, train.len());
-    let model = TrainedAttack::train(&config, &train, None)?;
+    let model = match load_model_flag(args)? {
+        Some(model) => model,
+        None => {
+            let config = parse_config(args.get_str("config").unwrap_or("imp-11"))?
+                .with_parallelism(parallelism);
+            eprintln!("training {} on {} designs ...", config.name, train.len());
+            TrainedAttack::train(&config, &train, None)?
+        }
+    };
     eprintln!(
         "scoring {} ({} v-pins, {} training samples, radius {:?}) ...",
         test.name,
@@ -265,12 +349,19 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         .into();
     let target: String = args.require("target")?;
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
-    let config =
-        parse_config(args.get_str("config").unwrap_or("imp-9"))?.with_parallelism(parallelism);
     let seed: u64 = args.get_or("seed", 17)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
+    // With --model, the PA-fraction validation reuses the artifact's
+    // recorded configuration; only the already-trained ensemble is reused.
+    let preloaded = load_model_flag(args)?;
+    let config = match &preloaded {
+        Some(model) => model.config().clone().with_parallelism(parallelism),
+        None => {
+            parse_config(args.get_str("config").unwrap_or("imp-9"))?.with_parallelism(parallelism)
+        }
+    };
     eprintln!("validating PA-LoC fractions on {} designs ...", train.len());
     let val = validate_pa_fraction(&config, &train, &DEFAULT_PA_FRACTIONS, seed)?;
     for (f, r) in &val.rates {
@@ -281,7 +372,10 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         );
     }
     println!("selected fraction: {:.3}%", val.best_fraction * 100.0);
-    let model = TrainedAttack::train(&config, &train, None)?;
+    let model = match preloaded {
+        Some(model) => model,
+        None => TrainedAttack::train(&config, &train, None)?,
+    };
     let scored = model.score(
         test,
         &ScoreOptions {
@@ -291,6 +385,109 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     );
     let outcome = proximity_attack(&scored, test, val.best_fraction, seed ^ 1);
     println!("proximity attack on {}: {}", test.name, outcome);
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), CliError> {
+    let dir: String = args
+        .get_str("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR required".into()))?
+        .into();
+    let out: String = args
+        .get_str("out")
+        .ok_or_else(|| CliError::Usage("--out FILE required".into()))?
+        .into();
+    let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
+    let config =
+        parse_config(args.get_str("config").unwrap_or("imp-11"))?.with_parallelism(parallelism);
+
+    let views = load_dir(&dir)?;
+    let (train, excluded) = match args.get_str("target") {
+        // Leave the named design out so the artifact is valid for a later
+        // `attack --model` run against it.
+        Some(target) => {
+            let (train, _) = split_target(&views, target)?;
+            (train, Some(target.to_owned()))
+        }
+        None => (views.iter().collect::<Vec<_>>(), None),
+    };
+    eprintln!("training {} on {} designs ...", config.name, train.len());
+    let model = TrainedAttack::train(&config, &train, None)?;
+    let meta = TrainMeta {
+        benchmarks: train.iter().map(|v| v.name.clone()).collect(),
+        split_layer: train[0].split.to_string(),
+        excluded_target: excluded,
+        created_unix_s: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+    };
+    let artifact = ModelArtifact::from_trained(&model, meta);
+    artifact.save(Path::new(&out))?;
+    println!(
+        "wrote {out}: {} ({} trees, {} training samples, {} bytes)",
+        model.config().name,
+        model.model().num_trees(),
+        model.num_training_samples(),
+        artifact.encode().len()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let model_path: String = args
+        .get_str("model")
+        .ok_or_else(|| CliError::Usage("--model FILE required".into()))?
+        .into();
+    let addr: String = args.get_str("addr").unwrap_or("127.0.0.1:7878").into();
+    let options = ServeOptions {
+        workers: args.get_or("threads", Parallelism::Auto)?,
+        batch: args.get_or("batch-threads", Parallelism::Sequential)?,
+    };
+    let model = ModelArtifact::load(Path::new(&model_path))?.into_trained()?;
+    let listener = TcpListener::bind(&addr)?;
+    // Scripts parse this line for the resolved (possibly ephemeral) port.
+    println!(
+        "serving {} on {} ({} workers)",
+        model.config().name,
+        listener.local_addr()?,
+        options.workers.worker_count(usize::MAX)
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let stats = serve(model, listener, &options)?;
+    println!(
+        "shutdown after {} requests ({} errors, {} pairs scored); \
+         latency p50 {} us, p95 {} us, p99 {} us",
+        stats.requests, stats.errors, stats.pairs_scored, stats.p50_us, stats.p95_us, stats.p99_us
+    );
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
+    let addr: String = args
+        .get_str("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT required".into()))?
+        .into();
+    let defaults = BenchConfig::default();
+    let config = BenchConfig {
+        connections: args.get_or("connections", defaults.connections)?,
+        requests_per_connection: args.get_or("requests", defaults.requests_per_connection)?,
+        batch_size: args.get_or("batch", defaults.batch_size)?,
+        seed: args.get_or("seed", defaults.seed)?,
+    };
+    if config.connections == 0 || config.requests_per_connection == 0 || config.batch_size == 0 {
+        return Err(CliError::Usage(
+            "--connections, --requests, and --batch must all be >= 1".into(),
+        ));
+    }
+    let report = bench(&addr, &config)?;
+    println!("{report}");
+    if let Some(path) = args.get_str("json") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::Usage(format!("report serialization failed: {e}")))?;
+        fs::write(path, json + "\n")?;
+        eprintln!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -391,6 +588,159 @@ mod tests {
     fn unknown_command_reports_usage() {
         let args = Args::parse(["frobnicate"].iter().map(|s| (*s).to_owned())).expect("parses");
         assert!(matches!(dispatch(&args), Err(CliError::Usage(_))));
+    }
+
+    fn dispatch_tokens(tokens: &[&str]) -> Result<(), CliError> {
+        dispatch(&Args::parse(tokens.iter().map(|s| (*s).to_owned())).expect("parses"))
+    }
+
+    #[test]
+    fn unknown_flags_are_typed_errors_not_ignored() {
+        // A typo'd flag must surface as ParseArgsError::UnknownFlag for
+        // every subcommand, not silently fall back to the default.
+        for tokens in [
+            &["attack", "--dir", "x", "--target", "sb1", "--treads", "4"][..],
+            &["gen", "--out", "x", "--scael", "0.1"][..],
+            &["info", "--dir", "x", "--verbose", "1"][..],
+            &["train", "--dir", "x", "--out", "y", "--model", "z"][..],
+            &["serve", "--model", "x", "--port", "80"][..],
+            &["bench-serve", "--addr", "x", "--conns", "2"][..],
+        ] {
+            let err = dispatch_tokens(tokens).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    CliError::Args(crate::args::ParseArgsError::UnknownFlag { .. })
+                ),
+                "{tokens:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_threads_is_a_typed_bad_value() {
+        let err = dispatch_tokens(&["train", "--dir", "x", "--out", "y", "--threads", "many"])
+            .expect_err("must reject");
+        assert!(
+            matches!(
+                err,
+                CliError::Args(crate::args::ParseArgsError::BadValue { ref flag, .. })
+                    if flag == "threads"
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_model_path_is_a_typed_artifact_io_error() {
+        let err = dispatch_tokens(&[
+            "attack",
+            "--dir",
+            "x",
+            "--target",
+            "sb1",
+            "--model",
+            "/nonexistent/model.smartifact",
+        ])
+        .expect_err("must reject");
+        // The missing challenge dir is checked first; point at a real dir.
+        let dir = std::env::temp_dir().join("splitmfg_cli_missing_model");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch_tokens(&[
+            "gen",
+            "--out",
+            dir.to_str().expect("utf8"),
+            "--scale",
+            "0.01",
+        ])
+        .expect("gen runs");
+        let err2 = dispatch_tokens(&[
+            "attack",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--target",
+            "sb1",
+            "--model",
+            "/nonexistent/model.smartifact",
+        ])
+        .expect_err("must reject");
+        assert!(
+            matches!(err2, CliError::Artifact(ArtifactError::Io(_))),
+            "{err2:?}"
+        );
+        // Without a directory the i/o error on --dir wins, also typed.
+        assert!(matches!(err, CliError::Io(_)), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_and_config_flags_are_mutually_exclusive() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_model_conflict");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch_tokens(&[
+            "gen",
+            "--out",
+            dir.to_str().expect("utf8"),
+            "--scale",
+            "0.01",
+        ])
+        .expect("gen runs");
+        let err = dispatch_tokens(&[
+            "attack",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--target",
+            "sb1",
+            "--model",
+            "whatever.model",
+            "--config",
+            "imp-9",
+        ])
+        .expect_err("must reject");
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_and_bench_serve_validate_required_flags() {
+        assert!(matches!(
+            dispatch_tokens(&["serve"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch_tokens(&["bench-serve"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch_tokens(&["bench-serve", "--addr", "x", "--connections", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch_tokens(&["train", "--dir", "x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn train_then_attack_with_model_skips_retraining() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_train_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().expect("utf8");
+        dispatch_tokens(&["gen", "--out", dir_s, "--scale", "0.01", "--split", "8"])
+            .expect("gen runs");
+        let model_path = dir.join("sb1.model");
+        let model_s = model_path.to_str().expect("utf8");
+        dispatch_tokens(&[
+            "train", "--dir", dir_s, "--target", "sb1", "--config", "imp-9", "--out", model_s,
+        ])
+        .expect("train runs");
+        dispatch_tokens(&[
+            "attack", "--dir", dir_s, "--target", "sb1", "--model", model_s,
+        ])
+        .expect("attack with artifact runs");
+        dispatch_tokens(&["pa", "--dir", dir_s, "--target", "sb1", "--model", model_s])
+            .expect("pa with artifact runs");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

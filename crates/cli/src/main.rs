@@ -2,17 +2,23 @@
 //! toolkit.
 //!
 //! ```text
-//! splitmfg gen    --out DIR [--scale 0.2] [--split 8]      generate challenges
-//! splitmfg info   --dir DIR                                summarise challenges
-//! splitmfg attack --dir DIR --target sb1 [--config imp-11] run the ML attack
-//! splitmfg pa     --dir DIR --target sb1 [--config imp-9y] proximity attack
-//! splitmfg help                                            this text
+//! splitmfg gen         --out DIR [--scale 0.2] [--split 8]      generate challenges
+//! splitmfg info        --dir DIR                                summarise challenges
+//! splitmfg attack      --dir DIR --target sb1 [--config imp-11] run the ML attack
+//! splitmfg pa          --dir DIR --target sb1 [--config imp-9y] proximity attack
+//! splitmfg train       --dir DIR --out FILE [--target sb1]      write a model artifact
+//! splitmfg serve       --model FILE [--addr 127.0.0.1:7878]     TCP inference server
+//! splitmfg bench-serve --addr HOST:PORT [--json FILE]           load-test a server
+//! splitmfg help                                                 this text
 //! ```
 //!
 //! Challenges are plain-text `.challenge`/`.truth` pairs (see
 //! `sm_layout::io`); the attack trains on every design in the directory
 //! except the target (leave-one-out) and scores against the target's truth
-//! file.
+//! file. `train` checkpoints that model into a versioned, checksummed
+//! artifact; `attack --model`/`pa --model` reuse it without retraining, and
+//! `serve` hosts it behind a newline-delimited-JSON TCP protocol (see
+//! `sm_serve`).
 
 mod args;
 mod commands;

@@ -142,12 +142,30 @@ impl AttackConfig {
 }
 
 /// A trained attack model, ready to score test views.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainedAttack {
     config: AttackConfig,
     model: Bagging,
     radius: Option<i64>,
     num_training_samples: usize,
+}
+
+/// The serializable components of a [`TrainedAttack`].
+///
+/// A trained model is exactly these four parts; [`TrainedAttack::into_parts`]
+/// / [`TrainedAttack::from_parts`] convert losslessly in both directions, so
+/// an artifact store can checkpoint a model and later reconstruct one that
+/// scores bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedParts {
+    /// The configuration the model was trained with.
+    pub config: AttackConfig,
+    /// The fitted Bagging ensemble.
+    pub model: Bagging,
+    /// The resolved neighborhood radius (None for `ML` configurations).
+    pub radius: Option<i64>,
+    /// Number of training samples the model saw.
+    pub num_training_samples: usize,
 }
 
 impl TrainedAttack {
@@ -209,20 +227,32 @@ impl TrainedAttack {
         })
     }
 
-    /// Assembles a model from pre-trained parts (two-level pruning builds
-    /// its Level-2 model from a custom sample set).
-    pub(crate) fn from_parts(
-        config: AttackConfig,
-        model: Bagging,
-        radius: Option<i64>,
-        num_training_samples: usize,
-    ) -> Self {
+    /// Assembles a model from pre-trained parts: the inverse of
+    /// [`TrainedAttack::into_parts`]. Used by the artifact store to
+    /// reconstruct checkpointed models and by two-level pruning, which
+    /// builds its Level-2 model from a custom sample set.
+    pub fn from_parts(parts: TrainedParts) -> Self {
         Self {
-            config,
-            model,
-            radius,
-            num_training_samples,
+            config: parts.config,
+            model: parts.model,
+            radius: parts.radius,
+            num_training_samples: parts.num_training_samples,
         }
+    }
+
+    /// Decomposes the model into its serializable [`TrainedParts`].
+    pub fn into_parts(self) -> TrainedParts {
+        TrainedParts {
+            config: self.config,
+            model: self.model,
+            radius: self.radius,
+            num_training_samples: self.num_training_samples,
+        }
+    }
+
+    /// The serializable parts of this model, cloned.
+    pub fn to_parts(&self) -> TrainedParts {
+        self.clone().into_parts()
     }
 
     /// The configuration this model was trained with.

@@ -54,7 +54,9 @@ pub mod samples;
 pub mod two_level;
 pub mod xval;
 
-pub use attack::{AttackConfig, BaseClassifier, ScoreOptions, ScoredView, TrainedAttack};
+pub use attack::{
+    AttackConfig, BaseClassifier, ScoreOptions, ScoredView, TrainedAttack, TrainedParts,
+};
 pub use error::AttackError;
 pub use features::{FeatureSet, PairFeature, ALL_FEATURES};
 pub use loc::{CurvePoint, LocCurve};

@@ -123,8 +123,12 @@ pub fn two_level_attack(
     };
     let mut l2_config = config.clone();
     l2_config.name = format!("{}-L2", config.name);
-    let level2_attack =
-        TrainedAttack::from_parts(l2_config, l2_model, level1.radius(), l2_data.len());
+    let level2_attack = TrainedAttack::from_parts(crate::attack::TrainedParts {
+        config: l2_config,
+        model: l2_model,
+        radius: level1.radius(),
+        num_training_samples: l2_data.len(),
+    });
 
     // --- Attack the target: Level 1, then Level 2 inside its LoC ---------
     let scored1 = level1.score(test_view, score_options);

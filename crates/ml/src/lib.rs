@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod tree;
 
-pub use bagging::Bagging;
+pub use bagging::{Bagging, DEFAULT_BAGGING_TREES};
 pub use bayes::GaussianNaiveBayes;
 pub use data::Dataset;
 pub use error::TrainError;
@@ -46,5 +46,5 @@ pub use forest::RandomForest;
 pub use knn::KNearest;
 pub use learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
 pub use linear::{LogisticParams, LogisticRegression};
-pub use parallel::Parallelism;
+pub use parallel::{par_chunks, par_map, Parallelism, MAX_THREADS};
 pub use tree::{Tree, TreeParams};

@@ -1,0 +1,296 @@
+//! Blocking protocol client and the `bench-serve` load driver.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{Request, Response};
+
+/// Client-side failure talking to a `splitmfg serve` instance.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, premature close).
+    Io(std::io::Error),
+    /// The server's reply line was not a valid protocol response.
+    Protocol(String),
+    /// The server answered with [`Response::Error`].
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A persistent connection to a serve instance: one request line out, one
+/// response line back, any number of times.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] if the connection cannot be opened.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure or server close,
+    /// [`ClientError::Protocol`] if the reply is not a response line. A
+    /// [`Response::Error`] reply is returned as a normal `Ok` response so
+    /// callers can distinguish per-request failures from dead connections;
+    /// use [`Client::call_ok`] to promote it to [`ClientError::Remote`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+
+    /// [`Client::call`], but a [`Response::Error`] reply becomes
+    /// [`ClientError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Remote`].
+    pub fn call_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Exact percentile over an already-sorted latency sample (nearest-rank on
+/// the `(n - 1)`-scaled index; 0 for an empty sample).
+pub fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Load-test shape for [`bench`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// `ScorePairs` requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Feature vectors per request (the per-request batch size).
+    pub batch_size: usize,
+    /// Seed for the synthetic feature vectors.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests_per_connection: 50,
+            batch_size: 64,
+            seed: 0xbe7c,
+        }
+    }
+}
+
+/// Throughput / latency report of one [`bench`] run, JSON-serializable for
+/// perf trajectory files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Connections driven concurrently.
+    pub connections: usize,
+    /// Total requests completed across all connections.
+    pub total_requests: u64,
+    /// Total candidate pairs scored (requests × batch size).
+    pub total_pairs: u64,
+    /// Requests that failed (remote error or transport failure).
+    pub errors: u64,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second.
+    pub requests_per_s: f64,
+    /// Scored pairs per second.
+    pub pairs_per_s: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} connections, {} requests ({} pairs), {} errors in {:.3} s",
+            self.connections, self.total_requests, self.total_pairs, self.errors, self.wall_s
+        )?;
+        writeln!(
+            f,
+            "throughput : {:.0} req/s, {:.0} pairs/s",
+            self.requests_per_s, self.pairs_per_s
+        )?;
+        write!(
+            f,
+            "latency    : p50 {} us, p95 {} us, p99 {} us, max {} us",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+/// Drives `connections` concurrent clients against a running server, each
+/// issuing `requests_per_connection` `ScorePairs` batches of deterministic
+/// synthetic feature vectors, and reports throughput and latency
+/// percentiles.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] if the initial `Health` probe fails (no server
+/// or wrong protocol); per-request failures during the run are counted in
+/// the report instead.
+pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientError> {
+    // One up-front probe learns the model's feature count and fails fast.
+    let features = match Client::connect(addr)?.call_ok(&Request::Health)? {
+        Response::Health { features, .. } => features,
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "health probe answered with unexpected response {other:?}"
+            )))
+        }
+    };
+    let start = Instant::now();
+    let per_conn: Vec<(Vec<u64>, u64)> = sm_ml::par_map(
+        sm_ml::Parallelism::Threads(config.connections.max(1)),
+        config.connections,
+        |conn| {
+            let mut latencies = Vec::with_capacity(config.requests_per_connection);
+            let mut errors = 0u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ ((conn as u64) << 17));
+            let Ok(mut client) = Client::connect(addr) else {
+                return (latencies, config.requests_per_connection as u64);
+            };
+            for _ in 0..config.requests_per_connection {
+                let batch: Vec<Vec<f64>> = (0..config.batch_size)
+                    .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
+                    .collect();
+                let t = Instant::now();
+                match client.call(&Request::ScorePairs { features: batch }) {
+                    Ok(Response::Scores { .. }) => {
+                        latencies.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+            (latencies, errors)
+        },
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for (lat, err) in per_conn {
+        latencies.extend(lat);
+        errors += err;
+    }
+    latencies.sort_unstable();
+    let total_requests = latencies.len() as u64;
+    let total_pairs = total_requests * config.batch_size as u64;
+    Ok(BenchReport {
+        connections: config.connections,
+        total_requests,
+        total_pairs,
+        errors,
+        wall_s,
+        requests_per_s: total_requests as f64 / wall_s.max(1e-9),
+        pairs_per_s: total_pairs as f64 / wall_s.max(1e-9),
+        p50_us: percentile_us(&latencies, 50.0),
+        p95_us: percentile_us(&latencies, 95.0),
+        p99_us: percentile_us(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&lat, 0.0), 1);
+        assert_eq!(percentile_us(&lat, 50.0), 51); // round(0.5 * 99) = 50
+        assert_eq!(percentile_us(&lat, 100.0), 100);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn bench_report_renders_every_number() {
+        let report = BenchReport {
+            connections: 2,
+            total_requests: 10,
+            total_pairs: 640,
+            errors: 1,
+            wall_s: 0.5,
+            requests_per_s: 20.0,
+            pairs_per_s: 1280.0,
+            p50_us: 10,
+            p95_us: 20,
+            p99_us: 30,
+            max_us: 40,
+        };
+        let text = report.to_string();
+        for needle in ["2 connections", "1 errors", "p95 20 us", "1280 pairs/s"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+        let back: BenchReport =
+            serde_json::from_str(&serde_json::to_string(&report).expect("ser")).expect("de");
+        assert_eq!(report, back);
+    }
+}

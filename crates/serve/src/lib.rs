@@ -1,0 +1,51 @@
+//! # sm-serve — model artifact store and attack inference service
+//!
+//! The paper's threat model (and its deep-learning scale-up successors)
+//! assumes an attacker who trains *once* and then scores millions of v-pin
+//! pairs cheaply. This crate turns the reproduction into exactly that
+//! system:
+//!
+//! - [`artifact`] — a versioned, checksummed on-disk format for trained
+//!   [`sm_attack::TrainedAttack`] models (`splitmfg train` writes one,
+//!   every other entry point loads it back with typed validation errors).
+//! - [`protocol`] — the newline-delimited JSON request/response types the
+//!   server speaks (`score_pairs`, `attack`, `health`, `stats`,
+//!   `shutdown`).
+//! - [`server`] — a `std::net` TCP accept loop with a bounded worker pool
+//!   (sized by [`sm_ml::Parallelism`]), per-request batching, graceful
+//!   shutdown, and running request/latency/error counters.
+//! - [`client`] — a blocking protocol client plus the `bench-serve` load
+//!   driver reporting throughput and p50/p95/p99 latency.
+//!
+//! Everything is offline-buildable: no async runtime, only `std::net`,
+//! `std::sync` and the workspace's vendored crates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+//! use sm_layout::{SplitLayer, Suite};
+//! use sm_serve::artifact::{ModelArtifact, TrainMeta};
+//!
+//! // Train once ...
+//! let views = Suite::ispd2011_like(0.02)?.split_all(SplitLayer::new(8)?);
+//! let train: Vec<_> = views[1..].iter().collect();
+//! let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None)?;
+//!
+//! // ... checkpoint, reload, and the restored model scores bit-identically.
+//! let artifact = ModelArtifact::from_trained(&model, TrainMeta::default());
+//! let restored = ModelArtifact::decode(&artifact.encode())?.into_trained()?;
+//! let opts = ScoreOptions::default();
+//! assert_eq!(model.score(&views[0], &opts), restored.score(&views[0], &opts));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod artifact;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{ArtifactError, ModelArtifact, TrainMeta, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+pub use client::{percentile_us, BenchConfig, BenchReport, Client, ClientError};
+pub use protocol::{AttackSummary, Request, Response, StatsSnapshot};
+pub use server::{ServeOptions, ServerHandle};

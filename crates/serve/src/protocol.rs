@@ -1,0 +1,206 @@
+//! The newline-delimited JSON protocol spoken by `splitmfg serve`.
+//!
+//! Each request is one JSON document on one line; the server answers with
+//! exactly one JSON response line. Requests and responses use serde's
+//! externally-tagged enum encoding: a unit variant is its name in quotes
+//! (`"Health"`), a data variant wraps its payload
+//! (`{"ScorePairs":{"features":[[...]]}}`). A connection may issue any
+//! number of requests; `"Shutdown"` asks the whole server to stop
+//! gracefully after draining queued connections.
+
+use serde::{Deserialize, Serialize};
+use sm_attack::ScoredView;
+
+/// A client request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness/identity probe; always answered.
+    Health,
+    /// Snapshot of the server's running counters.
+    Stats,
+    /// Score a batch of pre-computed feature vectors (one per candidate
+    /// v-pin pair, in the model's feature order).
+    ScorePairs {
+        /// `features[k]` is pair `k`'s feature vector; every row must have
+        /// exactly the model's feature count.
+        features: Vec<Vec<f64>>,
+    },
+    /// Run the full attack on a challenge: parse, score every candidate
+    /// pair, and report LoC/accuracy numbers.
+    Attack {
+        /// `.challenge` file contents (the attacker-visible FEOL view).
+        challenge: String,
+        /// `.truth` file contents (for scoring the attack's accuracy).
+        truth: String,
+        /// Probability threshold for the summary's accuracy/LoC numbers.
+        threshold: f64,
+        /// When true, the response carries the complete [`ScoredView`]
+        /// (bit-exact, for verification); when false, only the summary.
+        detail: bool,
+    },
+    /// Gracefully stop the server.
+    Shutdown,
+}
+
+/// Accuracy/LoC summary of one remote attack run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSummary {
+    /// Design name from the challenge.
+    pub design: String,
+    /// Number of v-pins in the challenge.
+    pub num_vpins: usize,
+    /// Candidate pairs evaluated.
+    pub pairs_scored: u64,
+    /// Threshold the summary numbers were computed at.
+    pub threshold: f64,
+    /// Fraction of v-pins whose true match clears the threshold.
+    pub accuracy: f64,
+    /// Mean list-of-candidates size at the threshold.
+    pub mean_loc: f64,
+    /// Accuracy ceiling over all thresholds.
+    pub max_accuracy: f64,
+}
+
+/// Running server counters, as returned by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// Total candidate pairs scored across `ScorePairs` and `Attack`.
+    pub pairs_scored: u64,
+    /// Median request latency in microseconds (0 until data exists).
+    pub p50_us: u64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Worst observed request latency in microseconds.
+    pub max_us: u64,
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Configuration name of the served model (e.g. `Imp-11`).
+        model: String,
+        /// Model input feature count — `ScorePairs` rows must match.
+        features: usize,
+        /// Ensemble size of the served model.
+        trees: usize,
+        /// Artifact format version the server was built against.
+        artifact_version: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The counters at the time the request was handled.
+        stats: StatsSnapshot,
+    },
+    /// Answer to [`Request::ScorePairs`].
+    Scores {
+        /// `probs[k]` is the ensemble probability for input row `k`,
+        /// bit-identical to an in-process `Bagging::proba` call.
+        probs: Vec<f64>,
+    },
+    /// Answer to [`Request::Attack`].
+    AttackResult {
+        /// Accuracy/LoC summary at the requested threshold.
+        summary: AttackSummary,
+        /// Complete scoring result when `detail` was requested.
+        scored: Option<ScoredView>,
+    },
+    /// Answer to [`Request::Shutdown`]; the server stops accepting new
+    /// connections after sending this.
+    ShuttingDown,
+    /// The request could not be served (parse failure, bad batch shape,
+    /// malformed challenge, ...). The connection stays usable.
+    Error {
+        /// Human-readable description of what was wrong.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_and_are_single_line() {
+        let reqs = vec![
+            Request::Health,
+            Request::Stats,
+            Request::ScorePairs {
+                features: vec![vec![1.0, 2.5], vec![0.0, -3.0]],
+            },
+            Request::Attack {
+                challenge: "design sb1\n".into(),
+                truth: "0 1\n".into(),
+                threshold: 0.5,
+                detail: true,
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).expect("serializes");
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            let back: Request = serde_json::from_str(&line).expect("parses");
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Health {
+                model: "Imp-11".into(),
+                features: 11,
+                trees: 10,
+                artifact_version: 1,
+            },
+            Response::Stats {
+                stats: StatsSnapshot {
+                    requests: 5,
+                    errors: 1,
+                    pairs_scored: 1234,
+                    p50_us: 40,
+                    p95_us: 90,
+                    p99_us: 99,
+                    max_us: 120,
+                },
+            },
+            Response::Scores {
+                probs: vec![0.25, 1.0 / 3.0],
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "bad batch".into(),
+            },
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).expect("serializes");
+            assert!(!line.contains('\n'));
+            let back: Response = serde_json::from_str(&line).expect("parses");
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn probabilities_survive_json_bit_for_bit() {
+        // The transport must not perturb scores: shortest-roundtrip floats.
+        let probs: Vec<f64> = (0..64).map(|k| (k as f64 / 63.0).sqrt()).collect();
+        let line = serde_json::to_string(&Response::Scores {
+            probs: probs.clone(),
+        })
+        .expect("serializes");
+        let Response::Scores { probs: back } = serde_json::from_str(&line).expect("parses") else {
+            panic!("wrong variant");
+        };
+        assert_eq!(probs.len(), back.len());
+        for (a, b) in probs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

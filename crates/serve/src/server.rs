@@ -1,0 +1,350 @@
+//! The TCP inference server: a `std::net` accept loop feeding a bounded
+//! worker pool.
+//!
+//! Connections are handed to `workers` threads over a bounded channel
+//! (backpressure: the accept loop blocks when every worker is busy and the
+//! queue is full). Each worker speaks the newline-delimited JSON protocol
+//! of [`crate::protocol`] for the life of its connection. A `Shutdown`
+//! request flips a flag and wakes the accept loop; already-queued
+//! connections drain before [`serve`] returns the final counter snapshot.
+//!
+//! Scoring is bit-identical to in-process use: the server calls the same
+//! [`TrainedAttack`] entry points, and the JSON transport round-trips
+//! `f64` exactly.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use sm_attack::attack::ScoreOptions;
+use sm_attack::TrainedAttack;
+use sm_layout::io::read_challenge;
+use sm_ml::{par_chunks, Parallelism};
+
+use crate::artifact::ARTIFACT_VERSION;
+use crate::client::percentile_us;
+use crate::protocol::{AttackSummary, Request, Response, StatsSnapshot};
+
+/// Cap on retained per-request latency samples (oldest kept; recording
+/// stops at the cap so a long-lived server's memory stays bounded).
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Size of the connection worker pool (via
+    /// [`Parallelism::worker_count`]).
+    pub workers: Parallelism,
+    /// Parallelism applied *within* one `ScorePairs`/`Attack` request
+    /// batch. Sequential by default — the pool already provides
+    /// cross-request parallelism; results are identical either way.
+    pub batch: Parallelism,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: Parallelism::Auto,
+            batch: Parallelism::Sequential,
+        }
+    }
+}
+
+struct ServerState {
+    model: TrainedAttack,
+    options: ServeOptions,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    pairs_scored: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServerState {
+    fn record_latency(&self, us: u64) {
+        let mut lat = self.latencies_us.lock().expect("latency lock");
+        if lat.len() < MAX_LATENCY_SAMPLES {
+            lat.push(us);
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut lat = self.latencies_us.lock().expect("latency lock").clone();
+        lat.sort_unstable();
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
+            p50_us: percentile_us(&lat, 50.0),
+            p95_us: percentile_us(&lat, 95.0),
+            p99_us: percentile_us(&lat, 99.0),
+            max_us: lat.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Runs the server on `listener` until a `Shutdown` request arrives,
+/// then drains queued connections and returns the final counters.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] only for listener-level failures;
+/// per-connection i/o errors just end that connection.
+pub fn serve(
+    model: TrainedAttack,
+    listener: TcpListener,
+    options: &ServeOptions,
+) -> std::io::Result<StatsSnapshot> {
+    let addr = listener.local_addr()?;
+    let state = ServerState {
+        model,
+        options: *options,
+        addr,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        pairs_scored: AtomicU64::new(0),
+        latencies_us: Mutex::new(Vec::new()),
+    };
+    let workers = options.workers.worker_count(usize::MAX);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(2 * workers);
+    let rx = Mutex::new(rx);
+    let state_ref = &state;
+    let rx_ref = &rx;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move |_| loop {
+                let next = { rx_ref.lock().expect("connection queue lock").recv() };
+                match next {
+                    Ok(stream) => handle_connection(stream, state_ref),
+                    Err(_) => break,
+                }
+            });
+        }
+        for incoming in listener.incoming() {
+            if state_ref.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = incoming else { continue };
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+    })
+    .expect("server worker panicked");
+    Ok(state.snapshot())
+}
+
+/// A server running on a background thread — the test/CLI-friendly way to
+/// host a model.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<StatsSnapshot>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr_spec` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `model` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if the address cannot be bound.
+    pub fn bind(
+        model: TrainedAttack,
+        addr_spec: &str,
+        options: ServeOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr_spec)?;
+        let addr = listener.local_addr()?;
+        let thread = std::thread::spawn(move || serve(model, listener, &options));
+        Ok(Self { addr, thread })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down and returns its final counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's listener-level [`std::io::Error`], if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn join(self) -> std::io::Result<StatsSnapshot> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        let (response, is_shutdown) = respond(state, &line);
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(response, Response::Error { .. }) {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let text = serde_json::to_string(&response).expect("responses always serialize");
+        if writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.record_latency(us);
+        if is_shutdown {
+            initiate_shutdown(state);
+            break;
+        }
+    }
+}
+
+/// Flags shutdown and wakes the (possibly blocked) accept loop with a
+/// throwaway local connection.
+fn initiate_shutdown(state: &ServerState) {
+    state.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn respond(state: &ServerState, line: &str) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Health => (
+            Response::Health {
+                model: state.model.config().name.clone(),
+                features: state.model.config().features.len(),
+                trees: state.model.model().num_trees(),
+                artifact_version: ARTIFACT_VERSION,
+            },
+            false,
+        ),
+        Request::Stats => (
+            Response::Stats {
+                stats: state.snapshot(),
+            },
+            false,
+        ),
+        Request::ScorePairs { features } => (score_pairs(state, &features), false),
+        Request::Attack {
+            challenge,
+            truth,
+            threshold,
+            detail,
+        } => (
+            run_attack(state, &challenge, &truth, threshold, detail),
+            false,
+        ),
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+fn score_pairs(state: &ServerState, features: &[Vec<f64>]) -> Response {
+    let expected = state.model.config().features.len();
+    if let Some(bad) = features.iter().position(|row| row.len() != expected) {
+        return Response::Error {
+            message: format!(
+                "feature row {bad} has {} values, model expects {expected}",
+                features[bad].len()
+            ),
+        };
+    }
+    let parts = par_chunks(state.options.batch, features.len(), |range| {
+        range
+            .map(|k| state.model.model().proba(&features[k]))
+            .collect::<Vec<f64>>()
+    });
+    let probs: Vec<f64> = parts.into_iter().flatten().collect();
+    state
+        .pairs_scored
+        .fetch_add(probs.len() as u64, Ordering::Relaxed);
+    Response::Scores { probs }
+}
+
+fn run_attack(
+    state: &ServerState,
+    challenge: &str,
+    truth: &str,
+    threshold: f64,
+    detail: bool,
+) -> Response {
+    let view = match read_challenge(challenge, truth) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::Error {
+                message: format!("bad challenge: {e}"),
+            }
+        }
+    };
+    let scored = state.model.score(
+        &view,
+        &ScoreOptions {
+            parallelism: state.options.batch,
+            ..ScoreOptions::default()
+        },
+    );
+    state
+        .pairs_scored
+        .fetch_add(scored.pairs_scored, Ordering::Relaxed);
+    let summary = AttackSummary {
+        design: view.name.clone(),
+        num_vpins: view.num_vpins(),
+        pairs_scored: scored.pairs_scored,
+        threshold,
+        accuracy: scored.accuracy_at(threshold),
+        mean_loc: scored.mean_loc_at(threshold),
+        max_accuracy: scored.max_accuracy(),
+    };
+    Response::AttackResult {
+        summary,
+        scored: detail.then_some(scored),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_pool_with_sequential_batches() {
+        let opts = ServeOptions::default();
+        assert_eq!(opts.batch, Parallelism::Sequential);
+        assert!(opts.workers.worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn snapshot_of_empty_state_is_all_zero() {
+        let lat: Vec<u64> = Vec::new();
+        assert_eq!(percentile_us(&lat, 50.0), 0);
+        assert_eq!(percentile_us(&lat, 99.0), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Serialization round-trip determinism: a model loaded from an artifact
+//! must reproduce the freshly-trained model's scoring — the whole LoC
+//! histogram, every slot, every probability — bit for bit. This extends
+//! the workspace's parallel-determinism guarantee across a save/load
+//! cycle (and therefore across processes).
+
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::Parallelism;
+use sm_layout::{SplitLayer, Suite};
+use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
+
+fn leave_one_out(
+    scale: f64,
+    split: u8,
+    config: &AttackConfig,
+) -> (TrainedAttack, sm_layout::SplitView) {
+    let views = Suite::ispd2011_like(scale)
+        .expect("valid scale")
+        .split_all(SplitLayer::new(split).expect("valid layer"));
+    let train: Vec<_> = views[1..].iter().collect();
+    let model = TrainedAttack::train(config, &train, None).expect("trains");
+    (model, views.into_iter().next().expect("five views"))
+}
+
+#[test]
+fn loaded_model_reproduces_the_loc_histogram_bit_for_bit() {
+    for (config, split) in [
+        (AttackConfig::imp9(), 8),
+        (AttackConfig::imp11().with_y_limit(), 8),
+        (AttackConfig::imp7(), 6),
+    ] {
+        let (fresh, test_view) = leave_one_out(0.01, split, &config);
+
+        let dir = std::env::temp_dir().join(format!("smserve_roundtrip_{}", config.name));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.artifact");
+        ModelArtifact::from_trained(&fresh, TrainMeta::default())
+            .save(&path)
+            .expect("saves");
+        let loaded = ModelArtifact::load(&path)
+            .expect("loads")
+            .into_trained()
+            .expect("coherent");
+        assert_eq!(
+            fresh, loaded,
+            "{}: model must survive the disk",
+            config.name
+        );
+
+        // Scoring through the reloaded model — with a different parallelism
+        // setting for good measure — must be indistinguishable.
+        let fresh_scored = test_view.clone();
+        let a = fresh.score(
+            &fresh_scored,
+            &ScoreOptions {
+                parallelism: Parallelism::Sequential,
+                ..ScoreOptions::default()
+            },
+        );
+        let b = loaded.score(
+            &test_view,
+            &ScoreOptions {
+                parallelism: Parallelism::Threads(3),
+                ..ScoreOptions::default()
+            },
+        );
+        assert_eq!(
+            a.hist, b.hist,
+            "{}: LoC histogram must be bit-identical after reload",
+            config.name
+        );
+        assert_eq!(a, b, "{}: full scored view must be identical", config.name);
+        assert_eq!(
+            a.mean_loc_at(0.5).to_bits(),
+            b.mean_loc_at(0.5).to_bits(),
+            "{}: derived LoC stats must match to the last bit",
+            config.name
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn artifact_errors_are_typed_not_panics() {
+    let (model, _) = leave_one_out(0.01, 8, &AttackConfig::imp9());
+    let art = ModelArtifact::from_trained(&model, TrainMeta::default());
+    let text = art.encode();
+
+    // Flip one payload byte (still valid UTF-8): checksum must catch it.
+    let mut corrupted = text.clone().into_bytes();
+    let payload_start = text.find('\n').expect("two lines") + 1;
+    let idx = payload_start + 100;
+    corrupted[idx] = if corrupted[idx] == b'5' { b'6' } else { b'5' };
+    let corrupted = String::from_utf8(corrupted).expect("ascii flip keeps utf8");
+    if corrupted != text {
+        assert!(matches!(
+            ModelArtifact::decode(&corrupted),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+    }
+
+    // A future-versioned artifact must be refused, not misread.
+    let future = text.replacen("\"version\":1", "\"version\":2", 1);
+    assert!(matches!(
+        ModelArtifact::decode(&future),
+        Err(ArtifactError::UnsupportedVersion {
+            found: 2,
+            supported: 1
+        })
+    ));
+
+    // Loading a nonexistent path is a typed Io error.
+    assert!(matches!(
+        ModelArtifact::load(std::path::Path::new("/nonexistent/m.artifact")),
+        Err(ArtifactError::Io(_))
+    ));
+}

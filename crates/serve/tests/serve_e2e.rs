@@ -1,0 +1,234 @@
+//! End-to-end acceptance test for the inference service: train a model,
+//! checkpoint it through the artifact store, host it with `serve` on an
+//! ephemeral port, and prove that scores coming back over TCP are
+//! bit-identical to calling the in-process [`TrainedAttack`].
+
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::Parallelism;
+use sm_layout::io::{write_challenge, write_truth};
+use sm_layout::{SplitLayer, SplitView, Suite};
+use sm_serve::artifact::{ModelArtifact, TrainMeta};
+use sm_serve::client::{bench, BenchConfig, Client, ClientError};
+use sm_serve::protocol::{Request, Response};
+use sm_serve::server::{ServeOptions, ServerHandle};
+use sm_serve::ARTIFACT_VERSION;
+
+fn trained_and_test_view() -> (TrainedAttack, SplitView) {
+    let views = Suite::ispd2011_like(0.01)
+        .expect("valid scale")
+        .split_all(SplitLayer::new(8).expect("valid layer"));
+    let train: Vec<_> = views[1..].iter().collect();
+    let config = AttackConfig::imp9();
+    let model = TrainedAttack::train(&config, &train, None).expect("trains");
+    (model, views.into_iter().next().expect("five views"))
+}
+
+/// A pool wide enough for every connection these tests hold open at once.
+/// (`Auto` sizes by CPU count; on a 1-core host that is a single worker,
+/// and a test keeping its own connection open while `bench` opens more
+/// would wait forever for a free worker.)
+fn test_options() -> ServeOptions {
+    ServeOptions {
+        workers: Parallelism::Threads(4),
+        batch: Parallelism::Sequential,
+    }
+}
+
+#[test]
+fn full_train_store_serve_score_lifecycle() {
+    let (fresh, view) = trained_and_test_view();
+
+    // Checkpoint through the artifact store exactly as `splitmfg train` +
+    // `splitmfg serve --model` would.
+    let encoded = ModelArtifact::from_trained(&fresh, TrainMeta::default()).encode();
+    let served_model = ModelArtifact::decode(&encoded)
+        .expect("decodes")
+        .into_trained()
+        .expect("coherent");
+
+    let handle = ServerHandle::bind(served_model, "127.0.0.1:0", test_options())
+        .expect("binds an ephemeral port");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connects");
+
+    // Health advertises the hosted model.
+    match client.call_ok(&Request::Health).expect("health") {
+        Response::Health {
+            model,
+            features,
+            trees,
+            artifact_version,
+        } => {
+            assert_eq!(model, fresh.config().name);
+            assert_eq!(features, fresh.config().features.len());
+            assert_eq!(trees, fresh.model().num_trees());
+            assert_eq!(artifact_version, ARTIFACT_VERSION);
+        }
+        other => panic!("unexpected health reply: {other:?}"),
+    }
+
+    // Remote pair scores must be bit-identical to the in-process model.
+    let vpins = view.vpins();
+    let cap = vpins.len().min(12);
+    let pairs: Vec<(usize, usize)> = (0..cap)
+        .flat_map(|i| ((i + 1)..cap).map(move |j| (i, j)))
+        .collect();
+    assert!(
+        !pairs.is_empty(),
+        "view with <2 v-pins cannot exercise scoring"
+    );
+    let features: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(i, j)| fresh.config().features.compute(&vpins[i], &vpins[j]))
+        .collect();
+    let local: Vec<f64> = features.iter().map(|x| fresh.model().proba(x)).collect();
+    let remote = match client
+        .call_ok(&Request::ScorePairs {
+            features: features.clone(),
+        })
+        .expect("score_pairs")
+    {
+        Response::Scores { probs } => probs,
+        other => panic!("unexpected scores reply: {other:?}"),
+    };
+    assert_eq!(local.len(), remote.len());
+    for (k, (l, r)) in local.iter().zip(&remote).enumerate() {
+        assert_eq!(
+            l.to_bits(),
+            r.to_bits(),
+            "pair {k}: remote score must be bit-identical"
+        );
+    }
+
+    // A whole-challenge attack round-trips the full ScoredView — LoC
+    // histogram included — identical to scoring in-process.
+    let local_scored = fresh.score(&view, &ScoreOptions::default());
+    match client
+        .call_ok(&Request::Attack {
+            challenge: write_challenge(&view),
+            truth: write_truth(&view),
+            threshold: 0.5,
+            detail: true,
+        })
+        .expect("attack")
+    {
+        Response::AttackResult { summary, scored } => {
+            assert_eq!(summary.design, view.name);
+            assert_eq!(summary.num_vpins, view.num_vpins());
+            assert_eq!(summary.pairs_scored, local_scored.pairs_scored);
+            assert_eq!(
+                summary.accuracy.to_bits(),
+                local_scored.accuracy_at(0.5).to_bits()
+            );
+            let scored = scored.expect("detail=true returns the scored view");
+            assert_eq!(scored.hist, local_scored.hist, "LoC histogram over TCP");
+            assert_eq!(scored, local_scored, "full scored view over TCP");
+        }
+        other => panic!("unexpected attack reply: {other:?}"),
+    }
+
+    // Malformed requests produce Error replies and leave the connection
+    // usable — both garbage JSON and a bad feature-row width.
+    match client.call(&Request::ScorePairs {
+        features: vec![vec![1.0, 2.0]],
+    }) {
+        Ok(Response::Error { message }) => {
+            assert!(message.contains("model expects"), "{message}");
+        }
+        other => panic!("short row should be a protocol-level error: {other:?}"),
+    }
+    match client.call_ok(&Request::ScorePairs {
+        features: vec![vec![0.0; fresh.config().features.len()]],
+    }) {
+        Ok(Response::Scores { probs }) => assert_eq!(probs.len(), 1),
+        other => panic!("connection should survive an error reply: {other:?}"),
+    }
+
+    // Counters reflect what we did.
+    match client.call_ok(&Request::Stats).expect("stats") {
+        Response::Stats { stats } => {
+            assert!(stats.requests >= 5, "{stats:?}");
+            assert_eq!(stats.errors, 1, "{stats:?}");
+            assert!(
+                stats.pairs_scored >= (pairs.len() + local_scored.pairs_scored as usize) as u64,
+                "{stats:?}"
+            );
+            assert!(stats.max_us >= stats.p50_us, "{stats:?}");
+        }
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+
+    // The bench client runs against the same server.
+    let report = bench(
+        &addr.to_string(),
+        &BenchConfig {
+            connections: 2,
+            requests_per_connection: 3,
+            batch_size: 8,
+            seed: 7,
+        },
+    )
+    .expect("bench run");
+    assert_eq!(report.total_requests, 6);
+    assert_eq!(report.total_pairs, 48);
+    assert_eq!(report.errors, 0);
+    assert!(report.p50_us <= report.p99_us);
+
+    // Graceful shutdown: the request is acknowledged, the accept loop
+    // stops, and join() hands back the final counters.
+    match client.call_ok(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    let final_stats = handle.join().expect("clean server exit");
+    assert!(final_stats.requests >= 12, "{final_stats:?}");
+    assert_eq!(final_stats.errors, 1, "{final_stats:?}");
+}
+
+#[test]
+fn garbage_lines_get_error_replies_without_killing_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (model, _) = trained_and_test_view();
+    let handle = ServerHandle::bind(model, "127.0.0.1:0", test_options()).expect("binds");
+
+    // Raw socket: this is exactly the `nc` session documented in the
+    // README, garbage line included.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connects");
+    stream
+        .write_all(b"this is not json\n\"Health\"\n")
+        .expect("writes");
+    stream.flush().expect("flushes");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error reply");
+    assert!(line.contains("\"Error\""), "{line}");
+    assert!(line.contains("bad request"), "{line}");
+    line.clear();
+    reader.read_line(&mut line).expect("health reply");
+    assert!(line.contains("\"Health\""), "{line}");
+    // Close both halves of the raw connection, or the worker serving it
+    // would still be alive at join() below.
+    drop(reader);
+    drop(stream);
+
+    let mut client = Client::connect(handle.addr()).expect("second client");
+    match client.call_ok(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    let stats = handle.join().expect("clean exit");
+    assert_eq!(stats.errors, 1);
+}
+
+#[test]
+fn bench_against_a_dead_port_fails_fast_with_a_typed_error() {
+    // Bind-then-drop guarantees an unused port.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        l.local_addr().expect("addr").port()
+    };
+    let err = bench(&format!("127.0.0.1:{port}"), &BenchConfig::default())
+        .expect_err("no server is listening");
+    assert!(matches!(err, ClientError::Io(_)), "{err}");
+}
