@@ -7,7 +7,7 @@
 //! binaries measure the full-size runtimes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainedAttack};
 use sm_attack::Parallelism;
 use sm_layout::{SplitLayer, SplitView, Suite};
 
@@ -86,6 +86,38 @@ fn bench_y_limit_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scoring_kernels(c: &mut Criterion) {
+    // Compiled (flattened ensemble + SoA features, batched) vs reference
+    // per-pair scoring — same model, same design, bit-identical output.
+    // The `BENCH_attack.json` emitter reports the same comparison
+    // end-to-end; this group tracks it with criterion statistics.
+    let suite = Suite::ispd2011_like(BENCH_SCALE).expect("suite");
+    let views = views_at(&suite, 8);
+    let train: Vec<&SplitView> = views[1..].iter().collect();
+    let mut group = c.benchmark_group("scoring_kernels");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for config in [AttackConfig::ml9(), AttackConfig::imp9()] {
+        let model = TrainedAttack::train(&config, &train, None).expect("train");
+        for kernel in [Kernel::Compiled, Kernel::Reference] {
+            let opts = ScoreOptions {
+                kernel,
+                parallelism: Parallelism::Sequential,
+                ..ScoreOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(config.name.clone(), kernel),
+                &opts,
+                |b, o| {
+                    b.iter(|| model.score(&views[0], o));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_parallel_scaling(c: &mut Criterion) {
     // The deterministic parallel layer: identical results at every
     // setting, so this group measures pure wall-clock scaling of pair
@@ -118,6 +150,7 @@ criterion_group!(
     benches,
     bench_training,
     bench_scoring,
+    bench_scoring_kernels,
     bench_y_limit_speedup,
     bench_parallel_scaling
 );

@@ -1,0 +1,237 @@
+//! Attack-scoring kernel benchmark: compiled (flattened ensemble + SoA
+//! feature extraction, batched) versus the reference per-pair path, on the
+//! same trained model and target design.
+//!
+//! Emits a machine-readable report (`BENCH_attack.json` shape) with
+//! end-to-end pairs/s per kernel plus a per-stage split of the compiled
+//! path (feature fill vs ensemble evaluation), and exits nonzero if the
+//! compiled kernel is not faster than the reference — the CI guard against
+//! performance regressions.
+//!
+//! ```bash
+//! SM_SCALE=0.2 cargo run --release -p sm-bench --bin bench_attack -- results/BENCH_attack.json
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainedAttack, SCORE_BATCH};
+use sm_attack::PairKernel;
+use sm_bench::Harness;
+use sm_layout::SplitView;
+
+/// Measured iterations per kernel; the fastest is reported (standard
+/// best-of-N to shed scheduler noise without a long run).
+const ITERS: usize = 3;
+
+#[derive(Serialize)]
+struct KernelResult {
+    best_s: f64,
+    pairs_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct StageSplit {
+    /// Legal pairs pushed through the staged measurement.
+    pairs: u64,
+    /// Seconds spent filling SoA feature batches ([`PairKernel`]).
+    feature_fill_s: f64,
+    /// Seconds spent in the flattened-ensemble batch evaluation.
+    proba_batch_s: f64,
+    /// Seconds the reference path spends extracting the same features
+    /// pair by pair (`FeatureSet::compute_into`).
+    reference_compute_s: f64,
+    /// Seconds the reference path spends in per-pair `Bagging::proba`.
+    reference_proba_s: f64,
+    /// Kernel-only throughput ratio: (reference compute + proba) /
+    /// (compiled fill + batch) over the identical pair set.
+    kernel_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: f64,
+    split_layer: u8,
+    config: String,
+    design: String,
+    num_vpins: usize,
+    pairs_scored: u64,
+    reference: KernelResult,
+    compiled: KernelResult,
+    speedup: f64,
+    stage_split: StageSplit,
+}
+
+fn time_kernel(model: &TrainedAttack, view: &SplitView, kernel: Kernel) -> (f64, u64) {
+    let opts = ScoreOptions {
+        kernel,
+        ..ScoreOptions::default()
+    };
+    // Warm-up iteration (page in the model, populate allocator pools).
+    let mut pairs = model.score(view, &opts).pairs_scored;
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        let scored = model.score(view, &opts);
+        best = best.min(t.elapsed().as_secs_f64());
+        pairs = scored.pairs_scored;
+    }
+    (best, pairs)
+}
+
+/// Runs feature fill and ensemble evaluation as separate timed stages over
+/// every legal pair, batched exactly like the attack's inner loop. Each
+/// measurement pass is repeated [`ITERS`] times and the fastest pass is
+/// kept — per-stage times come from the same best pass, so the reported
+/// split stays self-consistent.
+fn stage_split(model: &TrainedAttack, view: &SplitView) -> StageSplit {
+    let kernel = PairKernel::new(view.vpins(), &model.config().features);
+    let ensemble = model.model().compile();
+    let nf = kernel.num_features();
+    let n = view.num_vpins();
+    let mut rows: Vec<f64> = Vec::with_capacity(SCORE_BATCH * nf);
+    let mut probs: Vec<f64> = Vec::with_capacity(SCORE_BATCH);
+    let mut cands: Vec<u32> = Vec::new();
+    let mut sink = 0.0_f64;
+    let (mut fill_s, mut proba_s, mut pairs) = (f64::INFINITY, f64::INFINITY, 0_u64);
+    for _ in 0..=ITERS {
+        // First pass doubles as warm-up; it can only lose the min race.
+        let (mut pass_fill, mut pass_proba, mut pass_pairs) = (0.0_f64, 0.0_f64, 0_u64);
+        for i in 0..n {
+            cands.clear();
+            cands.extend(
+                ((i + 1)..n)
+                    .filter(|&j| view.is_legal_pair(i, j))
+                    .map(|j| u32::try_from(j).expect("v-pin index fits u32")),
+            );
+            let target = u32::try_from(i).expect("v-pin index fits u32");
+            for chunk in cands.chunks(SCORE_BATCH) {
+                let t = Instant::now();
+                kernel.fill_batch(target, chunk, &mut rows);
+                pass_fill += t.elapsed().as_secs_f64();
+                probs.clear();
+                probs.resize(chunk.len(), 0.0);
+                let t = Instant::now();
+                ensemble.proba_batch(&rows, nf, &mut probs);
+                pass_proba += t.elapsed().as_secs_f64();
+                pass_pairs += chunk.len() as u64;
+                sink += probs.iter().sum::<f64>();
+            }
+        }
+        if pass_fill + pass_proba < fill_s + proba_s {
+            (fill_s, proba_s) = (pass_fill, pass_proba);
+        }
+        pairs = pass_pairs;
+    }
+    // Reference staging over the identical pair set, whole-pass timed so
+    // the timer itself stays out of the measured loops: one pass of pure
+    // feature extraction, one pass of extraction + ensemble walk; the
+    // difference is the per-pair `Bagging::proba` cost.
+    let features = &model.config().features;
+    let ensemble_ref = model.model();
+    let mut buf: Vec<f64> = Vec::with_capacity(nf);
+    let vpins = view.vpins();
+    let (mut ref_compute_s, mut ref_total_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..=ITERS {
+        let t = Instant::now();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !view.is_legal_pair(i, j) {
+                    continue;
+                }
+                features.compute_into(&vpins[i], &vpins[j], &mut buf);
+                sink += buf[0];
+            }
+        }
+        ref_compute_s = ref_compute_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !view.is_legal_pair(i, j) {
+                    continue;
+                }
+                features.compute_into(&vpins[i], &vpins[j], &mut buf);
+                sink += ensemble_ref.proba(&buf);
+            }
+        }
+        ref_total_s = ref_total_s.min(t.elapsed().as_secs_f64());
+    }
+    let ref_proba_s = (ref_total_s - ref_compute_s).max(0.0);
+    // Keep the optimizer honest about the probabilities being computed.
+    assert!(sink.is_finite());
+    StageSplit {
+        pairs,
+        feature_fill_s: fill_s,
+        proba_batch_s: proba_s,
+        reference_compute_s: ref_compute_s,
+        reference_proba_s: ref_proba_s,
+        kernel_speedup: (ref_compute_s + ref_proba_s) / (fill_s + proba_s),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let harness = Harness::from_env();
+    let layer = 8u8;
+    let views = harness.views(layer);
+    let train: Vec<&SplitView> = views[1..].iter().collect();
+    // The paper's flagship configuration (all 11 features, neighborhood
+    // restriction); override with SM_BENCH_CONFIG=ml-9|imp-7|imp-9|imp-11.
+    let config = match std::env::var("SM_BENCH_CONFIG").as_deref() {
+        Ok("ml-9") => AttackConfig::ml9(),
+        Ok("imp-7") => AttackConfig::imp7(),
+        Ok("imp-9") => AttackConfig::imp9(),
+        Ok("imp-11") | Err(_) => AttackConfig::imp11(),
+        Ok(other) => panic!("unknown SM_BENCH_CONFIG {other:?}"),
+    };
+    eprintln!("[bench_attack] training {} ...", config.name);
+    let model = TrainedAttack::train(&config, &train, None).expect("train");
+    let target = &views[0];
+
+    eprintln!("[bench_attack] scoring with reference kernel ...");
+    let (ref_s, ref_pairs) = time_kernel(&model, target, Kernel::Reference);
+    eprintln!("[bench_attack] scoring with compiled kernel ...");
+    let (comp_s, comp_pairs) = time_kernel(&model, target, Kernel::Compiled);
+    assert_eq!(
+        ref_pairs, comp_pairs,
+        "kernels must evaluate the same pair set"
+    );
+    eprintln!("[bench_attack] measuring per-stage split ...");
+    let stages = stage_split(&model, target);
+
+    let pairs = comp_pairs;
+    let report = Report {
+        scale: harness.scale(),
+        split_layer: layer,
+        config: config.name.clone(),
+        design: target.name.clone(),
+        num_vpins: target.num_vpins(),
+        pairs_scored: pairs,
+        reference: KernelResult {
+            best_s: ref_s,
+            pairs_per_s: pairs as f64 / ref_s,
+        },
+        compiled: KernelResult {
+            best_s: comp_s,
+            pairs_per_s: pairs as f64 / comp_s,
+        },
+        speedup: ref_s / comp_s,
+        stage_split: stages,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, json + "\n").expect("write report");
+        eprintln!("[bench_attack] wrote {path}");
+    }
+    if comp_s >= ref_s {
+        eprintln!(
+            "[bench_attack] FAIL: compiled kernel ({comp_s:.3}s) is not faster than reference ({ref_s:.3}s)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench_attack] compiled {:.2}x faster ({:.0} vs {:.0} pairs/s)",
+        report.speedup, report.compiled.pairs_per_s, report.reference.pairs_per_s
+    );
+}

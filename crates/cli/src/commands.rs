@@ -5,14 +5,14 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
+use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainedAttack};
 use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
 use sm_attack::Parallelism;
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
 use sm_serve::client::{bench, BenchConfig, ClientError};
-use sm_serve::server::{serve, ServeOptions};
+use sm_serve::server::{pool_size, serve, ServeOptions};
 
 use crate::args::Args;
 
@@ -98,11 +98,21 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             cmd_info(args)
         }
         "attack" => {
-            args.check_known(&["dir", "target", "config", "threshold", "threads", "model"])?;
+            args.check_known(&[
+                "dir",
+                "target",
+                "config",
+                "threshold",
+                "threads",
+                "model",
+                "kernel",
+            ])?;
             cmd_attack(args)
         }
         "pa" => {
-            args.check_known(&["dir", "target", "config", "threads", "seed", "model"])?;
+            args.check_known(&[
+                "dir", "target", "config", "threads", "seed", "model", "kernel",
+            ])?;
             cmd_pa(args)
         }
         "train" => {
@@ -110,7 +120,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             cmd_train(args)
         }
         "serve" => {
-            args.check_known(&["model", "addr", "threads", "batch-threads"])?;
+            args.check_known(&["model", "addr", "threads", "batch-threads", "kernel"])?;
             cmd_serve(args)
         }
         "bench-serve" => {
@@ -137,13 +147,15 @@ pub fn print_help() {
          \x20 info        --dir DIR                                   summarise challenge files\n\
          \x20 attack      --dir DIR --target NAME [--config imp-11]\n\
          \x20             [--model FILE] [--threshold 0.5]\n\
-         \x20             [--threads auto]                            leave-one-out ML attack\n\
+         \x20             [--threads auto] [--kernel compiled]        leave-one-out ML attack\n\
          \x20 pa          --dir DIR --target NAME [--config imp-9]\n\
-         \x20             [--model FILE] [--threads auto]             validated proximity attack\n\
+         \x20             [--model FILE] [--threads auto]\n\
+         \x20             [--kernel compiled]                         validated proximity attack\n\
          \x20 train       --dir DIR --out FILE [--target NAME]\n\
          \x20             [--config imp-11] [--threads auto]          fit once, write a model artifact\n\
          \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
-         \x20             [--threads auto] [--batch-threads seq]      TCP inference server (NDJSON)\n\
+         \x20             [--threads auto] [--batch-threads seq]\n\
+         \x20             [--kernel compiled]                         TCP inference server (NDJSON)\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
          \x20             [--requests 50] [--batch 64] [--json FILE]  load-test a running server\n\
          \x20 help                                                    this text\n\
@@ -151,6 +163,8 @@ pub fn print_help() {
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
          --threads takes 'auto', 'sequential', or a worker count; results\n\
          are identical for every setting (deterministic parallelism).\n\
+         --kernel takes 'compiled' (flattened ensemble, batched; default)\n\
+         or 'reference'; scores are bit-identical either way.\n\
          --model FILE loads a 'train' artifact instead of retraining; the\n\
          artifact records its own configuration, so --config is rejected."
     );
@@ -290,6 +304,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let target: String = args.require("target")?;
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -313,6 +328,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         test,
         &ScoreOptions {
             parallelism,
+            kernel,
             ..ScoreOptions::default()
         },
     );
@@ -350,6 +366,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     let target: String = args.require("target")?;
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let seed: u64 = args.get_or("seed", 17)?;
+    let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -380,6 +397,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         test,
         &ScoreOptions {
             parallelism,
+            kernel,
             ..ScoreOptions::default()
         },
     );
@@ -442,6 +460,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let options = ServeOptions {
         workers: args.get_or("threads", Parallelism::Auto)?,
         batch: args.get_or("batch-threads", Parallelism::Sequential)?,
+        kernel: args.get_or("kernel", Kernel::Compiled)?,
     };
     let model = ModelArtifact::load(Path::new(&model_path))?.into_trained()?;
     let listener = TcpListener::bind(&addr)?;
@@ -450,7 +469,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         "serving {} on {} ({} workers)",
         model.config().name,
         listener.local_addr()?,
-        options.workers.worker_count(usize::MAX)
+        pool_size(options.workers)
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;

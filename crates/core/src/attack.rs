@@ -15,12 +15,70 @@ use sm_ml::parallel::par_chunks;
 use sm_ml::{Bagging, Parallelism, RandomTreeLearner, RepTreeLearner};
 
 use crate::error::AttackError;
-use crate::features::FeatureSet;
+use crate::features::{FeatureSet, PairKernel};
 use crate::neighborhood::{neighborhood_radius, VpinIndex, DEFAULT_NEIGHBORHOOD_QUANTILE};
 use crate::samples::{generate_samples, SampleOptions};
 
 /// Number of probability bins in a [`ScoredView`]'s candidate histogram.
 pub const HIST_BINS: usize = 4096;
+
+/// Candidates scored per [`sm_ml::CompiledEnsemble::proba_batch`] call in
+/// the compiled kernel's scoring loop: large enough to amortise the batch
+/// setup, small enough that the row buffer (`SCORE_BATCH x features`)
+/// stays in L1/L2 cache.
+pub const SCORE_BATCH: usize = 256;
+
+/// Default [`ScoreOptions::top_floor`].
+pub const DEFAULT_TOP_FLOOR: usize = 16;
+
+/// Which scoring implementation [`TrainedAttack::score`] runs.
+///
+/// Both kernels produce bit-identical [`ScoredView`]s (proven by the
+/// parity test suite); the choice only affects wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Batched flat-array path: [`sm_ml::CompiledEnsemble`] over rows
+    /// filled by [`PairKernel`], [`SCORE_BATCH`] candidates at a time.
+    #[default]
+    Compiled,
+    /// The original per-pair path: [`FeatureSet::compute_into`] +
+    /// [`sm_ml::Bagging::proba`] per candidate. Kept as the
+    /// bit-for-bit-checkable baseline.
+    Reference,
+}
+
+/// Error parsing a [`Kernel`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError(String);
+
+impl std::fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected 'compiled' or 'reference', got '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseKernelError {}
+
+impl std::str::FromStr for Kernel {
+    type Err = ParseKernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "compiled" => Ok(Kernel::Compiled),
+            "reference" | "ref" => Ok(Kernel::Reference),
+            _ => Err(ParseKernelError(s.to_owned())),
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kernel::Compiled => write!(f, "compiled"),
+            Kernel::Reference => write!(f, "reference"),
+        }
+    }
+}
 
 /// The ensemble used to classify pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -291,23 +349,36 @@ impl TrainedAttack {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreOptions {
     /// Fraction of the view's v-pins to retain per target as the
-    /// top-probability candidate list (floor 16). The proximity attack can
-    /// only consider PA-LoC fractions up to this value.
+    /// top-probability candidate list (never fewer than
+    /// [`Self::top_floor`]). The proximity attack can only consider PA-LoC
+    /// fractions up to this value.
     pub top_fraction: f64,
+    /// Minimum retained candidates per target, applied *after* the
+    /// `ceil(top_fraction x v-pins)` sizing (default
+    /// [`DEFAULT_TOP_FLOOR`] = 16). On tiny views the floor, not the
+    /// fraction, decides the list size — e.g. a 100-v-pin view at the
+    /// default 6 % keeps 16 candidates per target, not 6 — which silently
+    /// inflates LoC lists unless lowered here.
+    pub top_floor: usize,
     /// If set, only these v-pins are scored as targets (candidates still
     /// come from the whole view). Used by PA validation.
     pub targets: Option<Vec<u32>>,
     /// Worker threads for pair scoring. The scored result is bit-identical
     /// across settings; only wall-clock changes.
     pub parallelism: Parallelism,
+    /// Scoring implementation; results are bit-identical, wall-clock is
+    /// not (the compiled kernel is the fast default).
+    pub kernel: Kernel,
 }
 
 impl Default for ScoreOptions {
     fn default() -> Self {
         Self {
             top_fraction: 0.06,
+            top_floor: DEFAULT_TOP_FLOOR,
             targets: None,
             parallelism: Parallelism::Auto,
+            kernel: Kernel::Compiled,
         }
     }
 }
@@ -393,7 +464,7 @@ pub(crate) fn score_with(
         Some(t) => t.clone(),
         None => (0..n as u32).collect(),
     };
-    let top_k = ((options.top_fraction * n as f64).ceil() as usize).max(16);
+    let top_k = ((options.top_fraction * n as f64).ceil() as usize).max(options.top_floor);
     let need_index = matches!(source, CandidateSource::Config)
         && (attack.radius.is_some() || attack.config.limit_diff_vpin_y);
     let index = if need_index {
@@ -405,6 +476,18 @@ pub(crate) fn score_with(
         None
     };
 
+    // The compiled kernel's shared tables are built once per scoring call:
+    // the SoA feature columns of this view and the flattened ensemble.
+    // Both are read-only during the sharded loop.
+    let compiled = match options.kernel {
+        Kernel::Compiled => Some((
+            PairKernel::new(view.vpins(), &attack.config.features),
+            attack.model.compile(),
+        )),
+        Kernel::Reference => None,
+    };
+    let compiled = compiled.as_ref();
+
     // Shard the targets into contiguous v-pin ranges: each worker fills its
     // own slot list, feature buffer and local histogram, and the parts are
     // merged in target order, so the result is bit-identical for any
@@ -415,8 +498,12 @@ pub(crate) fn score_with(
         let mut local_hist = vec![0u64; HIST_BINS];
         let mut local_pairs = 0u64;
         let mut local_slots = Vec::with_capacity(range.len());
-        let mut buf = Vec::with_capacity(attack.config.features.len());
+        let nf = attack.config.features.len();
+        let mut buf = Vec::with_capacity(nf);
         let mut cands: Vec<u32> = Vec::new();
+        let mut legal: Vec<u32> = Vec::new();
+        let mut rows: Vec<f64> = Vec::with_capacity(SCORE_BATCH * nf);
+        let mut probs: Vec<f64> = Vec::with_capacity(SCORE_BATCH);
         for slot_idx in range {
             let i = targets[slot_idx];
             let iu = i as usize;
@@ -428,30 +515,81 @@ pub(crate) fn score_with(
                 top: Vec::new(),
             };
             let mut top: Vec<Cand> = Vec::with_capacity(top_k + 1);
-            for &j in &*cands {
-                let ju = j as usize;
-                if !view.is_legal_pair(iu, ju) {
-                    continue;
+            match compiled {
+                Some((kernel, ensemble)) => {
+                    // Batched fast path: legality-filter the enumeration,
+                    // then score SCORE_BATCH candidates per kernel call.
+                    // Candidate order, histogram updates and top-list
+                    // pushes follow the exact reference sequence.
+                    legal.clear();
+                    let drives = kernel.drives();
+                    if drives[iu] {
+                        legal.extend(
+                            cands
+                                .iter()
+                                .copied()
+                                .filter(|&j| j != i && !drives[j as usize]),
+                        );
+                    } else {
+                        legal.extend(cands.iter().copied().filter(|&j| j != i));
+                    }
+                    for chunk in legal.chunks(SCORE_BATCH) {
+                        kernel.fill_batch(i, chunk, &mut rows);
+                        probs.clear();
+                        probs.resize(chunk.len(), 0.0);
+                        ensemble.proba_batch(&rows, nf, &mut probs);
+                        for (&j, &p) in chunk.iter().zip(&probs) {
+                            let ju = j as usize;
+                            local_pairs += 1;
+                            local_hist[hist_bin(p)] += 1;
+                            if ju == truth {
+                                slot.true_prob = Some(p);
+                            }
+                            // `push_top`'s insertion test ignores `dist`,
+                            // so the distance is only computed for the few
+                            // candidates that actually enter the list.
+                            if top.len() < top_k || p > top[0].p {
+                                push_top(
+                                    &mut top,
+                                    Cand {
+                                        p,
+                                        index: j,
+                                        dist: view.distance(iu, ju),
+                                    },
+                                    top_k,
+                                );
+                            }
+                        }
+                    }
                 }
-                attack
-                    .config
-                    .features
-                    .compute_into(&view.vpins()[iu], &view.vpins()[ju], &mut buf);
-                let p = attack.model.proba(&buf);
-                local_pairs += 1;
-                local_hist[hist_bin(p)] += 1;
-                if ju == truth {
-                    slot.true_prob = Some(p);
+                None => {
+                    for &j in &*cands {
+                        let ju = j as usize;
+                        if !view.is_legal_pair(iu, ju) {
+                            continue;
+                        }
+                        attack.config.features.compute_into(
+                            &view.vpins()[iu],
+                            &view.vpins()[ju],
+                            &mut buf,
+                        );
+                        let p = attack.model.proba(&buf);
+                        local_pairs += 1;
+                        local_hist[hist_bin(p)] += 1;
+                        if ju == truth {
+                            slot.true_prob = Some(p);
+                        }
+                        push_top(
+                            &mut top,
+                            Cand {
+                                p,
+                                index: j,
+                                dist: view.distance(iu, ju),
+                            },
+                            top_k,
+                        );
+                    }
                 }
-                push_top(
-                    &mut top,
-                    Cand {
-                        p,
-                        index: j,
-                        dist: view.distance(iu, ju),
-                    },
-                    top_k,
-                );
             }
             top.sort_by(|a, b| b.p.total_cmp(&a.p).then(a.dist.cmp(&b.dist)));
             slot.top = top;
@@ -702,6 +840,138 @@ mod tests {
             one, four,
             "scoring must be bit-identical across thread counts"
         );
+    }
+
+    #[test]
+    fn compiled_and_reference_kernels_score_identically() {
+        let views = suite_views(6);
+        let (train, test) = leave_one_out(&views, 0);
+        for cfg in [AttackConfig::imp9(), AttackConfig::ml9()] {
+            let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+            let compiled = model.score(
+                test,
+                &ScoreOptions {
+                    kernel: Kernel::Compiled,
+                    ..ScoreOptions::default()
+                },
+            );
+            let reference = model.score(
+                test,
+                &ScoreOptions {
+                    kernel: Kernel::Reference,
+                    ..ScoreOptions::default()
+                },
+            );
+            assert_eq!(compiled, reference, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn kernel_parses_and_displays() {
+        assert_eq!("compiled".parse(), Ok(Kernel::Compiled));
+        assert_eq!("REF".parse(), Ok(Kernel::Reference));
+        assert_eq!(Kernel::default(), Kernel::Compiled);
+        assert!("fast".parse::<Kernel>().is_err());
+        for k in [Kernel::Compiled, Kernel::Reference] {
+            assert_eq!(k.to_string().parse(), Ok(k));
+        }
+    }
+
+    #[test]
+    fn top_floor_controls_tiny_view_lists() {
+        // On a view smaller than the default floor of 16, the floor — not
+        // top_fraction — decides the retained list size. An explicit
+        // top_floor restores fraction-proportional lists.
+        let views = suite_views(8);
+        let (train, test) = leave_one_out(&views, 0);
+        let model = TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("train");
+        // Restrict to a handful of targets; list sizes depend only on
+        // top_k, so any view exercises the floor arithmetic.
+        let small_floor = model.score(
+            test,
+            &ScoreOptions {
+                top_fraction: 1e-9, // ceil -> 1 retained candidate
+                top_floor: 2,
+                targets: Some(vec![0, 1, 2]),
+                ..ScoreOptions::default()
+            },
+        );
+        for s in &small_floor.slots {
+            assert!(
+                s.top.len() <= 2,
+                "floor 2 must cap lists, got {}",
+                s.top.len()
+            );
+        }
+        let default_floor = model.score(
+            test,
+            &ScoreOptions {
+                top_fraction: 1e-9,
+                targets: Some(vec![0, 1, 2]),
+                ..ScoreOptions::default()
+            },
+        );
+        // The silent-inflation behavior the explicit floor documents: the
+        // same fraction keeps up to 16 candidates under the default.
+        assert!(default_floor.slots.iter().any(|s| s.top.len() > 2));
+        assert!(default_floor
+            .slots
+            .iter()
+            .all(|s| s.top.len() <= DEFAULT_TOP_FLOOR));
+    }
+
+    #[test]
+    fn top_floor_governs_views_smaller_than_the_floor() {
+        // A synthetic view with 8 v-pins — fewer than DEFAULT_TOP_FLOOR —
+        // so every candidate list is floor-limited: the default keeps all
+        // 7 legal partners regardless of top_fraction, and only an
+        // explicit lower floor trims the lists.
+        use sm_layout::geom::{Point, Rect};
+        use sm_layout::{SplitLayer, VPin};
+        let n = 8usize;
+        assert!(n < DEFAULT_TOP_FLOOR);
+        let vpins: Vec<VPin> = (0..n)
+            .map(|i| {
+                let x = 1000 * i as i64;
+                VPin {
+                    loc: Point::new(x, 500),
+                    pin_loc: Point::new(x, 700),
+                    wirelength: 900 + x,
+                    in_area: if i % 2 == 0 { 0 } else { 4000 },
+                    out_area: if i % 2 == 0 { 4000 } else { 0 },
+                    pc: 1.5,
+                    rc: 2.5,
+                }
+            })
+            .collect();
+        // Partner each driver (even) with the next sink (odd).
+        let partner: Vec<u32> = (0..n as u32).map(|i| i ^ 1).collect();
+        let tiny = sm_layout::SplitView::from_parts(
+            "tiny".into(),
+            SplitLayer::new(8).expect("valid layer"),
+            Rect::new(Point::new(0, 0), Point::new(10_000, 10_000)),
+            vpins,
+            partner,
+        )
+        .expect("valid tiny view");
+
+        let views = suite_views(8);
+        let train: Vec<&SplitView> = views.iter().collect();
+        let model = TrainedAttack::train(&AttackConfig::ml9(), &train, None).expect("train");
+        let default_floor = model.score(&tiny, &ScoreOptions::default());
+        assert!(default_floor
+            .slots
+            .iter()
+            .any(|s| !s.top.is_empty() && s.top.len() > 3));
+        let floored = model.score(
+            &tiny,
+            &ScoreOptions {
+                top_floor: 3,
+                ..ScoreOptions::default()
+            },
+        );
+        assert!(floored.slots.iter().all(|s| s.top.len() <= 3));
+        assert!(floored.slots.iter().any(|s| s.top.len() == 3));
     }
 
     #[test]

@@ -180,6 +180,222 @@ impl FeatureSet {
     }
 }
 
+/// Structure-of-arrays pair-feature kernel: the batched fast path behind
+/// [`FeatureSet::compute_into`].
+///
+/// Construction hoists every per-v-pin quantity the 11 features read —
+/// pin/v-pin coordinates, in/out cell areas, below-split wirelength, and
+/// the two congestion terms — out of the [`VPin`] structs into per-view
+/// column arrays, once per scoring call, and pre-resolves the feature set
+/// into a fixed slot plan (which output column each feature lands in).
+/// [`PairKernel::fill_batch`] then walks the batch row by row: each
+/// candidate's column entries are loaded exactly once, shared
+/// subexpressions feed every feature that reads them (the Manhattan
+/// features reuse the Diff deltas, the area features share one load pair),
+/// and the row's values store contiguously — no per-pair `match`, no
+/// re-gathering a column per feature.
+///
+/// Every slot performs the exact integer-then-cast arithmetic of
+/// [`PairFeature::compute`], so filled rows are bit-for-bit identical to
+/// the reference path.
+#[derive(Debug, Clone)]
+pub struct PairKernel {
+    plan: Vec<PairFeature>,
+    slots: FeatureSlots,
+    /// `(from, to)` column copies patching duplicate plan entries: the slot
+    /// map keeps one column per feature, so repeated selections (possible
+    /// via [`FeatureSet::custom`]) are duplicated after the fused pass.
+    dups: Vec<(usize, usize)>,
+    pin_x: Vec<i64>,
+    pin_y: Vec<i64>,
+    vx: Vec<i64>,
+    vy: Vec<i64>,
+    wl: Vec<i64>,
+    in_area: Vec<i64>,
+    out_area: Vec<i64>,
+    pc: Vec<f64>,
+    rc: Vec<f64>,
+    drives: Vec<bool>,
+}
+
+/// Output column of each feature in a [`PairKernel`]'s row, or `None` when
+/// the feature set does not select it.
+#[derive(Debug, Clone, Copy, Default)]
+struct FeatureSlots {
+    diff_pin_x: Option<usize>,
+    diff_pin_y: Option<usize>,
+    manhattan_pin: Option<usize>,
+    diff_vpin_x: Option<usize>,
+    diff_vpin_y: Option<usize>,
+    manhattan_vpin: Option<usize>,
+    total_wirelength: Option<usize>,
+    total_area: Option<usize>,
+    diff_area: Option<usize>,
+    placement_congestion: Option<usize>,
+    routing_congestion: Option<usize>,
+}
+
+impl FeatureSlots {
+    fn resolve(plan: &[PairFeature]) -> Self {
+        let mut s = Self::default();
+        for (c, feature) in plan.iter().enumerate() {
+            let slot = match feature {
+                PairFeature::DiffPinX => &mut s.diff_pin_x,
+                PairFeature::DiffPinY => &mut s.diff_pin_y,
+                PairFeature::ManhattanPin => &mut s.manhattan_pin,
+                PairFeature::DiffVpinX => &mut s.diff_vpin_x,
+                PairFeature::DiffVpinY => &mut s.diff_vpin_y,
+                PairFeature::ManhattanVpin => &mut s.manhattan_vpin,
+                PairFeature::TotalWirelength => &mut s.total_wirelength,
+                PairFeature::TotalArea => &mut s.total_area,
+                PairFeature::DiffArea => &mut s.diff_area,
+                PairFeature::PlacementCongestion => &mut s.placement_congestion,
+                PairFeature::RoutingCongestion => &mut s.routing_congestion,
+            };
+            *slot = Some(c);
+        }
+        s
+    }
+}
+
+impl PairKernel {
+    /// Extracts the SoA columns of `vpins` and pre-resolves `features`
+    /// into the evaluation plan.
+    pub fn new(vpins: &[VPin], features: &FeatureSet) -> Self {
+        let plan = features.features().to_vec();
+        let slots = FeatureSlots::resolve(&plan);
+        let resolved = |f: PairFeature| match f {
+            PairFeature::DiffPinX => slots.diff_pin_x,
+            PairFeature::DiffPinY => slots.diff_pin_y,
+            PairFeature::ManhattanPin => slots.manhattan_pin,
+            PairFeature::DiffVpinX => slots.diff_vpin_x,
+            PairFeature::DiffVpinY => slots.diff_vpin_y,
+            PairFeature::ManhattanVpin => slots.manhattan_vpin,
+            PairFeature::TotalWirelength => slots.total_wirelength,
+            PairFeature::TotalArea => slots.total_area,
+            PairFeature::DiffArea => slots.diff_area,
+            PairFeature::PlacementCongestion => slots.placement_congestion,
+            PairFeature::RoutingCongestion => slots.routing_congestion,
+        };
+        let dups = plan
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &f)| {
+                let from = resolved(f).expect("every planned feature resolves");
+                (from != c).then_some((from, c))
+            })
+            .collect();
+        Self {
+            plan,
+            slots,
+            dups,
+            pin_x: vpins.iter().map(|v| v.pin_loc.x).collect(),
+            pin_y: vpins.iter().map(|v| v.pin_loc.y).collect(),
+            vx: vpins.iter().map(|v| v.loc.x).collect(),
+            vy: vpins.iter().map(|v| v.loc.y).collect(),
+            wl: vpins.iter().map(|v| v.wirelength).collect(),
+            in_area: vpins.iter().map(|v| v.in_area).collect(),
+            out_area: vpins.iter().map(|v| v.out_area).collect(),
+            pc: vpins.iter().map(|v| v.pc).collect(),
+            rc: vpins.iter().map(|v| v.rc).collect(),
+            drives: vpins.iter().map(VPin::drives).collect(),
+        }
+    }
+
+    /// Per-v-pin driver flags (`VPin::drives`), one byte per pin — the
+    /// legality filter reads this instead of dereferencing whole `VPin`
+    /// structs per candidate.
+    pub fn drives(&self) -> &[bool] {
+        &self.drives
+    }
+
+    /// Number of feature columns per row (the batch's row stride).
+    pub fn num_features(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Number of v-pins the kernel was built over.
+    pub fn num_vpins(&self) -> usize {
+        self.pin_x.len()
+    }
+
+    /// Fills `out` with one row per candidate in `cands`, each pairing
+    /// `target` with that candidate, row-major with stride
+    /// [`Self::num_features`]. `out` is cleared and resized; reusing one
+    /// buffer across batches keeps the scoring loop allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` or any candidate is out of range.
+    pub fn fill_batch(&self, target: u32, cands: &[u32], out: &mut Vec<f64>) {
+        let nf = self.plan.len();
+        let t = target as usize;
+        out.clear();
+        out.resize(cands.len() * nf, 0.0);
+        let s = &self.slots;
+        let (t_pin_x, t_pin_y) = (self.pin_x[t], self.pin_y[t]);
+        let (t_vx, t_vy) = (self.vx[t], self.vy[t]);
+        let t_wl = self.wl[t];
+        let (t_in, t_out) = (self.in_area[t], self.out_area[t]);
+        let t_area = t_in + t_out;
+        let (t_pc, t_rc) = (self.pc[t], self.rc[t]);
+        for (row, &j) in out.chunks_exact_mut(nf.max(1)).zip(cands) {
+            let ju = j as usize;
+            // Each delta is computed once and feeds every feature reading
+            // it; the integer sums and single final casts are exactly
+            // `PairFeature::compute`'s, keeping the rows bit-identical.
+            let dpx = (t_pin_x - self.pin_x[ju]).abs();
+            let dpy = (t_pin_y - self.pin_y[ju]).abs();
+            let dvx = (t_vx - self.vx[ju]).abs();
+            let dvy = (t_vy - self.vy[ju]).abs();
+            let (j_in, j_out) = (self.in_area[ju], self.out_area[ju]);
+            if let Some(c) = s.diff_pin_x {
+                row[c] = dpx as f64;
+            }
+            if let Some(c) = s.diff_pin_y {
+                row[c] = dpy as f64;
+            }
+            if let Some(c) = s.manhattan_pin {
+                row[c] = (dpx + dpy) as f64;
+            }
+            if let Some(c) = s.diff_vpin_x {
+                row[c] = dvx as f64;
+            }
+            if let Some(c) = s.diff_vpin_y {
+                row[c] = dvy as f64;
+            }
+            if let Some(c) = s.manhattan_vpin {
+                row[c] = (dvx + dvy) as f64;
+            }
+            if let Some(c) = s.total_wirelength {
+                row[c] = (t_wl + self.wl[ju]) as f64;
+            }
+            if let Some(c) = s.total_area {
+                // Reference order: ((a.in + a.out) + b.in) + b.out.
+                row[c] = (t_area + j_in + j_out) as f64;
+            }
+            if let Some(c) = s.diff_area {
+                row[c] = ((t_out + j_out) - (t_in + j_in)) as f64;
+            }
+            if let Some(c) = s.placement_congestion {
+                row[c] = t_pc + self.pc[ju];
+            }
+            if let Some(c) = s.routing_congestion {
+                row[c] = t_rc + self.rc[ju];
+            }
+            for &(from, to) in &self.dups {
+                row[to] = row[from];
+            }
+        }
+    }
+
+    /// Single-pair convenience over [`Self::fill_batch`] (parity tests and
+    /// one-off queries).
+    pub fn fill_pair(&self, a: u32, b: u32, out: &mut Vec<f64>) {
+        self.fill_batch(a, &[b], out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +474,52 @@ mod tests {
         let mut buf = vec![999.0; 32];
         fs.compute_into(&a, &b, &mut buf);
         assert_eq!(buf.len(), 7);
+    }
+
+    #[test]
+    fn pair_kernel_matches_compute_into_bitwise() {
+        let vpins = vec![
+            vpin(10, 20, 1, 2, 100, 50, 0),
+            vpin(13, 24, 5, 2, 200, 0, 70),
+            vpin(-3, 8, 5, -9, 7, 31, 12),
+            vpin(0, 0, 0, 0, 0, 0, 0),
+        ];
+        for fs in [
+            FeatureSet::seven(),
+            FeatureSet::nine(),
+            FeatureSet::eleven(),
+        ] {
+            let kernel = PairKernel::new(&vpins, &fs);
+            assert_eq!(kernel.num_features(), fs.len());
+            assert_eq!(kernel.num_vpins(), 4);
+            let cands: Vec<u32> = (0..4).collect();
+            let mut batch = Vec::new();
+            let mut reference = Vec::new();
+            for t in 0..4u32 {
+                kernel.fill_batch(t, &cands, &mut batch);
+                for (r, &j) in cands.iter().enumerate() {
+                    fs.compute_into(&vpins[t as usize], &vpins[j as usize], &mut reference);
+                    let row = &batch[r * fs.len()..(r + 1) * fs.len()];
+                    for (col, (got, want)) in row.iter().zip(&reference).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "target {t} cand {j} col {col}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_pair_is_one_row_of_fill_batch() {
+        let vpins = vec![vpin(1, 2, 3, 4, 5, 6, 7), vpin(8, 9, 10, 11, 12, 13, 14)];
+        let fs = FeatureSet::eleven();
+        let kernel = PairKernel::new(&vpins, &fs);
+        let mut row = Vec::new();
+        kernel.fill_pair(0, 1, &mut row);
+        assert_eq!(row, fs.compute(&vpins[0], &vpins[1]));
     }
 
     #[test]

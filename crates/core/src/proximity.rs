@@ -222,6 +222,9 @@ pub fn validate_pa_fraction(
                 top_fraction: (max_fraction * 1.05).max(0.01),
                 targets: Some(targets),
                 parallelism: Parallelism::Sequential,
+                // Inherits the default compiled kernel and top floor; PA
+                // validation sees the same bit-identical scores either way.
+                ..ScoreOptions::default()
             },
         );
         fractions

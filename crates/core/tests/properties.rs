@@ -103,6 +103,38 @@ proptest! {
     }
 
     #[test]
+    fn pair_kernel_matches_feature_set_bitwise(
+        vpins in prop::collection::vec(arb_vpin(), 2..24),
+        target in 0usize..24,
+    ) {
+        // The SoA batch extractor must reproduce the scalar per-pair
+        // feature path bit-for-bit for every feature set, every target,
+        // every candidate.
+        use sm_attack::features::PairKernel;
+        let target = target % vpins.len();
+        let t = u32::try_from(target).expect("fits");
+        let cands: Vec<u32> = (0..vpins.len() as u32).filter(|&j| j != t).collect();
+        for set in [FeatureSet::seven(), FeatureSet::nine(), FeatureSet::eleven()] {
+            let kernel = PairKernel::new(&vpins, &set);
+            prop_assert_eq!(kernel.num_features(), set.len());
+            let mut batch = Vec::new();
+            kernel.fill_batch(t, &cands, &mut batch);
+            prop_assert_eq!(batch.len(), cands.len() * set.len());
+            let mut scalar = Vec::new();
+            for (row, &j) in cands.iter().enumerate() {
+                set.compute_into(&vpins[target], &vpins[j as usize], &mut scalar);
+                let got = &batch[row * set.len()..(row + 1) * set.len()];
+                for (k, (g, s)) in got.iter().zip(&scalar).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(), s.to_bits(),
+                        "feature {k} differs for pair ({target}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pa_outcomes_are_bounded_by_targets(
         tops in prop::collection::vec(
             prop::collection::vec((0.0f64..=1.0, 0u32..100, 0i64..100_000), 0..20), 1..30),

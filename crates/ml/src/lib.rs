@@ -28,6 +28,7 @@
 
 pub mod bagging;
 pub mod bayes;
+pub mod compiled;
 pub mod data;
 pub mod error;
 pub mod forest;
@@ -40,6 +41,7 @@ pub mod tree;
 
 pub use bagging::{Bagging, DEFAULT_BAGGING_TREES};
 pub use bayes::GaussianNaiveBayes;
+pub use compiled::CompiledEnsemble;
 pub use data::Dataset;
 pub use error::TrainError;
 pub use forest::RandomForest;

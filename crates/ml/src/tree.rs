@@ -46,17 +46,17 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct Node {
+pub(crate) struct Node {
     /// Splitting feature, or [`LEAF`].
-    feature: i32,
+    pub(crate) feature: i32,
     /// Split threshold: `x[feature] <= threshold` goes left.
-    threshold: f64,
-    left: u32,
-    right: u32,
+    pub(crate) threshold: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
     /// Positive training samples that reached this node.
-    pos: u32,
+    pub(crate) pos: u32,
     /// Negative training samples that reached this node.
-    neg: u32,
+    pub(crate) neg: u32,
 }
 
 impl Node {
@@ -71,8 +71,21 @@ impl Node {
         }
     }
 
-    fn is_leaf(&self) -> bool {
+    pub(crate) fn is_leaf(&self) -> bool {
         self.feature == LEAF
+    }
+
+    /// The leaf probability of Eq. (1): `P / (P + N)`, or `0.5` for a leaf
+    /// no training sample reached. Only meaningful on leaves; the compiled
+    /// kernel bakes this value into its node table so the division happens
+    /// once at compile time instead of once per scored pair.
+    pub(crate) fn leaf_proba(&self) -> f64 {
+        let total = self.pos + self.neg;
+        if total == 0 {
+            0.5
+        } else {
+            f64::from(self.pos) / f64::from(total)
+        }
     }
 
     fn majority(&self) -> bool {
@@ -208,13 +221,7 @@ impl Tree {
     ///
     /// Panics if `x` has fewer features than the tree was trained on.
     pub fn proba(&self, x: &[f64]) -> f64 {
-        let n = &self.nodes[self.leaf_of(x)];
-        let total = n.pos + n.neg;
-        if total == 0 {
-            0.5
-        } else {
-            f64::from(n.pos) / f64::from(total)
-        }
+        self.nodes[self.leaf_of(x)].leaf_proba()
     }
 
     /// Hard classification at the default 0.5 threshold.
@@ -248,6 +255,11 @@ impl Tree {
     /// Features the tree was trained on.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Raw node table, for the compiled kernel's flattening pass.
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Reduced-error pruning against a held-out index set: any subtree whose

@@ -144,6 +144,31 @@ proptest! {
     }
 
     #[test]
+    fn compiled_ensemble_matches_bagging_bitwise(
+        ds in arb_dataset(),
+        queries in prop::collection::vec(prop::collection::vec(-1000.0f64..1000.0, 3), 1..20),
+        n_trees in 1usize..8,
+        seed in any::<u64>()
+    ) {
+        // The tentpole parity property: lowering a trained ensemble into
+        // the flattened node table must not change a single probability
+        // bit, scalar or batched (same operand order end to end).
+        if let Ok(m) = Bagging::fit(&ds, &RepTreeLearner::default(), n_trees, seed) {
+            let compiled = m.compile();
+            for q in &queries {
+                prop_assert_eq!(m.proba(q).to_bits(), compiled.proba(q).to_bits());
+            }
+            let stride = 3;
+            let rows: Vec<f64> = queries.iter().flatten().copied().collect();
+            let mut batch = vec![0.0; queries.len()];
+            compiled.proba_batch(&rows, stride, &mut batch);
+            for (q, b) in queries.iter().zip(&batch) {
+                prop_assert_eq!(m.proba(q).to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn split_indices_partition(n in 2usize..300, frac in 0.05f64..0.95, seed in any::<u64>()) {
         let mut ds = Dataset::new(1);
         for i in 0..n {

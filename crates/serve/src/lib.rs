@@ -48,4 +48,4 @@ pub mod server;
 pub use artifact::{ArtifactError, ModelArtifact, TrainMeta, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use client::{percentile_us, BenchConfig, BenchReport, Client, ClientError};
 pub use protocol::{AttackSummary, Request, Response, StatsSnapshot};
-pub use server::{ServeOptions, ServerHandle};
+pub use server::{pool_size, ServeOptions, ServerHandle};

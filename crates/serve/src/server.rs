@@ -18,10 +18,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
-use sm_attack::attack::ScoreOptions;
+use sm_attack::attack::{Kernel, ScoreOptions};
 use sm_attack::TrainedAttack;
 use sm_layout::io::read_challenge;
-use sm_ml::{par_chunks, Parallelism};
+use sm_ml::{par_chunks, CompiledEnsemble, Parallelism};
 
 use crate::artifact::ARTIFACT_VERSION;
 use crate::client::percentile_us;
@@ -35,12 +35,18 @@ const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Size of the connection worker pool (via
-    /// [`Parallelism::worker_count`]).
+    /// [`Parallelism::worker_count`]). `Auto` is guarded to a minimum of
+    /// two workers: with a single worker, one held-open idle connection
+    /// occupies the whole pool and new connections queue behind it
+    /// forever — a real starvation mode on 1-CPU hosts.
     pub workers: Parallelism,
     /// Parallelism applied *within* one `ScorePairs`/`Attack` request
     /// batch. Sequential by default — the pool already provides
     /// cross-request parallelism; results are identical either way.
     pub batch: Parallelism,
+    /// Scoring kernel for `ScorePairs` and `Attack` requests. Results are
+    /// bit-identical across kernels; `Compiled` is the fast default.
+    pub kernel: Kernel,
 }
 
 impl Default for ServeOptions {
@@ -48,12 +54,29 @@ impl Default for ServeOptions {
         Self {
             workers: Parallelism::Auto,
             batch: Parallelism::Sequential,
+            kernel: Kernel::Compiled,
         }
+    }
+}
+
+/// Resolves the connection pool size, applying the `Auto` >= 2 guard: one
+/// long-lived connection must never monopolize the whole pool, so `Auto`
+/// keeps at least two workers even on 1-CPU hosts. Explicit worker counts
+/// are honored as given.
+pub fn pool_size(workers: Parallelism) -> usize {
+    let n = workers.worker_count(usize::MAX);
+    match workers {
+        Parallelism::Auto => n.max(2),
+        _ => n,
     }
 }
 
 struct ServerState {
     model: TrainedAttack,
+    /// The ensemble lowered once at server start; shared read-only by all
+    /// connection workers. Artifacts store the trained trees, so the
+    /// compilation is a load-time step, not a format change.
+    compiled: CompiledEnsemble,
     options: ServeOptions,
     addr: SocketAddr,
     shutdown: AtomicBool,
@@ -99,8 +122,10 @@ pub fn serve(
     options: &ServeOptions,
 ) -> std::io::Result<StatsSnapshot> {
     let addr = listener.local_addr()?;
+    let compiled = model.model().compile();
     let state = ServerState {
         model,
+        compiled,
         options: *options,
         addr,
         shutdown: AtomicBool::new(false),
@@ -109,7 +134,7 @@ pub fn serve(
         pairs_scored: AtomicU64::new(0),
         latencies_us: Mutex::new(Vec::new()),
     };
-    let workers = options.workers.worker_count(usize::MAX);
+    let workers = pool_size(options.workers);
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(2 * workers);
     let rx = Mutex::new(rx);
     let state_ref = &state;
@@ -183,28 +208,51 @@ impl ServerHandle {
     }
 }
 
+/// Per-connection scratch reused across requests so a long-lived
+/// connection stops paying an allocation tax on every request (the p99
+/// spikes in `BENCH_serve.json` tracked allocator churn, not compute).
+#[derive(Default)]
+struct ConnScratch {
+    /// Serialized response bytes (JSON plus the trailing newline).
+    out: String,
+    /// Flattened feature rows for the compiled `ScorePairs` path.
+    rows: Vec<f64>,
+    /// Probability buffer, recycled out of `Response::Scores` after the
+    /// response is serialized.
+    probs: Vec<f64>,
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut writer = BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut scratch = ConnScratch::default();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
         if line.trim().is_empty() {
             continue;
         }
         let start = Instant::now();
-        let (response, is_shutdown) = respond(state, &line);
+        let (response, is_shutdown) = respond(state, &line, &mut scratch);
         state.requests.fetch_add(1, Ordering::Relaxed);
         if matches!(response, Response::Error { .. }) {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let text = serde_json::to_string(&response).expect("responses always serialize");
+        serde_json::to_string_buf(&response, &mut scratch.out).expect("responses always serialize");
+        scratch.out.push('\n');
+        if let Response::Scores { probs } = response {
+            scratch.probs = probs;
+        }
         if writer
-            .write_all(text.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
+            .write_all(scratch.out.as_bytes())
             .and_then(|()| writer.flush())
             .is_err()
         {
@@ -226,7 +274,7 @@ fn initiate_shutdown(state: &ServerState) {
     let _ = TcpStream::connect(state.addr);
 }
 
-fn respond(state: &ServerState, line: &str) -> (Response, bool) {
+fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Response, bool) {
     let request: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
@@ -254,7 +302,7 @@ fn respond(state: &ServerState, line: &str) -> (Response, bool) {
             },
             false,
         ),
-        Request::ScorePairs { features } => (score_pairs(state, &features), false),
+        Request::ScorePairs { features } => (score_pairs(state, &features, scratch), false),
         Request::Attack {
             challenge,
             truth,
@@ -268,7 +316,7 @@ fn respond(state: &ServerState, line: &str) -> (Response, bool) {
     }
 }
 
-fn score_pairs(state: &ServerState, features: &[Vec<f64>]) -> Response {
+fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScratch) -> Response {
     let expected = state.model.config().features.len();
     if let Some(bad) = features.iter().position(|row| row.len() != expected) {
         return Response::Error {
@@ -278,12 +326,48 @@ fn score_pairs(state: &ServerState, features: &[Vec<f64>]) -> Response {
             ),
         };
     }
-    let parts = par_chunks(state.options.batch, features.len(), |range| {
-        range
-            .map(|k| state.model.model().proba(&features[k]))
-            .collect::<Vec<f64>>()
-    });
-    let probs: Vec<f64> = parts.into_iter().flatten().collect();
+    let mut probs = std::mem::take(&mut scratch.probs);
+    probs.clear();
+    if state.options.batch.worker_count(features.len()) <= 1 {
+        // Hot path: one worker, reuse the connection-scoped buffers.
+        probs.resize(features.len(), 0.0);
+        match state.options.kernel {
+            Kernel::Compiled => {
+                scratch.rows.clear();
+                for row in features {
+                    scratch.rows.extend_from_slice(row);
+                }
+                state
+                    .compiled
+                    .proba_batch(&scratch.rows, expected, &mut probs);
+            }
+            Kernel::Reference => {
+                for (slot, row) in probs.iter_mut().zip(features) {
+                    *slot = state.model.model().proba(row);
+                }
+            }
+        }
+    } else {
+        let parts = par_chunks(state.options.batch, features.len(), |range| {
+            let mut out = vec![0.0; range.len()];
+            match state.options.kernel {
+                Kernel::Compiled => {
+                    let mut rows = Vec::with_capacity(range.len() * expected);
+                    for k in range.clone() {
+                        rows.extend_from_slice(&features[k]);
+                    }
+                    state.compiled.proba_batch(&rows, expected, &mut out);
+                }
+                Kernel::Reference => {
+                    for (slot, k) in out.iter_mut().zip(range) {
+                        *slot = state.model.model().proba(&features[k]);
+                    }
+                }
+            }
+            out
+        });
+        probs.extend(parts.into_iter().flatten());
+    }
     state
         .pairs_scored
         .fetch_add(probs.len() as u64, Ordering::Relaxed);
@@ -309,6 +393,7 @@ fn run_attack(
         &view,
         &ScoreOptions {
             parallelism: state.options.batch,
+            kernel: state.options.kernel,
             ..ScoreOptions::default()
         },
     );
@@ -338,7 +423,19 @@ mod tests {
     fn default_options_pool_with_sequential_batches() {
         let opts = ServeOptions::default();
         assert_eq!(opts.batch, Parallelism::Sequential);
+        assert_eq!(opts.kernel, Kernel::Compiled);
         assert!(opts.workers.worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn auto_pool_never_collapses_to_one_worker() {
+        // Regression: on a 1-CPU host, Auto used to resolve to a single
+        // worker, so one held-open idle connection starved every other
+        // client forever. Explicit `Threads(1)` still means one worker —
+        // only the implicit default is guarded.
+        assert!(pool_size(Parallelism::Auto) >= 2);
+        assert_eq!(pool_size(Parallelism::Threads(1)), 1);
+        assert_eq!(pool_size(Parallelism::Threads(3)), 3);
     }
 
     #[test]

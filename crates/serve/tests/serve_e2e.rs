@@ -31,6 +31,7 @@ fn test_options() -> ServeOptions {
     ServeOptions {
         workers: Parallelism::Threads(4),
         batch: Parallelism::Sequential,
+        ..ServeOptions::default()
     }
 }
 
@@ -219,6 +220,36 @@ fn garbage_lines_get_error_replies_without_killing_the_connection() {
     }
     let stats = handle.join().expect("clean exit");
     assert_eq!(stats.errors, 1);
+}
+
+#[test]
+fn auto_pool_survives_a_held_open_idle_connection() {
+    // Regression for the 1-CPU starvation mode: with `Auto` resolving to a
+    // single worker, connection #1 (open, silent) used to pin the whole
+    // pool, and connection #2's Health below would block forever. The
+    // Auto >= 2 guard keeps a worker free.
+    let (model, _) = trained_and_test_view();
+    let options = ServeOptions {
+        workers: Parallelism::Auto,
+        ..ServeOptions::default()
+    };
+    let handle = ServerHandle::bind(model, "127.0.0.1:0", options).expect("binds");
+
+    let idle = std::net::TcpStream::connect(handle.addr()).expect("idle connection");
+    let mut client = Client::connect(handle.addr()).expect("second connection");
+    match client
+        .call_ok(&Request::Health)
+        .expect("health despite idle peer")
+    {
+        Response::Health { .. } => {}
+        other => panic!("unexpected health reply: {other:?}"),
+    }
+    drop(idle);
+    match client.call_ok(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    handle.join().expect("clean exit");
 }
 
 #[test]

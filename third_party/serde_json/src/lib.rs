@@ -49,6 +49,20 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value to compact JSON into a caller-provided buffer
+/// (cleared first) — the buffer-reusing variant of [`to_string`] for hot
+/// request loops that serialize once per request.
+///
+/// # Errors
+///
+/// Infallible in practice (kept `Result` for serde_json signature
+/// compatibility).
+pub fn to_string_buf<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_value(&value.to_value(), out, None, 0);
+    Ok(())
+}
+
 /// Serializes a value to 2-space-indented JSON.
 ///
 /// # Errors
