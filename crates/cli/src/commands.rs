@@ -11,7 +11,7 @@ use sm_attack::Parallelism;
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
-use sm_serve::client::{bench, BenchConfig, ClientError};
+use sm_serve::client::{bench, BenchConfig, ClientError, ClientTimeouts, RetryPolicy};
 use sm_serve::server::{pool_size, serve, ServeOptions};
 
 use crate::args::Args;
@@ -120,11 +120,30 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             cmd_train(args)
         }
         "serve" => {
-            args.check_known(&["model", "addr", "threads", "batch-threads", "kernel"])?;
+            args.check_known(&[
+                "model",
+                "addr",
+                "threads",
+                "batch-threads",
+                "kernel",
+                "request-timeout-ms",
+                "idle-timeout-ms",
+                "max-request-bytes",
+                "max-queue",
+            ])?;
             cmd_serve(args)
         }
         "bench-serve" => {
-            args.check_known(&["addr", "connections", "requests", "batch", "json", "seed"])?;
+            args.check_known(&[
+                "addr",
+                "connections",
+                "requests",
+                "batch",
+                "json",
+                "seed",
+                "retries",
+                "timeout-ms",
+            ])?;
             cmd_bench_serve(args)
         }
         "help" | "--help" | "-h" => {
@@ -155,9 +174,14 @@ pub fn print_help() {
          \x20             [--config imp-11] [--threads auto]          fit once, write a model artifact\n\
          \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
          \x20             [--threads auto] [--batch-threads seq]\n\
-         \x20             [--kernel compiled]                         TCP inference server (NDJSON)\n\
+         \x20             [--kernel compiled]\n\
+         \x20             [--request-timeout-ms 10000]\n\
+         \x20             [--idle-timeout-ms 60000]\n\
+         \x20             [--max-request-bytes 67108864]\n\
+         \x20             [--max-queue 0]                             TCP inference server (NDJSON)\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
-         \x20             [--requests 50] [--batch 64] [--json FILE]  load-test a running server\n\
+         \x20             [--requests 50] [--batch 64] [--json FILE]\n\
+         \x20             [--retries 3] [--timeout-ms 30000]          load-test a running server\n\
          \x20 help                                                    this text\n\
          \n\
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
@@ -166,7 +190,10 @@ pub fn print_help() {
          --kernel takes 'compiled' (flattened ensemble, batched; default)\n\
          or 'reference'; scores are bit-identical either way.\n\
          --model FILE loads a 'train' artifact instead of retraining; the\n\
-         artifact records its own configuration, so --config is rejected."
+         artifact records its own configuration, so --config is rejected.\n\
+         serve timeouts/caps take 0 to disable (--max-queue 0 = 2x pool);\n\
+         an overloaded server sheds connections with a Busy reply, which\n\
+         bench-serve retries up to --retries times with backoff."
     );
 }
 
@@ -457,10 +484,15 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("--model FILE required".into()))?
         .into();
     let addr: String = args.get_str("addr").unwrap_or("127.0.0.1:7878").into();
+    let defaults = ServeOptions::default();
     let options = ServeOptions {
         workers: args.get_or("threads", Parallelism::Auto)?,
         batch: args.get_or("batch-threads", Parallelism::Sequential)?,
         kernel: args.get_or("kernel", Kernel::Compiled)?,
+        request_timeout_ms: args.get_or("request-timeout-ms", defaults.request_timeout_ms)?,
+        idle_timeout_ms: args.get_or("idle-timeout-ms", defaults.idle_timeout_ms)?,
+        max_request_bytes: args.get_or("max-request-bytes", defaults.max_request_bytes)?,
+        max_queue: args.get_or("max-queue", defaults.max_queue)?,
     };
     let model = ModelArtifact::load(Path::new(&model_path))?.into_trained()?;
     let listener = TcpListener::bind(&addr)?;
@@ -475,9 +507,17 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     std::io::stdout().flush()?;
     let stats = serve(model, listener, &options)?;
     println!(
-        "shutdown after {} requests ({} errors, {} pairs scored); \
-         latency p50 {} us, p95 {} us, p99 {} us",
-        stats.requests, stats.errors, stats.pairs_scored, stats.p50_us, stats.p95_us, stats.p99_us
+        "shutdown after {} requests ({} errors, {} io errors, {} shed, {} timeouts, \
+         {} pairs scored); latency p50 {} us, p95 {} us, p99 {} us",
+        stats.requests,
+        stats.errors,
+        stats.io_errors,
+        stats.shed,
+        stats.timeouts,
+        stats.pairs_scored,
+        stats.p50_us,
+        stats.p95_us,
+        stats.p99_us
     );
     Ok(())
 }
@@ -488,11 +528,17 @@ fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("--addr HOST:PORT required".into()))?
         .into();
     let defaults = BenchConfig::default();
+    let io_ms: u64 = args.get_or("timeout-ms", defaults.timeouts.io_ms)?;
     let config = BenchConfig {
         connections: args.get_or("connections", defaults.connections)?,
         requests_per_connection: args.get_or("requests", defaults.requests_per_connection)?,
         batch_size: args.get_or("batch", defaults.batch_size)?,
         seed: args.get_or("seed", defaults.seed)?,
+        timeouts: ClientTimeouts {
+            io_ms,
+            ..defaults.timeouts
+        },
+        retry: RetryPolicy::with_retries(args.get_or("retries", 3u32)?),
     };
     if config.connections == 0 || config.requests_per_connection == 0 || config.batch_size == 0 {
         return Err(CliError::Usage(
@@ -648,6 +694,48 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn hardening_flags_reject_garbage_with_typed_errors() {
+        // The robustness knobs must fail closed on malformed values —
+        // before any model file is touched.
+        for (tokens, flag) in [
+            (
+                &["serve", "--model", "x", "--request-timeout-ms", "soon"][..],
+                "request-timeout-ms",
+            ),
+            (
+                &["serve", "--model", "x", "--idle-timeout-ms", "-5"][..],
+                "idle-timeout-ms",
+            ),
+            (
+                &["serve", "--model", "x", "--max-request-bytes", "big"][..],
+                "max-request-bytes",
+            ),
+            (
+                &["serve", "--model", "x", "--max-queue", "deep"][..],
+                "max-queue",
+            ),
+            (
+                &["bench-serve", "--addr", "x", "--retries", "forever"][..],
+                "retries",
+            ),
+            (
+                &["bench-serve", "--addr", "x", "--timeout-ms", "never"][..],
+                "timeout-ms",
+            ),
+        ] {
+            let err = dispatch_tokens(tokens).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    CliError::Args(crate::args::ParseArgsError::BadValue { flag: ref f, .. })
+                        if f == flag
+                ),
+                "{tokens:?} -> {err:?}"
+            );
+        }
     }
 
     #[test]

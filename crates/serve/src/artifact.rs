@@ -290,13 +290,39 @@ impl ModelArtifact {
         Ok(artifact)
     }
 
-    /// Writes the artifact to `path`.
+    /// Writes the artifact to `path` crash-safely: the bytes go to a
+    /// `.tmp` sibling first, are fsynced, and only then atomically
+    /// renamed over `path`. A crash mid-save therefore leaves either the
+    /// previous artifact or a stray `.tmp` — never a truncated file at
+    /// `path` (and even a truncated file fails loading with a typed
+    /// checksum/structure error, see
+    /// [`ModelArtifact::decode`]).
     ///
     /// # Errors
     ///
-    /// Returns [`ArtifactError::Io`] on filesystem failure.
+    /// Returns [`ArtifactError::Io`] on filesystem failure; the `.tmp`
+    /// sibling is removed best-effort on the error path.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        std::fs::write(path, self.encode())?;
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return Err(ArtifactError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("artifact path {} has no file name", path.display()),
+            )));
+        };
+        let tmp = path.with_file_name(format!("{name}.tmp"));
+        let write_then_sync = (|| {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.encode().as_bytes())?;
+            // Data must be durable *before* the rename publishes it, or
+            // a crash could atomically install an empty file.
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write_then_sync {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(ArtifactError::Io(e));
+        }
         Ok(())
     }
 
@@ -388,6 +414,63 @@ mod tests {
             ModelArtifact::decode("not json\nnot json either\n"),
             Err(ArtifactError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_truncated_files_load_as_typed_errors() {
+        let art = ModelArtifact::from_trained(&small_model(), TrainMeta::default());
+        let dir = std::env::temp_dir().join("smserve_atomic_save");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.artifact");
+        art.save(&path).expect("saves");
+        assert!(
+            !dir.join("model.artifact.tmp").exists(),
+            "the staging file must be renamed away on success"
+        );
+        let text = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(
+            ModelArtifact::load(&path).expect("loads"),
+            art,
+            "atomic save round-trips"
+        );
+
+        // A crash mid-write manifests as a truncated file. At *every*
+        // sampled truncation point the loader must answer with a typed
+        // ArtifactError — never a panic, never a silently-loaded model.
+        let cut_points = [
+            0,
+            1,
+            text.len() / 4,
+            text.find('\n').expect("two lines"), // header only
+            text.find('\n').expect("two lines") + 1, // header + empty payload
+            text.len() / 2,
+            text.len() - 2,
+        ];
+        for cut in cut_points {
+            std::fs::write(&path, &text[..cut]).expect("writes truncation");
+            let err = ModelArtifact::load(&path).expect_err("truncated must fail");
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Malformed(_)
+                        | ArtifactError::ChecksumMismatch { .. }
+                        | ArtifactError::Payload(_)
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+
+        // Saving over a corrupt file repairs it (rename replaces).
+        art.save(&path).expect("saves again");
+        assert_eq!(ModelArtifact::load(&path).expect("loads"), art);
+
+        // A directory path (no file name) is a typed Io error.
+        assert!(matches!(
+            art.save(Path::new("/")),
+            Err(ArtifactError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

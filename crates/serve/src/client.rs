@@ -1,14 +1,15 @@
-//! Blocking protocol client and the `bench-serve` load driver.
+//! Blocking protocol client, retry policy, and the `bench-serve` load
+//! driver.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorCode, Request, Response, StatsSnapshot};
 
 /// Client-side failure talking to a `splitmfg serve` instance.
 #[derive(Debug)]
@@ -17,8 +18,30 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server's reply line was not a valid protocol response.
     Protocol(String),
-    /// The server answered with [`Response::Error`].
-    Remote(String),
+    /// The server shed the connection with [`Response::Busy`].
+    Busy {
+        /// The server's backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server answered with [`Response::Error`] — a semantic
+    /// rejection of this request, never retried.
+    Remote {
+        /// Machine-readable failure class from the server.
+        code: ErrorCode,
+        /// The server's human-readable description.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// Whether a retry of the same request can plausibly succeed:
+    /// transport failures and shed connections are retryable, semantic
+    /// rejections ([`ClientError::Remote`]) and protocol violations are
+    /// not.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Busy { .. })
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -26,7 +49,12 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
-            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
         }
     }
 }
@@ -39,6 +67,36 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Socket deadlines for [`Client::connect_with`]; `0` disables the
+/// respective deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// TCP connect deadline, milliseconds.
+    pub connect_ms: u64,
+    /// Per-call read/write deadline, milliseconds.
+    pub io_ms: u64,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        Self {
+            connect_ms: 2_000,
+            io_ms: 30_000,
+        }
+    }
+}
+
+impl ClientTimeouts {
+    /// No deadlines at all (block forever), the pre-hardening behavior.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            connect_ms: 0,
+            io_ms: 0,
+        }
+    }
+}
+
 /// A persistent connection to a serve instance: one request line out, one
 /// response line back, any number of times.
 pub struct Client {
@@ -47,14 +105,48 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with no socket deadlines (a dead server can
+    /// block forever; prefer [`Client::connect_with`]).
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Io`] if the connection cannot be opened.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?, ClientTimeouts::unbounded())
+    }
+
+    /// Connects to `addr` under `timeouts`: the connect itself must
+    /// complete within `connect_ms`, and every subsequent read/write
+    /// within `io_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] if resolution or connection fails.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeouts: ClientTimeouts,
+    ) -> Result<Self, ClientError> {
+        let stream = if timeouts.connect_ms == 0 {
+            TcpStream::connect(addr)?
+        } else {
+            let sock_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                ))
+            })?;
+            TcpStream::connect_timeout(&sock_addr, Duration::from_millis(timeouts.connect_ms))?
+        };
+        Self::from_stream(stream, timeouts)
+    }
+
+    fn from_stream(stream: TcpStream, timeouts: ClientTimeouts) -> Result<Self, ClientError> {
         let _ = stream.set_nodelay(true);
+        if timeouts.io_ms > 0 {
+            let io = Some(Duration::from_millis(timeouts.io_ms));
+            stream.set_read_timeout(io)?;
+            stream.set_write_timeout(io)?;
+        }
         let write_half = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
@@ -68,9 +160,10 @@ impl Client {
     ///
     /// [`ClientError::Io`] on socket failure or server close,
     /// [`ClientError::Protocol`] if the reply is not a response line. A
-    /// [`Response::Error`] reply is returned as a normal `Ok` response so
-    /// callers can distinguish per-request failures from dead connections;
-    /// use [`Client::call_ok`] to promote it to [`ClientError::Remote`].
+    /// [`Response::Error`] or [`Response::Busy`] reply is returned as a
+    /// normal `Ok` response so callers can distinguish per-request
+    /// failures from dead connections; use [`Client::call_ok`] to promote
+    /// them to [`ClientError::Remote`] / [`ClientError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let line = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
@@ -90,16 +183,187 @@ impl Client {
     }
 
     /// [`Client::call`], but a [`Response::Error`] reply becomes
-    /// [`ClientError::Remote`].
+    /// [`ClientError::Remote`] and a [`Response::Busy`] reply becomes
+    /// [`ClientError::Busy`].
     ///
     /// # Errors
     ///
-    /// As [`Client::call`], plus [`ClientError::Remote`].
+    /// As [`Client::call`], plus [`ClientError::Remote`] and
+    /// [`ClientError::Busy`].
     pub fn call_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
         match self.call(request)? {
-            Response::Error { message } => Err(ClientError::Remote(message)),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            Response::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
             other => Ok(other),
         }
+    }
+}
+
+/// Bounded-retry schedule: exponential backoff with deterministic,
+/// seed-derived jitter. Retries apply **only** to transport failures and
+/// `Busy` sheds ([`ClientError::is_retryable`]); a semantic
+/// [`ClientError::Remote`] is final on the first attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `1` means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter hash — the schedule is a pure function of
+    /// `(seed, retry index)`, so tests and reproductions see identical
+    /// delays.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 25,
+            max_backoff_ms: 1_000,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality hash for deterministic jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A default-shaped policy allowing `retries` retries after the
+    /// first attempt.
+    #[must_use]
+    pub fn with_retries(retries: u32) -> Self {
+        Self {
+            max_attempts: retries.saturating_add(1),
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry `retry` (1-based), in milliseconds:
+    /// "equal jitter" around the exponential envelope — half the capped
+    /// exponential plus a seeded-hash fraction of the other half.
+    /// Deterministic: the same `(jitter_seed, retry)` always yields the
+    /// same delay.
+    #[must_use]
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let exp = retry.saturating_sub(1).min(20);
+        let envelope = self
+            .base_backoff_ms
+            .saturating_mul(1 << exp)
+            .min(self.max_backoff_ms);
+        let half = envelope / 2;
+        half + splitmix64(self.jitter_seed ^ u64::from(retry)) % (envelope - half + 1)
+    }
+}
+
+/// A [`Client`] wrapper that transparently reconnects and retries under a
+/// [`RetryPolicy`]: `Io` failures and `Busy` sheds are retried (with the
+/// server's `retry_after_ms` hint respected as a floor), semantic
+/// [`ClientError::Remote`] replies are returned immediately.
+pub struct RetryingClient {
+    addr: String,
+    timeouts: ClientTimeouts,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    retries: u64,
+    busy_retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates a lazy client for `addr`; the first [`Self::call`]
+    /// connects.
+    #[must_use]
+    pub fn new(addr: &str, timeouts: ClientTimeouts, policy: RetryPolicy) -> Self {
+        Self {
+            addr: addr.to_owned(),
+            timeouts,
+            policy,
+            conn: None,
+            retries: 0,
+            busy_retries: 0,
+        }
+    }
+
+    /// Retries performed so far across all calls (a call that succeeds
+    /// on its first attempt contributes 0).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The subset of [`Self::retries`] caused by [`Response::Busy`]
+    /// sheds (as opposed to transport failures) — lets callers audit a
+    /// server's `shed` counter exactly.
+    #[must_use]
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Sends `request`, reconnecting and retrying per the policy.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once the policy is exhausted, or
+    /// immediately for non-retryable failures ([`ClientError::Remote`],
+    /// [`ClientError::Protocol`]).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_retryable() => {
+                    // The connection is dead (Io) or about to be closed
+                    // by the server (Busy): reconnect on the next try.
+                    self.conn = None;
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    let mut delay = self.policy.backoff_ms(attempt);
+                    if let ClientError::Busy { retry_after_ms } = e {
+                        self.busy_retries += 1;
+                        delay = delay.max(retry_after_ms);
+                    }
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Protocol(_)) {
+                        // The stream is desynchronized; don't reuse it.
+                        self.conn = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_with(self.addr.as_str(), self.timeouts)?);
+        }
+        self.conn
+            .as_mut()
+            .expect("connection just established")
+            .call_ok(request)
     }
 }
 
@@ -124,6 +388,11 @@ pub struct BenchConfig {
     pub batch_size: usize,
     /// Seed for the synthetic feature vectors.
     pub seed: u64,
+    /// Socket deadlines for every bench connection.
+    pub timeouts: ClientTimeouts,
+    /// Retry policy for every bench request (the per-connection jitter
+    /// seed is further mixed with the connection index).
+    pub retry: RetryPolicy,
 }
 
 impl Default for BenchConfig {
@@ -133,6 +402,8 @@ impl Default for BenchConfig {
             requests_per_connection: 50,
             batch_size: 64,
             seed: 0xbe7c,
+            timeouts: ClientTimeouts::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -147,8 +418,11 @@ pub struct BenchReport {
     pub total_requests: u64,
     /// Total candidate pairs scored (requests × batch size).
     pub total_pairs: u64,
-    /// Requests that failed (remote error or transport failure).
+    /// Requests that failed even after retries.
     pub errors: u64,
+    /// Reconnect-and-retry attempts consumed across all connections
+    /// (`Busy` sheds and transport failures that were recovered).
+    pub retries: u64,
     /// Wall-clock duration of the whole run, seconds.
     pub wall_s: f64,
     /// Completed requests per second.
@@ -163,14 +437,23 @@ pub struct BenchReport {
     pub p99_us: u64,
     /// Worst request latency, microseconds.
     pub max_us: u64,
+    /// The server's own counters sampled right after the run (shed /
+    /// timed-out / failed connections are visible here), when the final
+    /// `Stats` probe succeeded.
+    pub server_stats: Option<StatsSnapshot>,
 }
 
 impl std::fmt::Display for BenchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} connections, {} requests ({} pairs), {} errors in {:.3} s",
-            self.connections, self.total_requests, self.total_pairs, self.errors, self.wall_s
+            "{} connections, {} requests ({} pairs), {} errors, {} retries in {:.3} s",
+            self.connections,
+            self.total_requests,
+            self.total_pairs,
+            self.errors,
+            self.retries,
+            self.wall_s
         )?;
         writeln!(
             f,
@@ -181,14 +464,22 @@ impl std::fmt::Display for BenchReport {
             f,
             "latency    : p50 {} us, p95 {} us, p99 {} us, max {} us",
             self.p50_us, self.p95_us, self.p99_us, self.max_us
-        )
+        )?;
+        if let Some(stats) = &self.server_stats {
+            write!(
+                f,
+                "\nserver     : {} requests, {} errors, {} io_errors, {} shed, {} timeouts",
+                stats.requests, stats.errors, stats.io_errors, stats.shed, stats.timeouts
+            )?;
+        }
+        Ok(())
     }
 }
 
-/// Drives `connections` concurrent clients against a running server, each
-/// issuing `requests_per_connection` `ScorePairs` batches of deterministic
-/// synthetic feature vectors, and reports throughput and latency
-/// percentiles.
+/// Drives `connections` concurrent retrying clients against a running
+/// server, each issuing `requests_per_connection` `ScorePairs` batches of
+/// deterministic synthetic feature vectors, and reports throughput,
+/// latency percentiles, retries, and the server's post-run counters.
 ///
 /// # Errors
 ///
@@ -197,7 +488,7 @@ impl std::fmt::Display for BenchReport {
 /// the report instead.
 pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientError> {
     // One up-front probe learns the model's feature count and fails fast.
-    let features = match Client::connect(addr)?.call_ok(&Request::Health)? {
+    let features = match Client::connect_with(addr, config.timeouts)?.call_ok(&Request::Health)? {
         Response::Health { features, .. } => features,
         other => {
             return Err(ClientError::Protocol(format!(
@@ -206,16 +497,18 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         }
     };
     let start = Instant::now();
-    let per_conn: Vec<(Vec<u64>, u64)> = sm_ml::par_map(
+    let per_conn: Vec<(Vec<u64>, u64, u64)> = sm_ml::par_map(
         sm_ml::Parallelism::Threads(config.connections.max(1)),
         config.connections,
         |conn| {
             let mut latencies = Vec::with_capacity(config.requests_per_connection);
             let mut errors = 0u64;
             let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ ((conn as u64) << 17));
-            let Ok(mut client) = Client::connect(addr) else {
-                return (latencies, config.requests_per_connection as u64);
+            let policy = RetryPolicy {
+                jitter_seed: config.retry.jitter_seed ^ ((conn as u64) << 23),
+                ..config.retry
             };
+            let mut client = RetryingClient::new(addr, config.timeouts, policy);
             for _ in 0..config.requests_per_connection {
                 let batch: Vec<Vec<f64>> = (0..config.batch_size)
                     .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
@@ -228,24 +521,33 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
                     Ok(_) | Err(_) => errors += 1,
                 }
             }
-            (latencies, errors)
+            (latencies, errors, client.retries())
         },
     );
     let wall_s = start.elapsed().as_secs_f64();
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0u64;
-    for (lat, err) in per_conn {
+    let mut retries = 0u64;
+    for (lat, err, ret) in per_conn {
         latencies.extend(lat);
         errors += err;
+        retries += ret;
     }
     latencies.sort_unstable();
     let total_requests = latencies.len() as u64;
     let total_pairs = total_requests * config.batch_size as u64;
+    let server_stats = match Client::connect_with(addr, config.timeouts)
+        .and_then(|mut c| c.call_ok(&Request::Stats))
+    {
+        Ok(Response::Stats { stats }) => Some(stats),
+        _ => None,
+    };
     Ok(BenchReport {
         connections: config.connections,
         total_requests,
         total_pairs,
         errors,
+        retries,
         wall_s,
         requests_per_s: total_requests as f64 / wall_s.max(1e-9),
         pairs_per_s: total_pairs as f64 / wall_s.max(1e-9),
@@ -253,6 +555,7 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         p95_us: percentile_us(&latencies, 95.0),
         p99_us: percentile_us(&latencies, 99.0),
         max_us: latencies.last().copied().unwrap_or(0),
+        server_stats,
     })
 }
 
@@ -277,6 +580,7 @@ mod tests {
             total_requests: 10,
             total_pairs: 640,
             errors: 1,
+            retries: 3,
             wall_s: 0.5,
             requests_per_s: 20.0,
             pairs_per_s: 1280.0,
@@ -284,13 +588,216 @@ mod tests {
             p95_us: 20,
             p99_us: 30,
             max_us: 40,
+            server_stats: Some(StatsSnapshot {
+                requests: 11,
+                errors: 1,
+                io_errors: 2,
+                shed: 3,
+                timeouts: 4,
+                ..StatsSnapshot::default()
+            }),
         };
         let text = report.to_string();
-        for needle in ["2 connections", "1 errors", "p95 20 us", "1280 pairs/s"] {
+        for needle in [
+            "2 connections",
+            "1 errors",
+            "3 retries",
+            "p95 20 us",
+            "1280 pairs/s",
+            "3 shed",
+            "4 timeouts",
+        ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
         let back: BenchReport =
             serde_json::from_str(&serde_json::to_string(&report).expect("ser")).expect("de");
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 25,
+            max_backoff_ms: 400,
+            jitter_seed: 42,
+        };
+        let schedule: Vec<u64> = (1..=7).map(|r| policy.backoff_ms(r)).collect();
+        // Deterministic: the same seed reproduces the same delays.
+        let again: Vec<u64> = (1..=7).map(|r| policy.backoff_ms(r)).collect();
+        assert_eq!(schedule, again);
+        // Each delay lives in the "equal jitter" envelope
+        // [env/2, env] for env = min(base * 2^(r-1), max).
+        for (k, &delay) in schedule.iter().enumerate() {
+            let envelope = (25u64 << k).min(400);
+            assert!(
+                delay >= envelope / 2 && delay <= envelope,
+                "retry {}: {delay} outside [{}, {envelope}]",
+                k + 1,
+                envelope / 2
+            );
+        }
+        // A different seed jitters differently somewhere in the schedule.
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        let shifted: Vec<u64> = (1..=7).map(|r| other.backoff_ms(r)).collect();
+        assert_ne!(schedule, shifted, "jitter must depend on the seed");
+        // And the envelope saturates instead of overflowing.
+        assert!(policy.backoff_ms(u32::MAX) <= 400);
+    }
+
+    #[test]
+    fn retry_policy_constructors_bound_attempts() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::with_retries(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::with_retries(3).max_attempts, 4);
+        assert_eq!(RetryPolicy::with_retries(u32::MAX).max_attempts, u32::MAX);
+    }
+
+    #[test]
+    fn error_classification_matches_the_retry_rule() {
+        let io = ClientError::Io(std::io::Error::other("x"));
+        let busy = ClientError::Busy { retry_after_ms: 5 };
+        let remote = ClientError::Remote {
+            code: ErrorCode::BadRequest,
+            message: "nope".into(),
+        };
+        let protocol = ClientError::Protocol("garbled".into());
+        assert!(io.is_retryable());
+        assert!(busy.is_retryable());
+        assert!(!remote.is_retryable(), "semantic errors are final");
+        assert!(!protocol.is_retryable());
+        assert!(busy.to_string().contains("retry after 5 ms"));
+        assert!(remote.to_string().contains("[bad_request]"));
+    }
+
+    /// A scripted single-shot TCP peer: for each accepted connection it
+    /// sends the next canned reply line after reading one line, then
+    /// closes. Lets retry behavior be tested without a real model.
+    fn scripted_server(replies: Vec<Option<Response>>) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for reply in replies {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                if let Some(response) = reply {
+                    let mut out = serde_json::to_string(&response).expect("ser");
+                    out.push('\n');
+                    let _ = (&stream).write_all(out.as_bytes());
+                }
+                // `None` (and fall-through) close the connection.
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn busy_then_success_costs_exactly_one_retry() {
+        let addr = scripted_server(vec![
+            Some(Response::Busy { retry_after_ms: 1 }),
+            Some(Response::Health {
+                model: "Imp-9".into(),
+                features: 9,
+                trees: 10,
+                artifact_version: 1,
+            }),
+        ]);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            jitter_seed: 7,
+        };
+        let mut client = RetryingClient::new(
+            &addr.to_string(),
+            ClientTimeouts {
+                connect_ms: 2_000,
+                io_ms: 2_000,
+            },
+            policy,
+        );
+        match client.call(&Request::Health).expect("retry succeeds") {
+            Response::Health { model, .. } => assert_eq!(model, "Imp-9"),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        assert_eq!(client.retries(), 1, "exactly one retry consumed");
+    }
+
+    #[test]
+    fn remote_errors_are_never_retried() {
+        let addr = scripted_server(vec![
+            Some(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "bad batch".into(),
+            }),
+            // A second accept would absorb an (incorrect) retry; the
+            // assertion on retries() proves it was never consumed.
+            Some(Response::Health {
+                model: "never".into(),
+                features: 0,
+                trees: 0,
+                artifact_version: 1,
+            }),
+        ]);
+        let mut client = RetryingClient::new(
+            &addr.to_string(),
+            ClientTimeouts {
+                connect_ms: 2_000,
+                io_ms: 2_000,
+            },
+            RetryPolicy {
+                max_attempts: 5,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                jitter_seed: 7,
+            },
+        );
+        let err = client.call(&Request::Health).expect_err("remote is final");
+        assert!(
+            matches!(
+                err,
+                ClientError::Remote {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(client.retries(), 0);
+    }
+
+    #[test]
+    fn attempts_are_bounded_when_every_try_fails() {
+        // Three Busy replies, then the server thread stops accepting: a
+        // 3-attempt policy must consume exactly 2 retries and surface
+        // the last Busy.
+        let addr = scripted_server(vec![
+            Some(Response::Busy { retry_after_ms: 1 }),
+            Some(Response::Busy { retry_after_ms: 1 }),
+            Some(Response::Busy { retry_after_ms: 1 }),
+        ]);
+        let mut client = RetryingClient::new(
+            &addr.to_string(),
+            ClientTimeouts {
+                connect_ms: 2_000,
+                io_ms: 2_000,
+            },
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                jitter_seed: 9,
+            },
+        );
+        let err = client.call(&Request::Health).expect_err("exhausts");
+        assert!(matches!(err, ClientError::Busy { .. }), "{err}");
+        assert_eq!(client.retries(), 2, "max_attempts bounds total work");
     }
 }

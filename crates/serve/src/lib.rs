@@ -13,9 +13,15 @@
 //!   `shutdown`).
 //! - [`server`] — a `std::net` TCP accept loop with a bounded worker pool
 //!   (sized by [`sm_ml::Parallelism`]), per-request batching, graceful
-//!   shutdown, and running request/latency/error counters.
-//! - [`client`] — a blocking protocol client plus the `bench-serve` load
-//!   driver reporting throughput and p50/p95/p99 latency.
+//!   shutdown, and running request/latency/error counters. Hardened for
+//!   hostile traffic: idle and mid-request read/write deadlines, a hard
+//!   cap on request-line bytes, `Busy` load shedding when the pool and
+//!   queue are saturated, and exponential backoff on `accept()` errors.
+//! - [`client`] — a blocking protocol client with connect/io deadlines,
+//!   a deterministic [`client::RetryPolicy`] (bounded attempts,
+//!   exponential backoff, seeded jitter; retries only `Io`/`Busy`
+//!   failures), plus the `bench-serve` load driver reporting throughput
+//!   and p50/p95/p99 latency.
 //!
 //! Everything is offline-buildable: no async runtime, only `std::net`,
 //! `std::sync` and the workspace's vendored crates.
@@ -46,6 +52,9 @@ pub mod protocol;
 pub mod server;
 
 pub use artifact::{ArtifactError, ModelArtifact, TrainMeta, ARTIFACT_MAGIC, ARTIFACT_VERSION};
-pub use client::{percentile_us, BenchConfig, BenchReport, Client, ClientError};
-pub use protocol::{AttackSummary, Request, Response, StatsSnapshot};
-pub use server::{pool_size, ServeOptions, ServerHandle};
+pub use client::{
+    percentile_us, BenchConfig, BenchReport, Client, ClientError, ClientTimeouts, RetryPolicy,
+    RetryingClient,
+};
+pub use protocol::{AttackSummary, ErrorCode, Request, Response, StatsSnapshot};
+pub use server::{pool_size, queue_depth, ServeOptions, ServerHandle, BUSY_RETRY_AFTER_MS};

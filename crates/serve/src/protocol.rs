@@ -61,6 +61,59 @@ pub struct AttackSummary {
     pub max_accuracy: f64,
 }
 
+/// Machine-readable classification of a [`Response::Error`], so clients
+/// can tell retryable congestion from fatal misuse without parsing the
+/// message text. On the wire a code is serde's unit-variant encoding
+/// (`"BadRequest"`, `"TooLarge"`, `"Timeout"`); [`ErrorCode::as_str`]
+/// gives the conventional snake_case name for logs and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line did not parse, or its payload was semantically
+    /// invalid (wrong feature-row width, malformed challenge). Retrying
+    /// the same bytes will fail the same way.
+    BadRequest,
+    /// The request line exceeded the server's `max_request_bytes` cap.
+    /// The server closes the connection after this reply (the rest of
+    /// the oversized line is unread). Not retryable as-is.
+    TooLarge,
+    /// The request stalled past the server's mid-request read deadline
+    /// (slow-loris defence). The server closes the connection after
+    /// this reply.
+    Timeout,
+    /// Reserved for [`Response::Busy`]'s code in logs; the server sheds
+    /// load with the dedicated `Busy` variant, which carries a retry
+    /// hint. Retryable after backing off.
+    Busy,
+}
+
+impl ErrorCode {
+    /// The conventional snake_case name (`bad_request`, `too_large`,
+    /// `timeout`, `busy`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Busy => "busy",
+        }
+    }
+
+    /// Whether a client may reasonably retry the same request. Only
+    /// congestion (`busy`) is retryable; the other codes indicate the
+    /// request itself (or its delivery) was defective.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Running server counters, as returned by [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StatsSnapshot {
@@ -68,6 +121,18 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests answered with [`Response::Error`].
     pub errors: u64,
+    /// Connections that ended in a socket-level failure: a read error,
+    /// a response write that could not complete, or a peer that
+    /// vanished mid-request-line (torn frame).
+    pub io_errors: u64,
+    /// Connections shed with [`Response::Busy`] because the worker pool
+    /// and its queue were both full.
+    pub shed: u64,
+    /// Connections closed for exceeding the mid-request read deadline
+    /// (a [`Response::Error`] with [`ErrorCode::Timeout`] is sent
+    /// first, best-effort). Idle connections closed by the idle
+    /// deadline are a normal lifecycle event and are not counted here.
+    pub timeouts: u64,
     /// Total candidate pairs scored across `ScorePairs` and `Attack`.
     pub pairs_scored: u64,
     /// Median request latency in microseconds (0 until data exists).
@@ -115,9 +180,21 @@ pub enum Response {
     /// Answer to [`Request::Shutdown`]; the server stops accepting new
     /// connections after sending this.
     ShuttingDown,
-    /// The request could not be served (parse failure, bad batch shape,
-    /// malformed challenge, ...). The connection stays usable.
+    /// The server is saturated (worker pool and connection queue full)
+    /// and shed this connection instead of queueing it. The connection
+    /// is closed after this reply; reconnect after roughly
+    /// `retry_after_ms`.
+    Busy {
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request could not be served. Whether the connection stays
+    /// usable depends on the code: `bad_request` leaves it open,
+    /// `too_large` and `timeout` close it (the request's remaining
+    /// bytes cannot be safely resynchronized).
     Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
         /// Human-readable description of what was wrong.
         message: String,
     },
@@ -164,6 +241,9 @@ mod tests {
                 stats: StatsSnapshot {
                     requests: 5,
                     errors: 1,
+                    io_errors: 2,
+                    shed: 3,
+                    timeouts: 4,
                     pairs_scored: 1234,
                     p50_us: 40,
                     p95_us: 90,
@@ -175,8 +255,18 @@ mod tests {
                 probs: vec![0.25, 1.0 / 3.0],
             },
             Response::ShuttingDown,
+            Response::Busy { retry_after_ms: 50 },
             Response::Error {
+                code: ErrorCode::BadRequest,
                 message: "bad batch".into(),
+            },
+            Response::Error {
+                code: ErrorCode::TooLarge,
+                message: "request line over the byte cap".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Timeout,
+                message: "request read timed out".into(),
             },
         ];
         for resp in resps {
@@ -184,6 +274,23 @@ mod tests {
             assert!(!line.contains('\n'));
             let back: Response = serde_json::from_str(&line).expect("parses");
             assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn error_codes_name_themselves_and_classify_retryability() {
+        for (code, name, retryable) in [
+            (ErrorCode::BadRequest, "bad_request", false),
+            (ErrorCode::TooLarge, "too_large", false),
+            (ErrorCode::Timeout, "timeout", false),
+            (ErrorCode::Busy, "busy", true),
+        ] {
+            assert_eq!(code.as_str(), name);
+            assert_eq!(code.to_string(), name);
+            assert_eq!(code.retryable(), retryable, "{name}");
+            let line = serde_json::to_string(&code).expect("serializes");
+            let back: ErrorCode = serde_json::from_str(&line).expect("parses");
+            assert_eq!(code, back);
         }
     }
 

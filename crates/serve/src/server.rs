@@ -1,22 +1,30 @@
 //! The TCP inference server: a `std::net` accept loop feeding a bounded
 //! worker pool.
 //!
-//! Connections are handed to `workers` threads over a bounded channel
-//! (backpressure: the accept loop blocks when every worker is busy and the
-//! queue is full). Each worker speaks the newline-delimited JSON protocol
-//! of [`crate::protocol`] for the life of its connection. A `Shutdown`
-//! request flips a flag and wakes the accept loop; already-queued
-//! connections drain before [`serve`] returns the final counter snapshot.
+//! Connections are handed to `workers` threads over a bounded channel.
+//! When the pool and its queue are both full the accept loop does **not**
+//! block: the connection is shed with a [`Response::Busy`] reply carrying
+//! a retry hint, so a flood degrades into fast, explicit rejections
+//! instead of unbounded queueing. Each worker speaks the
+//! newline-delimited JSON protocol of [`crate::protocol`] for the life of
+//! its connection, under per-connection deadlines: an *idle* deadline
+//! while waiting for the first byte of a request and a stricter
+//! *mid-request* deadline once one has started (slow-loris defence), with
+//! request lines capped at `max_request_bytes` (a bounded reader rejects
+//! oversized lines with a typed error instead of buffering them). A
+//! `Shutdown` request flips a flag and wakes the accept loop;
+//! already-queued connections drain before [`serve`] returns the final
+//! counter snapshot.
 //!
 //! Scoring is bit-identical to in-process use: the server calls the same
 //! [`TrainedAttack`] entry points, and the JSON transport round-trips
 //! `f64` exactly.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sm_attack::attack::{Kernel, ScoreOptions};
 use sm_attack::TrainedAttack;
@@ -25,11 +33,24 @@ use sm_ml::{par_chunks, CompiledEnsemble, Parallelism};
 
 use crate::artifact::ARTIFACT_VERSION;
 use crate::client::percentile_us;
-use crate::protocol::{AttackSummary, Request, Response, StatsSnapshot};
+use crate::protocol::{AttackSummary, ErrorCode, Request, Response, StatsSnapshot};
 
-/// Cap on retained per-request latency samples (oldest kept; recording
-/// stops at the cap so a long-lived server's memory stays bounded).
+/// Cap on retained per-request latency samples. The store is a ring:
+/// once full, new samples overwrite the oldest, so a long-lived server
+/// reports *current* percentiles from bounded memory instead of freezing
+/// on its first hour of traffic.
 const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// Backoff hint carried by [`Response::Busy`] when a connection is shed.
+pub const BUSY_RETRY_AFTER_MS: u64 = 50;
+
+/// First sleep after a failed `accept()`; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_MAX`] so a persistent listener-level
+/// error (EMFILE, ENOBUFS, ...) cannot hot-spin the accept loop.
+const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Ceiling for the accept-error backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +68,25 @@ pub struct ServeOptions {
     /// Scoring kernel for `ScorePairs` and `Attack` requests. Results are
     /// bit-identical across kernels; `Compiled` is the fast default.
     pub kernel: Kernel,
+    /// Mid-request deadline in milliseconds: once the first byte of a
+    /// request line has arrived, the full line must arrive (and the
+    /// response must write) within this budget, or the connection is
+    /// closed with an [`ErrorCode::Timeout`] reply. `0` disables the
+    /// deadline.
+    pub request_timeout_ms: u64,
+    /// Idle deadline in milliseconds: how long a connection may sit
+    /// between requests before the server quietly closes it, freeing
+    /// the worker. `0` disables the deadline.
+    pub idle_timeout_ms: u64,
+    /// Hard cap on one request line's bytes. A longer line is answered
+    /// with an [`ErrorCode::TooLarge`] error and the connection is
+    /// closed — the server never buffers more than this per connection.
+    pub max_request_bytes: usize,
+    /// Depth of the pending-connection queue between the accept loop
+    /// and the worker pool. `0` means automatic (twice the pool size).
+    /// When the queue is full, new connections are shed with
+    /// [`Response::Busy`] instead of blocking the accept loop.
+    pub max_queue: usize,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +95,10 @@ impl Default for ServeOptions {
             workers: Parallelism::Auto,
             batch: Parallelism::Sequential,
             kernel: Kernel::Compiled,
+            request_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
+            max_request_bytes: 64 * 1024 * 1024,
+            max_queue: 0,
         }
     }
 }
@@ -71,6 +115,67 @@ pub fn pool_size(workers: Parallelism) -> usize {
     }
 }
 
+/// Resolves the pending-connection queue depth for `options` (`max_queue`
+/// of 0 means twice the worker pool, never less than 1).
+pub fn queue_depth(options: &ServeOptions) -> usize {
+    if options.max_queue == 0 {
+        2 * pool_size(options.workers)
+    } else {
+        options.max_queue
+    }
+    .max(1)
+}
+
+/// `0` milliseconds means "no deadline".
+fn timeout_of(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Sleep applied after the `n`-th consecutive `accept()` failure
+/// (1-based): exponential from [`ACCEPT_BACKOFF_BASE`] capped at
+/// [`ACCEPT_BACKOFF_MAX`].
+fn accept_backoff(consecutive_failures: u32) -> Duration {
+    let exp = consecutive_failures.saturating_sub(1).min(16);
+    ACCEPT_BACKOFF_MAX.min(ACCEPT_BACKOFF_BASE.saturating_mul(1 << exp))
+}
+
+/// Fixed-capacity ring of latency samples: pushes past the capacity
+/// overwrite the oldest sample, so percentiles always describe recent
+/// traffic from bounded memory.
+struct LatencyRing {
+    samples: Vec<u64>,
+    cap: usize,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+impl LatencyRing {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            cap: cap.max(1),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, sample: u64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// The retained samples, sorted ascending (a copy; the ring order is
+    /// an implementation detail).
+    fn sorted(&self) -> Vec<u64> {
+        let mut out = self.samples.clone();
+        out.sort_unstable();
+        out
+    }
+}
+
 struct ServerState {
     model: TrainedAttack,
     /// The ensemble lowered once at server start; shared read-only by all
@@ -82,24 +187,26 @@ struct ServerState {
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+    io_errors: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
     pairs_scored: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Mutex<LatencyRing>,
 }
 
 impl ServerState {
     fn record_latency(&self, us: u64) {
-        let mut lat = self.latencies_us.lock().expect("latency lock");
-        if lat.len() < MAX_LATENCY_SAMPLES {
-            lat.push(us);
-        }
+        self.latencies_us.lock().expect("latency lock").push(us);
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let mut lat = self.latencies_us.lock().expect("latency lock").clone();
-        lat.sort_unstable();
+        let lat = self.latencies_us.lock().expect("latency lock").sorted();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
             p50_us: percentile_us(&lat, 50.0),
             p95_us: percentile_us(&lat, 95.0),
@@ -114,8 +221,10 @@ impl ServerState {
 ///
 /// # Errors
 ///
-/// Returns an [`std::io::Error`] only for listener-level failures;
-/// per-connection i/o errors just end that connection.
+/// Returns an [`std::io::Error`] only for listener-level failures that
+/// occur before serving starts; transient `accept()` errors are retried
+/// with exponential backoff and per-connection i/o errors just end that
+/// connection.
 pub fn serve(
     model: TrainedAttack,
     listener: TcpListener,
@@ -131,11 +240,14 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        io_errors: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
         pairs_scored: AtomicU64::new(0),
-        latencies_us: Mutex::new(Vec::new()),
+        latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
     };
     let workers = pool_size(options.workers);
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(2 * workers);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth(options));
     let rx = Mutex::new(rx);
     let state_ref = &state;
     let rx_ref = &rx;
@@ -149,19 +261,48 @@ pub fn serve(
                 }
             });
         }
-        for incoming in listener.incoming() {
-            if state_ref.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let Ok(stream) = incoming else { continue };
-            if tx.send(stream).is_err() {
-                break;
+        let mut accept_failures = 0u32;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accept_failures = 0;
+                    if state_ref.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => shed_connection(stream, state_ref),
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(_) => {
+                    if state_ref.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    accept_failures = accept_failures.saturating_add(1);
+                    std::thread::sleep(accept_backoff(accept_failures));
+                }
             }
         }
         drop(tx);
     })
     .expect("server worker panicked");
     Ok(state.snapshot())
+}
+
+/// Load shedding: the pool and queue are full, so answer `stream` with a
+/// `Busy` hint (best-effort, under a short write deadline so a
+/// non-reading client cannot stall the accept loop) and drop it.
+fn shed_connection(stream: TcpStream, state: &ServerState) {
+    state.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(BUSY_RETRY_AFTER_MS)));
+    let mut line = serde_json::to_string(&Response::Busy {
+        retry_after_ms: BUSY_RETRY_AFTER_MS,
+    })
+    .expect("responses always serialize");
+    line.push('\n');
+    let _ = (&stream).write_all(line.as_bytes());
 }
 
 /// A server running on a background thread — the test/CLI-friendly way to
@@ -208,6 +349,114 @@ impl ServerHandle {
     }
 }
 
+/// Why [`BoundedLineReader::read_line`] stopped.
+enum LineOutcome {
+    /// A complete line (newline stripped) within the byte cap.
+    Line,
+    /// The line exceeded `max_request_bytes`; its tail is unread.
+    TooLarge,
+    /// No request started within the idle deadline.
+    IdleTimeout,
+    /// A request started but stalled past the mid-request deadline.
+    RequestTimeout,
+    /// Peer closed the connection; `mid_line` means it died inside a
+    /// request line (a torn frame, counted as an i/o error).
+    Closed {
+        /// Whether unterminated request bytes had already arrived.
+        mid_line: bool,
+    },
+    /// Socket-level read failure.
+    Err,
+}
+
+/// A line reader with a hard byte cap and idle/mid-request deadlines,
+/// reading directly from the socket so the server never buffers more
+/// than `max_bytes + 4096` per connection — `read_line` into an
+/// unbounded `String` was an OOM lever for hostile clients.
+struct BoundedLineReader<'a> {
+    stream: &'a TcpStream,
+    /// Bytes received but not yet consumed into a line (pipelining).
+    carry: Vec<u8>,
+    max_bytes: usize,
+    idle_timeout: Option<Duration>,
+    request_timeout: Option<Duration>,
+}
+
+impl<'a> BoundedLineReader<'a> {
+    fn new(
+        stream: &'a TcpStream,
+        max_bytes: usize,
+        idle_timeout: Option<Duration>,
+        request_timeout: Option<Duration>,
+    ) -> Self {
+        Self {
+            stream,
+            carry: Vec::new(),
+            max_bytes,
+            idle_timeout,
+            request_timeout,
+        }
+    }
+
+    /// Reads one `\n`-terminated line into `line` (cleared first,
+    /// newline stripped). The idle deadline applies until the first byte
+    /// of the line arrives; from then on the whole line must complete
+    /// within the mid-request deadline.
+    fn read_line(&mut self, line: &mut Vec<u8>) -> LineOutcome {
+        line.clear();
+        let mut started_at: Option<Instant> = None;
+        loop {
+            if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+                if line.len() + pos > self.max_bytes {
+                    return LineOutcome::TooLarge;
+                }
+                line.extend_from_slice(&self.carry[..pos]);
+                self.carry.drain(..=pos);
+                return LineOutcome::Line;
+            }
+            line.append(&mut self.carry);
+            if line.len() > self.max_bytes {
+                return LineOutcome::TooLarge;
+            }
+            if !line.is_empty() && started_at.is_none() {
+                started_at = Some(Instant::now());
+            }
+            let timeout = match started_at {
+                None => self.idle_timeout,
+                Some(t0) => match self.request_timeout {
+                    None => None,
+                    Some(budget) => match budget.checked_sub(t0.elapsed()) {
+                        Some(left) if !left.is_zero() => Some(left),
+                        _ => return LineOutcome::RequestTimeout,
+                    },
+                },
+            };
+            let _ = self.stream.set_read_timeout(timeout);
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return LineOutcome::Closed {
+                        mid_line: !line.is_empty(),
+                    }
+                }
+                Ok(n) => self.carry.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return if started_at.is_some() {
+                        LineOutcome::RequestTimeout
+                    } else {
+                        LineOutcome::IdleTimeout
+                    };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return LineOutcome::Err,
+            }
+        }
+    }
+}
+
 /// Per-connection scratch reused across requests so a long-lived
 /// connection stops paying an allocation tax on every request (the p99
 /// spikes in `BENCH_serve.json` tracked allocator churn, not compute).
@@ -222,40 +471,120 @@ struct ConnScratch {
     probs: Vec<f64>,
 }
 
+/// Serializes `response` into the scratch buffer and writes it; `false`
+/// means the peer is unwritable (counted by the caller).
+fn write_response(
+    writer: &mut BufWriter<TcpStream>,
+    scratch: &mut ConnScratch,
+    response: &Response,
+) -> bool {
+    serde_json::to_string_buf(response, &mut scratch.out).expect("responses always serialize");
+    scratch.out.push('\n');
+    writer
+        .write_all(scratch.out.as_bytes())
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let _ = stream.set_nodelay(true);
+    let opts = &state.options;
+    // A response write shares the mid-request budget: a peer that stops
+    // reading is indistinguishable from one that stops writing.
+    let _ = stream.set_write_timeout(timeout_of(opts.request_timeout_ms));
     let Ok(write_half) = stream.try_clone() else {
+        state.io_errors.fetch_add(1, Ordering::Relaxed);
         return;
     };
     let mut writer = BufWriter::new(write_half);
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = BoundedLineReader::new(
+        &stream,
+        opts.max_request_bytes,
+        timeout_of(opts.idle_timeout_ms),
+        timeout_of(opts.request_timeout_ms),
+    );
+    let mut line = Vec::new();
     let mut scratch = ConnScratch::default();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+            LineOutcome::Line => {}
+            LineOutcome::TooLarge => {
+                // Typed rejection, then close: the rest of the oversized
+                // line is unread, so the stream cannot be resynchronized.
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &mut scratch,
+                    &Response::Error {
+                        code: ErrorCode::TooLarge,
+                        message: format!(
+                            "request line exceeds the {} byte cap",
+                            state.options.max_request_bytes
+                        ),
+                    },
+                );
+                break;
+            }
+            LineOutcome::IdleTimeout => break,
+            LineOutcome::RequestTimeout => {
+                state.timeouts.fetch_add(1, Ordering::Relaxed);
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &mut scratch,
+                    &Response::Error {
+                        code: ErrorCode::Timeout,
+                        message: format!(
+                            "request stalled past the {} ms mid-request deadline",
+                            state.options.request_timeout_ms
+                        ),
+                    },
+                );
+                break;
+            }
+            LineOutcome::Closed { mid_line } => {
+                if mid_line {
+                    state.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            LineOutcome::Err => {
+                state.io_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
-        if line.trim().is_empty() {
+        let Ok(text) = std::str::from_utf8(&line) else {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let ok = write_response(
+                &mut writer,
+                &mut scratch,
+                &Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "request line is not valid UTF-8".into(),
+                },
+            );
+            if ok {
+                continue;
+            }
+            state.io_errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        };
+        if text.trim().is_empty() {
             continue;
         }
         let start = Instant::now();
-        let (response, is_shutdown) = respond(state, &line, &mut scratch);
+        let (response, is_shutdown) = respond(state, text, &mut scratch);
         state.requests.fetch_add(1, Ordering::Relaxed);
         if matches!(response, Response::Error { .. }) {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
-        serde_json::to_string_buf(&response, &mut scratch.out).expect("responses always serialize");
-        scratch.out.push('\n');
+        let ok = write_response(&mut writer, &mut scratch, &response);
         if let Response::Scores { probs } = response {
             scratch.probs = probs;
         }
-        if writer
-            .write_all(scratch.out.as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if !ok {
+            state.io_errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
         let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -280,6 +609,7 @@ fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Respo
         Err(e) => {
             return (
                 Response::Error {
+                    code: ErrorCode::BadRequest,
                     message: format!("bad request: {e}"),
                 },
                 false,
@@ -320,6 +650,7 @@ fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScr
     let expected = state.model.config().features.len();
     if let Some(bad) = features.iter().position(|row| row.len() != expected) {
         return Response::Error {
+            code: ErrorCode::BadRequest,
             message: format!(
                 "feature row {bad} has {} values, model expects {expected}",
                 features[bad].len()
@@ -385,6 +716,7 @@ fn run_attack(
         Ok(v) => v,
         Err(e) => {
             return Response::Error {
+                code: ErrorCode::BadRequest,
                 message: format!("bad challenge: {e}"),
             }
         }
@@ -425,6 +757,10 @@ mod tests {
         assert_eq!(opts.batch, Parallelism::Sequential);
         assert_eq!(opts.kernel, Kernel::Compiled);
         assert!(opts.workers.worker_count(usize::MAX) >= 1);
+        assert!(opts.request_timeout_ms > 0);
+        assert!(opts.idle_timeout_ms >= opts.request_timeout_ms);
+        assert!(opts.max_request_bytes >= 1 << 20);
+        assert_eq!(opts.max_queue, 0, "0 = auto queue depth");
     }
 
     #[test]
@@ -439,9 +775,142 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_defaults_to_twice_the_pool_and_honors_overrides() {
+        let mut opts = ServeOptions {
+            workers: Parallelism::Threads(3),
+            ..ServeOptions::default()
+        };
+        assert_eq!(queue_depth(&opts), 6);
+        opts.max_queue = 2;
+        assert_eq!(queue_depth(&opts), 2);
+        opts.workers = Parallelism::Threads(1);
+        opts.max_queue = 0;
+        assert_eq!(queue_depth(&opts), 2);
+    }
+
+    #[test]
     fn snapshot_of_empty_state_is_all_zero() {
         let lat: Vec<u64> = Vec::new();
         assert_eq!(percentile_us(&lat, 50.0), 0);
         assert_eq!(percentile_us(&lat, 99.0), 0);
+    }
+
+    #[test]
+    fn latency_ring_rolls_over_to_recent_samples() {
+        // Regression: recording used to stop dead at the cap, so a
+        // long-lived server reported its first hour forever. The ring
+        // must retain exactly the newest `cap` samples.
+        let mut ring = LatencyRing::with_capacity(4);
+        for v in 1..=4 {
+            ring.push(v);
+        }
+        assert_eq!(ring.sorted(), vec![1, 2, 3, 4]);
+        ring.push(5);
+        ring.push(6);
+        assert_eq!(ring.sorted(), vec![3, 4, 5, 6], "oldest evicted first");
+        for v in 7..=14 {
+            ring.push(v);
+        }
+        assert_eq!(ring.sorted(), vec![11, 12, 13, 14], "full wrap-around");
+    }
+
+    #[test]
+    fn accept_backoff_grows_exponentially_to_a_cap() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(5), Duration::from_millis(16));
+        assert_eq!(accept_backoff(10), ACCEPT_BACKOFF_MAX);
+        assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_MAX, "no overflow");
+    }
+
+    #[test]
+    fn timeout_of_treats_zero_as_disabled() {
+        assert_eq!(timeout_of(0), None);
+        assert_eq!(timeout_of(250), Some(Duration::from_millis(250)));
+    }
+
+    /// A connected localhost TCP pair for exercising the reader.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connects");
+        let (server, _) = listener.accept().expect("accepts");
+        (client, server)
+    }
+
+    #[test]
+    fn bounded_reader_splits_pipelined_lines_and_detects_torn_frames() {
+        let (mut client, server) = tcp_pair();
+        let mut reader = BoundedLineReader::new(
+            &server,
+            1024,
+            Some(Duration::from_millis(500)),
+            Some(Duration::from_millis(500)),
+        );
+        client.write_all(b"first\nsecond\npartial").expect("writes");
+        let mut line = Vec::new();
+        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
+        assert_eq!(line, b"first");
+        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
+        assert_eq!(line, b"second");
+        drop(client);
+        assert!(matches!(
+            reader.read_line(&mut line),
+            LineOutcome::Closed { mid_line: true }
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_lines_without_buffering_them() {
+        let (mut client, server) = tcp_pair();
+        let mut reader = BoundedLineReader::new(
+            &server,
+            64,
+            Some(Duration::from_millis(500)),
+            Some(Duration::from_millis(500)),
+        );
+        // Well over the cap, no newline: the reader must give up as soon
+        // as the cap is crossed, not slurp the rest.
+        client.write_all(&vec![b'x'; 512]).expect("writes");
+        client.flush().expect("flushes");
+        let mut line = Vec::new();
+        assert!(matches!(reader.read_line(&mut line), LineOutcome::TooLarge));
+        assert!(line.len() <= 64 + 4096, "bounded retention");
+
+        // A line that is exactly at the cap (terminated) is fine.
+        let (mut client, server) = tcp_pair();
+        let mut reader = BoundedLineReader::new(&server, 64, None, None);
+        let mut msg = vec![b'y'; 64];
+        msg.push(b'\n');
+        client.write_all(&msg).expect("writes");
+        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
+        assert_eq!(line.len(), 64);
+    }
+
+    #[test]
+    fn bounded_reader_distinguishes_idle_from_mid_request_timeouts() {
+        let (mut client, server) = tcp_pair();
+        let mut reader = BoundedLineReader::new(
+            &server,
+            1024,
+            Some(Duration::from_millis(40)),
+            Some(Duration::from_millis(120)),
+        );
+        // Nothing sent: the idle deadline fires.
+        let mut line = Vec::new();
+        let t0 = Instant::now();
+        assert!(matches!(
+            reader.read_line(&mut line),
+            LineOutcome::IdleTimeout
+        ));
+        assert!(t0.elapsed() < Duration::from_millis(2000));
+
+        // Half a request then silence: the mid-request deadline fires.
+        client.write_all(b"{\"ScorePairs\"").expect("writes");
+        client.flush().expect("flushes");
+        assert!(matches!(
+            reader.read_line(&mut line),
+            LineOutcome::RequestTimeout
+        ));
     }
 }

@@ -1,0 +1,382 @@
+//! Chaos suite for the hardened inference service.
+//!
+//! Each test points one class of hostile traffic at a live server — a
+//! slow-loris drip, a torn mid-frame disconnect, an oversized request
+//! line, raw garbage bytes, a connect flood past the queue bound — and
+//! asserts three things every time:
+//!
+//! 1. the fault is answered per contract (typed `Error` reply, `Busy`
+//!    shed, or silent close) instead of wedging or crashing a worker;
+//! 2. a concurrent well-behaved client keeps getting `ScorePairs`
+//!    results **bit-identical** to the in-process model, within a
+//!    deadline;
+//! 3. the final [`StatsSnapshot`] accounts for every shed, timeout and
+//!    torn frame — nothing disappears from the counters.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use sm_attack::attack::{AttackConfig, TrainedAttack};
+use sm_attack::Parallelism;
+use sm_layout::{SplitLayer, Suite};
+use sm_serve::artifact::{ModelArtifact, TrainMeta};
+use sm_serve::client::{ClientTimeouts, RetryPolicy, RetryingClient};
+use sm_serve::protocol::{Request, Response, StatsSnapshot};
+use sm_serve::server::{ServeOptions, ServerHandle};
+
+/// Trained once per test binary: the encoded artifact every test's server
+/// hosts, plus feature rows and their expected (in-process) scores.
+struct Fixture {
+    encoded: String,
+    features: Vec<Vec<f64>>,
+    local_probs: Vec<f64>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let views = Suite::ispd2011_like(0.01)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(8).expect("valid layer"));
+        let train: Vec<_> = views[1..].iter().collect();
+        let model =
+            TrainedAttack::train(&AttackConfig::imp9(), &train, None).expect("model trains");
+        let vpins = views[0].vpins();
+        let cap = vpins.len().min(12);
+        let features: Vec<Vec<f64>> = (0..cap)
+            .flat_map(|i| ((i + 1)..cap).map(move |j| (i, j)))
+            .map(|(i, j)| model.config().features.compute(&vpins[i], &vpins[j]))
+            .collect();
+        assert!(!features.is_empty(), "fixture needs a real pair batch");
+        let local_probs = features.iter().map(|x| model.model().proba(x)).collect();
+        Fixture {
+            encoded: ModelArtifact::from_trained(&model, TrainMeta::default()).encode(),
+            features,
+            local_probs,
+        }
+    })
+}
+
+/// A fresh copy of the fixture model for one server instance.
+fn served_model() -> TrainedAttack {
+    ModelArtifact::decode(&fixture().encoded)
+        .expect("fixture artifact decodes")
+        .into_trained()
+        .expect("fixture artifact is coherent")
+}
+
+/// Two pinned workers (this suite runs on 1-CPU CI hosts), sequential
+/// batches, and whatever deadlines the individual test dials in.
+fn chaos_options(request_timeout_ms: u64, idle_timeout_ms: u64) -> ServeOptions {
+    ServeOptions {
+        workers: Parallelism::Threads(2),
+        batch: Parallelism::Sequential,
+        request_timeout_ms,
+        idle_timeout_ms,
+        ..ServeOptions::default()
+    }
+}
+
+/// The well-behaved side of every chaos test: a retrying client that
+/// scores `requests` batches of `rows` pairs and asserts each result is
+/// bit-identical to the in-process model. Panics if the whole run takes
+/// longer than `deadline` — "available" means answering, not eventually
+/// answering.
+fn run_good_client(addr: &str, requests: usize, rows: usize, deadline: Duration) -> RetryingClient {
+    let fx = fixture();
+    let rows = rows.min(fx.features.len());
+    let features = fx.features[..rows].to_vec();
+    let expected = &fx.local_probs[..rows];
+    let mut client = RetryingClient::new(
+        addr,
+        ClientTimeouts {
+            connect_ms: 2_000,
+            io_ms: 5_000,
+        },
+        RetryPolicy {
+            max_attempts: 25,
+            base_backoff_ms: 20,
+            max_backoff_ms: 200,
+            jitter_seed: 0xC4A05,
+        },
+    );
+    let start = Instant::now();
+    for round in 0..requests {
+        match client
+            .call(&Request::ScorePairs {
+                features: features.clone(),
+            })
+            .expect("well-behaved client must keep succeeding under chaos")
+        {
+            Response::Scores { probs } => {
+                assert_eq!(probs.len(), expected.len(), "round {round}");
+                for (k, (l, r)) in expected.iter().zip(&probs).enumerate() {
+                    assert_eq!(
+                        l.to_bits(),
+                        r.to_bits(),
+                        "round {round}, pair {k}: chaos next door must not perturb scores"
+                    );
+                }
+            }
+            other => panic!("unexpected scores reply: {other:?}"),
+        }
+    }
+    assert!(
+        start.elapsed() < deadline,
+        "good client blew its {deadline:?} deadline: {:?}",
+        start.elapsed()
+    );
+    client
+}
+
+/// Shuts the server down through an already-working retrying client,
+/// closes that client (so the worker serving it sees a clean EOF), and
+/// returns the client's `(retries, busy_retries)` alongside the server's
+/// final counters.
+fn shutdown_and_join(
+    mut client: RetryingClient,
+    handle: ServerHandle,
+) -> (u64, u64, StatsSnapshot) {
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    let counters = (client.retries(), client.busy_retries());
+    drop(client);
+    let stats = handle.join().expect("clean server exit");
+    (counters.0, counters.1, stats)
+}
+
+/// Misbehaving peer: a raw socket with helpers for each fault shape.
+struct FaultStream {
+    stream: TcpStream,
+}
+
+impl FaultStream {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("fault stream connects");
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        Self { stream }
+    }
+
+    /// Fire-and-forget write; the server hanging up on us mid-blast is an
+    /// expected outcome, not a test failure.
+    fn blast(&mut self, bytes: &[u8]) {
+        let _ = self.stream.write_all(bytes);
+        let _ = self.stream.flush();
+    }
+
+    /// Slow-loris: one byte, pause, repeat. Stops early if the server
+    /// hangs up.
+    fn drip(&mut self, bytes: &[u8], pause: Duration) {
+        for &b in bytes {
+            if self.stream.write_all(&[b]).is_err() {
+                break;
+            }
+            let _ = self.stream.flush();
+            std::thread::sleep(pause);
+        }
+    }
+
+    /// Reads one reply line. `None` means EOF, reset or read timeout —
+    /// i.e. the server closed (or never answered) this connection.
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.stream.read(&mut byte) {
+                Ok(0) | Err(_) => {
+                    return if line.is_empty() {
+                        None
+                    } else {
+                        Some(String::from_utf8_lossy(&line).into_owned())
+                    }
+                }
+                Ok(_) if byte[0] == b'\n' => {
+                    return Some(String::from_utf8_lossy(&line).into_owned())
+                }
+                Ok(_) => line.push(byte[0]),
+            }
+        }
+    }
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_request_deadline() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(300, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    // The loris sends the first few bytes of a valid request, then stalls
+    // forever. The mid-request deadline (300 ms from the first byte) must
+    // cut it off with a typed Timeout reply.
+    let loris = std::thread::spawn(move || {
+        let mut s = FaultStream::connect(addr);
+        s.drip(b"\"Hea", Duration::from_millis(50));
+        s.read_line()
+    });
+
+    // Meanwhile the other worker keeps serving bit-exact scores.
+    let good = run_good_client(&addr.to_string(), 10, 6, Duration::from_secs(20));
+
+    let reply = loris.join().expect("loris thread");
+    let reply = reply.expect("loris gets a reply before the close");
+    assert!(reply.contains("\"Error\""), "{reply}");
+    assert!(reply.contains("Timeout"), "{reply}");
+
+    let (retries, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert_eq!(
+        stats.errors, 1,
+        "the timeout reply is the only error: {stats:?}"
+    );
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(retries, 0, "nothing should have needed a retry");
+}
+
+#[test]
+fn torn_mid_frame_disconnects_are_counted_not_fatal() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(2_000, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    // Half a frame, then a vanishing peer: no newline ever arrives.
+    let mut torn = FaultStream::connect(addr);
+    torn.blast(b"\"Heal");
+    drop(torn);
+
+    let good = run_good_client(&addr.to_string(), 10, 6, Duration::from_secs(20));
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(
+        stats.io_errors, 1,
+        "torn frame must be accounted: {stats:?}"
+    );
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn oversized_lines_get_a_typed_reply_not_an_unbounded_buffer() {
+    let mut options = chaos_options(5_000, 5_000);
+    options.max_request_bytes = 1_024;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    // Feed exactly the cap, give the server time to consume it, then push
+    // past the cap. Two phases keep the server's receive queue empty at
+    // close time, so the TooLarge reply is deterministically readable
+    // (closing with unread bytes would RST the reply away).
+    let mut big = FaultStream::connect(addr);
+    big.blast(&[b'x'; 1_024]);
+    std::thread::sleep(Duration::from_millis(150));
+    big.blast(&[b'x'; 100]);
+    let reply = big.read_line().expect("typed rejection before the close");
+    assert!(reply.contains("\"Error\""), "{reply}");
+    assert!(reply.contains("TooLarge"), "{reply}");
+    assert!(
+        big.read_line().is_none(),
+        "an over-cap connection cannot be resynchronized and must be closed"
+    );
+    drop(big);
+
+    // 1 row ≈ 200 bytes of JSON: the good client fits under the tiny cap.
+    let good = run_good_client(&addr.to_string(), 10, 1, Duration::from_secs(20));
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.errors, 1, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn garbage_bytes_get_error_replies_and_the_connection_survives() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(2_000, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    let mut garbage = FaultStream::connect(addr);
+    // Invalid UTF-8, then syntactically-valid-but-meaningless JSON: both
+    // must earn a typed BadRequest without killing the connection.
+    garbage.blast(b"\x00\xfe\xffnoise\n");
+    let reply = garbage.read_line().expect("reply to invalid utf-8");
+    assert!(reply.contains("\"Error\""), "{reply}");
+    assert!(reply.contains("BadRequest"), "{reply}");
+    garbage.blast(b"{\"definitely\":\"not a request\"}\n");
+    let reply = garbage.read_line().expect("reply to unknown request");
+    assert!(reply.contains("\"Error\""), "{reply}");
+    assert!(reply.contains("BadRequest"), "{reply}");
+    // Same socket, now well-formed: still serviced.
+    garbage.blast(b"\"Health\"\n");
+    let reply = garbage.read_line().expect("health reply after garbage");
+    assert!(reply.contains("\"Health\""), "{reply}");
+    drop(garbage);
+
+    let good = run_good_client(&addr.to_string(), 10, 6, Duration::from_secs(20));
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.errors, 2, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn connect_flood_past_the_queue_bound_is_shed_and_fully_accounted() {
+    let mut options = chaos_options(2_000, 500);
+    options.max_queue = 2;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    // Good client first (it may still get shed while the flood holds the
+    // queue — its retry policy absorbs that, and `busy_retries()` lets us
+    // audit exactly how often).
+    let addr_str = addr.to_string();
+    let good =
+        std::thread::spawn(move || run_good_client(&addr_str, 25, 6, Duration::from_secs(30)));
+
+    // 12 connections against 2 workers + a queue of 2: most must be shed
+    // with Busy immediately instead of blocking the accept loop.
+    let mut flood: Vec<FaultStream> = (0..12).map(|_| FaultStream::connect(addr)).collect();
+    let mut flood_busy = 0u64;
+    for conn in &mut flood {
+        // Shed connections have a Busy line buffered (readable even after
+        // the server's close); held ones are silently idle-closed within
+        // 500 ms, which reads as EOF here.
+        match conn.read_line() {
+            Some(line) if line.contains("\"Busy\"") => {
+                assert!(line.contains("retry_after_ms"), "{line}");
+                flood_busy += 1;
+            }
+            Some(line) => panic!("unexpected flood reply: {line}"),
+            None => {}
+        }
+    }
+    drop(flood);
+    assert!(
+        flood_busy >= 8,
+        "12 connections into 2 workers + queue of 2 must shed most: {flood_busy}"
+    );
+
+    let good = good.join().expect("good client thread");
+    // Let any still-queued (already closed) flood sockets drain before
+    // the shutdown connection comes in, so it cannot be shed.
+    std::thread::sleep(Duration::from_millis(600));
+    let (_, client_busy, stats) = shutdown_and_join(good, handle);
+
+    // Every Busy the server handed out was received by someone we control:
+    // the flood counted theirs, the good client counted its own.
+    assert_eq!(
+        stats.shed,
+        flood_busy + client_busy,
+        "every shed connection must be accounted: {stats:?}, flood_busy={flood_busy}, client_busy={client_busy}"
+    );
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+}

@@ -133,7 +133,8 @@ fn full_train_store_serve_score_lifecycle() {
     match client.call(&Request::ScorePairs {
         features: vec![vec![1.0, 2.0]],
     }) {
-        Ok(Response::Error { message }) => {
+        Ok(Response::Error { code, message }) => {
+            assert_eq!(code, sm_serve::protocol::ErrorCode::BadRequest);
             assert!(message.contains("model expects"), "{message}");
         }
         other => panic!("short row should be a protocol-level error: {other:?}"),
@@ -150,6 +151,8 @@ fn full_train_store_serve_score_lifecycle() {
         Response::Stats { stats } => {
             assert!(stats.requests >= 5, "{stats:?}");
             assert_eq!(stats.errors, 1, "{stats:?}");
+            assert_eq!(stats.shed, 0, "nothing shed on the happy path: {stats:?}");
+            assert_eq!(stats.timeouts, 0, "{stats:?}");
             assert!(
                 stats.pairs_scored >= (pairs.len() + local_scored.pairs_scored as usize) as u64,
                 "{stats:?}"
@@ -167,13 +170,17 @@ fn full_train_store_serve_score_lifecycle() {
             requests_per_connection: 3,
             batch_size: 8,
             seed: 7,
+            ..BenchConfig::default()
         },
     )
     .expect("bench run");
     assert_eq!(report.total_requests, 6);
     assert_eq!(report.total_pairs, 48);
     assert_eq!(report.errors, 0);
+    assert_eq!(report.retries, 0, "happy path needs no retries");
     assert!(report.p50_us <= report.p99_us);
+    let server_stats = report.server_stats.expect("post-run stats probe");
+    assert_eq!(server_stats.shed, 0, "{server_stats:?}");
 
     // Graceful shutdown: the request is acknowledged, the accept loop
     // stops, and join() hands back the final counters.
