@@ -5,9 +5,9 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainedAttack};
-use sm_attack::proximity::{proximity_attack, validate_pa_fraction, DEFAULT_PA_FRACTIONS};
-use sm_attack::Parallelism;
+use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainOptions, TrainedAttack};
+use sm_attack::proximity::{proximity_attack, validate_pa_fraction_opt, DEFAULT_PA_FRACTIONS};
+use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
@@ -106,17 +106,25 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "threads",
                 "model",
                 "kernel",
+                "tree-backend",
             ])?;
             cmd_attack(args)
         }
         "pa" => {
             args.check_known(&[
-                "dir", "target", "config", "threads", "seed", "model", "kernel",
+                "dir",
+                "target",
+                "config",
+                "threads",
+                "seed",
+                "model",
+                "kernel",
+                "tree-backend",
             ])?;
             cmd_pa(args)
         }
         "train" => {
-            args.check_known(&["dir", "target", "config", "threads", "out"])?;
+            args.check_known(&["dir", "target", "config", "threads", "out", "tree-backend"])?;
             cmd_train(args)
         }
         "serve" => {
@@ -166,12 +174,15 @@ pub fn print_help() {
          \x20 info        --dir DIR                                   summarise challenge files\n\
          \x20 attack      --dir DIR --target NAME [--config imp-11]\n\
          \x20             [--model FILE] [--threshold 0.5]\n\
-         \x20             [--threads auto] [--kernel compiled]        leave-one-out ML attack\n\
+         \x20             [--threads auto] [--kernel compiled]\n\
+         \x20             [--tree-backend binned]                     leave-one-out ML attack\n\
          \x20 pa          --dir DIR --target NAME [--config imp-9]\n\
          \x20             [--model FILE] [--threads auto]\n\
-         \x20             [--kernel compiled]                         validated proximity attack\n\
+         \x20             [--kernel compiled]\n\
+         \x20             [--tree-backend binned]                     validated proximity attack\n\
          \x20 train       --dir DIR --out FILE [--target NAME]\n\
-         \x20             [--config imp-11] [--threads auto]          fit once, write a model artifact\n\
+         \x20             [--config imp-11] [--threads auto]\n\
+         \x20             [--tree-backend binned]                     fit once, write a model artifact\n\
          \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
          \x20             [--threads auto] [--batch-threads seq]\n\
          \x20             [--kernel compiled]\n\
@@ -189,6 +200,8 @@ pub fn print_help() {
          are identical for every setting (deterministic parallelism).\n\
          --kernel takes 'compiled' (flattened ensemble, batched; default)\n\
          or 'reference'; scores are bit-identical either way.\n\
+         --tree-backend takes 'binned' (histogram split-finding; default)\n\
+         or 'reference'; trained models are bit-identical either way.\n\
          --model FILE loads a 'train' artifact instead of retraining; the\n\
          artifact records its own configuration, so --config is rejected.\n\
          serve timeouts/caps take 0 to disable (--max-queue 0 = 2x pool);\n\
@@ -332,6 +345,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let threshold: f64 = args.get_or("threshold", 0.5)?;
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
+    let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -341,7 +355,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
             let config = parse_config(args.get_str("config").unwrap_or("imp-11"))?
                 .with_parallelism(parallelism);
             eprintln!("training {} on {} designs ...", config.name, train.len());
-            TrainedAttack::train(&config, &train, None)?
+            TrainedAttack::train_opt(&config, &train, None, TrainOptions { backend })?
         }
     };
     eprintln!(
@@ -394,6 +408,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let seed: u64 = args.get_or("seed", 17)?;
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
+    let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -407,7 +422,13 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         }
     };
     eprintln!("validating PA-LoC fractions on {} designs ...", train.len());
-    let val = validate_pa_fraction(&config, &train, &DEFAULT_PA_FRACTIONS, seed)?;
+    let val = validate_pa_fraction_opt(
+        &config,
+        &train,
+        &DEFAULT_PA_FRACTIONS,
+        seed,
+        TrainOptions { backend },
+    )?;
     for (f, r) in &val.rates {
         println!(
             "fraction {:>7.3}% -> validation success {:>6.2}%",
@@ -418,7 +439,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     println!("selected fraction: {:.3}%", val.best_fraction * 100.0);
     let model = match preloaded {
         Some(model) => model,
-        None => TrainedAttack::train(&config, &train, None)?,
+        None => TrainedAttack::train_opt(&config, &train, None, TrainOptions { backend })?,
     };
     let scored = model.score(
         test,
@@ -443,6 +464,7 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("--out FILE required".into()))?
         .into();
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
+    let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
     let config =
         parse_config(args.get_str("config").unwrap_or("imp-11"))?.with_parallelism(parallelism);
 
@@ -457,7 +479,7 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         None => (views.iter().collect::<Vec<_>>(), None),
     };
     eprintln!("training {} on {} designs ...", config.name, train.len());
-    let model = TrainedAttack::train(&config, &train, None)?;
+    let model = TrainedAttack::train_opt(&config, &train, None, TrainOptions { backend })?;
     let meta = TrainMeta {
         benchmarks: train.iter().map(|v| v.name.clone()).collect(),
         split_layer: train[0].split.to_string(),
@@ -694,6 +716,59 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn bad_tree_backend_is_a_typed_bad_value() {
+        // Must fail on flag parsing — before any challenge file is read.
+        for cmd in [
+            &["attack", "--dir", "x", "--target", "sb1"][..],
+            &["pa", "--dir", "x", "--target", "sb1"][..],
+            &["train", "--dir", "x", "--out", "y"][..],
+        ] {
+            let mut tokens: Vec<&str> = cmd.to_vec();
+            tokens.extend(["--tree-backend", "histogramish"]);
+            let err = dispatch_tokens(&tokens).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    CliError::Args(crate::args::ParseArgsError::BadValue { ref flag, .. })
+                        if flag == "tree-backend"
+                ),
+                "{tokens:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_backend_flag_accepts_both_backends() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_test_tree_backend");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch_tokens(&[
+            "gen",
+            "--out",
+            dir.to_str().expect("utf8"),
+            "--scale",
+            "0.01",
+            "--split",
+            "8",
+        ])
+        .expect("gen runs");
+        for backend in ["binned", "reference"] {
+            dispatch_tokens(&[
+                "attack",
+                "--dir",
+                dir.to_str().expect("utf8"),
+                "--target",
+                "sb1",
+                "--config",
+                "imp-9",
+                "--tree-backend",
+                backend,
+            ])
+            .expect("attack runs with either backend");
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sm_layout::SplitView;
 use sm_ml::parallel::par_chunks;
-use sm_ml::{Bagging, Parallelism, RandomTreeLearner, RepTreeLearner};
+use sm_ml::{Bagging, Dataset, Parallelism, RandomTreeLearner, RepTreeLearner, TreeBackend};
 
 use crate::error::AttackError;
 use crate::features::{FeatureSet, PairKernel};
@@ -78,6 +78,20 @@ impl std::fmt::Display for Kernel {
             Kernel::Reference => write!(f, "reference"),
         }
     }
+}
+
+/// Training-time execution options.
+///
+/// These knobs change how a model is *computed*, never what it computes:
+/// every [`TreeBackend`] grows bit-identical ensembles (proven by the
+/// parity suites), so none of this belongs in [`AttackConfig`] and nothing
+/// here is serialized into artifacts — the artifact wire format and
+/// checksums are untouched by the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrainOptions {
+    /// Split-finding implementation used to grow each tree (binned
+    /// histogram kernel by default; `reference` is the oracle scan).
+    pub backend: TreeBackend,
 }
 
 /// The ensemble used to classify pairs.
@@ -191,7 +205,7 @@ impl AttackConfig {
 
     /// The sampling options this configuration implies given a resolved
     /// neighborhood radius.
-    fn sample_options(&self, radius: Option<i64>) -> SampleOptions {
+    pub(crate) fn sample_options(&self, radius: Option<i64>) -> SampleOptions {
         SampleOptions {
             radius,
             limit_diff_vpin_y: self.limit_diff_vpin_y,
@@ -242,6 +256,39 @@ impl TrainedAttack {
         training_views: &[&SplitView],
         vpin_filter: Option<&[Vec<bool>]>,
     ) -> Result<Self, AttackError> {
+        Self::train_opt(config, training_views, vpin_filter, TrainOptions::default())
+    }
+
+    /// [`TrainedAttack::train`] with explicit [`TrainOptions`]. The options
+    /// never change the resulting model, only how fast it is computed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TrainedAttack::train`].
+    pub fn train_opt(
+        config: &AttackConfig,
+        training_views: &[&SplitView],
+        vpin_filter: Option<&[Vec<bool>]>,
+        options: TrainOptions,
+    ) -> Result<Self, AttackError> {
+        let (samples, radius) = Self::prepare_samples(config, training_views, vpin_filter)?;
+        Self::from_samples(config, samples, radius, options)
+    }
+
+    /// Resolves the neighborhood radius and extracts the training sample
+    /// set — everything [`TrainedAttack::train`] does before ensemble
+    /// fitting. Exposed so benchmarks can time sample extraction and
+    /// fitting as separate stages; `train_opt` is exactly
+    /// `prepare_samples` followed by [`TrainedAttack::from_samples`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::NoTrainingData`] for an empty view list.
+    pub fn prepare_samples(
+        config: &AttackConfig,
+        training_views: &[&SplitView],
+        vpin_filter: Option<&[Vec<bool>]>,
+    ) -> Result<(Dataset, Option<i64>), AttackError> {
         if training_views.is_empty() {
             return Err(AttackError::NoTrainingData);
         }
@@ -258,20 +305,40 @@ impl TrainedAttack {
             vpin_filter,
             &mut rng,
         );
+        Ok((samples, radius))
+    }
+
+    /// Fits the ensemble on an already-generated sample set with an
+    /// already-resolved neighborhood radius. This is [`TrainedAttack::train`]
+    /// minus the sample extraction — the cross-validation driver feeds it
+    /// fold sample sets assembled from its per-design cache, which is
+    /// bit-identical to regeneration because each design's sample stream is
+    /// seeded by name (see [`crate::samples::view_sample_seed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::NoSamples`] for an empty sample set, or a
+    /// wrapped training error.
+    pub fn from_samples(
+        config: &AttackConfig,
+        samples: Dataset,
+        radius: Option<i64>,
+        options: TrainOptions,
+    ) -> Result<Self, AttackError> {
         if samples.is_empty() {
             return Err(AttackError::NoSamples);
         }
         let model = match config.base {
             BaseClassifier::RepTreeBagging { n_trees } => Bagging::fit_with(
                 &samples,
-                &RepTreeLearner::default(),
+                &RepTreeLearner::with_backend(options.backend),
                 n_trees,
                 config.seed,
                 config.parallelism,
             )?,
             BaseClassifier::RandomTreeBagging { n_trees } => Bagging::fit_with(
                 &samples,
-                &RandomTreeLearner::default(),
+                &RandomTreeLearner::with_backend(options.backend),
                 n_trees,
                 config.seed,
                 config.parallelism,

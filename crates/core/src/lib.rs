@@ -55,11 +55,14 @@ pub mod two_level;
 pub mod xval;
 
 pub use attack::{
-    AttackConfig, BaseClassifier, Kernel, ScoreOptions, ScoredView, TrainedAttack, TrainedParts,
+    AttackConfig, BaseClassifier, Kernel, ScoreOptions, ScoredView, TrainOptions, TrainedAttack,
+    TrainedParts,
 };
 pub use error::AttackError;
 pub use features::{FeatureSet, PairFeature, PairKernel, ALL_FEATURES};
 pub use loc::{CurvePoint, LocCurve};
 pub use matching::{greedy_matching, mutual_best, MatchingOutcome};
-pub use proximity::{proximity_attack, validate_pa_fraction, PaOutcome, PaValidation};
-pub use sm_ml::Parallelism;
+pub use proximity::{
+    proximity_attack, validate_pa_fraction, validate_pa_fraction_opt, PaOutcome, PaValidation,
+};
+pub use sm_ml::{Parallelism, TreeBackend};

@@ -15,7 +15,7 @@ use sm_layout::SplitView;
 use sm_ml::parallel::par_map;
 use sm_ml::Parallelism;
 
-use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainedAttack};
+use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainOptions, TrainedAttack};
 use crate::error::AttackError;
 
 /// The PA-LoC fractions validated by default.
@@ -181,6 +181,33 @@ pub fn validate_pa_fraction(
     fractions: &[f64],
     seed: u64,
 ) -> Result<PaValidation, AttackError> {
+    validate_pa_fraction_opt(
+        config,
+        training_views,
+        fractions,
+        seed,
+        TrainOptions::default(),
+    )
+}
+
+/// [`validate_pa_fraction`] with explicit [`TrainOptions`] for the
+/// validation model's training pass. The options never change the
+/// validation outcome, only training wall-clock.
+///
+/// # Errors
+///
+/// Same contract as [`validate_pa_fraction`].
+///
+/// # Panics
+///
+/// Panics if `fractions` is empty.
+pub fn validate_pa_fraction_opt(
+    config: &AttackConfig,
+    training_views: &[&SplitView],
+    fractions: &[f64],
+    seed: u64,
+    train_options: TrainOptions,
+) -> Result<PaValidation, AttackError> {
     assert!(
         !fractions.is_empty(),
         "need at least one candidate fraction"
@@ -197,7 +224,7 @@ pub fn validate_pa_fraction(
                 .collect()
         })
         .collect();
-    let model = TrainedAttack::train(config, training_views, Some(&masks))?;
+    let model = TrainedAttack::train_opt(config, training_views, Some(&masks), train_options)?;
 
     // Each training view is scored and attacked independently, so the
     // per-view evaluation parallelises per `config.parallelism`; the inner

@@ -9,7 +9,7 @@
 //! neighborhood radius; the `Y` configurations restrict them to pairs with
 //! `DiffVpinY = 0`.
 
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sm_layout::SplitView;
 use sm_ml::Dataset;
@@ -51,6 +51,14 @@ impl SampleOptions {
 /// attack's 80/20 validation split). Positives whose partner is filtered
 /// out are skipped, keeping training and validation pairs disjoint.
 ///
+/// Each design draws its negatives from its own RNG stream, seeded by
+/// [`view_sample_seed`] from a base drawn once from `rng` — so a design's
+/// samples depend only on the base seed and its own name, never on which
+/// *other* designs are in `views`. The cross-validation driver relies on
+/// this: it extracts each design's samples once and assembles every
+/// leave-one-out fold by concatenation, bit-identical to calling this
+/// function per fold.
+///
 /// # Examples
 ///
 /// ```
@@ -81,52 +89,97 @@ pub fn generate_samples(
     vpin_filter: Option<&[Vec<bool>]>,
     rng: &mut ChaCha8Rng,
 ) -> Dataset {
+    let base = sample_base_seed(rng);
+    let mut ds = Dataset::new(features.len());
+    for (vi, view) in views.iter().enumerate() {
+        let filter = vpin_filter.map(|f| f[vi].as_slice());
+        let sub = generate_view_samples(
+            view,
+            features,
+            opts,
+            filter,
+            view_sample_seed(base, &view.name),
+        );
+        ds.extend_from(&sub).expect("feature arities match");
+    }
+    ds
+}
+
+/// Draws the run-level base seed all per-design sample streams derive from.
+/// Consumes exactly one `u64` from `rng`.
+pub fn sample_base_seed(rng: &mut ChaCha8Rng) -> u64 {
+    rng.next_u64()
+}
+
+/// Seed of one design's sample stream: FNV-1a-64 of the design name, XORed
+/// with the run's base seed. Keyed by *name* rather than position so a
+/// design's samples are identical no matter which training subset it
+/// appears in. This derivation is a stability contract — changing it
+/// changes every trained model.
+pub fn view_sample_seed(base: u64, name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    base ^ h
+}
+
+/// Generates one design's balanced samples from its own seeded RNG stream.
+/// `filter` is this view's v-pin mask (see [`generate_samples`]).
+pub fn generate_view_samples(
+    view: &SplitView,
+    features: &FeatureSet,
+    opts: SampleOptions,
+    filter: Option<&[bool]>,
+    seed: u64,
+) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut ds = Dataset::new(features.len());
     let mut buf = Vec::with_capacity(features.len());
     let mut cands = Vec::new();
-    for (vi, view) in views.iter().enumerate() {
-        let n = view.num_vpins();
-        if n < 2 {
+    let n = view.num_vpins();
+    if n < 2 {
+        return ds;
+    }
+    let included = |i: usize| filter.is_none_or(|m| m[i]);
+    let index = if opts.radius.is_some() || opts.limit_diff_vpin_y {
+        Some(match opts.radius {
+            Some(r) => VpinIndex::with_radius(view, r),
+            None => VpinIndex::new(view, 10_000),
+        })
+    } else {
+        None
+    };
+    for i in 0..n {
+        if !included(i) {
             continue;
         }
-        let filter = vpin_filter.map(|f| &f[vi]);
-        let included = |i: usize| filter.is_none_or(|m| m[i]);
-        let index = if opts.radius.is_some() || opts.limit_diff_vpin_y {
-            Some(match opts.radius {
-                Some(r) => VpinIndex::with_radius(view, r),
-                None => VpinIndex::new(view, 10_000),
-            })
-        } else {
-            None
-        };
-        for i in 0..n {
-            if !included(i) {
-                continue;
-            }
-            let m = view.true_match(i);
-            if !included(m) || !opts.eligible(view, i, m) {
-                continue;
-            }
-            // Positive sample.
-            features.compute_into(&view.vpins()[i], &view.vpins()[m], &mut buf);
-            ds.push(&buf, true).expect("buffer arity matches");
+        let m = view.true_match(i);
+        if !included(m) || !opts.eligible(view, i, m) {
+            continue;
+        }
+        // Positive sample.
+        features.compute_into(&view.vpins()[i], &view.vpins()[m], &mut buf);
+        ds.push(&buf, true).expect("buffer arity matches");
 
-            // One matching negative, drawn from the same candidate pool the
-            // testing stage will use.
-            let drew = draw_negative(
-                view,
-                i,
-                m,
-                &opts,
-                index.as_ref(),
-                &included,
-                rng,
-                &mut cands,
-            );
-            if let Some(j) = drew {
-                features.compute_into(&view.vpins()[i], &view.vpins()[j], &mut buf);
-                ds.push(&buf, false).expect("buffer arity matches");
-            }
+        // One matching negative, drawn from the same candidate pool the
+        // testing stage will use.
+        let drew = draw_negative(
+            view,
+            i,
+            m,
+            &opts,
+            index.as_ref(),
+            &included,
+            &mut rng,
+            &mut cands,
+        );
+        if let Some(j) = drew {
+            features.compute_into(&view.vpins()[i], &view.vpins()[j], &mut buf);
+            ds.push(&buf, false).expect("buffer arity matches");
         }
     }
     ds

@@ -3,14 +3,30 @@
 //! With N benchmarks, each is attacked by a model trained on the other
 //! N−1, keeping training and testing strictly separated — the key
 //! methodological fix over the prior work [5].
+//!
+//! Per-design samples are extracted **once** and shared across folds: a
+//! design's sample stream is seeded by its name (see
+//! [`crate::samples::view_sample_seed`]), so its samples depend only on the
+//! run seed and the fold's neighborhood radius, never on which other
+//! designs are in the fold. Each fold's training set is then assembled by
+//! concatenating the cached per-design sets in view order — bit-identical
+//! to regenerating them from scratch (the naive path re-extracted features
+//! for N−1 of the N designs per fold, N(N−1) extractions instead of at
+//! most one per distinct (design, radius) pair).
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use sm_layout::SplitView;
 use sm_ml::parallel::par_map;
+use sm_ml::Dataset;
 
-use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainedAttack};
+use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainOptions, TrainedAttack};
 use crate::error::AttackError;
+use crate::neighborhood::neighborhood_radius;
+use crate::samples::{generate_view_samples, sample_base_seed, view_sample_seed};
 
 /// One fold's outcome: the held-out design, its scoring, and timings.
 #[derive(Debug, Clone)]
@@ -19,7 +35,9 @@ pub struct FoldResult {
     pub test_name: String,
     /// Scoring of the held-out design.
     pub scored: ScoredView,
-    /// Wall-clock training time of this fold's model.
+    /// Wall-clock training time of this fold's model (sample-set assembly
+    /// plus ensemble fitting; per-design sample extraction is shared
+    /// across folds and not attributed to any one of them).
     pub train_time: Duration,
     /// Wall-clock scoring time.
     pub score_time: Duration,
@@ -54,19 +72,80 @@ pub fn leave_one_out(
     views: &[SplitView],
     score_options: &ScoreOptions,
 ) -> Result<Vec<FoldResult>, AttackError> {
+    leave_one_out_opt(config, views, score_options, TrainOptions::default())
+}
+
+/// [`leave_one_out`] with explicit [`TrainOptions`]. The options never
+/// change the fold results, only training wall-clock.
+///
+/// # Errors
+///
+/// Same contract as [`leave_one_out`].
+pub fn leave_one_out_opt(
+    config: &AttackConfig,
+    views: &[SplitView],
+    score_options: &ScoreOptions,
+    train_options: TrainOptions,
+) -> Result<Vec<FoldResult>, AttackError> {
     if views.len() < 2 {
         return Err(AttackError::NoTrainingData);
     }
+    // Fold radii first: the radius is a quantile over the fold's N−1
+    // training designs, so it can differ between folds, and a design's
+    // samples depend on it (it bounds the negative-candidate pool).
+    let radii: Vec<Option<i64>> = (0..views.len())
+        .map(|t| {
+            if config.scalable {
+                let train: Vec<&SplitView> = views
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != t)
+                    .map(|(_, v)| v)
+                    .collect();
+                neighborhood_radius(&train, config.neighborhood_quantile)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // Extract each distinct (design, radius) sample set exactly once, in
+    // parallel. `base` reproduces the seed draw `TrainedAttack::train`
+    // performs, so the cached sets are bit-identical to the uncached path.
+    let base = sample_base_seed(&mut ChaCha8Rng::seed_from_u64(config.seed));
+    let mut keys: Vec<(usize, Option<i64>)> = Vec::new();
+    for (t, radius) in radii.iter().enumerate() {
+        for d in 0..views.len() {
+            if d != t && !keys.contains(&(d, *radius)) {
+                keys.push((d, *radius));
+            }
+        }
+    }
+    let extracted: Vec<Dataset> = par_map(config.parallelism, keys.len(), |k| {
+        let (d, radius) = keys[k];
+        generate_view_samples(
+            &views[d],
+            &config.features,
+            config.sample_options(radius),
+            None,
+            view_sample_seed(base, &views[d].name),
+        )
+    });
+    let cache: HashMap<(usize, Option<i64>), &Dataset> =
+        keys.iter().copied().zip(extracted.iter()).collect();
+
     par_map(config.parallelism, views.len(), |t| {
         let test = &views[t];
-        let train: Vec<&SplitView> = views
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != t)
-            .map(|(_, v)| v)
-            .collect();
         let t0 = Instant::now();
-        let model = TrainedAttack::train(config, &train, None)?;
+        let mut samples = Dataset::new(config.features.len());
+        for d in 0..views.len() {
+            if d != t {
+                samples
+                    .extend_from(cache[&(d, radii[t])])
+                    .expect("cached sample sets share the config's feature arity");
+            }
+        }
+        let model = TrainedAttack::from_samples(config, samples, radii[t], train_options)?;
         let train_time = t0.elapsed();
         let t1 = Instant::now();
         let scored = model.score(test, score_options);
@@ -111,5 +190,40 @@ mod tests {
             leave_one_out(&AttackConfig::imp9(), &one, &ScoreOptions::default()),
             Err(AttackError::NoTrainingData)
         ));
+    }
+
+    /// The per-design sample cache must be invisible in results: every
+    /// fold's scoring equals training that fold from scratch with
+    /// `TrainedAttack::train` (the uncached path), bit for bit. Covers
+    /// radius-bearing (`Imp`), unrestricted (`ML`) and Y-limited configs,
+    /// whose sample pools are shaped differently per fold.
+    #[test]
+    fn cached_fold_assembly_is_bit_identical_to_uncached_training() {
+        for (split, config) in [
+            (6u8, AttackConfig::imp9()),
+            (6u8, AttackConfig::ml9()),
+            (8u8, AttackConfig::imp9().with_y_limit()),
+        ] {
+            let views = Suite::ispd2011_like(0.02)
+                .expect("valid scale")
+                .split_all(SplitLayer::new(split).expect("valid"));
+            let folds =
+                leave_one_out(&config, &views, &ScoreOptions::default()).expect("cached xval runs");
+            for (t, fold) in folds.iter().enumerate() {
+                let train: Vec<&SplitView> = views
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != t)
+                    .map(|(_, v)| v)
+                    .collect();
+                let model = TrainedAttack::train(&config, &train, None).expect("uncached train");
+                let scored = model.score(&views[t], &ScoreOptions::default());
+                assert_eq!(
+                    fold.scored, scored,
+                    "{} fold {} diverged from the uncached path",
+                    config.name, fold.test_name
+                );
+            }
+        }
     }
 }

@@ -161,6 +161,25 @@ impl Dataset {
     pub fn labels(&self) -> &[bool] {
         &self.y
     }
+
+    /// Appends every sample of `other`, preserving order (used to assemble
+    /// cross-validation folds from per-design sample caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::FeatureMismatch`] if the feature counts differ;
+    /// `self` is unchanged in that case.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<(), TrainError> {
+        if other.num_features != self.num_features {
+            return Err(TrainError::FeatureMismatch {
+                expected: self.num_features,
+                got: other.num_features,
+            });
+        }
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        Ok(())
+    }
 }
 
 impl Extend<(Vec<f64>, bool)> for Dataset {
@@ -252,6 +271,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let (grow, held) = ds.split_indices(0.999, &mut rng);
         assert!(!grow.is_empty() && !held.is_empty());
+    }
+
+    #[test]
+    fn extend_from_concatenates_in_order() {
+        let mut a = sample_set(3);
+        let b = sample_set(5);
+        a.extend_from(&b).expect("same arity");
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.row(5), b.row(2));
+        assert_eq!(a.label(5), b.label(2));
+        let mut wrong = Dataset::new(2);
+        assert!(wrong.extend_from(&b).is_err());
+        assert!(wrong.is_empty(), "failed extend must not mutate");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 use crate::error::TrainError;
-use crate::tree::{Tree, TreeParams};
+use crate::tree::{Tree, TreeBackend, TreeParams};
 
 /// A strategy for fitting one decision tree on an index subset.
 ///
@@ -61,6 +61,15 @@ impl Default for RepTreeLearner {
     }
 }
 
+impl RepTreeLearner {
+    /// The default learner with an explicit split-finding backend.
+    pub fn with_backend(backend: TreeBackend) -> Self {
+        let mut learner = Self::default();
+        learner.params.backend = backend;
+        learner
+    }
+}
+
 impl TreeLearner for RepTreeLearner {
     fn fit_tree(
         &self,
@@ -103,6 +112,15 @@ impl Default for RandomTreeLearner {
                 ..TreeParams::default()
             },
         }
+    }
+}
+
+impl RandomTreeLearner {
+    /// The default learner with an explicit split-finding backend.
+    pub fn with_backend(backend: TreeBackend) -> Self {
+        let mut learner = Self::default();
+        learner.params.backend = backend;
+        learner
     }
 }
 

@@ -28,6 +28,7 @@
 
 pub mod bagging;
 pub mod bayes;
+mod binned;
 pub mod compiled;
 pub mod data;
 pub mod error;
@@ -49,4 +50,4 @@ pub use knn::KNearest;
 pub use learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
 pub use linear::{LogisticParams, LogisticRegression};
 pub use parallel::{par_chunks, par_map, Parallelism, MAX_THREADS};
-pub use tree::{Tree, TreeParams};
+pub use tree::{ParseTreeBackendError, Tree, TreeBackend, TreeParams};

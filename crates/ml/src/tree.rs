@@ -14,11 +14,69 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::binned::{BinnedDataset, HistPool};
 use crate::data::Dataset;
 use crate::error::TrainError;
 
 /// Sentinel feature id marking a leaf node.
 const LEAF: i32 = -1;
+
+/// Which split-finding implementation [`Tree::fit`] runs.
+///
+/// Both backends grow *bit-identical* trees: the binned kernel reuses the
+/// same quantile thresholds, assigns every sample the same bin, accumulates
+/// counts in the same order and evaluates the gain expression with the same
+/// operand order as the reference scan — it only replaces the per-node
+/// binary search with a direct `u16` bin-code lookup and derives the larger
+/// sibling's histogram by parent-minus-smaller-child subtraction. The
+/// reference path is the seed implementation kept verbatim as the oracle
+/// for the parity suites, mirroring the scoring side's
+/// `Kernel::{Compiled, Reference}` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TreeBackend {
+    /// Histogram kernel over pre-binned `u16` codes (default).
+    #[default]
+    Binned,
+    /// The original per-node binary-search scan, kept as the oracle.
+    Reference,
+}
+
+/// Error for unrecognized [`TreeBackend`] names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTreeBackendError(String);
+
+impl std::fmt::Display for ParseTreeBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown tree backend `{}` (expected `binned` or `reference`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTreeBackendError {}
+
+impl std::str::FromStr for TreeBackend {
+    type Err = ParseTreeBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "binned" => Ok(TreeBackend::Binned),
+            "reference" | "ref" => Ok(TreeBackend::Reference),
+            other => Err(ParseTreeBackendError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for TreeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TreeBackend::Binned => "binned",
+            TreeBackend::Reference => "reference",
+        })
+    }
+}
 
 /// Growth parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +90,8 @@ pub struct TreeParams {
     pub feature_subset: Option<usize>,
     /// Number of quantile bins per feature for candidate thresholds.
     pub bins: usize,
+    /// Split-finding implementation; both grow bit-identical trees.
+    pub backend: TreeBackend,
 }
 
 impl Default for TreeParams {
@@ -41,6 +101,40 @@ impl Default for TreeParams {
             min_samples_split: 2,
             feature_subset: None,
             bins: 256,
+            backend: TreeBackend::default(),
+        }
+    }
+}
+
+/// Per-tree candidate-feature scratch. The full `0..m` order is built once
+/// per tree; nodes that need a random subset (RandomTree) shuffle a copy,
+/// nodes that consider every feature borrow the stable order directly —
+/// no per-node allocation either way.
+struct FeatureOrder {
+    full: Vec<usize>,
+    shuffled: Vec<usize>,
+}
+
+impl FeatureOrder {
+    fn new(m: usize) -> Self {
+        FeatureOrder {
+            full: (0..m).collect(),
+            shuffled: (0..m).collect(),
+        }
+    }
+
+    /// Candidate features for one node. Consumes RNG exactly like the seed
+    /// implementation: a shuffle of a fresh `(0..m)` vector happens if and
+    /// only if `feature_subset` is `Some`.
+    fn candidates<R: Rng>(&mut self, feature_subset: Option<usize>, rng: &mut R) -> &[usize] {
+        match feature_subset {
+            Some(k) => {
+                let m = self.full.len();
+                self.shuffled.copy_from_slice(&self.full);
+                self.shuffled.shuffle(rng);
+                &self.shuffled[..k.clamp(1, m)]
+            }
+            None => &self.full,
         }
     }
 }
@@ -141,10 +235,48 @@ impl Tree {
             num_features: data.num_features(),
         };
         let mut scratch = idx.to_vec();
-        tree.build(data, &mut scratch, &thresholds, &params, 0, rng);
+        let mut order = FeatureOrder::new(data.num_features());
+        match params.backend {
+            TreeBackend::Reference => {
+                tree.build(data, &mut scratch, &thresholds, &params, 0, rng, &mut order);
+            }
+            TreeBackend::Binned => match BinnedDataset::encode(data, thresholds) {
+                Ok(binned) => {
+                    let mut pool = HistPool::new(binned.hist_len());
+                    // REPTree-style all-feature nodes thread a full histogram
+                    // down the recursion so each larger sibling comes from a
+                    // subtraction; the RandomTree subset path accumulates only
+                    // the node's candidate features instead.
+                    let root_hist = if params.feature_subset.is_none() {
+                        let mut h = pool.acquire();
+                        binned.accumulate(data.labels(), &scratch, &mut h);
+                        Some(h)
+                    } else {
+                        None
+                    };
+                    tree.build_binned(
+                        data,
+                        &binned,
+                        &mut scratch,
+                        &params,
+                        0,
+                        rng,
+                        &mut order,
+                        &mut pool,
+                        root_hist,
+                    );
+                }
+                // More distinct thresholds than a u16 code can address:
+                // fall back to the (bit-identical) reference scan.
+                Err(thresholds) => {
+                    tree.build(data, &mut scratch, &thresholds, &params, 0, rng, &mut order);
+                }
+            },
+        }
         Ok(tree)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build<R: Rng>(
         &mut self,
         data: &Dataset,
@@ -153,6 +285,7 @@ impl Tree {
         params: &TreeParams,
         depth: usize,
         rng: &mut R,
+        order: &mut FeatureOrder,
     ) -> u32 {
         let (pos, neg) = count_labels(data, idx);
         let me = self.nodes.len() as u32;
@@ -163,19 +296,11 @@ impl Tree {
         }
 
         // Candidate features: all, or a random subset (RandomTree).
-        let m = data.num_features();
-        let mut order: Vec<usize> = (0..m).collect();
-        let candidates: &[usize] = match params.feature_subset {
-            Some(k) => {
-                order.shuffle(rng);
-                &order[..k.clamp(1, m)]
-            }
-            None => &order,
-        };
-
-        let Some((feature, threshold, gain)) =
+        let best = {
+            let candidates = order.candidates(params.feature_subset, rng);
             best_split(data, idx, thresholds, candidates, pos, neg)
-        else {
+        };
+        let Some((feature, threshold, gain)) = best else {
             return me;
         };
         if gain <= 1e-12 {
@@ -188,8 +313,146 @@ impl Tree {
             return me; // numeric degeneracy: no progress
         }
         let (left_idx, right_idx) = idx.split_at_mut(cut);
-        let left = self.build(data, left_idx, thresholds, params, depth + 1, rng);
-        let right = self.build(data, right_idx, thresholds, params, depth + 1, rng);
+        let left = self.build(data, left_idx, thresholds, params, depth + 1, rng, order);
+        let right = self.build(data, right_idx, thresholds, params, depth + 1, rng, order);
+        let node = &mut self.nodes[me as usize];
+        node.feature = feature as i32;
+        node.threshold = threshold;
+        node.left = left;
+        node.right = right;
+        me
+    }
+
+    /// Histogram-kernel twin of [`Tree::build`]. Stop conditions, candidate
+    /// order, gain operands and the raw-`f64` partition predicate are all
+    /// identical to the reference path, so the grown tree is bit-identical.
+    ///
+    /// `hist` is the node's full (pos, neg)-per-bin histogram on the
+    /// all-feature path, `None` on the random-subset path. Buffers are
+    /// recycled through `pool`, so at most `O(depth)` histograms are live.
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned<R: Rng>(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        idx: &mut [u32],
+        params: &TreeParams,
+        depth: usize,
+        rng: &mut R,
+        order: &mut FeatureOrder,
+        pool: &mut HistPool,
+        hist: Option<Vec<u32>>,
+    ) -> u32 {
+        let (pos, neg) = count_labels(data, idx);
+        let me = self.nodes.len() as u32;
+        self.nodes.push(Node::leaf(pos, neg));
+        if pos == 0 || neg == 0 || idx.len() < params.min_samples_split || depth >= params.max_depth
+        {
+            release_node_hist(pool, binned, idx, hist);
+            return me;
+        }
+
+        // Find the best split from histograms: either the one threaded down
+        // from the parent (all-feature path) or a fresh accumulation of just
+        // this node's random candidates (subset path).
+        let (best, hist) = match hist {
+            Some(h) => {
+                let candidates = order.candidates(params.feature_subset, rng);
+                let best = best_split_binned(binned, &h, candidates, pos, neg);
+                (best, Some(h))
+            }
+            None => {
+                let candidates = order.candidates(params.feature_subset, rng);
+                let mut h = pool.acquire();
+                for &j in candidates {
+                    binned.accumulate_feature(j, data.labels(), idx, &mut h);
+                }
+                let best = best_split_binned(binned, &h, candidates, pos, neg);
+                for &j in candidates {
+                    binned.zero_feature(j, &mut h);
+                }
+                pool.release_zeroed(h);
+                (best, None)
+            }
+        };
+        let Some((feature, threshold, gain)) = best else {
+            release_node_hist(pool, binned, idx, hist);
+            return me;
+        };
+        if gain <= 1e-12 {
+            release_node_hist(pool, binned, idx, hist);
+            return me;
+        }
+
+        // In-place partition over the *raw* feature values — same predicate
+        // as the reference path, so even NaN rows land on the same side.
+        let cut = partition(idx, |&i| data.feature(i as usize, feature) <= threshold);
+        if cut == 0 || cut == idx.len() {
+            release_node_hist(pool, binned, idx, hist);
+            return me; // numeric degeneracy: no progress
+        }
+        let (left_idx, right_idx) = idx.split_at_mut(cut);
+
+        // Two exact ways to derive the child histograms; pick the cheaper.
+        // Sibling subtraction accumulates only the smaller child and derives
+        // the larger as parent − smaller (O(|small|·m) plus an O(hist_len)
+        // subtraction). For small nodes it is cheaper to accumulate both
+        // children fresh and sparse-zero the parent for reuse (O(|node|·m)
+        // each way). Counts are exact u32 sums under either derivation, so
+        // the histograms — and therefore the tree — are identical.
+        let (left_hist, right_hist) = match hist {
+            Some(mut parent) => {
+                let small_is_left = left_idx.len() <= right_idx.len();
+                let (small, large): (&[u32], &[u32]) = if small_is_left {
+                    (left_idx, right_idx)
+                } else {
+                    (right_idx, left_idx)
+                };
+                let m = binned.num_features();
+                let n_node = small.len() + large.len();
+                let mut small_hist = pool.acquire();
+                binned.accumulate(data.labels(), small, &mut small_hist);
+                let large_hist = if 2 * n_node * m < small.len() * m + parent.len() {
+                    let mut fresh = pool.acquire();
+                    binned.accumulate(data.labels(), large, &mut fresh);
+                    binned.zero_samples(small, &mut parent);
+                    binned.zero_samples(large, &mut parent);
+                    pool.release_zeroed(parent);
+                    fresh
+                } else {
+                    subtract_hist(&mut parent, &small_hist);
+                    parent
+                };
+                if small_is_left {
+                    (Some(small_hist), Some(large_hist))
+                } else {
+                    (Some(large_hist), Some(small_hist))
+                }
+            }
+            None => (None, None),
+        };
+        let left = self.build_binned(
+            data,
+            binned,
+            left_idx,
+            params,
+            depth + 1,
+            rng,
+            order,
+            pool,
+            left_hist,
+        );
+        let right = self.build_binned(
+            data,
+            binned,
+            right_idx,
+            params,
+            depth + 1,
+            rng,
+            order,
+            pool,
+            right_hist,
+        );
         let node = &mut self.nodes[me as usize];
         node.feature = feature as i32;
         node.threshold = threshold;
@@ -398,14 +661,23 @@ fn entropy(pos: f64, neg: f64) -> f64 {
 
 /// Per-feature candidate thresholds: midpoints between adjacent distinct
 /// quantile values of the training samples.
-fn quantile_thresholds(data: &Dataset, idx: &[u32], bins: usize) -> Vec<Vec<f64>> {
+///
+/// Values sort by [`f64::total_cmp`], which is a total order even in the
+/// presence of NaN (NaNs collect at the end instead of silently misordering
+/// the column the way `partial_cmp(..).unwrap_or(Equal)` did). `-0.0` sorts
+/// before `0.0` under `total_cmp`, but the `dedup()` right after compares
+/// with `==` (where `-0.0 == 0.0`), so exactly one representative of the
+/// pair survives — and since any midpoint computed from either compares
+/// identically against every sample, the chosen representative does not
+/// affect the grown tree.
+pub(crate) fn quantile_thresholds(data: &Dataset, idx: &[u32], bins: usize) -> Vec<Vec<f64>> {
     let m = data.num_features();
     let mut out = Vec::with_capacity(m);
     let mut vals: Vec<f64> = Vec::with_capacity(idx.len());
     for j in 0..m {
         vals.clear();
         vals.extend(idx.iter().map(|&i| data.feature(i as usize, j)));
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.sort_by(f64::total_cmp);
         vals.dedup();
         let mut ts = Vec::new();
         if vals.len() > 1 {
@@ -479,6 +751,84 @@ fn best_split(
         }
     }
     best
+}
+
+/// [`best_split`]'s gain scan over a pre-accumulated flat histogram. The
+/// candidate iteration order, the left/right accumulators and every operand
+/// of the gain expression mirror the reference loop exactly — only the
+/// per-sample binning (already folded into `hist`) differs.
+fn best_split_binned(
+    binned: &BinnedDataset,
+    hist: &[u32],
+    candidates: &[usize],
+    pos: u32,
+    neg: u32,
+) -> Option<(usize, f64, f64)> {
+    let parent = entropy(f64::from(pos), f64::from(neg));
+    let n = f64::from(pos + neg);
+    let mut best: Option<(usize, f64, f64)> = None;
+    for &j in candidates {
+        let ts = binned.thresholds(j);
+        if ts.is_empty() {
+            continue;
+        }
+        let h = binned.feature_hist(j, hist);
+        let mut lp = 0u32;
+        let mut ln = 0u32;
+        for (k, t) in ts.iter().enumerate() {
+            let (hp, hn) = (h[2 * k], h[2 * k + 1]);
+            // An empty bin leaves (lp, ln) unchanged, so its gain is
+            // bit-identical to the previous bin's — which either already
+            // updated `best` or failed the strict `>` — and a leading empty
+            // bin has `l == 0`. Skipping it can never change the winner,
+            // and at deep nodes most bins are empty.
+            if hp == 0 && hn == 0 {
+                continue;
+            }
+            lp += hp;
+            ln += hn;
+            let l = f64::from(lp + ln);
+            let r = n - l;
+            if l == 0.0 || r == 0.0 {
+                continue;
+            }
+            let gain = parent
+                - (l / n) * entropy(f64::from(lp), f64::from(ln))
+                - (r / n) * entropy(f64::from(pos - lp), f64::from(neg - ln));
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((j, *t, gain));
+            }
+        }
+    }
+    best
+}
+
+/// Returns a node's histogram to the pool, zeroing it the cheaper way:
+/// sparse (only the slots this node's samples can have touched) when the
+/// node is small, wholesale `fill(0)` otherwise.
+fn release_node_hist(
+    pool: &mut HistPool,
+    binned: &BinnedDataset,
+    idx: &[u32],
+    hist: Option<Vec<u32>>,
+) {
+    if let Some(mut h) = hist {
+        if 2 * idx.len() * binned.num_features() < h.len() {
+            binned.zero_samples(idx, &mut h);
+            pool.release_zeroed(h);
+        } else {
+            pool.release(h);
+        }
+    }
+}
+
+/// In-place `parent -= child`, element-wise. Counts are exact `u32`s, so the
+/// remainder is exactly the other sibling's histogram.
+pub(crate) fn subtract_hist(parent: &mut [u32], child: &[u32]) {
+    debug_assert_eq!(parent.len(), child.len());
+    for (p, &c) in parent.iter_mut().zip(child) {
+        *p -= c;
+    }
 }
 
 #[cfg(test)]
@@ -634,6 +984,89 @@ mod tests {
             assert_eq!(t.predict(ds.row(i)), pruned.predict(ds.row(i)));
         }
         assert!(t.num_nodes() <= pruned.num_nodes());
+    }
+
+    /// Fit the same data/params/seed under both backends.
+    fn fit_both(ds: &Dataset, params: TreeParams) -> (Tree, Tree) {
+        let reference = Tree::fit(
+            ds,
+            &ds.all_indices(),
+            TreeParams {
+                backend: TreeBackend::Reference,
+                ..params
+            },
+            &mut rng(),
+        )
+        .expect("reference fit");
+        let binned = Tree::fit(
+            ds,
+            &ds.all_indices(),
+            TreeParams {
+                backend: TreeBackend::Binned,
+                ..params
+            },
+            &mut rng(),
+        )
+        .expect("binned fit");
+        (reference, binned)
+    }
+
+    #[test]
+    fn binned_backend_is_bit_identical_on_xor() {
+        let ds = xor_data(400);
+        let (reference, binned) = fit_both(&ds, TreeParams::default());
+        assert_eq!(reference, binned);
+    }
+
+    #[test]
+    fn binned_backend_is_bit_identical_with_feature_subset() {
+        let ds = xor_data(400);
+        let params = TreeParams {
+            feature_subset: Some(1),
+            ..TreeParams::default()
+        };
+        let (reference, binned) = fit_both(&ds, params);
+        assert_eq!(reference, binned);
+    }
+
+    /// Regression for the NaN-hostile `partial_cmp(..).unwrap_or(Equal)`
+    /// sort: a NaN-bearing column must not poison threshold selection, and
+    /// both backends must still agree bit-for-bit.
+    #[test]
+    fn nan_feature_column_is_handled_consistently() {
+        let mut ds = Dataset::new(2);
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..200 {
+            let a: f64 = r.gen_range(0.0..1.0);
+            let b = if i % 7 == 0 { f64::NAN } else { a * 2.0 };
+            ds.push(&[a, b], a > 0.5).expect("2 features");
+        }
+        let ts = quantile_thresholds(&ds, &ds.all_indices(), 256);
+        // total_cmp puts NaNs at the tail; the finite prefix of each
+        // threshold list must be strictly increasing.
+        for col in &ts {
+            let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+            assert!(finite.windows(2).all(|w| w[0] < w[1]), "misordered {col:?}");
+        }
+        let (reference, binned) = fit_both(&ds, TreeParams::default());
+        assert_eq!(reference, binned);
+        // The clean feature fully determines the label, so NaNs in the
+        // noisy twin column must not break learning.
+        assert!(reference.predict(&[0.9, f64::NAN]));
+        assert!(!reference.predict(&[0.1, f64::NAN]));
+    }
+
+    /// -0.0 and 0.0 compare equal, so `dedup()` keeps one representative
+    /// and any midpoint built from it splits samples identically.
+    #[test]
+    fn negative_zero_dedups_to_one_threshold_value() {
+        let mut ds = Dataset::new(1);
+        for i in 0..10 {
+            ds.push(&[if i % 2 == 0 { -0.0 } else { 0.0 }], i < 5)
+                .expect("1 feature");
+        }
+        let ts = quantile_thresholds(&ds, &ds.all_indices(), 256);
+        assert!(ts[0].is_empty(), "single distinct value → no thresholds");
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sm_ml::learners::{RepTreeLearner, TreeLearner};
+use sm_ml::learners::{RandomTreeLearner, RepTreeLearner, TreeLearner};
 use sm_ml::metrics::{correlation, fisher_ratio, information_gain};
-use sm_ml::tree::{Tree, TreeParams};
-use sm_ml::{Bagging, Dataset};
+use sm_ml::tree::{Tree, TreeBackend, TreeParams};
+use sm_ml::{Bagging, Dataset, Parallelism};
 
 /// A random small binary dataset with at least one sample per class.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
@@ -165,6 +165,93 @@ proptest! {
             for (q, b) in queries.iter().zip(&batch) {
                 prop_assert_eq!(m.proba(q).to_bits(), b.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn binned_tree_matches_reference_bitwise(
+        ds in arb_dataset(),
+        depth in 1usize..16,
+        bins in 2usize..40,
+        subset in prop::option::of(1usize..4),
+        seed in any::<u64>()
+    ) {
+        // The training-kernel parity property: the binned histogram build
+        // must grow the exact tree the reference scan grows — same node
+        // layout, same thresholds bit-for-bit, same counts — across random
+        // datasets, depth caps, bin counts, feature subsets and RNG seeds.
+        let params = TreeParams {
+            max_depth: depth,
+            bins,
+            feature_subset: subset,
+            ..TreeParams::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = Tree::fit(
+            &ds,
+            &ds.all_indices(),
+            TreeParams { backend: TreeBackend::Reference, ..params },
+            &mut rng,
+        ).expect("reference fit");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let binned = Tree::fit(
+            &ds,
+            &ds.all_indices(),
+            TreeParams { backend: TreeBackend::Binned, ..params },
+            &mut rng,
+        ).expect("binned fit");
+        prop_assert_eq!(&reference, &binned);
+        // Bitwise equality including every f64 threshold: the vendored
+        // serde_json prints shortest-roundtrip floats, so equal strings
+        // mean equal bits.
+        prop_assert_eq!(
+            serde_json::to_string(&reference).expect("serialize"),
+            serde_json::to_string(&binned).expect("serialize")
+        );
+    }
+
+    #[test]
+    fn binned_learners_match_reference_through_pruning_and_bagging(
+        ds in arb_dataset(),
+        n_trees in 1usize..6,
+        seed in any::<u64>()
+    ) {
+        // End-to-end learner parity: REPTree (grow + reduced-error prune +
+        // backfit) and RandomTree (random subsets), alone and under
+        // Bagging's per-tree bootstrap/seeding, must be backend-invariant.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rep_ref = RepTreeLearner::with_backend(TreeBackend::Reference)
+            .fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rep_bin = RepTreeLearner::with_backend(TreeBackend::Binned)
+            .fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
+        prop_assert_eq!(rep_ref, rep_bin);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rt_ref = RandomTreeLearner::with_backend(TreeBackend::Reference)
+            .fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rt_bin = RandomTreeLearner::with_backend(TreeBackend::Binned)
+            .fit_tree(&ds, &ds.all_indices(), &mut rng).expect("fit");
+        prop_assert_eq!(rt_ref, rt_bin);
+
+        let bag_ref = Bagging::fit_with(
+            &ds,
+            &RepTreeLearner::with_backend(TreeBackend::Reference),
+            n_trees,
+            seed,
+            Parallelism::Sequential,
+        );
+        let bag_bin = Bagging::fit_with(
+            &ds,
+            &RepTreeLearner::with_backend(TreeBackend::Binned),
+            n_trees,
+            seed,
+            Parallelism::Threads(3),
+        );
+        match (bag_ref, bag_bin) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
         }
     }
 

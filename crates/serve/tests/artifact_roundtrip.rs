@@ -4,8 +4,8 @@
 //! the workspace's parallel-determinism guarantee across a save/load
 //! cycle (and therefore across processes).
 
-use sm_attack::attack::{AttackConfig, ScoreOptions, TrainedAttack};
-use sm_attack::Parallelism;
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainOptions, TrainedAttack};
+use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::{SplitLayer, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
 
@@ -79,6 +79,72 @@ fn loaded_model_reproduces_the_loc_histogram_bit_for_bit() {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// The training backend is a how, not a what: a binned-trained model must
+/// serialize to the byte-identical artifact of a reference-trained one
+/// (same payload, same checksum — `TrainOptions` is not part of the wire
+/// format), and reloading it must reproduce the LoC histogram of both the
+/// in-process binned model and the reference-trained model, bit for bit.
+#[test]
+fn binned_trained_artifact_is_backend_invariant_on_disk_and_in_scoring() {
+    let views = Suite::ispd2011_like(0.01)
+        .expect("valid scale")
+        .split_all(SplitLayer::new(8).expect("valid layer"));
+    let train: Vec<_> = views[1..].iter().collect();
+    let config = AttackConfig::imp9();
+    let reference = TrainedAttack::train_opt(
+        &config,
+        &train,
+        None,
+        TrainOptions {
+            backend: TreeBackend::Reference,
+        },
+    )
+    .expect("reference train");
+    let binned = TrainedAttack::train_opt(
+        &config,
+        &train,
+        None,
+        TrainOptions {
+            backend: TreeBackend::Binned,
+        },
+    )
+    .expect("binned train");
+
+    let encoded_ref = ModelArtifact::from_trained(&reference, TrainMeta::default()).encode();
+    let encoded_bin = ModelArtifact::from_trained(&binned, TrainMeta::default()).encode();
+    assert_eq!(
+        encoded_ref, encoded_bin,
+        "artifact bytes (payload + checksum) must not depend on the training backend"
+    );
+
+    let dir = std::env::temp_dir().join("smserve_roundtrip_binned");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model.artifact");
+    ModelArtifact::from_trained(&binned, TrainMeta::default())
+        .save(&path)
+        .expect("saves");
+    let loaded = ModelArtifact::load(&path)
+        .expect("loads")
+        .into_trained()
+        .expect("coherent");
+
+    let opts = ScoreOptions::default();
+    let scored_loaded = loaded.score(&views[0], &opts);
+    let scored_binned = binned.score(&views[0], &opts);
+    let scored_reference = reference.score(&views[0], &opts);
+    assert_eq!(
+        scored_loaded.hist, scored_binned.hist,
+        "reloaded binned model must reproduce the in-process LoC histogram"
+    );
+    assert_eq!(
+        scored_loaded.hist, scored_reference.hist,
+        "reloaded binned model must reproduce the reference-trained LoC histogram"
+    );
+    assert_eq!(scored_loaded, scored_reference);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! The binned training backend must be invisible in results: for every
+//! benchmark and split layer, a model trained with `TreeBackend::Binned`
+//! (histogram split-finding with sibling subtraction) equals the model
+//! trained with `TreeBackend::Reference` bit for bit — same ensemble,
+//! same radius, same scoring — including the REPTree grow/prune/backfit
+//! pipeline the paper's classifier runs.
+
+use splitmfg::attack::attack::{AttackConfig, ScoreOptions, TrainOptions, TrainedAttack};
+use splitmfg::attack::xval::leave_one_out_opt;
+use splitmfg::attack::TreeBackend;
+use splitmfg::layout::{SplitLayer, SplitView, Suite};
+
+const SCALE: f64 = 0.02;
+
+fn views(split: u8) -> Vec<SplitView> {
+    Suite::ispd2011_like(SCALE)
+        .expect("suite generation")
+        .split_all(SplitLayer::new(split).expect("valid"))
+}
+
+fn with_backend(backend: TreeBackend) -> TrainOptions {
+    TrainOptions { backend }
+}
+
+#[test]
+fn binned_backend_reproduces_reference_on_every_benchmark_and_layer() {
+    for split in [4u8, 6, 8] {
+        let vs = views(split);
+        for t in 0..vs.len() {
+            let train: Vec<&SplitView> = vs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != t)
+                .map(|(_, v)| v)
+                .collect();
+            let cfg = AttackConfig::imp9();
+            let reference =
+                TrainedAttack::train_opt(&cfg, &train, None, with_backend(TreeBackend::Reference))
+                    .expect("reference train");
+            let binned =
+                TrainedAttack::train_opt(&cfg, &train, None, with_backend(TreeBackend::Binned))
+                    .expect("binned train");
+            assert_eq!(
+                reference, binned,
+                "layer {split}, target {}: trained models diverged",
+                vs[t].name
+            );
+            let scored_ref = reference.score(&vs[t], &ScoreOptions::default());
+            let scored_bin = binned.score(&vs[t], &ScoreOptions::default());
+            assert_eq!(
+                scored_ref.hist, scored_bin.hist,
+                "layer {split}, target {}: LoC histogram diverged",
+                vs[t].name
+            );
+            assert_eq!(
+                scored_ref, scored_bin,
+                "layer {split}, target {}: scored view diverged",
+                vs[t].name
+            );
+            assert_eq!(
+                scored_ref.curve().points(),
+                scored_bin.curve().points(),
+                "layer {split}, target {}: LoC curve diverged",
+                vs[t].name
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_validation_is_backend_invariant() {
+    // The full leave-one-out driver — per-design sample cache, fold
+    // assembly, training, scoring — must fold the backend away entirely.
+    let vs = views(8);
+    let cfg = AttackConfig::imp11();
+    let opts = ScoreOptions::default();
+    let reference = leave_one_out_opt(&cfg, &vs, &opts, with_backend(TreeBackend::Reference))
+        .expect("reference xval");
+    let binned = leave_one_out_opt(&cfg, &vs, &opts, with_backend(TreeBackend::Binned))
+        .expect("binned xval");
+    assert_eq!(reference.len(), binned.len());
+    for (r, b) in reference.iter().zip(&binned) {
+        assert_eq!(r.test_name, b.test_name);
+        assert_eq!(r.scored, b.scored, "{}: fold scoring diverged", r.test_name);
+    }
+}
