@@ -1,28 +1,46 @@
-//! Attack-scoring kernel benchmark: compiled (flattened ensemble + SoA
-//! feature extraction, batched) versus the reference per-pair path, on the
-//! same trained model and target design.
+//! Attack-scoring benchmark: compiled vs reference kernel, spatial vs
+//! all-pairs candidate enumeration, on the same trained model and target
+//! design.
 //!
 //! Emits a machine-readable report (`BENCH_attack.json` shape) with
-//! end-to-end pairs/s per kernel plus a per-stage split of the compiled
-//! path (feature fill vs ensemble evaluation), and exits nonzero if the
-//! compiled kernel is not faster than the reference — the CI guard against
-//! performance regressions.
+//! end-to-end pairs/s per kernel, a per-stage split of the compiled path
+//! (feature fill vs ensemble evaluation), the enumeration-stage ns/pair of
+//! the spatial grid queries vs the all-pairs oracle scan, and the process
+//! peak RSS. Exits nonzero if the compiled kernel is not faster than the
+//! reference, if spatial enumeration is not faster than the all-pairs
+//! scan, or if the spatial `ScoredView` diverges from the oracle — the CI
+//! guards against performance and correctness regressions.
 //!
 //! ```bash
 //! SM_SCALE=0.2 cargo run --release -p sm-bench --bin bench_attack -- results/BENCH_attack.json
 //! ```
+//!
+//! Environment knobs:
+//!
+//! - `SM_BENCH_CONFIG=ml-9|imp-7|imp-9|imp-11` — model configuration
+//!   (default `imp-11`).
+//! - `SM_BENCH_SPLIT=4|6|8` — split layer (default 8; use 4 for the
+//!   enumeration-bound regime, where the neighborhood ball covers a small
+//!   fraction of the die).
+//! - `SM_BENCH_ITERS=N` — timed passes per measurement, best-of-N
+//!   (default 3; 1 skips the warm-up pass too).
+//! - `SM_BENCH_ORACLE=0` — skip every quadratic oracle pass (reference
+//!   kernel, all-pairs enumeration, stage split, divergence check) for
+//!   paper-scale streaming runs; the matching report fields are null.
+//! - `SM_BENCH_TOP_FRACTION=F` — per-target top-list fraction (default
+//!   0.06). At `SM_SCALE=10` the default would retain ~17 GB of
+//!   candidates; pick the PA fraction actually needed (e.g. 0.002).
 
 use std::time::Instant;
 
 use serde::Serialize;
-use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainedAttack, SCORE_BATCH};
+use sm_attack::attack::{
+    AttackConfig, Enumeration, Kernel, ScoreOptions, TrainedAttack, SCORE_BATCH,
+};
+use sm_attack::neighborhood::VpinIndex;
 use sm_attack::PairKernel;
-use sm_bench::Harness;
+use sm_bench::{peak_rss_bytes, Harness};
 use sm_layout::SplitView;
-
-/// Measured iterations per kernel; the fastest is reported (standard
-/// best-of-N to shed scheduler noise without a long run).
-const ITERS: usize = 3;
 
 #[derive(Serialize)]
 struct KernelResult {
@@ -49,28 +67,86 @@ struct StageSplit {
 }
 
 #[derive(Serialize)]
+struct EnumStage {
+    /// Candidate pairs enumerated per full pass (before legality
+    /// filtering).
+    pairs_enumerated: u64,
+    /// Best full-pass time of the spatial grid queries
+    /// (`within_radius_unordered` per target).
+    spatial_best_s: f64,
+    /// Spatial enumeration cost per enumerated pair.
+    spatial_ns_per_pair: f64,
+    /// Best full-pass time of the all-pairs oracle scan (null in
+    /// streaming-only mode).
+    all_pairs_best_s: Option<f64>,
+    /// Oracle scan cost per enumerated pair (null in streaming-only mode).
+    all_pairs_ns_per_pair: Option<f64>,
+    /// all-pairs / spatial pass-time ratio (null in streaming-only mode).
+    enumeration_speedup: Option<f64>,
+}
+
+#[derive(Serialize)]
 struct Report {
     scale: f64,
     split_layer: u8,
     config: String,
     design: String,
     num_vpins: usize,
+    top_fraction: f64,
     pairs_scored: u64,
-    reference: KernelResult,
+    /// Null when `SM_BENCH_ORACLE=0` skips the reference kernel.
+    reference: Option<KernelResult>,
     compiled: KernelResult,
-    speedup: f64,
-    stage_split: StageSplit,
+    /// reference / compiled end-to-end time (null in streaming-only mode).
+    speedup: Option<f64>,
+    stage_split: Option<StageSplit>,
+    /// Null for `ML` configurations (no neighborhood radius: both
+    /// enumerations degenerate to the same full scan).
+    enumeration: Option<EnumStage>,
+    /// Whether the spatial `ScoredView` was verified bit-identical to the
+    /// all-pairs oracle in this run.
+    oracle_checked: bool,
+    peak_rss_bytes: Option<u64>,
 }
 
-fn time_kernel(model: &TrainedAttack, view: &SplitView, kernel: Kernel) -> (f64, u64) {
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name).as_deref() {
+        Ok("0") | Ok("false") => false,
+        Ok("1") | Ok("true") => true,
+        Err(_) => default,
+        Ok(other) => panic!("{name} must be 0 or 1, got {other:?}"),
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid {name} value {s:?}")),
+    }
+}
+
+fn time_kernel(
+    model: &TrainedAttack,
+    view: &SplitView,
+    kernel: Kernel,
+    base: &ScoreOptions,
+    iters: usize,
+) -> (f64, u64) {
     let opts = ScoreOptions {
         kernel,
-        ..ScoreOptions::default()
+        ..base.clone()
     };
-    // Warm-up iteration (page in the model, populate allocator pools).
-    let mut pairs = model.score(view, &opts).pairs_scored;
+    // Warm-up iteration (page in the model, populate allocator pools) —
+    // skipped for single-pass paper-scale runs, where a pass is minutes.
+    let mut pairs = if iters > 1 {
+        model.score(view, &opts).pairs_scored
+    } else {
+        0
+    };
     let mut best = f64::INFINITY;
-    for _ in 0..ITERS {
+    for _ in 0..iters.max(1) {
         let t = Instant::now();
         let scored = model.score(view, &opts);
         best = best.min(t.elapsed().as_secs_f64());
@@ -81,10 +157,10 @@ fn time_kernel(model: &TrainedAttack, view: &SplitView, kernel: Kernel) -> (f64,
 
 /// Runs feature fill and ensemble evaluation as separate timed stages over
 /// every legal pair, batched exactly like the attack's inner loop. Each
-/// measurement pass is repeated [`ITERS`] times and the fastest pass is
+/// measurement pass is repeated `iters` times and the fastest pass is
 /// kept — per-stage times come from the same best pass, so the reported
 /// split stays self-consistent.
-fn stage_split(model: &TrainedAttack, view: &SplitView) -> StageSplit {
+fn stage_split(model: &TrainedAttack, view: &SplitView, iters: usize) -> StageSplit {
     let kernel = PairKernel::new(view.vpins(), &model.config().features);
     let ensemble = model.model().compile();
     let nf = kernel.num_features();
@@ -94,7 +170,7 @@ fn stage_split(model: &TrainedAttack, view: &SplitView) -> StageSplit {
     let mut cands: Vec<u32> = Vec::new();
     let mut sink = 0.0_f64;
     let (mut fill_s, mut proba_s, mut pairs) = (f64::INFINITY, f64::INFINITY, 0_u64);
-    for _ in 0..=ITERS {
+    for _ in 0..=iters {
         // First pass doubles as warm-up; it can only lose the min race.
         let (mut pass_fill, mut pass_proba, mut pass_pairs) = (0.0_f64, 0.0_f64, 0_u64);
         for i in 0..n {
@@ -132,7 +208,7 @@ fn stage_split(model: &TrainedAttack, view: &SplitView) -> StageSplit {
     let mut buf: Vec<f64> = Vec::with_capacity(nf);
     let vpins = view.vpins();
     let (mut ref_compute_s, mut ref_total_s) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..=ITERS {
+    for _ in 0..=iters {
         let t = Instant::now();
         for i in 0..n {
             for j in (i + 1)..n {
@@ -169,10 +245,83 @@ fn stage_split(model: &TrainedAttack, view: &SplitView) -> StageSplit {
     }
 }
 
+/// Times candidate enumeration alone — the stage the spatial grid
+/// replaces — normalised per enumerated pair: radius queries against the
+/// [`VpinIndex`] versus the per-target all-pairs distance scan (the exact
+/// loop the attack ran before the spatial path existed). Returns `None`
+/// for configurations without a neighborhood radius, where both
+/// enumerations are the same trivial scan.
+fn enumeration_split(
+    model: &TrainedAttack,
+    view: &SplitView,
+    iters: usize,
+    oracle: bool,
+) -> Option<EnumStage> {
+    let radius = model.radius()?;
+    let n = view.num_vpins();
+    let vpins = view.vpins();
+    let mut out: Vec<u32> = Vec::new();
+    let index = VpinIndex::with_radius(view, radius);
+    let mut pairs = 0u64;
+    let mut spatial_best = f64::INFINITY;
+    for pass in 0..=iters {
+        let t = Instant::now();
+        let mut count = 0u64;
+        for i in 0..n as u32 {
+            index.within_radius_unordered(view, vpins[i as usize].loc, radius, i, &mut out);
+            count += out.len() as u64;
+        }
+        let dt = t.elapsed().as_secs_f64();
+        if pass > 0 {
+            spatial_best = spatial_best.min(dt);
+        }
+        pairs = count;
+    }
+    let (mut all_pairs_best, mut all_ns, mut speedup) = (None, None, None);
+    if oracle {
+        let mut best = f64::INFINITY;
+        for pass in 0..=iters {
+            let t = Instant::now();
+            let mut count = 0u64;
+            for i in 0..n {
+                let loc = vpins[i].loc;
+                out.clear();
+                out.extend((0..n as u32).filter(|&j| {
+                    j as usize != i && vpins[j as usize].loc.manhattan(loc) <= radius
+                }));
+                count += out.len() as u64;
+            }
+            let dt = t.elapsed().as_secs_f64();
+            if pass > 0 {
+                best = best.min(dt);
+            }
+            assert_eq!(count, pairs, "oracle scan enumerated a different pair set");
+        }
+        all_pairs_best = Some(best);
+        all_ns = Some(best * 1e9 / pairs.max(1) as f64);
+        speedup = Some(best / spatial_best);
+    }
+    Some(EnumStage {
+        pairs_enumerated: pairs,
+        spatial_best_s: spatial_best,
+        spatial_ns_per_pair: spatial_best * 1e9 / pairs.max(1) as f64,
+        all_pairs_best_s: all_pairs_best,
+        all_pairs_ns_per_pair: all_ns,
+        enumeration_speedup: speedup,
+    })
+}
+
 fn main() {
     let out_path = std::env::args().nth(1);
     let harness = Harness::from_env();
-    let layer = 8u8;
+    let layer: u8 = env_parse("SM_BENCH_SPLIT", 8);
+    let iters: usize = env_parse("SM_BENCH_ITERS", 3);
+    let oracle = env_flag("SM_BENCH_ORACLE", true);
+    let top_fraction: f64 = env_parse("SM_BENCH_TOP_FRACTION", 0.06);
+    assert!(
+        top_fraction > 0.0 && top_fraction <= 1.0,
+        "SM_BENCH_TOP_FRACTION must be in (0, 1]"
+    );
     let views = harness.views(layer);
     let train: Vec<&SplitView> = views[1..].iter().collect();
     // The paper's flagship configuration (all 11 features, neighborhood
@@ -187,17 +336,47 @@ fn main() {
     eprintln!("[bench_attack] training {} ...", config.name);
     let model = TrainedAttack::train(&config, &train, None).expect("train");
     let target = &views[0];
+    let base = ScoreOptions {
+        top_fraction,
+        ..ScoreOptions::default()
+    };
 
-    eprintln!("[bench_attack] scoring with reference kernel ...");
-    let (ref_s, ref_pairs) = time_kernel(&model, target, Kernel::Reference);
-    eprintln!("[bench_attack] scoring with compiled kernel ...");
-    let (comp_s, comp_pairs) = time_kernel(&model, target, Kernel::Compiled);
-    assert_eq!(
-        ref_pairs, comp_pairs,
-        "kernels must evaluate the same pair set"
-    );
-    eprintln!("[bench_attack] measuring per-stage split ...");
-    let stages = stage_split(&model, target);
+    eprintln!("[bench_attack] scoring with compiled kernel (spatial enumeration) ...");
+    let (comp_s, comp_pairs) = time_kernel(&model, target, Kernel::Compiled, &base, iters);
+
+    let (mut reference, mut speedup, mut stages) = (None, None, None);
+    let mut oracle_checked = false;
+    if oracle {
+        eprintln!("[bench_attack] scoring with reference kernel ...");
+        let (ref_s, ref_pairs) = time_kernel(&model, target, Kernel::Reference, &base, iters);
+        assert_eq!(
+            ref_pairs, comp_pairs,
+            "kernels must evaluate the same pair set"
+        );
+        reference = Some(KernelResult {
+            best_s: ref_s,
+            pairs_per_s: comp_pairs as f64 / ref_s,
+        });
+        speedup = Some(ref_s / comp_s);
+        eprintln!("[bench_attack] measuring per-stage kernel split ...");
+        stages = Some(stage_split(&model, target, iters));
+        eprintln!("[bench_attack] verifying spatial enumeration against the oracle ...");
+        let spatial = model.score(target, &base);
+        let all_pairs = model.score(
+            target,
+            &ScoreOptions {
+                enumeration: Enumeration::AllPairs,
+                ..base.clone()
+            },
+        );
+        assert_eq!(
+            spatial, all_pairs,
+            "spatial enumeration diverged from the all-pairs oracle"
+        );
+        oracle_checked = true;
+    }
+    eprintln!("[bench_attack] measuring enumeration stage ...");
+    let enumeration = enumeration_split(&model, target, iters, oracle);
 
     let pairs = comp_pairs;
     let report = Report {
@@ -206,32 +385,70 @@ fn main() {
         config: config.name.clone(),
         design: target.name.clone(),
         num_vpins: target.num_vpins(),
+        top_fraction,
         pairs_scored: pairs,
-        reference: KernelResult {
-            best_s: ref_s,
-            pairs_per_s: pairs as f64 / ref_s,
-        },
+        reference,
         compiled: KernelResult {
             best_s: comp_s,
             pairs_per_s: pairs as f64 / comp_s,
         },
-        speedup: ref_s / comp_s,
+        speedup,
         stage_split: stages,
+        enumeration,
+        oracle_checked,
+        peak_rss_bytes: peak_rss_bytes(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");
     if let Some(path) = out_path {
-        std::fs::write(&path, json + "\n").expect("write report");
+        std::fs::write(&path, json.clone() + "\n").expect("write report");
         eprintln!("[bench_attack] wrote {path}");
     }
-    if comp_s >= ref_s {
+    if let Some(rss) = report.peak_rss_bytes {
         eprintln!(
-            "[bench_attack] FAIL: compiled kernel ({comp_s:.3}s) is not faster than reference ({ref_s:.3}s)"
+            "[bench_attack] peak RSS {:.0} MiB",
+            rss as f64 / (1 << 20) as f64
         );
+    }
+    let mut failed = false;
+    if let Some(ref reference) = report.reference {
+        if comp_s >= reference.best_s {
+            eprintln!(
+                "[bench_attack] FAIL: compiled kernel ({comp_s:.3}s) is not faster than reference ({:.3}s)",
+                reference.best_s
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "[bench_attack] compiled {:.2}x faster ({:.0} vs {:.0} pairs/s)",
+                report.speedup.unwrap_or(f64::NAN),
+                report.compiled.pairs_per_s,
+                reference.pairs_per_s
+            );
+        }
+    }
+    if let Some(ref e) = report.enumeration {
+        match (e.all_pairs_best_s, e.all_pairs_ns_per_pair) {
+            (Some(all_s), Some(all_ns)) if e.spatial_best_s >= all_s => {
+                eprintln!(
+                    "[bench_attack] FAIL: spatial enumeration ({:.2} ns/pair) is not faster than the all-pairs scan ({all_ns:.2} ns/pair)",
+                    e.spatial_ns_per_pair
+                );
+                failed = true;
+            }
+            (Some(_), Some(all_ns)) => eprintln!(
+                "[bench_attack] enumeration {:.2}x faster ({:.2} vs {all_ns:.2} ns/pair over {} pairs)",
+                e.enumeration_speedup.unwrap_or(f64::NAN),
+                e.spatial_ns_per_pair,
+                e.pairs_enumerated
+            ),
+            _ => eprintln!(
+                "[bench_attack] spatial enumeration {:.2} ns/pair over {} pairs (oracle skipped)",
+                e.spatial_ns_per_pair, e.pairs_enumerated
+            ),
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    eprintln!(
-        "[bench_attack] compiled {:.2}x faster ({:.0} vs {:.0} pairs/s)",
-        report.speedup, report.compiled.pairs_per_s, report.reference.pairs_per_s
-    );
 }

@@ -14,17 +14,56 @@
 use std::time::{Duration, Instant};
 
 use sm_attack::attack::{AttackConfig, ScoreOptions};
-use sm_attack::loc::LocCurve;
+use sm_attack::loc::{LocCurve, LocCurveBuilder};
 use sm_attack::xval::{leave_one_out, FoldResult};
 use sm_layout::{SplitLayer, SplitView, Suite};
 
+/// Parses an `SM_SCALE` value: a finite number strictly greater than
+/// zero.
+///
+/// # Errors
+///
+/// Returns a human-readable message for anything else — unparsable text,
+/// NaN, infinities, zero, negatives.
+pub fn parse_scale(s: &str) -> Result<f64, String> {
+    match s.trim().parse::<f64>() {
+        Err(_) => Err(format!("SM_SCALE must be a number, got '{s}'")),
+        Ok(v) if !v.is_finite() => Err(format!("SM_SCALE must be finite, got '{s}'")),
+        Ok(v) if v <= 0.0 => Err(format!("SM_SCALE must be positive, got '{s}'")),
+        Ok(v) => Ok(v),
+    }
+}
+
 /// Reads the benchmark scale from `SM_SCALE` (default 1.0 = 1/20 of the
 /// paper's layout sizes).
+///
+/// An invalid value terminates the process with a clear error on stderr —
+/// a typo like `SM_SCALE=1O` must never silently fall back to running the
+/// whole experiment at the default scale.
 pub fn scale_from_env() -> f64 {
-    std::env::var("SM_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    match std::env::var("SM_SCALE") {
+        Err(_) => 1.0,
+        Ok(s) => parse_scale(&s).unwrap_or_else(|e| {
+            eprintln!("[harness] {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable. Benchmarks report this as the
+/// memory bound their streaming claims rest on.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
 }
 
 /// The generated suite plus cached split views, shared by every harness.
@@ -98,8 +137,13 @@ pub fn run_config(config: &AttackConfig, views: &[SplitView], opts: &ScoreOption
     let folds = leave_one_out(config, views, opts)
         .unwrap_or_else(|e| panic!("{} failed: {e}", config.name));
     let runtime = t.elapsed();
-    let scored: Vec<_> = folds.iter().map(|f| f.scored.clone()).collect();
-    let curve = LocCurve::from_views(&scored);
+    // Fold the curve incrementally instead of cloning every scored view;
+    // LocCurveBuilder is bit-identical to LocCurve::from_views.
+    let mut builder = LocCurveBuilder::new();
+    for fold in &folds {
+        builder.add_view(&fold.scored);
+    }
+    let curve = builder.finish();
     ConfigRun {
         folds,
         curve,
@@ -166,9 +210,43 @@ mod tests {
     #[test]
     fn scale_env_default_is_one() {
         // The variable may be set by an outer harness; only assert the
-        // parse fallback.
+        // unset fallback.
         if std::env::var("SM_SCALE").is_err() {
             assert_eq!(scale_from_env(), 1.0);
         }
+    }
+
+    #[test]
+    fn scale_parsing_accepts_positive_finite_numbers() {
+        assert_eq!(parse_scale("1.0"), Ok(1.0));
+        assert_eq!(parse_scale("0.2"), Ok(0.2));
+        assert_eq!(parse_scale(" 10 "), Ok(10.0));
+        assert_eq!(parse_scale("2e1"), Ok(20.0));
+    }
+
+    #[test]
+    fn scale_parsing_rejects_garbage_and_nonpositive_values() {
+        // The `SM_SCALE=1O` typo class: must be an error, never a silent
+        // fallback to 1.0.
+        for bad in ["1O", "", "ten", "1.0.0", "0x2"] {
+            assert!(
+                parse_scale(bad).is_err(),
+                "'{bad}' must be rejected as unparsable"
+            );
+        }
+        for bad in ["NaN", "nan", "inf", "-inf", "0", "0.0", "-1", "-0.5"] {
+            assert!(
+                parse_scale(bad).is_err(),
+                "'{bad}' must be rejected as non-positive or non-finite"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // The test itself runs on Linux in CI and locally; a few megabytes
+        // of RSS is guaranteed by the test harness alone.
+        let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
     }
 }

@@ -5,7 +5,9 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use sm_attack::attack::{AttackConfig, Kernel, ScoreOptions, TrainOptions, TrainedAttack};
+use sm_attack::attack::{
+    AttackConfig, Enumeration, Kernel, ScoreOptions, TrainOptions, TrainedAttack,
+};
 use sm_attack::proximity::{proximity_attack, validate_pa_fraction_opt, DEFAULT_PA_FRACTIONS};
 use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
@@ -106,6 +108,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "threads",
                 "model",
                 "kernel",
+                "enumeration",
                 "tree-backend",
             ])?;
             cmd_attack(args)
@@ -119,6 +122,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "seed",
                 "model",
                 "kernel",
+                "enumeration",
                 "tree-backend",
             ])?;
             cmd_pa(args)
@@ -134,6 +138,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "threads",
                 "batch-threads",
                 "kernel",
+                "enumeration",
                 "request-timeout-ms",
                 "idle-timeout-ms",
                 "max-request-bytes",
@@ -175,17 +180,18 @@ pub fn print_help() {
          \x20 attack      --dir DIR --target NAME [--config imp-11]\n\
          \x20             [--model FILE] [--threshold 0.5]\n\
          \x20             [--threads auto] [--kernel compiled]\n\
+         \x20             [--enumeration spatial]\n\
          \x20             [--tree-backend binned]                     leave-one-out ML attack\n\
          \x20 pa          --dir DIR --target NAME [--config imp-9]\n\
          \x20             [--model FILE] [--threads auto]\n\
-         \x20             [--kernel compiled]\n\
+         \x20             [--kernel compiled] [--enumeration spatial]\n\
          \x20             [--tree-backend binned]                     validated proximity attack\n\
          \x20 train       --dir DIR --out FILE [--target NAME]\n\
          \x20             [--config imp-11] [--threads auto]\n\
          \x20             [--tree-backend binned]                     fit once, write a model artifact\n\
          \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
          \x20             [--threads auto] [--batch-threads seq]\n\
-         \x20             [--kernel compiled]\n\
+         \x20             [--kernel compiled] [--enumeration spatial]\n\
          \x20             [--request-timeout-ms 10000]\n\
          \x20             [--idle-timeout-ms 60000]\n\
          \x20             [--max-request-bytes 67108864]\n\
@@ -200,6 +206,9 @@ pub fn print_help() {
          are identical for every setting (deterministic parallelism).\n\
          --kernel takes 'compiled' (flattened ensemble, batched; default)\n\
          or 'reference'; scores are bit-identical either way.\n\
+         --enumeration takes 'spatial' (grid radius queries, memory-bounded\n\
+         at paper scale; default) or 'all-pairs' (the quadratic oracle);\n\
+         scores are bit-identical either way.\n\
          --tree-backend takes 'binned' (histogram split-finding; default)\n\
          or 'reference'; trained models are bit-identical either way.\n\
          --model FILE loads a 'train' artifact instead of retraining; the\n\
@@ -345,6 +354,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let threshold: f64 = args.get_or("threshold", 0.5)?;
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
+    let enumeration: Enumeration = args.get_or("enumeration", Enumeration::Spatial)?;
     let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
 
     let views = load_dir(&dir)?;
@@ -370,6 +380,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         &ScoreOptions {
             parallelism,
             kernel,
+            enumeration,
             ..ScoreOptions::default()
         },
     );
@@ -408,6 +419,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let seed: u64 = args.get_or("seed", 17)?;
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
+    let enumeration: Enumeration = args.get_or("enumeration", Enumeration::Spatial)?;
     let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
 
     let views = load_dir(&dir)?;
@@ -446,6 +458,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         &ScoreOptions {
             parallelism,
             kernel,
+            enumeration,
             ..ScoreOptions::default()
         },
     );
@@ -511,6 +524,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         workers: args.get_or("threads", Parallelism::Auto)?,
         batch: args.get_or("batch-threads", Parallelism::Sequential)?,
         kernel: args.get_or("kernel", Kernel::Compiled)?,
+        enumeration: args.get_or("enumeration", Enumeration::Spatial)?,
         request_timeout_ms: args.get_or("request-timeout-ms", defaults.request_timeout_ms)?,
         idle_timeout_ms: args.get_or("idle-timeout-ms", defaults.idle_timeout_ms)?,
         max_request_bytes: args.get_or("max-request-bytes", defaults.max_request_bytes)?,
@@ -738,6 +752,59 @@ mod tests {
                 "{tokens:?} -> {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn bad_enumeration_is_a_typed_bad_value() {
+        // Must fail on flag parsing — before any challenge file is read.
+        for cmd in [
+            &["attack", "--dir", "x", "--target", "sb1"][..],
+            &["pa", "--dir", "x", "--target", "sb1"][..],
+            &["serve", "--model", "x"][..],
+        ] {
+            let mut tokens: Vec<&str> = cmd.to_vec();
+            tokens.extend(["--enumeration", "exhaustive"]);
+            let err = dispatch_tokens(&tokens).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    CliError::Args(crate::args::ParseArgsError::BadValue { ref flag, .. })
+                        if flag == "enumeration"
+                ),
+                "{tokens:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_flag_accepts_both_strategies() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_test_enumeration");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch_tokens(&[
+            "gen",
+            "--out",
+            dir.to_str().expect("utf8"),
+            "--scale",
+            "0.01",
+            "--split",
+            "8",
+        ])
+        .expect("gen runs");
+        for enumeration in ["spatial", "all-pairs"] {
+            dispatch_tokens(&[
+                "attack",
+                "--dir",
+                dir.to_str().expect("utf8"),
+                "--target",
+                "sb1",
+                "--config",
+                "imp-9",
+                "--enumeration",
+                enumeration,
+            ])
+            .expect("attack runs with either enumeration");
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -80,6 +80,59 @@ impl std::fmt::Display for Kernel {
     }
 }
 
+/// How [`TrainedAttack::score`] enumerates candidate pairs per target.
+///
+/// Both strategies visit exactly the same candidate *set* per target, and
+/// the top-K keeper orders candidates under a total preference order (see
+/// `cand_cmp`), so the resulting [`ScoredView`]s are bit-identical — proven
+/// by `tests/enumeration_parity.rs` over all benchmarks and split layers.
+/// The choice only affects time and memory: spatial enumeration is
+/// O(neighbors) per target instead of O(n), which is what makes
+/// paper-scale (`SM_SCALE >= 10`, 10⁸+ candidate pairs) attacks feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Enumeration {
+    /// Radius / same-track queries against the [`VpinIndex`] spatial grid
+    /// (the streaming default).
+    #[default]
+    Spatial,
+    /// Per-target scan over all n v-pins with a distance/track filter —
+    /// the oracle the spatial path is checked against.
+    AllPairs,
+}
+
+/// Error parsing an [`Enumeration`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnumerationError(String);
+
+impl std::fmt::Display for ParseEnumerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected 'spatial' or 'all-pairs', got '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseEnumerationError {}
+
+impl std::str::FromStr for Enumeration {
+    type Err = ParseEnumerationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spatial" => Ok(Enumeration::Spatial),
+            "all-pairs" | "allpairs" | "oracle" => Ok(Enumeration::AllPairs),
+            _ => Err(ParseEnumerationError(s.to_owned())),
+        }
+    }
+}
+
+impl std::fmt::Display for Enumeration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Enumeration::Spatial => write!(f, "spatial"),
+            Enumeration::AllPairs => write!(f, "all-pairs"),
+        }
+    }
+}
+
 /// Training-time execution options.
 ///
 /// These knobs change how a model is *computed*, never what it computes:
@@ -436,6 +489,10 @@ pub struct ScoreOptions {
     /// Scoring implementation; results are bit-identical, wall-clock is
     /// not (the compiled kernel is the fast default).
     pub kernel: Kernel,
+    /// Candidate enumeration strategy; results are bit-identical, time and
+    /// memory are not (spatial queries are the streaming default, the
+    /// all-pairs scan is the oracle).
+    pub enumeration: Enumeration,
 }
 
 impl Default for ScoreOptions {
@@ -446,6 +503,7 @@ impl Default for ScoreOptions {
             targets: None,
             parallelism: Parallelism::Auto,
             kernel: Kernel::Compiled,
+            enumeration: Enumeration::Spatial,
         }
     }
 }
@@ -533,6 +591,7 @@ pub(crate) fn score_with(
     };
     let top_k = ((options.top_fraction * n as f64).ceil() as usize).max(options.top_floor);
     let need_index = matches!(source, CandidateSource::Config)
+        && options.enumeration == Enumeration::Spatial
         && (attack.radius.is_some() || attack.config.limit_diff_vpin_y);
     let index = if need_index {
         Some(match attack.radius {
@@ -575,7 +634,17 @@ pub(crate) fn score_with(
             let i = targets[slot_idx];
             let iu = i as usize;
             let truth = view.true_match(iu);
-            enumerate_candidates(attack, view, source, index, slot_idx, i, n, &mut cands);
+            enumerate_candidates(
+                attack,
+                view,
+                source,
+                index,
+                options.enumeration,
+                slot_idx,
+                i,
+                n,
+                &mut cands,
+            );
             let mut slot = VpinScore {
                 vpin: i,
                 true_prob: None,
@@ -612,10 +681,12 @@ pub(crate) fn score_with(
                             if ju == truth {
                                 slot.true_prob = Some(p);
                             }
-                            // `push_top`'s insertion test ignores `dist`,
-                            // so the distance is only computed for the few
-                            // candidates that actually enter the list.
-                            if top.len() < top_k || p > top[0].p {
+                            // `push_top` compares probability first, so a
+                            // candidate strictly below the retained minimum
+                            // can never enter the list and its distance is
+                            // never computed; only candidates at or above
+                            // the minimum pay for it.
+                            if top.len() < top_k || p >= top[0].p {
                                 push_top(
                                     &mut top,
                                     Cand {
@@ -658,7 +729,7 @@ pub(crate) fn score_with(
                     }
                 }
             }
-            top.sort_by(|a, b| b.p.total_cmp(&a.p).then(a.dist.cmp(&b.dist)));
+            top.sort_by(|a, b| cand_cmp(b, a));
             slot.top = top;
             local_slots.push(slot);
         }
@@ -690,6 +761,7 @@ fn enumerate_candidates(
     view: &SplitView,
     source: &CandidateSource<'_>,
     index: Option<&VpinIndex>,
+    enumeration: Enumeration,
     slot_idx: usize,
     i: u32,
     n: usize,
@@ -703,38 +775,79 @@ fn enumerate_candidates(
         }
         CandidateSource::Config => {
             let iu = i as usize;
-            if attack.config.limit_diff_vpin_y {
-                let index = index.expect("index exists for Y-limited configs");
-                index.same_y(view.vpins()[iu].loc.y, i, out);
-                if let Some(r) = attack.radius {
-                    out.retain(|&j| view.distance(iu, j as usize) <= r);
-                }
-            } else if let Some(r) = attack.radius {
-                let index = index.expect("index exists for neighborhood configs");
-                index.within_radius(view, view.vpins()[iu].loc, r, i, out);
-            } else {
+            let y_limited = attack.config.limit_diff_vpin_y;
+            if !y_limited && attack.radius.is_none() {
+                // Unrestricted (`ML`) configuration: every other v-pin is
+                // a candidate whichever enumeration is selected.
                 out.clear();
                 out.extend((0..n as u32).filter(|&j| j != i));
+                return;
+            }
+            match enumeration {
+                Enumeration::Spatial => {
+                    if y_limited {
+                        let index = index.expect("index exists for Y-limited configs");
+                        index.same_y(view.vpins()[iu].loc.y, i, out);
+                        if let Some(r) = attack.radius {
+                            out.retain(|&j| view.distance(iu, j as usize) <= r);
+                        }
+                    } else {
+                        let r = attack.radius.expect("radius exists on this path");
+                        let index = index.expect("index exists for neighborhood configs");
+                        index.within_radius_unordered(view, view.vpins()[iu].loc, r, i, out);
+                    }
+                }
+                Enumeration::AllPairs => {
+                    out.clear();
+                    let yi = view.vpins()[iu].loc.y;
+                    for j in 0..n as u32 {
+                        if j == i {
+                            continue;
+                        }
+                        if y_limited && view.vpins()[j as usize].loc.y != yi {
+                            continue;
+                        }
+                        if let Some(r) = attack.radius {
+                            if view.distance(iu, j as usize) > r {
+                                continue;
+                            }
+                        }
+                        out.push(j);
+                    }
+                }
             }
         }
     }
 }
 
-/// Bounded max-keeper: retains the `k` highest-probability candidates.
+/// Total preference order on candidates: probability descending, then
+/// distance ascending, then index ascending, where `Ordering::Greater`
+/// means `a` is preferred. Every tie is broken down to the v-pin index, so
+/// the retained top-K list is a pure function of the candidate *set* —
+/// independent of enumeration order — which is what makes the spatial and
+/// all-pairs enumerations bit-identical.
+fn cand_cmp(a: &Cand, b: &Cand) -> std::cmp::Ordering {
+    a.p.total_cmp(&b.p)
+        .then(b.dist.cmp(&a.dist))
+        .then(b.index.cmp(&a.index))
+}
+
+/// Bounded keeper: retains the `k` best candidates under [`cand_cmp`].
 fn push_top(top: &mut Vec<Cand>, c: Cand, k: usize) {
     if top.len() < k {
         top.push(c);
         if top.len() == k {
-            // Establish a min-heap by probability.
-            top.sort_by(|a, b| a.p.total_cmp(&b.p));
+            // Establish ascending preference order: the worst retained
+            // candidate sits at the front.
+            top.sort_by(cand_cmp);
         }
         return;
     }
-    if c.p > top[0].p {
+    if cand_cmp(&c, &top[0]) == std::cmp::Ordering::Greater {
         top[0] = c;
-        // Restore the "min at front" invariant with a single sift pass.
+        // Restore sortedness with a single sift pass.
         let mut i = 0;
-        while i + 1 < top.len() && top[i].p > top[i + 1].p {
+        while i + 1 < top.len() && cand_cmp(&top[i], &top[i + 1]) == std::cmp::Ordering::Greater {
             top.swap(i, i + 1);
             i += 1;
         }
@@ -930,6 +1043,65 @@ mod tests {
                 },
             );
             assert_eq!(compiled, reference, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn spatial_and_all_pairs_enumerations_score_identically() {
+        for (split, cfg) in [
+            (6u8, AttackConfig::imp11()),
+            (8u8, AttackConfig::imp9().with_y_limit()),
+            (6u8, AttackConfig::ml9()),
+        ] {
+            let views = suite_views(split);
+            let (train, test) = leave_one_out(&views, 0);
+            let model = TrainedAttack::train(&cfg, &train, None).expect("train");
+            let spatial = model.score(test, &ScoreOptions::default());
+            let oracle = model.score(
+                test,
+                &ScoreOptions {
+                    enumeration: Enumeration::AllPairs,
+                    ..ScoreOptions::default()
+                },
+            );
+            assert_eq!(spatial, oracle, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn enumeration_parses_and_displays() {
+        assert_eq!("spatial".parse(), Ok(Enumeration::Spatial));
+        assert_eq!("ALL-PAIRS".parse(), Ok(Enumeration::AllPairs));
+        assert_eq!("oracle".parse(), Ok(Enumeration::AllPairs));
+        assert_eq!(Enumeration::default(), Enumeration::Spatial);
+        assert!("grid".parse::<Enumeration>().is_err());
+        for e in [Enumeration::Spatial, Enumeration::AllPairs] {
+            assert_eq!(e.to_string().parse(), Ok(e));
+        }
+    }
+
+    #[test]
+    fn push_top_breaks_ties_by_distance_then_index() {
+        // Equal probabilities: the nearer candidate wins; equal distances:
+        // the lower index wins — independent of arrival order, which is
+        // what makes the keeper enumeration-order-invariant.
+        let mk = |index, dist| Cand {
+            p: 0.5,
+            index,
+            dist,
+        };
+        let orders: [[Cand; 3]; 2] = [
+            [mk(2, 30), mk(1, 10), mk(3, 10)],
+            [mk(3, 10), mk(2, 30), mk(1, 10)],
+        ];
+        for cs in orders {
+            let mut top = Vec::new();
+            for c in cs {
+                push_top(&mut top, c, 2);
+            }
+            top.sort_by(|a, b| cand_cmp(b, a));
+            let kept: Vec<u32> = top.iter().map(|c| c.index).collect();
+            assert_eq!(kept, vec![1, 3]);
         }
     }
 

@@ -55,12 +55,12 @@ pub mod two_level;
 pub mod xval;
 
 pub use attack::{
-    AttackConfig, BaseClassifier, Kernel, ScoreOptions, ScoredView, TrainOptions, TrainedAttack,
-    TrainedParts,
+    AttackConfig, BaseClassifier, Enumeration, Kernel, ScoreOptions, ScoredView, TrainOptions,
+    TrainedAttack, TrainedParts,
 };
 pub use error::AttackError;
 pub use features::{FeatureSet, PairFeature, PairKernel, ALL_FEATURES};
-pub use loc::{CurvePoint, LocCurve};
+pub use loc::{CurvePoint, LocCurve, LocCurveBuilder};
 pub use matching::{greedy_matching, mutual_best, MatchingOutcome};
 pub use proximity::{
     proximity_attack, validate_pa_fraction, validate_pa_fraction_opt, PaOutcome, PaValidation,

@@ -77,6 +77,88 @@ impl ScoredView {
     }
 }
 
+/// Incremental builder for [`LocCurve`]: feed scored views one at a time,
+/// keeping none of them alive afterwards.
+///
+/// Produces bit-identical results to [`LocCurve::from_views`]: per-bin
+/// sums accumulate in view order, so the floating-point operand order is
+/// exactly the batch function's inner loop. Memory is bounded by the three
+/// `HIST_BINS` accumulator arrays instead of every scored view at once —
+/// what the paper-scale streaming cross-validation drivers rely on.
+#[derive(Debug, Clone)]
+pub struct LocCurveBuilder {
+    num_views: usize,
+    acc: Vec<f64>,
+    mean_loc: Vec<f64>,
+    loc_fraction: Vec<f64>,
+}
+
+impl Default for LocCurveBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocCurveBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self {
+            num_views: 0,
+            acc: vec![0.0; HIST_BINS],
+            mean_loc: vec![0.0; HIST_BINS],
+            loc_fraction: vec![0.0; HIST_BINS],
+        }
+    }
+
+    /// Number of views folded in so far.
+    pub fn num_views(&self) -> usize {
+        self.num_views
+    }
+
+    /// Folds one scored view into the running per-bin averages.
+    pub fn add_view(&mut self, view: &ScoredView) {
+        // Pre-sort the view's true probabilities for O(log) accuracy
+        // queries per bin.
+        let mut truths: Vec<f64> = view.slots.iter().filter_map(|s| s.true_prob).collect();
+        truths.sort_by(f64::total_cmp);
+        let n_slots = view.slots.len().max(1) as f64;
+        // Cumulative candidate count from the top bin down.
+        let mut suffix = 0u64;
+        for k in (0..HIST_BINS).rev() {
+            let t = bin_threshold(k);
+            suffix += view.hist[k];
+            // Count truths with p >= t. The histogram bins candidates by
+            // floor, so comparing against bin k's lower edge counts
+            // exactly the probabilities the suffix sum counts.
+            let hits = truths.len() - truths.partition_point(|p| *p < t);
+            self.acc[k] += hits as f64 / view.slots.len().max(1) as f64;
+            let ml = suffix as f64 / n_slots;
+            self.mean_loc[k] += ml;
+            self.loc_fraction[k] += ml / view.num_view_vpins.max(1) as f64;
+        }
+        self.num_views += 1;
+    }
+
+    /// The averaged curve over every added view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no view was added.
+    pub fn finish(self) -> LocCurve {
+        assert!(self.num_views > 0, "need at least one scored view");
+        let nv = self.num_views as f64;
+        let points = (0..HIST_BINS)
+            .map(|k| CurvePoint {
+                threshold: bin_threshold(k),
+                accuracy: self.acc[k] / nv,
+                mean_loc: self.mean_loc[k] / nv,
+                loc_fraction: self.loc_fraction[k] / nv,
+            })
+            .collect();
+        LocCurve { points }
+    }
+}
+
 impl LocCurve {
     /// Builds the averaged trade-off curve of several scored views (the
     /// paper's figures average accuracy and LoC fraction over the five
@@ -87,47 +169,11 @@ impl LocCurve {
     /// Panics if `views` is empty.
     pub fn from_views(views: &[ScoredView]) -> Self {
         assert!(!views.is_empty(), "need at least one scored view");
-        // Per-view cumulative candidate counts from the top bin down.
-        let mut points = Vec::with_capacity(HIST_BINS);
-        // Pre-sort each view's true probabilities for O(log) accuracy
-        // queries per bin.
-        let sorted_truth: Vec<Vec<f64>> = views
-            .iter()
-            .map(|v| {
-                let mut t: Vec<f64> = v.slots.iter().filter_map(|s| s.true_prob).collect();
-                t.sort_by(f64::total_cmp);
-                t
-            })
-            .collect();
-        let mut suffix: Vec<u64> = vec![0; views.len()];
-        for k in (0..HIST_BINS).rev() {
-            let t = bin_threshold(k);
-            let mut acc = 0.0;
-            let mut mean_loc = 0.0;
-            let mut loc_fraction = 0.0;
-            for (vi, view) in views.iter().enumerate() {
-                suffix[vi] += view.hist[k];
-                let n_slots = view.slots.len().max(1) as f64;
-                let truths = &sorted_truth[vi];
-                // Count truths with p >= t. The histogram bins candidates
-                // by floor, so comparing against bin k's lower edge counts
-                // exactly the probabilities the suffix sum counts.
-                let hits = truths.len() - truths.partition_point(|p| *p < t);
-                acc += hits as f64 / view.slots.len().max(1) as f64;
-                let ml = suffix[vi] as f64 / n_slots;
-                mean_loc += ml;
-                loc_fraction += ml / view.num_view_vpins.max(1) as f64;
-            }
-            let nv = views.len() as f64;
-            points.push(CurvePoint {
-                threshold: t,
-                accuracy: acc / nv,
-                mean_loc: mean_loc / nv,
-                loc_fraction: loc_fraction / nv,
-            });
+        let mut builder = LocCurveBuilder::new();
+        for view in views {
+            builder.add_view(view);
         }
-        points.reverse(); // ascending threshold
-        Self { points }
+        builder.finish()
     }
 
     /// The curve points in ascending-threshold order.
@@ -304,6 +350,26 @@ mod tests {
         let c = LocCurve::from_views(&[a, b]);
         let p0 = c.points().first().expect("non-empty");
         assert!((p0.accuracy - 0.5).abs() < 1e-12, "average of 1.0 and 0.0");
+    }
+
+    #[test]
+    fn builder_matches_batch_curve_bit_for_bit() {
+        let a = synthetic(&[Some(0.9), Some(0.2)], &[0.9, 0.2, 0.4], 2);
+        let b = synthetic(&[None, Some(0.7)], &[0.7, 0.1], 4);
+        let c = synthetic(&[Some(0.5)], &[0.5, 0.5, 0.5], 1);
+        let batch = LocCurve::from_views(&[a.clone(), b.clone(), c.clone()]);
+        let mut builder = LocCurveBuilder::new();
+        for v in [&a, &b, &c] {
+            builder.add_view(v);
+        }
+        assert_eq!(builder.num_views(), 3);
+        assert_eq!(builder.finish(), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scored view")]
+    fn empty_builder_panics_on_finish() {
+        let _ = LocCurveBuilder::new().finish();
     }
 
     #[test]

@@ -9,11 +9,40 @@
 //! testing to pairs within that radius.
 
 use sm_layout::geom::{Grid, Point};
+use sm_layout::tech::Technology;
 use sm_layout::SplitView;
 use std::collections::HashMap;
 
 /// Default CDF quantile used to size the neighborhood.
 pub const DEFAULT_NEIGHBORHOOD_QUANTILE: f64 = 0.90;
+
+/// Divisor mapping the largest training die's Manhattan semi-perimeter
+/// (width + height) to the raw safety margin added on top of the CDF cut
+/// by [`neighborhood_radius`].
+const MARGIN_SEMIPERIMETER_DIVISOR: i64 = 256;
+
+/// Die-proportional safety margin: the largest training die's Manhattan
+/// semi-perimeter divided by [`MARGIN_SEMIPERIMETER_DIVISOR`], rounded up
+/// to a whole number of g-cells and never below one g-cell.
+///
+/// At the default suite scale (`SM_SCALE = 1.0`) every leave-one-out
+/// training subset lands in the (2 560, 3 500] DBU bracket and quantizes
+/// to exactly one g-cell — the `+ 3_500` an earlier revision hard-coded —
+/// so default-scale radii are bit-identical to before. Unlike the
+/// constant, the margin tracks the die: at `SM_SCALE = 0.2` the one-g-cell
+/// floor keeps it from swallowing a fifth-size die's distance tail, and at
+/// `SM_SCALE = 10` it grows with the ~10× die instead of degenerating to
+/// rounding noise.
+fn safety_margin(views: &[&SplitView]) -> i64 {
+    let gcell = Technology::ispd9().gcell_size();
+    let semi = views
+        .iter()
+        .map(|v| v.die.width() + v.die.height())
+        .max()
+        .unwrap_or(0);
+    let cells = (semi / MARGIN_SEMIPERIMETER_DIVISOR + gcell - 1) / gcell;
+    cells.max(1) * gcell
+}
 
 /// Manhattan distances between every true v-pin pair of `views` (each pair
 /// counted once), sorted ascending — the empirical CDF of Fig. 4.
@@ -62,13 +91,14 @@ pub fn neighborhood_radius(views: &[&SplitView], quantile: f64) -> Option<i64> {
         return None;
     }
     let k = ((cdf.len() as f64 * quantile).ceil() as usize).clamp(1, cdf.len());
-    // Round the cut up by a safety margin plus one g-cell, as a practical
-    // g-cell-quantized implementation would. Where the distance tail is
-    // compressed (the top split layer, whose matches all sit near the die
-    // diameter) this absorbs nearly the whole remaining tail — matching
-    // the paper's unsaturated layer-8 accuracies — while the long tails of
-    // the lower layers stay excluded (the Fig. 9(b)/(c) plateaus).
-    Some(cdf[k - 1] + cdf[k - 1] / 8 + 3_500)
+    // Round the cut up by a relative safety margin plus a die-proportional,
+    // g-cell-quantized allowance, as a practical implementation would.
+    // Where the distance tail is compressed (the top split layer, whose
+    // matches all sit near the die diameter) this absorbs nearly the whole
+    // remaining tail — matching the paper's unsaturated layer-8 accuracies
+    // — while the long tails of the lower layers stay excluded (the
+    // Fig. 9(b)/(c) plateaus).
+    Some(cdf[k - 1] + cdf[k - 1] / 8 + safety_margin(views))
 }
 
 /// A spatial index over one view's v-pins supporting radius queries and
@@ -110,7 +140,9 @@ impl VpinIndex {
     }
 
     /// Indices of all v-pins within Manhattan `radius` of `from` (excluding
-    /// `exclude`), appended to `out` (cleared first).
+    /// `exclude`), written to `out` (cleared first) in **ascending index
+    /// order** — the canonical form sample generation draws from, so the
+    /// negative-pair stream is independent of grid traversal order.
     pub fn within_radius(
         &self,
         view: &SplitView,
@@ -119,19 +151,92 @@ impl VpinIndex {
         exclude: u32,
         out: &mut Vec<u32>,
     ) {
+        self.within_radius_unordered(view, from, radius, exclude, out);
+        out.sort_unstable();
+    }
+
+    /// [`Self::within_radius`] without the sorted-output guarantee: exactly
+    /// the same candidate *set*, in an implementation-defined order. This
+    /// is the streaming hot path — the scoring loop's top-K keeper is
+    /// enumeration-order-independent, so it can skip the sort.
+    ///
+    /// Cells of the query window are classified by their min/max Manhattan
+    /// distance to `from`: cells entirely inside the ball are bulk-appended
+    /// without per-pin distance checks, cells entirely outside are skipped,
+    /// and only boundary cells pay a per-pin check.
+    pub fn within_radius_unordered(
+        &self,
+        view: &SplitView,
+        from: Point,
+        radius: i64,
+        exclude: u32,
+        out: &mut Vec<u32>,
+    ) {
         out.clear();
-        let r_cells = (radius / self.grid.cell_size()) as usize + 1;
-        for cell in self.grid.window(from, r_cells) {
-            for &j in &self.buckets[cell] {
-                if j != exclude && view.vpins()[j as usize].loc.manhattan(from) <= radius {
-                    out.push(j);
+        let cell = self.grid.cell_size();
+        let b = self.grid.bounds();
+        let nx = self.grid.nx();
+        let (cx0, cy0) = self
+            .grid
+            .locate(Point::new(from.x - radius, from.y - radius));
+        let (cx1, cy1) = self
+            .grid
+            .locate(Point::new(from.x + radius, from.y + radius));
+        // `exclude` can only ever appear in its home cell, so every other
+        // fully-inside cell is appended with a plain copy.
+        let exclude_cell = view
+            .vpins()
+            .get(exclude as usize)
+            .map(|vp| self.grid.flat_of(vp.loc));
+        let ny = self.grid.ny();
+        for iy in cy0..=cy1 {
+            // Extremal point coordinates inside this cell row/column: cells
+            // are low-inclusive and the die edge caps the last partial cell.
+            let loy = b.lo.y + iy as i64 * cell;
+            let hiy = (loy + cell - 1).min(b.hi.y - 1);
+            let dy_min = (loy - from.y).max(from.y - hiy).max(0);
+            if dy_min > radius {
+                continue;
+            }
+            let dy_max = (from.y - loy).abs().max((from.y - hiy).abs());
+            // Edge cells also hold any out-of-die v-pins (`locate` clamps),
+            // whose true location may lie outside the cell rect — only
+            // interior cells are eligible for the bulk path.
+            let interior_y = iy > 0 && iy + 1 < ny;
+            for ix in cx0..=cx1 {
+                let lox = b.lo.x + ix as i64 * cell;
+                let hix = (lox + cell - 1).min(b.hi.x - 1);
+                let dx_min = (lox - from.x).max(from.x - hix).max(0);
+                if dx_min + dy_min > radius {
+                    continue;
+                }
+                let flat = iy * nx + ix;
+                let bucket = &self.buckets[flat];
+                if bucket.is_empty() {
+                    continue;
+                }
+                let dx_max = (from.x - lox).abs().max((from.x - hix).abs());
+                if interior_y && ix > 0 && ix + 1 < nx && dx_max + dy_max <= radius {
+                    if exclude_cell == Some(flat) {
+                        out.extend(bucket.iter().copied().filter(|&j| j != exclude));
+                    } else {
+                        out.extend_from_slice(bucket);
+                    }
+                } else {
+                    for &j in bucket {
+                        if j != exclude && view.vpins()[j as usize].loc.manhattan(from) <= radius {
+                            out.push(j);
+                        }
+                    }
                 }
             }
         }
     }
 
     /// Indices of all v-pins sharing `y` exactly (same top-layer track),
-    /// excluding `exclude`. Used by the `DiffVpinY = 0` configurations.
+    /// excluding `exclude`, in ascending index order (tracks are built by
+    /// one pass in index order). Used by the `DiffVpinY = 0`
+    /// configurations.
     pub fn same_y(&self, y: i64, exclude: u32, out: &mut Vec<u32>) {
         out.clear();
         if let Some(list) = self.by_y.get(&y) {
@@ -200,6 +305,7 @@ mod tests {
         let v = &vs[0];
         let idx = VpinIndex::new(v, 5_000);
         let mut out = Vec::new();
+        let mut unordered = Vec::new();
         for probe in 0..v.num_vpins().min(20) {
             let from = v.vpins()[probe].loc;
             let radius = 40_000;
@@ -209,9 +315,56 @@ mod tests {
                     j != probe as u32 && v.vpins()[j as usize].loc.manhattan(from) <= radius
                 })
                 .collect();
-            let mut got = out.clone();
-            got.sort_unstable();
-            assert_eq!(got, brute, "probe {probe}");
+            // The sorted-ascending output IS the contract: no normalisation
+            // before comparing.
+            assert_eq!(out, brute, "probe {probe}");
+            // The unordered hot-path variant returns the same set.
+            idx.within_radius_unordered(v, from, radius, probe as u32, &mut unordered);
+            unordered.sort_unstable();
+            assert_eq!(unordered, brute, "probe {probe} (unordered)");
+        }
+    }
+
+    /// Bit-identity guard for the die-derived safety margin: at the
+    /// default suite scale it must equal the `3_500` DBU constant the
+    /// previous revision hard-coded — for the full suite and for every
+    /// leave-one-out training subset, at every split layer.
+    #[test]
+    fn margin_is_one_gcell_at_default_scale() {
+        assert_margin_at_scale(1.0, 3_500);
+    }
+
+    /// The margin tracks the die instead of staying an absolute constant:
+    /// the one-g-cell floor holds at a fifth-size die, and a double-size
+    /// die doubles it to two g-cells.
+    #[test]
+    fn margin_scales_with_the_die() {
+        assert_margin_at_scale(0.2, 3_500);
+        assert_margin_at_scale(2.0, 7_000);
+    }
+
+    fn assert_margin_at_scale(scale: f64, margin: i64) {
+        let suite = Suite::ispd2011_like(scale).expect("valid scale");
+        for layer in [4u8, 6, 8] {
+            let vs = suite.split_all(SplitLayer::new(layer).expect("valid"));
+            // `skip == vs.len()` keeps every view (the full-suite radius).
+            for skip in 0..=vs.len() {
+                let refs: Vec<&SplitView> = vs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, v)| v)
+                    .collect();
+                let cdf = match_distance_cdf(&refs);
+                let k = ((cdf.len() as f64 * 0.9).ceil() as usize).clamp(1, cdf.len());
+                let cut = cdf[k - 1];
+                let r = neighborhood_radius(&refs, 0.9).expect("matches exist");
+                assert_eq!(
+                    r,
+                    cut + cut / 8 + margin,
+                    "scale {scale} layer {layer} skip {skip}"
+                );
+            }
         }
     }
 

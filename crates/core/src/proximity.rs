@@ -249,8 +249,9 @@ pub fn validate_pa_fraction_opt(
                 top_fraction: (max_fraction * 1.05).max(0.01),
                 targets: Some(targets),
                 parallelism: Parallelism::Sequential,
-                // Inherits the default compiled kernel and top floor; PA
-                // validation sees the same bit-identical scores either way.
+                // Inherits the default compiled kernel, spatial
+                // enumeration and top floor; PA validation sees the same
+                // bit-identical scores either way.
                 ..ScoreOptions::default()
             },
         );

@@ -166,7 +166,10 @@ pub fn generate_view_samples(
         ds.push(&buf, true).expect("buffer arity matches");
 
         // One matching negative, drawn from the same candidate pool the
-        // testing stage will use.
+        // testing stage will use. The pool is canonical — `within_radius`
+        // and `same_y` return ascending v-pin indices — so the uniform
+        // draw below is a pure function of the seed and the candidate
+        // *set*, not of any spatial-index traversal order.
         let drew = draw_negative(
             view,
             i,

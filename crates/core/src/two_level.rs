@@ -144,6 +144,9 @@ pub fn two_level_attack(
         })
         .collect();
     let targets: Vec<u32> = scored1.slots.iter().map(|s| s.vpin).collect();
+    // The Level-2 pass scores explicit per-target lists, so the
+    // `enumeration` option is moot here: `CandidateSource::Explicit`
+    // bypasses candidate enumeration entirely.
     let opts2 = ScoreOptions {
         targets: Some(targets),
         ..score_options.clone()

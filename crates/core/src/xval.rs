@@ -161,10 +161,101 @@ pub fn leave_one_out_opt(
     .collect()
 }
 
+/// Streaming leave-one-out driver: visits each fold in view order and
+/// hands its [`FoldResult`] to `visit`, dropping it before the next fold
+/// is trained — at most one fold's model, sample set and scored view are
+/// live at a time.
+///
+/// This is the bounded-memory path for paper-scale runs (`SM_SCALE >= 10`,
+/// where a single scored view is hundreds of megabytes and
+/// [`leave_one_out`] would hold all N at once plus the per-design sample
+/// cache). The trade-off is recomputation: each fold re-extracts its N−1
+/// training sample sets instead of sharing a cache, which is exactly
+/// [`TrainedAttack::train_opt`] — so every fold is bit-identical to the
+/// batch driver's output (proven by the cached-vs-uncached parity test and
+/// the streaming parity test below).
+///
+/// # Errors
+///
+/// Propagates the first fold failure; returns
+/// [`AttackError::NoTrainingData`] if fewer than two views are supplied.
+pub fn for_each_fold<F>(
+    config: &AttackConfig,
+    views: &[SplitView],
+    score_options: &ScoreOptions,
+    train_options: TrainOptions,
+    mut visit: F,
+) -> Result<(), AttackError>
+where
+    F: FnMut(FoldResult),
+{
+    if views.len() < 2 {
+        return Err(AttackError::NoTrainingData);
+    }
+    for t in 0..views.len() {
+        let test = &views[t];
+        let train: Vec<&SplitView> = views
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t)
+            .map(|(_, v)| v)
+            .collect();
+        let t0 = Instant::now();
+        let model = TrainedAttack::train_opt(config, &train, None, train_options)?;
+        let train_time = t0.elapsed();
+        let t1 = Instant::now();
+        let scored = model.score(test, score_options);
+        let score_time = t1.elapsed();
+        visit(FoldResult {
+            test_name: test.name.clone(),
+            scored,
+            train_time,
+            score_time,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sm_layout::{SplitLayer, Suite};
+
+    #[test]
+    fn streaming_folds_match_the_batch_driver() {
+        let views = Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(8).expect("valid"));
+        let config = AttackConfig::imp9();
+        let opts = ScoreOptions::default();
+        let batch = leave_one_out(&config, &views, &opts).expect("batch xval runs");
+        let mut streamed = Vec::new();
+        for_each_fold(&config, &views, &opts, TrainOptions::default(), |fold| {
+            streamed.push((fold.test_name, fold.scored));
+        })
+        .expect("streaming xval runs");
+        assert_eq!(streamed.len(), batch.len());
+        for (b, (name, scored)) in batch.iter().zip(&streamed) {
+            assert_eq!(&b.test_name, name);
+            assert_eq!(&b.scored, scored, "fold {name} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_driver_rejects_too_few_views() {
+        let views = Suite::ispd2011_like(0.02)
+            .expect("valid scale")
+            .split_all(SplitLayer::new(8).expect("valid"));
+        let one = vec![views[0].clone()];
+        let res = for_each_fold(
+            &AttackConfig::imp9(),
+            &one,
+            &ScoreOptions::default(),
+            TrainOptions::default(),
+            |_| panic!("no fold should be produced"),
+        );
+        assert!(matches!(res, Err(AttackError::NoTrainingData)));
+    }
 
     #[test]
     fn folds_cover_every_design_once() {

@@ -1,0 +1,160 @@
+//! Property tests of the [`VpinIndex`] spatial queries: radius and
+//! same-track queries must return exactly the brute-force candidate set —
+//! sorted order included — over random v-pin layouts, radii and grid
+//! sizes. This is the parity foundation the streaming enumeration's
+//! bit-identity claim rests on: if the index returns the exact candidate
+//! set in canonical order, the order-invariant scoring keeper does the
+//! rest.
+
+use proptest::prelude::*;
+use sm_attack::neighborhood::VpinIndex;
+use sm_layout::geom::{Point, Rect};
+use sm_layout::{SplitLayer, SplitView, VPin};
+
+fn vpin_at(i: usize, x: i64, y: i64) -> VPin {
+    VPin {
+        loc: Point::new(x, y),
+        pin_loc: Point::new(x, y),
+        wirelength: 1_000,
+        in_area: if i.is_multiple_of(2) { 0 } else { 2_000 },
+        out_area: if i.is_multiple_of(2) { 2_000 } else { 0 },
+        pc: 1.0,
+        rc: 1.0,
+    }
+}
+
+fn view_of(vpins: Vec<VPin>, w: i64, h: i64) -> SplitView {
+    let partner: Vec<u32> = (0..vpins.len() as u32).map(|i| i ^ 1).collect();
+    SplitView::from_parts(
+        "prop".into(),
+        SplitLayer::new(8).expect("valid layer"),
+        Rect::new(Point::new(0, 0), Point::new(w, h)),
+        vpins,
+        partner,
+    )
+    .expect("valid synthetic view")
+}
+
+/// A random view: pins paired `(2i, 2i+1)` with even pins driving, y
+/// snapped to a handful of tracks so same-track queries hit populated
+/// tracks.
+fn arb_view() -> impl Strategy<Value = SplitView> {
+    (
+        2usize..=24,
+        20_000i64..1_500_000,
+        20_000i64..1_500_000,
+        prop::collection::vec((0i64..i64::MAX, 0u8..6), 48..49),
+    )
+        .prop_map(|(pairs, w, h, coords)| {
+            let vpins: Vec<VPin> = coords[..pairs * 2]
+                .iter()
+                .enumerate()
+                // Raw x draws reduce into the die width; y snaps to tracks.
+                .map(|(i, &(x, t))| vpin_at(i, x % w, (t as i64 * h / 6).min(h - 1)))
+                .collect();
+            view_of(vpins, w, h)
+        })
+}
+
+fn brute_within(view: &SplitView, from: Point, radius: i64, exclude: u32) -> Vec<u32> {
+    (0..view.num_vpins() as u32)
+        .filter(|&j| j != exclude && view.vpins()[j as usize].loc.manhattan(from) <= radius)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn within_radius_equals_sorted_brute_force(
+        view in arb_view(),
+        cell in 500i64..80_000,
+        radius in 0i64..2_000_000,
+        probe in 0usize..48,
+        radius_sized_cells in prop::bool::ANY,
+    ) {
+        let idx = if radius_sized_cells {
+            VpinIndex::with_radius(&view, radius.max(1))
+        } else {
+            VpinIndex::new(&view, cell)
+        };
+        let probe = probe % view.num_vpins();
+        let from = view.vpins()[probe].loc;
+        let brute = brute_within(&view, from, radius, probe as u32);
+        let mut out = Vec::new();
+        idx.within_radius(&view, from, radius, probe as u32, &mut out);
+        // Sorted ascending output IS the contract: compare directly.
+        prop_assert_eq!(&out, &brute);
+        // The unordered hot-path variant returns exactly the same set.
+        let mut unordered = Vec::new();
+        idx.within_radius_unordered(&view, from, radius, probe as u32, &mut unordered);
+        unordered.sort_unstable();
+        prop_assert_eq!(&unordered, &brute);
+    }
+
+    #[test]
+    fn query_centres_need_not_be_vpins(
+        view in arb_view(),
+        cell in 500i64..80_000,
+        radius in 0i64..2_000_000,
+        qx in -100_000i64..1_600_000,
+        qy in -100_000i64..1_600_000,
+    ) {
+        // Arbitrary (possibly out-of-die) query centres; u32::MAX excludes
+        // nothing.
+        let idx = VpinIndex::new(&view, cell);
+        let from = Point::new(qx, qy);
+        let brute = brute_within(&view, from, radius, u32::MAX);
+        let mut out = Vec::new();
+        idx.within_radius(&view, from, radius, u32::MAX, &mut out);
+        prop_assert_eq!(&out, &brute);
+    }
+
+    #[test]
+    fn same_y_equals_sorted_brute_force(
+        view in arb_view(),
+        cell in 500i64..80_000,
+        probe in 0usize..48,
+    ) {
+        let idx = VpinIndex::new(&view, cell);
+        let probe = probe % view.num_vpins();
+        let y = view.vpins()[probe].loc.y;
+        let mut out = Vec::new();
+        idx.same_y(y, probe as u32, &mut out);
+        let brute: Vec<u32> = (0..view.num_vpins() as u32)
+            .filter(|&j| j != probe as u32 && view.vpins()[j as usize].loc.y == y)
+            .collect();
+        prop_assert_eq!(&out, &brute);
+        // A y no v-pin occupies yields the empty set.
+        idx.same_y(-7, u32::MAX, &mut out);
+        prop_assert!(out.is_empty());
+    }
+}
+
+/// Out-of-die v-pins (possible through `io::read_feol` or hand-built
+/// views) clamp into edge cells of the grid; the bulk fast path must not
+/// mistake them for in-cell pins.
+#[test]
+fn out_of_die_vpins_are_still_found_exactly() {
+    let w = 100_000;
+    let h = 100_000;
+    let vpins = vec![
+        vpin_at(0, 10_000, 10_000),
+        vpin_at(1, 500_000, 500_000), // far outside the die
+        vpin_at(2, -90_000, 20_000),  // negative coordinates
+        vpin_at(3, 95_000, 95_000),
+        vpin_at(4, 40_000, 40_000),
+        vpin_at(5, 40_001, 40_000),
+    ];
+    let view = view_of(vpins, w, h);
+    let mut out = Vec::new();
+    for cell in [1_000i64, 7_000, 50_000, 200_000] {
+        let idx = VpinIndex::new(&view, cell);
+        for radius in [0i64, 30_000, 80_000, 500_000, 1_000_000] {
+            for probe in 0..view.num_vpins() {
+                let from = view.vpins()[probe].loc;
+                idx.within_radius(&view, from, radius, probe as u32, &mut out);
+                let brute = brute_within(&view, from, radius, probe as u32);
+                assert_eq!(out, brute, "cell {cell} radius {radius} probe {probe}");
+            }
+        }
+    }
+}

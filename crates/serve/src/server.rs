@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use sm_attack::attack::{Kernel, ScoreOptions};
+use sm_attack::attack::{Enumeration, Kernel, ScoreOptions};
 use sm_attack::TrainedAttack;
 use sm_layout::io::read_challenge;
 use sm_ml::{par_chunks, CompiledEnsemble, Parallelism};
@@ -68,6 +68,10 @@ pub struct ServeOptions {
     /// Scoring kernel for `ScorePairs` and `Attack` requests. Results are
     /// bit-identical across kernels; `Compiled` is the fast default.
     pub kernel: Kernel,
+    /// Candidate enumeration for `Attack` requests. Results are
+    /// bit-identical across enumerations; `Spatial` (grid radius queries)
+    /// is the memory-bounded default, `AllPairs` the quadratic oracle.
+    pub enumeration: Enumeration,
     /// Mid-request deadline in milliseconds: once the first byte of a
     /// request line has arrived, the full line must arrive (and the
     /// response must write) within this budget, or the connection is
@@ -95,6 +99,7 @@ impl Default for ServeOptions {
             workers: Parallelism::Auto,
             batch: Parallelism::Sequential,
             kernel: Kernel::Compiled,
+            enumeration: Enumeration::Spatial,
             request_timeout_ms: 10_000,
             idle_timeout_ms: 60_000,
             max_request_bytes: 64 * 1024 * 1024,
@@ -726,6 +731,7 @@ fn run_attack(
         &ScoreOptions {
             parallelism: state.options.batch,
             kernel: state.options.kernel,
+            enumeration: state.options.enumeration,
             ..ScoreOptions::default()
         },
     );
@@ -756,6 +762,7 @@ mod tests {
         let opts = ServeOptions::default();
         assert_eq!(opts.batch, Parallelism::Sequential);
         assert_eq!(opts.kernel, Kernel::Compiled);
+        assert_eq!(opts.enumeration, Enumeration::Spatial);
         assert!(opts.workers.worker_count(usize::MAX) >= 1);
         assert!(opts.request_timeout_ms > 0);
         assert!(opts.idle_timeout_ms >= opts.request_timeout_ms);
