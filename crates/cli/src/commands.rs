@@ -13,8 +13,10 @@ use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
-use sm_serve::client::{bench, BenchConfig, ClientError, ClientTimeouts, RetryPolicy};
-use sm_serve::server::{pool_size, serve, ServeOptions};
+use sm_serve::client::{bench, BenchConfig, Client, ClientError, ClientTimeouts, RetryPolicy};
+use sm_serve::protocol::{Request, Response};
+use sm_serve::registry::{publish, RegistryError, RegistryIndex};
+use sm_serve::server::{pool_size, serve_source, ModelSource, ServeOptions, ShadowConfig};
 
 use crate::args::Args;
 
@@ -33,6 +35,8 @@ pub enum CliError {
     Artifact(ArtifactError),
     /// A `bench-serve` client failure.
     Client(ClientError),
+    /// A model registry failed to load, validate, or accept a publish.
+    Registry(RegistryError),
     /// User-level misuse (unknown command, missing target, ...).
     Usage(String),
 }
@@ -46,6 +50,7 @@ impl std::fmt::Display for CliError {
             CliError::Attack(e) => write!(f, "attack: {e}"),
             CliError::Artifact(e) => write!(f, "{e}"),
             CliError::Client(e) => write!(f, "{e}"),
+            CliError::Registry(e) => write!(f, "registry: {e}"),
             CliError::Usage(m) => write!(f, "{m}"),
         }
     }
@@ -81,6 +86,11 @@ impl From<ArtifactError> for CliError {
 impl From<ClientError> for CliError {
     fn from(e: ClientError) -> Self {
         CliError::Client(e)
+    }
+}
+impl From<RegistryError> for CliError {
+    fn from(e: RegistryError) -> Self {
+        CliError::Registry(e)
     }
 }
 
@@ -128,12 +138,26 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             cmd_pa(args)
         }
         "train" => {
-            args.check_known(&["dir", "target", "config", "threads", "out", "tree-backend"])?;
+            args.check_known(&[
+                "dir",
+                "target",
+                "config",
+                "threads",
+                "out",
+                "tree-backend",
+                "registry",
+                "model-id",
+                "make-default",
+            ])?;
             cmd_train(args)
         }
         "serve" => {
             args.check_known(&[
                 "model",
+                "registry",
+                "default-model",
+                "shadow-model",
+                "shadow-fraction",
                 "addr",
                 "threads",
                 "batch-threads",
@@ -146,6 +170,10 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             ])?;
             cmd_serve(args)
         }
+        "models" => {
+            args.check_known(&["registry", "addr"])?;
+            cmd_models(args)
+        }
         "bench-serve" => {
             args.check_known(&[
                 "addr",
@@ -156,6 +184,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "seed",
                 "retries",
                 "timeout-ms",
+                "model-id",
             ])?;
             cmd_bench_serve(args)
         }
@@ -186,19 +215,25 @@ pub fn print_help() {
          \x20             [--model FILE] [--threads auto]\n\
          \x20             [--kernel compiled] [--enumeration spatial]\n\
          \x20             [--tree-backend binned]                     validated proximity attack\n\
-         \x20 train       --dir DIR --out FILE [--target NAME]\n\
+         \x20 train       --dir DIR (--out FILE | --registry DIR --model-id ID\n\
+         \x20             [--make-default false]) [--target NAME]\n\
          \x20             [--config imp-11] [--threads auto]\n\
-         \x20             [--tree-backend binned]                     fit once, write a model artifact\n\
-         \x20 serve       --model FILE [--addr 127.0.0.1:7878]\n\
+         \x20             [--tree-backend binned]                     fit once, write/publish an artifact\n\
+         \x20 serve       (--model FILE | --registry DIR\n\
+         \x20             [--default-model ID] [--shadow-model ID]\n\
+         \x20             [--shadow-fraction 0.1])\n\
+         \x20             [--addr 127.0.0.1:7878]\n\
          \x20             [--threads auto] [--batch-threads seq]\n\
          \x20             [--kernel compiled] [--enumeration spatial]\n\
          \x20             [--request-timeout-ms 10000]\n\
          \x20             [--idle-timeout-ms 60000]\n\
          \x20             [--max-request-bytes 67108864]\n\
          \x20             [--max-queue 0]                             TCP inference server (NDJSON)\n\
+         \x20 models      (--registry DIR | --addr HOST:PORT)         list registry / server models\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
          \x20             [--requests 50] [--batch 64] [--json FILE]\n\
-         \x20             [--retries 3] [--timeout-ms 30000]          load-test a running server\n\
+         \x20             [--retries 3] [--timeout-ms 30000]\n\
+         \x20             [--model-id ID]                             load-test a running server\n\
          \x20 help                                                    this text\n\
          \n\
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
@@ -215,7 +250,13 @@ pub fn print_help() {
          artifact records its own configuration, so --config is rejected.\n\
          serve timeouts/caps take 0 to disable (--max-queue 0 = 2x pool);\n\
          an overloaded server sheds connections with a Busy reply, which\n\
-         bench-serve retries up to --retries times with backoff."
+         bench-serve retries up to --retries times with backoff.\n\
+         a registry is a directory of checksummed artifacts plus an index;\n\
+         'train --registry' publishes into it atomically, 'serve --registry'\n\
+         hosts every entry (requests route with \"model_id\", absent = the\n\
+         default), a Reload request hot-swaps the catalog without dropping\n\
+         connections, and --shadow-model scores a fraction of default-routed\n\
+         traffic against a challenger, reporting exact divergence in Stats."
     );
 }
 
@@ -467,15 +508,57 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Where `train` should put the finished artifact: a bare file, or a
+/// named entry published into a registry directory.
+enum TrainSink {
+    File(String),
+    Registry {
+        dir: String,
+        model_id: String,
+        make_default: bool,
+    },
+}
+
+/// Validates the `--out` / `--registry --model-id [--make-default]`
+/// flag combinations *before* any training happens.
+fn train_sink(args: &Args) -> Result<TrainSink, CliError> {
+    match (args.get_str("out"), args.get_str("registry")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--out and --registry are mutually exclusive; pick a bare artifact file \
+             or a registry publish"
+                .into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "--out FILE or --registry DIR required".into(),
+        )),
+        (Some(out), None) => {
+            for flag in ["model-id", "make-default"] {
+                if args.get_str(flag).is_some() {
+                    return Err(CliError::Usage(format!("--{flag} requires --registry")));
+                }
+            }
+            Ok(TrainSink::File(out.into()))
+        }
+        (None, Some(dir)) => {
+            let model_id: String = args
+                .get_str("model-id")
+                .ok_or_else(|| CliError::Usage("--registry requires --model-id ID".into()))?
+                .into();
+            Ok(TrainSink::Registry {
+                dir: dir.into(),
+                model_id,
+                make_default: args.get_or("make-default", false)?,
+            })
+        }
+    }
+}
+
 fn cmd_train(args: &Args) -> Result<(), CliError> {
     let dir: String = args
         .get_str("dir")
         .ok_or_else(|| CliError::Usage("--dir DIR required".into()))?
         .into();
-    let out: String = args
-        .get_str("out")
-        .ok_or_else(|| CliError::Usage("--out FILE required".into()))?
-        .into();
+    let sink = train_sink(args)?;
     let parallelism: Parallelism = args.get_or("threads", Parallelism::Auto)?;
     let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
     let config =
@@ -502,22 +585,113 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
             .map_or(0, |d| d.as_secs()),
     };
     let artifact = ModelArtifact::from_trained(&model, meta);
-    artifact.save(Path::new(&out))?;
-    println!(
-        "wrote {out}: {} ({} trees, {} training samples, {} bytes)",
-        model.config().name,
-        model.model().num_trees(),
-        model.num_training_samples(),
-        artifact.encode().len()
-    );
+    match sink {
+        TrainSink::File(out) => {
+            artifact.save(Path::new(&out))?;
+            println!(
+                "wrote {out}: {} ({} trees, {} training samples, {} bytes)",
+                model.config().name,
+                model.model().num_trees(),
+                model.num_training_samples(),
+                artifact.encode().len()
+            );
+        }
+        TrainSink::Registry {
+            dir,
+            model_id,
+            make_default,
+        } => {
+            let entry = publish(Path::new(&dir), &model_id, &artifact, make_default)?;
+            let index = RegistryIndex::load(Path::new(&dir))?;
+            println!(
+                "published '{model_id}' to {dir}: {} ({} trees, {}){}",
+                model.config().name,
+                model.model().num_trees(),
+                entry.checksum,
+                if index.default_model == model_id {
+                    " [default]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
     Ok(())
 }
 
+/// Validates the `--model` / `--registry` flag combinations and builds
+/// the [`ModelSource`] plus the human-readable banner label.
+fn serve_source_flags(args: &Args) -> Result<(ModelSource, String), CliError> {
+    match (args.get_str("model"), args.get_str("registry")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--model and --registry are mutually exclusive; serve one artifact file \
+             or a whole registry"
+                .into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "--model FILE or --registry DIR required".into(),
+        )),
+        (Some(path), None) => {
+            // Gate the registry-only flags before any file i/o.
+            for flag in ["default-model", "shadow-model", "shadow-fraction"] {
+                if args.get_str(flag).is_some() {
+                    return Err(CliError::Usage(format!("--{flag} requires --registry")));
+                }
+            }
+            let model = ModelArtifact::load(Path::new(path))?.into_trained()?;
+            let label = model.config().name.clone();
+            Ok((ModelSource::Single(model), label))
+        }
+        (None, Some(dir)) => {
+            // Read the index up front for the banner; serve_source
+            // re-validates (and checksums) everything when it loads the
+            // catalog proper.
+            let index = RegistryIndex::load(Path::new(dir))?;
+            let default = args
+                .get_str("default-model")
+                .unwrap_or(&index.default_model)
+                .to_owned();
+            let label = format!(
+                "registry {dir} ({} models, default '{default}')",
+                index.entries.len()
+            );
+            Ok((
+                ModelSource::Registry {
+                    dir: PathBuf::from(dir),
+                    default_model: args.get_str("default-model").map(str::to_owned),
+                },
+                label,
+            ))
+        }
+    }
+}
+
+/// Validates the `--shadow-model` / `--shadow-fraction` pair.
+fn shadow_flags(args: &Args) -> Result<Option<ShadowConfig>, CliError> {
+    match args.get_str("shadow-model") {
+        Some(id) => {
+            let fraction: f64 = args.get_or("shadow-fraction", 0.1)?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(CliError::Usage(format!(
+                    "--shadow-fraction must be in [0, 1], got {fraction}"
+                )));
+            }
+            Ok(Some(ShadowConfig::new(id, fraction)))
+        }
+        None => {
+            if args.get_str("shadow-fraction").is_some() {
+                return Err(CliError::Usage(
+                    "--shadow-fraction requires --shadow-model".into(),
+                ));
+            }
+            Ok(None)
+        }
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    let model_path: String = args
-        .get_str("model")
-        .ok_or_else(|| CliError::Usage("--model FILE required".into()))?
-        .into();
+    // Parse every scalar flag first so a typo'd value fails before any
+    // model file or registry directory is touched.
     let addr: String = args.get_str("addr").unwrap_or("127.0.0.1:7878").into();
     let defaults = ServeOptions::default();
     let options = ServeOptions {
@@ -530,32 +704,123 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         max_request_bytes: args.get_or("max-request-bytes", defaults.max_request_bytes)?,
         max_queue: args.get_or("max-queue", defaults.max_queue)?,
     };
-    let model = ModelArtifact::load(Path::new(&model_path))?.into_trained()?;
+    let shadow = shadow_flags(args)?;
+    let (source, label) = serve_source_flags(args)?;
     let listener = TcpListener::bind(&addr)?;
     // Scripts parse this line for the resolved (possibly ephemeral) port.
     println!(
         "serving {} on {} ({} workers)",
-        model.config().name,
+        label,
         listener.local_addr()?,
         pool_size(options.workers)
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;
-    let stats = serve(model, listener, &options)?;
+    let stats = serve_source(source, shadow, listener, &options)?;
     println!(
         "shutdown after {} requests ({} errors, {} io errors, {} shed, {} timeouts, \
-         {} pairs scored); latency p50 {} us, p95 {} us, p99 {} us",
+         {} pairs scored, {} reloads); latency p50 {} us, p95 {} us, p99 {} us",
         stats.requests,
         stats.errors,
         stats.io_errors,
         stats.shed,
         stats.timeouts,
         stats.pairs_scored,
+        stats.reloads,
         stats.p50_us,
         stats.p95_us,
         stats.p99_us
     );
+    if let Some(shadow) = &stats.shadow {
+        println!(
+            "shadow '{}': {} sampled requests, {} pairs compared, max |dp| {:.6}, \
+             mean |dp| {:.6}, {} disagreements @ {}, {} missing",
+            shadow.shadow_model,
+            shadow.sampled_requests,
+            shadow.compared_pairs,
+            shadow.max_abs_dp,
+            shadow.mean_abs_dp,
+            shadow.disagreements,
+            shadow.threshold,
+            shadow.shadow_missing
+        );
+    }
     Ok(())
+}
+
+fn cmd_models(args: &Args) -> Result<(), CliError> {
+    match (args.get_str("registry"), args.get_str("addr")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--registry and --addr are mutually exclusive; inspect a directory \
+             offline or ask a running server"
+                .into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "--registry DIR or --addr HOST:PORT required".into(),
+        )),
+        (Some(dir), None) => {
+            let index = RegistryIndex::load(Path::new(dir))?;
+            println!(
+                "registry {dir}: {} models, default '{}'",
+                index.entries.len(),
+                index.default_model
+            );
+            println!(
+                "{:<20} {:>7} {:>7} {:<25} artifact",
+                "model", "schema", "split", "checksum"
+            );
+            for e in &index.entries {
+                let marker = if e.model_id == index.default_model {
+                    "*"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<20} {:>7} {:>7} {:<25} {}",
+                    format!("{}{marker}", e.model_id),
+                    e.schema_version,
+                    e.meta.split_layer,
+                    e.checksum,
+                    e.path
+                );
+            }
+            Ok(())
+        }
+        (None, Some(addr)) => {
+            let mut client = Client::connect(addr)?;
+            match client.call_ok(&Request::ListModels)? {
+                Response::Models {
+                    default_model,
+                    models,
+                } => {
+                    println!(
+                        "server {addr}: {} models, default '{default_model}'",
+                        models.len()
+                    );
+                    println!(
+                        "{:<20} {:<8} {:>8} {:>6} {:>7} checksum",
+                        "model", "config", "features", "trees", "split"
+                    );
+                    for m in &models {
+                        let marker = if m.model_id == default_model { "*" } else { "" };
+                        println!(
+                            "{:<20} {:<8} {:>8} {:>6} {:>7} {}",
+                            format!("{}{marker}", m.model_id),
+                            m.config,
+                            m.features,
+                            m.trees,
+                            m.split_layer,
+                            m.checksum
+                        );
+                    }
+                    Ok(())
+                }
+                other => Err(CliError::Usage(format!(
+                    "unexpected reply to ListModels: {other:?}"
+                ))),
+            }
+        }
+    }
 }
 
 fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
@@ -575,6 +840,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
             ..defaults.timeouts
         },
         retry: RetryPolicy::with_retries(args.get_or("retries", 3u32)?),
+        model_id: args.get_str("model-id").map(str::to_owned),
     };
     if config.connections == 0 || config.requests_per_connection == 0 || config.batch_size == 0 {
         return Err(CliError::Usage(
@@ -968,6 +1234,133 @@ mod tests {
             dispatch_tokens(&["train", "--dir", "x"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn registry_flag_combinations_fail_closed_as_usage_errors() {
+        // Every invalid combination must die on validation — before any
+        // file, socket, or training run is touched (hence the bogus paths).
+        for tokens in [
+            // serve: exactly one source, registry-only options gated.
+            &["serve", "--model", "m", "--registry", "r"][..],
+            &["serve", "--model", "m", "--default-model", "x"][..],
+            &["serve", "--model", "m", "--shadow-model", "x"][..],
+            &["serve", "--shadow-fraction", "0.5", "--model", "m"][..],
+            // train: exactly one sink, --model-id tied to --registry.
+            &["train", "--dir", "d", "--out", "f", "--registry", "r"][..],
+            &["train", "--dir", "d", "--out", "f", "--model-id", "x"][..],
+            &[
+                "train",
+                "--dir",
+                "d",
+                "--out",
+                "f",
+                "--make-default",
+                "true",
+            ][..],
+            &["train", "--dir", "d", "--registry", "r"][..],
+            // models: exactly one source.
+            &["models"][..],
+            &["models", "--registry", "r", "--addr", "a"][..],
+        ] {
+            let err = dispatch_tokens(tokens).expect_err("must reject");
+            assert!(matches!(err, CliError::Usage(_)), "{tokens:?} -> {err:?}");
+        }
+        // An out-of-range shadow fraction is caught in the CLI too, with
+        // a message naming the flag (the server would also reject it).
+        let err = dispatch_tokens(&[
+            "serve",
+            "--registry",
+            "/nonexistent",
+            "--shadow-model",
+            "x",
+            "--shadow-fraction",
+            "1.5",
+        ])
+        .expect_err("must reject");
+        // The registry read happens first and /nonexistent is missing, so
+        // either typed failure is acceptable; it must not bind a socket.
+        assert!(
+            matches!(err, CliError::Usage(_) | CliError::Registry(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn train_publishes_into_a_registry_and_models_lists_it() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_registry_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().expect("utf8");
+        dispatch_tokens(&["gen", "--out", dir_s, "--scale", "0.01", "--split", "8"])
+            .expect("gen runs");
+        let reg = dir.join("registry");
+        let reg_s = reg.to_str().expect("utf8");
+
+        // First publish becomes the default implicitly.
+        dispatch_tokens(&[
+            "train",
+            "--dir",
+            dir_s,
+            "--target",
+            "sb1",
+            "--config",
+            "imp-9",
+            "--registry",
+            reg_s,
+            "--model-id",
+            "incumbent",
+        ])
+        .expect("first publish runs");
+        // Second publish takes over the default explicitly.
+        dispatch_tokens(&[
+            "train",
+            "--dir",
+            dir_s,
+            "--target",
+            "sb5",
+            "--config",
+            "imp-9",
+            "--registry",
+            reg_s,
+            "--model-id",
+            "retrained",
+            "--make-default",
+            "true",
+        ])
+        .expect("second publish runs");
+
+        let index = RegistryIndex::load(&reg).expect("index loads");
+        assert_eq!(index.default_model, "retrained");
+        assert_eq!(index.entries.len(), 2);
+        assert!(index.entries.iter().any(|e| e.model_id == "incumbent"));
+        let retrained = index
+            .entries
+            .iter()
+            .find(|e| e.model_id == "retrained")
+            .expect("published");
+        assert_eq!(retrained.meta.excluded_target.as_deref(), Some("sb5"));
+        assert!(retrained.checksum.starts_with("fnv1a64:"));
+
+        dispatch_tokens(&["models", "--registry", reg_s]).expect("offline listing runs");
+
+        // A path-traversal model id is a typed registry rejection.
+        let err = dispatch_tokens(&[
+            "train",
+            "--dir",
+            dir_s,
+            "--registry",
+            reg_s,
+            "--model-id",
+            "../evil",
+            "--config",
+            "imp-9",
+        ])
+        .expect_err("bad id must be rejected");
+        assert!(
+            matches!(err, CliError::Registry(RegistryError::BadModelId(_))),
+            "{err:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -155,14 +155,44 @@ struct Header {
     checksum: String,
 }
 
-/// FNV-1a 64-bit hash of `bytes`, formatted as the artifact checksum.
-fn fnv1a64(bytes: &[u8]) -> String {
+/// FNV-1a 64-bit hash of `bytes`, formatted as the checksum string used
+/// by both artifact headers and registry index entries
+/// (`fnv1a64:<16 hex>`).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     format!("fnv1a64:{hash:016x}")
+}
+
+/// Writes `bytes` to `path` crash-safely: `.tmp` sibling, fsync, atomic
+/// rename. Shared by artifact saves and registry index saves so every
+/// durable file in the store obeys the same "previous version or staging
+/// file, never a truncation" guarantee.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Err(ArtifactError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("path {} has no file name", path.display()),
+        )));
+    };
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    let write_then_sync = (|| {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Data must be durable *before* the rename publishes it, or
+        // a crash could atomically install an empty file.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write_then_sync {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(ArtifactError::Io(e));
+    }
+    Ok(())
 }
 
 impl ModelArtifact {
@@ -303,27 +333,7 @@ impl ModelArtifact {
     /// Returns [`ArtifactError::Io`] on filesystem failure; the `.tmp`
     /// sibling is removed best-effort on the error path.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            return Err(ArtifactError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                format!("artifact path {} has no file name", path.display()),
-            )));
-        };
-        let tmp = path.with_file_name(format!("{name}.tmp"));
-        let write_then_sync = (|| {
-            use std::io::Write as _;
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(self.encode().as_bytes())?;
-            // Data must be durable *before* the rename publishes it, or
-            // a crash could atomically install an empty file.
-            file.sync_all()?;
-            std::fs::rename(&tmp, path)
-        })();
-        if let Err(e) = write_then_sync {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(ArtifactError::Io(e));
-        }
-        Ok(())
+        write_atomic(path, self.encode().as_bytes())
     }
 
     /// Reads and validates an artifact from `path`.

@@ -378,7 +378,7 @@ pub fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
 }
 
 /// Load-test shape for [`bench`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchConfig {
     /// Concurrent client connections.
     pub connections: usize,
@@ -388,6 +388,9 @@ pub struct BenchConfig {
     pub batch_size: usize,
     /// Seed for the synthetic feature vectors.
     pub seed: u64,
+    /// Registry model id every request routes to; `None` targets the
+    /// server's default model.
+    pub model_id: Option<String>,
     /// Socket deadlines for every bench connection.
     pub timeouts: ClientTimeouts,
     /// Retry policy for every bench request (the per-connection jitter
@@ -402,6 +405,7 @@ impl Default for BenchConfig {
             requests_per_connection: 50,
             batch_size: 64,
             seed: 0xbe7c,
+            model_id: None,
             timeouts: ClientTimeouts::default(),
             retry: RetryPolicy::default(),
         }
@@ -414,6 +418,10 @@ impl Default for BenchConfig {
 pub struct BenchReport {
     /// Connections driven concurrently.
     pub connections: usize,
+    /// The catalog id that served the run: the `--model-id` target when
+    /// one was set, otherwise the server default reported by the `Health`
+    /// probe.
+    pub served_model: String,
     /// Total requests completed across all connections.
     pub total_requests: u64,
     /// Total candidate pairs scored (requests × batch size).
@@ -447,13 +455,14 @@ impl std::fmt::Display for BenchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} connections, {} requests ({} pairs), {} errors, {} retries in {:.3} s",
+            "{} connections, {} requests ({} pairs), {} errors, {} retries in {:.3} s [model {}]",
             self.connections,
             self.total_requests,
             self.total_pairs,
             self.errors,
             self.retries,
-            self.wall_s
+            self.wall_s,
+            self.served_model
         )?;
         writeln!(
             f,
@@ -488,14 +497,40 @@ impl std::fmt::Display for BenchReport {
 /// the report instead.
 pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientError> {
     // One up-front probe learns the model's feature count and fails fast.
-    let features = match Client::connect_with(addr, config.timeouts)?.call_ok(&Request::Health)? {
-        Response::Health { features, .. } => features,
-        other => {
-            return Err(ClientError::Protocol(format!(
-                "health probe answered with unexpected response {other:?}"
-            )))
-        }
+    // With an explicit target, ListModels resolves that entry's feature
+    // count (models in one registry may disagree on width); otherwise
+    // Health describes the default model.
+    let mut probe = Client::connect_with(addr, config.timeouts)?;
+    let (served_model, features) = match &config.model_id {
+        None => match probe.call_ok(&Request::Health)? {
+            Response::Health {
+                model_id, features, ..
+            } => (model_id, features),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "health probe answered with unexpected response {other:?}"
+                )))
+            }
+        },
+        Some(target) => match probe.call_ok(&Request::ListModels)? {
+            Response::Models { models, .. } => {
+                let entry = models
+                    .iter()
+                    .find(|m| &m.model_id == target)
+                    .ok_or_else(|| ClientError::Remote {
+                        code: ErrorCode::NotFound,
+                        message: format!("model '{target}' is not in the serving catalog"),
+                    })?;
+                (entry.model_id.clone(), entry.features)
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "model listing answered with unexpected response {other:?}"
+                )))
+            }
+        },
     };
+    drop(probe);
     let start = Instant::now();
     let per_conn: Vec<(Vec<u64>, u64, u64)> = sm_ml::par_map(
         sm_ml::Parallelism::Threads(config.connections.max(1)),
@@ -514,7 +549,11 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
                     .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
                     .collect();
                 let t = Instant::now();
-                match client.call(&Request::ScorePairs { features: batch }) {
+                let request = Request::ScorePairs {
+                    features: batch,
+                    model_id: config.model_id.clone(),
+                };
+                match client.call(&request) {
                     Ok(Response::Scores { .. }) => {
                         latencies.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
                     }
@@ -544,6 +583,7 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
     };
     Ok(BenchReport {
         connections: config.connections,
+        served_model,
         total_requests,
         total_pairs,
         errors,
@@ -577,6 +617,7 @@ mod tests {
     fn bench_report_renders_every_number() {
         let report = BenchReport {
             connections: 2,
+            served_model: "incumbent".into(),
             total_requests: 10,
             total_pairs: 640,
             errors: 1,
@@ -606,6 +647,7 @@ mod tests {
             "1280 pairs/s",
             "3 shed",
             "4 timeouts",
+            "[model incumbent]",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
@@ -673,6 +715,19 @@ mod tests {
         assert!(remote.to_string().contains("[bad_request]"));
     }
 
+    /// A canned `Health` reply with placeholder identity fields.
+    fn health_reply(model: &str, features: usize, trees: usize) -> Response {
+        Response::Health {
+            model: model.into(),
+            features,
+            trees,
+            artifact_version: 1,
+            model_id: "default".into(),
+            checksum: "fnv1a64:0000000000000000".into(),
+            schema_version: 1,
+        }
+    }
+
     /// A scripted single-shot TCP peer: for each accepted connection it
     /// sends the next canned reply line after reading one line, then
     /// closes. Lets retry behavior be tested without a real model.
@@ -702,12 +757,7 @@ mod tests {
     fn busy_then_success_costs_exactly_one_retry() {
         let addr = scripted_server(vec![
             Some(Response::Busy { retry_after_ms: 1 }),
-            Some(Response::Health {
-                model: "Imp-9".into(),
-                features: 9,
-                trees: 10,
-                artifact_version: 1,
-            }),
+            Some(health_reply("Imp-9", 9, 10)),
         ]);
         let policy = RetryPolicy {
             max_attempts: 5,
@@ -739,12 +789,7 @@ mod tests {
             }),
             // A second accept would absorb an (incorrect) retry; the
             // assertion on retries() proves it was never consumed.
-            Some(Response::Health {
-                model: "never".into(),
-                features: 0,
-                trees: 0,
-                artifact_version: 1,
-            }),
+            Some(health_reply("never", 0, 0)),
         ]);
         let mut client = RetryingClient::new(
             &addr.to_string(),
@@ -771,6 +816,60 @@ mod tests {
             "{err}"
         );
         assert_eq!(client.retries(), 0);
+    }
+
+    #[test]
+    fn not_found_is_a_final_typed_remote_error() {
+        // `not_found` is a routing mistake, not congestion: it must
+        // surface as ClientError::Remote on the first attempt and never
+        // be retried the way Busy is — the id stays absent until a
+        // reload publishes it, so retrying is pure waste.
+        let err = ClientError::Remote {
+            code: ErrorCode::NotFound,
+            message: "model 'ghost' not found".into(),
+        };
+        assert!(!err.is_retryable());
+        assert!(!ErrorCode::NotFound.retryable());
+        assert!(err.to_string().contains("[not_found]"));
+
+        let addr = scripted_server(vec![
+            Some(Response::Error {
+                code: ErrorCode::NotFound,
+                message: "model 'ghost' not found in the serving catalog".into(),
+            }),
+            // Bait for an incorrect retry, like the remote-error test.
+            Some(health_reply("never", 0, 0)),
+        ]);
+        let mut client = RetryingClient::new(
+            &addr.to_string(),
+            ClientTimeouts {
+                connect_ms: 2_000,
+                io_ms: 2_000,
+            },
+            RetryPolicy {
+                max_attempts: 5,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                jitter_seed: 11,
+            },
+        );
+        let request = Request::ScorePairs {
+            features: vec![vec![1.0]],
+            model_id: Some("ghost".into()),
+        };
+        let err = client.call(&request).expect_err("not_found is final");
+        assert!(
+            matches!(
+                err,
+                ClientError::Remote {
+                    code: ErrorCode::NotFound,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(client.retries(), 0, "never retried");
+        assert_eq!(client.busy_retries(), 0);
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! - [`artifact`] — a versioned, checksummed on-disk format for trained
 //!   [`sm_attack::TrainedAttack`] models (`splitmfg train` writes one,
 //!   every other entry point loads it back with typed validation errors).
+//! - [`registry`] — a versioned on-disk model registry (checksummed
+//!   artifacts plus a checksummed `index` file) loaded into an immutable
+//!   in-memory [`registry::Catalog`] that the server hot-swaps atomically
+//!   on `Reload` — deploy a retrained attacker next to the incumbent
+//!   without dropping a connection.
 //! - [`protocol`] — the newline-delimited JSON request/response types the
-//!   server speaks (`score_pairs`, `attack`, `health`, `stats`,
-//!   `shutdown`).
+//!   server speaks (`score_pairs`, `attack`, `list_models`, `reload`,
+//!   `health`, `stats`, `shutdown`), with per-model routing via an
+//!   optional `model_id` field.
 //! - [`server`] — a `std::net` TCP accept loop with a bounded worker pool
 //!   (sized by [`sm_ml::Parallelism`]), per-request batching, graceful
 //!   shutdown, and running request/latency/error counters. Hardened for
@@ -49,6 +55,7 @@
 pub mod artifact;
 pub mod client;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 
 pub use artifact::{ArtifactError, ModelArtifact, TrainMeta, ARTIFACT_MAGIC, ARTIFACT_VERSION};
@@ -56,5 +63,14 @@ pub use client::{
     percentile_us, BenchConfig, BenchReport, Client, ClientError, ClientTimeouts, RetryPolicy,
     RetryingClient,
 };
-pub use protocol::{AttackSummary, ErrorCode, Request, Response, StatsSnapshot};
-pub use server::{pool_size, queue_depth, ServeOptions, ServerHandle, BUSY_RETRY_AFTER_MS};
+pub use protocol::{
+    AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
+};
+pub use registry::{
+    publish, validate_model_id, Catalog, IndexEntry, ModelEntry, RegistryError, RegistryIndex,
+    REGISTRY_MAGIC, REGISTRY_VERSION, SINGLE_MODEL_ID,
+};
+pub use server::{
+    pool_size, queue_depth, ModelSource, ServeOptions, ServerHandle, ShadowConfig,
+    BUSY_RETRY_AFTER_MS,
+};

@@ -18,12 +18,22 @@ pub enum Request {
     Health,
     /// Snapshot of the server's running counters.
     Stats,
+    /// List every model in the serving catalog and the default id.
+    ListModels,
+    /// Rescan the registry directory and atomically swap the serving
+    /// catalog. Only meaningful on a registry-backed server (`serve
+    /// --registry`); a single-model server answers `bad_request`. On
+    /// failure the old catalog keeps serving untouched.
+    Reload,
     /// Score a batch of pre-computed feature vectors (one per candidate
     /// v-pin pair, in the model's feature order).
     ScorePairs {
         /// `features[k]` is pair `k`'s feature vector; every row must have
         /// exactly the model's feature count.
         features: Vec<Vec<f64>>,
+        /// Which catalog entry scores the batch; absent routes to the
+        /// server's default model. Unknown ids answer `not_found`.
+        model_id: Option<String>,
     },
     /// Run the full attack on a challenge: parse, score every candidate
     /// pair, and report LoC/accuracy numbers.
@@ -37,6 +47,9 @@ pub enum Request {
         /// When true, the response carries the complete [`ScoredView`]
         /// (bit-exact, for verification); when false, only the summary.
         detail: bool,
+        /// Which catalog entry runs the attack; absent routes to the
+        /// server's default model. Unknown ids answer `not_found`.
+        model_id: Option<String>,
     },
     /// Gracefully stop the server.
     Shutdown,
@@ -84,11 +97,15 @@ pub enum ErrorCode {
     /// load with the dedicated `Busy` variant, which carries a retry
     /// hint. Retryable after backing off.
     Busy,
+    /// The request named a `model_id` that is not in the serving
+    /// catalog. Not retryable: the same id keeps failing until a reload
+    /// publishes it (use `ListModels` to see what is served).
+    NotFound,
 }
 
 impl ErrorCode {
     /// The conventional snake_case name (`bad_request`, `too_large`,
-    /// `timeout`, `busy`).
+    /// `timeout`, `busy`, `not_found`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
@@ -96,6 +113,7 @@ impl ErrorCode {
             ErrorCode::TooLarge => "too_large",
             ErrorCode::Timeout => "timeout",
             ErrorCode::Busy => "busy",
+            ErrorCode::NotFound => "not_found",
         }
     }
 
@@ -114,9 +132,48 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// Exact divergence report from A/B shadow scoring: a sampled fraction
+/// of `ScorePairs` requests is re-scored against a second catalog entry
+/// and compared probability-by-probability. All statistics are exact
+/// over the compared pairs (no sketching), so two identical models must
+/// report `max_abs_dp == 0.0` bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowReport {
+    /// Catalog id of the shadow model.
+    pub shadow_model: String,
+    /// Decision threshold the disagreement count is computed at.
+    pub threshold: f64,
+    /// `ScorePairs` requests selected for shadow scoring so far.
+    pub sampled_requests: u64,
+    /// Individual pair probabilities compared so far.
+    pub compared_pairs: u64,
+    /// Largest `|p_primary - p_shadow|` observed.
+    pub max_abs_dp: f64,
+    /// Mean `|p_primary - p_shadow|` over all compared pairs (0 until
+    /// data exists).
+    pub mean_abs_dp: f64,
+    /// Pairs where primary and shadow fall on opposite sides of the
+    /// decision threshold.
+    pub disagreements: u64,
+    /// Sampled requests skipped because the shadow id vanished from the
+    /// catalog (a reload removed it). The primary answer is unaffected.
+    pub shadow_missing: u64,
+}
+
 /// Running server counters, as returned by [`Request::Stats`].
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct StatsSnapshot {
+    /// Catalog id of the current default model.
+    pub model_id: String,
+    /// Artifact checksum of the current default model.
+    pub model_checksum: String,
+    /// Artifact format version of the current default model.
+    pub schema_version: u32,
+    /// Successful catalog reloads since startup.
+    pub reloads: u64,
+    /// Shadow-scoring divergence report, when a shadow model is
+    /// configured.
+    pub shadow: Option<ShadowReport>,
     /// Requests handled (including failed ones).
     pub requests: u64,
     /// Requests answered with [`Response::Error`].
@@ -145,10 +202,31 @@ pub struct StatsSnapshot {
     pub max_us: u64,
 }
 
+/// One catalog entry as reported by [`Request::ListModels`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Routing key clients put in `model_id` fields.
+    pub model_id: String,
+    /// Configuration name of the model (e.g. `Imp-11`).
+    pub config: String,
+    /// Model input feature count.
+    pub features: usize,
+    /// Ensemble size.
+    pub trees: usize,
+    /// Artifact checksum the entry was loaded against.
+    pub checksum: String,
+    /// Artifact format version of the loaded file.
+    pub schema_version: u32,
+    /// Split layer recorded in the model's train metadata.
+    pub split_layer: String,
+}
+
 /// A server response line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
-    /// Answer to [`Request::Health`].
+    /// Answer to [`Request::Health`]. Identity fields describe the
+    /// current *default* model (use [`Request::ListModels`] for the
+    /// whole catalog).
     Health {
         /// Configuration name of the served model (e.g. `Imp-11`).
         model: String,
@@ -158,6 +236,29 @@ pub enum Response {
         trees: usize,
         /// Artifact format version the server was built against.
         artifact_version: u32,
+        /// Catalog id of the default model.
+        model_id: String,
+        /// Artifact checksum of the default model.
+        checksum: String,
+        /// Artifact format version of the default model's loaded file.
+        schema_version: u32,
+    },
+    /// Answer to [`Request::ListModels`].
+    Models {
+        /// The id requests without a `model_id` route to.
+        default_model: String,
+        /// Every servable model, sorted by id.
+        models: Vec<ModelInfo>,
+    },
+    /// Answer to a successful [`Request::Reload`]: the catalog now
+    /// serving.
+    Reloaded {
+        /// Default model id after the swap.
+        default_model: String,
+        /// Ids now servable, sorted.
+        models: Vec<String>,
+        /// Successful reloads since startup, including this one.
+        reloads: u64,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -209,14 +310,22 @@ mod tests {
         let reqs = vec![
             Request::Health,
             Request::Stats,
+            Request::ListModels,
+            Request::Reload,
             Request::ScorePairs {
                 features: vec![vec![1.0, 2.5], vec![0.0, -3.0]],
+                model_id: None,
+            },
+            Request::ScorePairs {
+                features: vec![vec![1.0]],
+                model_id: Some("retrained".into()),
             },
             Request::Attack {
                 challenge: "design sb1\n".into(),
                 truth: "0 1\n".into(),
                 threshold: 0.5,
                 detail: true,
+                model_id: Some("incumbent".into()),
             },
             Request::Shutdown,
         ];
@@ -236,9 +345,26 @@ mod tests {
                 features: 11,
                 trees: 10,
                 artifact_version: 1,
+                model_id: "incumbent".into(),
+                checksum: "fnv1a64:00000000000000ab".into(),
+                schema_version: 1,
             },
             Response::Stats {
                 stats: StatsSnapshot {
+                    model_id: "incumbent".into(),
+                    model_checksum: "fnv1a64:00000000000000ab".into(),
+                    schema_version: 1,
+                    reloads: 2,
+                    shadow: Some(ShadowReport {
+                        shadow_model: "retrained".into(),
+                        threshold: 0.5,
+                        sampled_requests: 7,
+                        compared_pairs: 448,
+                        max_abs_dp: 0.25,
+                        mean_abs_dp: 0.125,
+                        disagreements: 3,
+                        shadow_missing: 1,
+                    }),
                     requests: 5,
                     errors: 1,
                     io_errors: 2,
@@ -250,6 +376,23 @@ mod tests {
                     p99_us: 99,
                     max_us: 120,
                 },
+            },
+            Response::Models {
+                default_model: "incumbent".into(),
+                models: vec![ModelInfo {
+                    model_id: "incumbent".into(),
+                    config: "Imp-11".into(),
+                    features: 11,
+                    trees: 10,
+                    checksum: "fnv1a64:00000000000000ab".into(),
+                    schema_version: 1,
+                    split_layer: "V8".into(),
+                }],
+            },
+            Response::Reloaded {
+                default_model: "retrained".into(),
+                models: vec!["incumbent".into(), "retrained".into()],
+                reloads: 3,
             },
             Response::Scores {
                 probs: vec![0.25, 1.0 / 3.0],
@@ -284,6 +427,7 @@ mod tests {
             (ErrorCode::TooLarge, "too_large", false),
             (ErrorCode::Timeout, "timeout", false),
             (ErrorCode::Busy, "busy", true),
+            (ErrorCode::NotFound, "not_found", false),
         ] {
             assert_eq!(code.as_str(), name);
             assert_eq!(code.to_string(), name);
@@ -292,6 +436,34 @@ mod tests {
             let back: ErrorCode = serde_json::from_str(&line).expect("parses");
             assert_eq!(code, back);
         }
+    }
+
+    #[test]
+    fn pre_registry_request_lines_still_parse() {
+        // Wire compatibility: a client built before per-model routing
+        // sends no `model_id` key at all — that must parse as `None`
+        // (route to default), not as a bad request.
+        let line = r#"{"ScorePairs":{"features":[[1.0,2.0]]}}"#;
+        let req: Request = serde_json::from_str(line).expect("parses");
+        assert_eq!(
+            req,
+            Request::ScorePairs {
+                features: vec![vec![1.0, 2.0]],
+                model_id: None,
+            }
+        );
+        let line = r#"{"Attack":{"challenge":"c","truth":"t","threshold":0.5,"detail":false}}"#;
+        let req: Request = serde_json::from_str(line).expect("parses");
+        assert_eq!(
+            req,
+            Request::Attack {
+                challenge: "c".into(),
+                truth: "t".into(),
+                threshold: 0.5,
+                detail: false,
+                model_id: None,
+            }
+        );
     }
 
     #[test]

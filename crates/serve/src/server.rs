@@ -19,21 +19,35 @@
 //! Scoring is bit-identical to in-process use: the server calls the same
 //! [`TrainedAttack`] entry points, and the JSON transport round-trips
 //! `f64` exactly.
+//!
+//! The server serves a whole [`Catalog`] of models, not one: requests
+//! route by an optional `model_id` (absent means the default), and a
+//! registry-backed server ([`ModelSource::Registry`]) answers `Reload`
+//! by rescanning the directory and atomically swapping the catalog
+//! `Arc` — in-flight requests keep the catalog they resolved against, so
+//! a reload never changes a response mid-request and never drops a
+//! connection. An optional [`ShadowConfig`] re-scores a deterministic
+//! fraction of default-routed `ScorePairs` batches against a second
+//! catalog entry and folds an exact divergence report into `Stats`.
 
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sm_attack::attack::{Enumeration, Kernel, ScoreOptions};
 use sm_attack::TrainedAttack;
 use sm_layout::io::read_challenge;
-use sm_ml::{par_chunks, CompiledEnsemble, Parallelism};
+use sm_ml::{par_chunks, Parallelism};
 
 use crate::artifact::ARTIFACT_VERSION;
 use crate::client::percentile_us;
-use crate::protocol::{AttackSummary, ErrorCode, Request, Response, StatsSnapshot};
+use crate::protocol::{
+    AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
+};
+use crate::registry::{Catalog, ModelEntry, RegistryError};
 
 /// Cap on retained per-request latency samples. The store is a ring:
 /// once full, new samples overwrite the oldest, so a long-lived server
@@ -104,6 +118,56 @@ impl Default for ServeOptions {
             idle_timeout_ms: 60_000,
             max_request_bytes: 64 * 1024 * 1024,
             max_queue: 0,
+        }
+    }
+}
+
+/// Where the server's models come from.
+#[derive(Debug, Clone)]
+pub enum ModelSource {
+    /// One already-loaded model, served as the catalog's only entry under
+    /// [`crate::registry::SINGLE_MODEL_ID`]. `Reload` answers
+    /// `bad_request` — there is no directory to rescan.
+    Single(TrainedAttack),
+    /// A registry directory ([`crate::registry`]); `Reload` rescans it
+    /// and atomically swaps the catalog.
+    Registry {
+        /// The registry directory (contains the `index` file).
+        dir: PathBuf,
+        /// Overrides the index's default model id for this server (and
+        /// for every subsequent reload). Must name a published model.
+        default_model: Option<String>,
+    },
+}
+
+/// A/B shadow scoring: re-score a sampled fraction of default-routed
+/// `ScorePairs` requests against a second catalog entry and accumulate
+/// an exact divergence report into `Stats`. The shadow never affects the
+/// answer the client sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowConfig {
+    /// Catalog id of the shadow model. Must resolve at startup; if a
+    /// later reload removes it, sampled requests are counted as
+    /// `shadow_missing` instead of failing.
+    pub model_id: String,
+    /// Fraction of eligible requests to shadow-score, in `[0, 1]`.
+    /// Sampling is deterministic (request `k` is sampled iff
+    /// `floor((k+1)·f) > floor(k·f)`), so `1.0` is every request, `0.5`
+    /// is exactly every other one.
+    pub fraction: f64,
+    /// Decision threshold for the disagreement count.
+    pub threshold: f64,
+}
+
+impl ShadowConfig {
+    /// Shadow `model_id` on `fraction` of requests, disagreements
+    /// counted at the conventional 0.5 decision threshold.
+    #[must_use]
+    pub fn new(model_id: &str, fraction: f64) -> Self {
+        Self {
+            model_id: model_id.to_owned(),
+            fraction,
+            threshold: 0.5,
         }
     }
 }
@@ -181,12 +245,35 @@ impl LatencyRing {
     }
 }
 
+/// Exact running totals behind the shadow divergence report.
+#[derive(Default)]
+struct ShadowAccum {
+    sampled_requests: u64,
+    compared_pairs: u64,
+    sum_abs_dp: f64,
+    max_abs_dp: f64,
+    disagreements: u64,
+    shadow_missing: u64,
+}
+
 struct ServerState {
-    model: TrainedAttack,
-    /// The ensemble lowered once at server start; shared read-only by all
-    /// connection workers. Artifacts store the trained trees, so the
-    /// compilation is a load-time step, not a format change.
-    compiled: CompiledEnsemble,
+    /// The serving catalog behind one atomically-swapped `Arc`. Every
+    /// request clones the `Arc` once and resolves against that snapshot,
+    /// so a concurrent `Reload` can never change which model answers a
+    /// request that has already started. Each entry carries its ensemble
+    /// lowered at load time — compilation is a load-time step, not a
+    /// format change.
+    catalog: Mutex<Arc<Catalog>>,
+    /// `Some` when registry-backed: where `Reload` rescans.
+    registry_dir: Option<PathBuf>,
+    /// CLI-level default override, re-applied on every reload.
+    default_override: Option<String>,
+    shadow: Option<ShadowConfig>,
+    /// Sequence number of eligible requests, driving deterministic
+    /// shadow sampling.
+    shadow_seq: AtomicU64,
+    shadow_accum: Mutex<ShadowAccum>,
+    reloads: AtomicU64,
     options: ServeOptions,
     addr: SocketAddr,
     shutdown: AtomicBool,
@@ -204,9 +291,39 @@ impl ServerState {
         self.latencies_us.lock().expect("latency lock").push(us);
     }
 
+    /// The current catalog snapshot. One clone of the `Arc`; holders keep
+    /// serving their snapshot across a concurrent swap.
+    fn catalog(&self) -> Arc<Catalog> {
+        self.catalog.lock().expect("catalog lock").clone()
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         let lat = self.latencies_us.lock().expect("latency lock").sorted();
+        let catalog = self.catalog();
+        let entry = catalog.default_entry();
+        let shadow = self.shadow.as_ref().map(|cfg| {
+            let a = self.shadow_accum.lock().expect("shadow lock");
+            ShadowReport {
+                shadow_model: cfg.model_id.clone(),
+                threshold: cfg.threshold,
+                sampled_requests: a.sampled_requests,
+                compared_pairs: a.compared_pairs,
+                max_abs_dp: a.max_abs_dp,
+                mean_abs_dp: if a.compared_pairs == 0 {
+                    0.0
+                } else {
+                    a.sum_abs_dp / a.compared_pairs as f64
+                },
+                disagreements: a.disagreements,
+                shadow_missing: a.shadow_missing,
+            }
+        });
         StatsSnapshot {
+            model_id: entry.model_id.clone(),
+            model_checksum: entry.checksum.clone(),
+            schema_version: entry.schema_version,
+            reloads: self.reloads.load(Ordering::Relaxed),
+            shadow,
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
@@ -221,8 +338,26 @@ impl ServerState {
     }
 }
 
-/// Runs the server on `listener` until a `Shutdown` request arrives,
-/// then drains queued connections and returns the final counters.
+/// Whether eligible request `seq` (0-based) falls in the sampled
+/// fraction: sampled iff `floor((seq+1)·f)` exceeds `floor(seq·f)`. The
+/// count of sampled requests among the first `n` is exactly
+/// `floor(n·f)` — deterministic, evenly spread, no RNG state.
+fn shadow_sampled(seq: u64, fraction: f64) -> bool {
+    let f = fraction.clamp(0.0, 1.0);
+    ((seq + 1) as f64 * f).floor() > (seq as f64 * f).floor()
+}
+
+/// Maps a registry failure at startup onto the `io::Error` contract of
+/// [`serve`] (a corrupt registry is `InvalidData`, not a panic).
+fn registry_io_error(e: RegistryError) -> std::io::Error {
+    match e {
+        RegistryError::Io(io) => io,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// Runs a single-model server on `listener` until a `Shutdown` request
+/// arrives — [`serve_source`] with [`ModelSource::Single`] and no shadow.
 ///
 /// # Errors
 ///
@@ -235,11 +370,90 @@ pub fn serve(
     listener: TcpListener,
     options: &ServeOptions,
 ) -> std::io::Result<StatsSnapshot> {
+    serve_source(ModelSource::Single(model), None, listener, options)
+}
+
+/// Runs the server on `listener` until a `Shutdown` request arrives,
+/// then drains queued connections and returns the final counters.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] for listener-level failures, for a
+/// registry that fails to load (`InvalidData` carrying the typed
+/// [`RegistryError`] message), or for a [`ShadowConfig`] whose fraction
+/// is outside `[0, 1]` or whose model id is not in the starting catalog
+/// (`InvalidInput` — a misconfigured shadow fails fast at startup, it
+/// does not silently measure nothing).
+pub fn serve_source(
+    source: ModelSource,
+    shadow: Option<ShadowConfig>,
+    listener: TcpListener,
+    options: &ServeOptions,
+) -> std::io::Result<StatsSnapshot> {
+    serve_prepared(Prepared::new(source, shadow)?, listener, options)
+}
+
+/// A validated catalog + shadow config, ready to serve. Split out of
+/// [`serve_source`] so [`ServerHandle::bind_source`] can do the (possibly
+/// failing) registry load on the caller's thread — configuration errors
+/// surface at bind time — while the accept loop runs on the background
+/// thread.
+struct Prepared {
+    catalog: Catalog,
+    registry_dir: Option<PathBuf>,
+    default_override: Option<String>,
+    shadow: Option<ShadowConfig>,
+}
+
+impl Prepared {
+    fn new(source: ModelSource, shadow: Option<ShadowConfig>) -> std::io::Result<Self> {
+        let (catalog, registry_dir, default_override) = match source {
+            ModelSource::Single(model) => (Catalog::single(model), None, None),
+            ModelSource::Registry { dir, default_model } => {
+                let catalog =
+                    Catalog::load(&dir, default_model.as_deref()).map_err(registry_io_error)?;
+                (catalog, Some(dir), default_model)
+            }
+        };
+        if let Some(cfg) = &shadow {
+            let invalid =
+                |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
+            if !cfg.fraction.is_finite() || !(0.0..=1.0).contains(&cfg.fraction) {
+                return Err(invalid(format!(
+                    "shadow fraction {} is not in [0, 1]",
+                    cfg.fraction
+                )));
+            }
+            if catalog.get(&cfg.model_id).is_none() {
+                return Err(invalid(format!(
+                    "shadow model '{}' is not in the catalog",
+                    cfg.model_id
+                )));
+            }
+        }
+        Ok(Self {
+            catalog,
+            registry_dir,
+            default_override,
+            shadow,
+        })
+    }
+}
+
+fn serve_prepared(
+    prepared: Prepared,
+    listener: TcpListener,
+    options: &ServeOptions,
+) -> std::io::Result<StatsSnapshot> {
     let addr = listener.local_addr()?;
-    let compiled = model.model().compile();
     let state = ServerState {
-        model,
-        compiled,
+        catalog: Mutex::new(Arc::new(prepared.catalog)),
+        registry_dir: prepared.registry_dir,
+        default_override: prepared.default_override,
+        shadow: prepared.shadow,
+        shadow_seq: AtomicU64::new(0),
+        shadow_accum: Mutex::new(ShadowAccum::default()),
+        reloads: AtomicU64::new(0),
         options: *options,
         addr,
         shutdown: AtomicBool::new(false),
@@ -329,9 +543,28 @@ impl ServerHandle {
         addr_spec: &str,
         options: ServeOptions,
     ) -> std::io::Result<Self> {
+        Self::bind_source(ModelSource::Single(model), None, addr_spec, options)
+    }
+
+    /// Binds `addr_spec` and serves `source` (with optional shadow
+    /// scoring) on a background thread. Registry and shadow validation
+    /// happens here, before the thread spawns, so a misconfigured server
+    /// fails at bind time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`std::io::Error`]s of [`serve_source`]: bind
+    /// failures, an unloadable registry, or an invalid shadow config.
+    pub fn bind_source(
+        source: ModelSource,
+        shadow: Option<ShadowConfig>,
+        addr_spec: &str,
+        options: ServeOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr_spec)?;
         let addr = listener.local_addr()?;
-        let thread = std::thread::spawn(move || serve(model, listener, &options));
+        let prepared = Prepared::new(source, shadow)?;
+        let thread = std::thread::spawn(move || serve_prepared(prepared, listener, &options));
         Ok(Self { addr, thread })
     }
 
@@ -622,37 +855,191 @@ fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Respo
         }
     };
     match request {
-        Request::Health => (
-            Response::Health {
-                model: state.model.config().name.clone(),
-                features: state.model.config().features.len(),
-                trees: state.model.model().num_trees(),
-                artifact_version: ARTIFACT_VERSION,
-            },
-            false,
-        ),
+        Request::Health => {
+            let catalog = state.catalog();
+            let entry = catalog.default_entry();
+            (
+                Response::Health {
+                    model: entry.model.config().name.clone(),
+                    features: entry.model.config().features.len(),
+                    trees: entry.model.model().num_trees(),
+                    artifact_version: ARTIFACT_VERSION,
+                    model_id: entry.model_id.clone(),
+                    checksum: entry.checksum.clone(),
+                    schema_version: entry.schema_version,
+                },
+                false,
+            )
+        }
         Request::Stats => (
             Response::Stats {
                 stats: state.snapshot(),
             },
             false,
         ),
-        Request::ScorePairs { features } => (score_pairs(state, &features, scratch), false),
+        Request::ListModels => {
+            let catalog = state.catalog();
+            (
+                Response::Models {
+                    default_model: catalog.default_id().to_owned(),
+                    models: catalog
+                        .entries()
+                        .iter()
+                        .map(|e| ModelInfo {
+                            model_id: e.model_id.clone(),
+                            config: e.model.config().name.clone(),
+                            features: e.model.config().features.len(),
+                            trees: e.model.model().num_trees(),
+                            checksum: e.checksum.clone(),
+                            schema_version: e.schema_version,
+                            split_layer: e.meta.split_layer.clone(),
+                        })
+                        .collect(),
+                },
+                false,
+            )
+        }
+        Request::Reload => (reload(state), false),
+        Request::ScorePairs { features, model_id } => {
+            let catalog = state.catalog();
+            match catalog.resolve(model_id.as_deref()) {
+                Err(e) => (not_found(&e), false),
+                Ok(entry) => {
+                    let response = score_pairs(state, entry, &features, scratch);
+                    if let Response::Scores { probs } = &response {
+                        shadow_compare(state, &catalog, entry, &features, probs);
+                    }
+                    (response, false)
+                }
+            }
+        }
         Request::Attack {
             challenge,
             truth,
             threshold,
             detail,
-        } => (
-            run_attack(state, &challenge, &truth, threshold, detail),
-            false,
-        ),
+            model_id,
+        } => {
+            let catalog = state.catalog();
+            match catalog.resolve(model_id.as_deref()) {
+                Err(e) => (not_found(&e), false),
+                Ok(entry) => (
+                    run_attack(state, entry, &challenge, &truth, threshold, detail),
+                    false,
+                ),
+            }
+        }
         Request::Shutdown => (Response::ShuttingDown, true),
     }
 }
 
-fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScratch) -> Response {
-    let expected = state.model.config().features.len();
+/// The `not_found` reply for a `model_id` that is not in the catalog.
+fn not_found(e: &RegistryError) -> Response {
+    Response::Error {
+        code: ErrorCode::NotFound,
+        message: e.to_string(),
+    }
+}
+
+/// Handles `Reload`: rescan the registry directory, and only on a fully
+/// successful load swap the catalog `Arc`. Any failure leaves the old
+/// catalog serving untouched and reports the typed registry error.
+fn reload(state: &ServerState) -> Response {
+    let Some(dir) = &state.registry_dir else {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "server is not registry-backed (started with --model); nothing to reload"
+                .into(),
+        };
+    };
+    match Catalog::load(dir, state.default_override.as_deref()) {
+        Err(e) => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("reload failed, previous catalog still serving: {e}"),
+        },
+        Ok(catalog) => {
+            let models = catalog
+                .entries()
+                .iter()
+                .map(|e| e.model_id.clone())
+                .collect();
+            let default_model = catalog.default_id().to_owned();
+            // The swap itself: one pointer store under the lock. Requests
+            // that already cloned the old Arc finish on it; the last one
+            // out drops the old catalog.
+            *state.catalog.lock().expect("catalog lock") = Arc::new(catalog);
+            let reloads = state.reloads.fetch_add(1, Ordering::Relaxed) + 1;
+            Response::Reloaded {
+                default_model,
+                models,
+                reloads,
+            }
+        }
+    }
+}
+
+/// A/B shadow scoring: when configured, re-scores a deterministic
+/// fraction of default-routed `ScorePairs` batches against the shadow
+/// entry of the *same catalog snapshot* and folds exact divergence
+/// totals into the accumulator. Never alters the primary response.
+fn shadow_compare(
+    state: &ServerState,
+    catalog: &Catalog,
+    entry: &ModelEntry,
+    features: &[Vec<f64>],
+    probs: &[f64],
+) {
+    let Some(cfg) = &state.shadow else { return };
+    // Only batches answered by the default model are eligible: the
+    // report means "default vs shadow", not a mixture of primaries. A
+    // reload may change which id is the default; eligibility tracks it.
+    if entry.model_id != catalog.default_id() || entry.model_id == cfg.model_id {
+        return;
+    }
+    let seq = state.shadow_seq.fetch_add(1, Ordering::Relaxed);
+    if !shadow_sampled(seq, cfg.fraction) {
+        return;
+    }
+    let shadow_entry = catalog
+        .get(&cfg.model_id)
+        .filter(|s| s.model.config().features.len() == entry.model.config().features.len());
+    let mut accum = state.shadow_accum.lock().expect("shadow lock");
+    accum.sampled_requests += 1;
+    let Some(shadow_entry) = shadow_entry else {
+        // The shadow id vanished (or became feature-incompatible) after
+        // a reload; the primary answer is unaffected, just count it.
+        accum.shadow_missing += 1;
+        return;
+    };
+    let width = entry.model.config().features.len();
+    let mut rows = Vec::with_capacity(features.len() * width);
+    for row in features {
+        rows.extend_from_slice(row);
+    }
+    let mut shadow_probs = vec![0.0; features.len()];
+    shadow_entry
+        .compiled
+        .proba_batch(&rows, width, &mut shadow_probs);
+    for (&p, &q) in probs.iter().zip(&shadow_probs) {
+        let dp = (p - q).abs();
+        accum.sum_abs_dp += dp;
+        if dp > accum.max_abs_dp {
+            accum.max_abs_dp = dp;
+        }
+        if (p >= cfg.threshold) != (q >= cfg.threshold) {
+            accum.disagreements += 1;
+        }
+    }
+    accum.compared_pairs += features.len() as u64;
+}
+
+fn score_pairs(
+    state: &ServerState,
+    entry: &ModelEntry,
+    features: &[Vec<f64>],
+    scratch: &mut ConnScratch,
+) -> Response {
+    let expected = entry.model.config().features.len();
     if let Some(bad) = features.iter().position(|row| row.len() != expected) {
         return Response::Error {
             code: ErrorCode::BadRequest,
@@ -673,13 +1060,13 @@ fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScr
                 for row in features {
                     scratch.rows.extend_from_slice(row);
                 }
-                state
+                entry
                     .compiled
                     .proba_batch(&scratch.rows, expected, &mut probs);
             }
             Kernel::Reference => {
                 for (slot, row) in probs.iter_mut().zip(features) {
-                    *slot = state.model.model().proba(row);
+                    *slot = entry.model.model().proba(row);
                 }
             }
         }
@@ -692,11 +1079,11 @@ fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScr
                     for k in range.clone() {
                         rows.extend_from_slice(&features[k]);
                     }
-                    state.compiled.proba_batch(&rows, expected, &mut out);
+                    entry.compiled.proba_batch(&rows, expected, &mut out);
                 }
                 Kernel::Reference => {
                     for (slot, k) in out.iter_mut().zip(range) {
-                        *slot = state.model.model().proba(&features[k]);
+                        *slot = entry.model.model().proba(&features[k]);
                     }
                 }
             }
@@ -712,6 +1099,7 @@ fn score_pairs(state: &ServerState, features: &[Vec<f64>], scratch: &mut ConnScr
 
 fn run_attack(
     state: &ServerState,
+    entry: &ModelEntry,
     challenge: &str,
     truth: &str,
     threshold: f64,
@@ -726,7 +1114,7 @@ fn run_attack(
             }
         }
     };
-    let scored = state.model.score(
+    let scored = entry.model.score(
         &view,
         &ScoreOptions {
             parallelism: state.options.batch,
@@ -828,6 +1216,31 @@ mod tests {
         assert_eq!(accept_backoff(5), Duration::from_millis(16));
         assert_eq!(accept_backoff(10), ACCEPT_BACKOFF_MAX);
         assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_MAX, "no overflow");
+    }
+
+    #[test]
+    fn shadow_sampling_is_exact_and_evenly_spread() {
+        // Among the first n eligible requests, exactly floor(n·f) are
+        // sampled — the divergence report's sample counts are exact, not
+        // probabilistic.
+        for (fraction, n) in [(0.0, 1000u64), (0.1, 1000), (0.5, 1000), (1.0, 1000)] {
+            let sampled = (0..n).filter(|&k| shadow_sampled(k, fraction)).count() as u64;
+            let expected = (n as f64 * fraction).floor() as u64;
+            assert_eq!(sampled, expected, "fraction {fraction}");
+        }
+        assert!(
+            (0..100).all(|k| shadow_sampled(k, 1.0)),
+            "f=1 is every request"
+        );
+        assert!(!(0..100).any(|k| shadow_sampled(k, 0.0)), "f=0 is never");
+        // f=0.5 alternates: odd sequence numbers are the sampled ones.
+        assert!(!shadow_sampled(0, 0.5));
+        assert!(shadow_sampled(1, 0.5));
+        assert!(!shadow_sampled(2, 0.5));
+        assert!(shadow_sampled(3, 0.5));
+        // Out-of-range fractions clamp instead of misbehaving.
+        assert!(shadow_sampled(0, 7.0));
+        assert!(!shadow_sampled(0, -1.0));
     }
 
     #[test]

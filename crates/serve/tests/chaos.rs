@@ -24,7 +24,8 @@ use sm_layout::{SplitLayer, Suite};
 use sm_serve::artifact::{ModelArtifact, TrainMeta};
 use sm_serve::client::{ClientTimeouts, RetryPolicy, RetryingClient};
 use sm_serve::protocol::{Request, Response, StatsSnapshot};
-use sm_serve::server::{ServeOptions, ServerHandle};
+use sm_serve::registry::publish;
+use sm_serve::server::{ModelSource, ServeOptions, ServerHandle};
 
 /// Trained once per test binary: the encoded artifact every test's server
 /// hosts, plus feature rows and their expected (in-process) scores.
@@ -108,6 +109,7 @@ fn run_good_client(addr: &str, requests: usize, rows: usize, deadline: Duration)
         match client
             .call(&Request::ScorePairs {
                 features: features.clone(),
+                model_id: None,
             })
             .expect("well-behaved client must keep succeeding under chaos")
         {
@@ -325,6 +327,153 @@ fn garbage_bytes_get_error_replies_and_the_connection_survives() {
     assert_eq!(stats.io_errors, 0, "{stats:?}");
     assert_eq!(stats.timeouts, 0, "{stats:?}");
     assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn hot_reload_under_load_drops_nothing_and_swaps_scores_atomically() {
+    // Two genuinely different models sharing a feature width: model A is
+    // the split-8 fixture, model B is trained against split layer 6, so
+    // their probabilities differ on the same rows — which is what lets
+    // every response be attributed to exactly one version bit-exactly.
+    let fx = fixture();
+    let model_a = served_model();
+    let views_b = Suite::ispd2011_like(0.01)
+        .expect("valid scale")
+        .split_all(SplitLayer::new(6).expect("valid layer"));
+    let train_b: Vec<_> = views_b[1..].iter().collect();
+    let model_b =
+        TrainedAttack::train(&AttackConfig::imp9(), &train_b, None).expect("model B trains");
+    let rows = fx.features.len().min(6);
+    let features = fx.features[..rows].to_vec();
+    let probs_a: Vec<f64> = features.iter().map(|x| model_a.model().proba(x)).collect();
+    let probs_b: Vec<f64> = features.iter().map(|x| model_b.model().proba(x)).collect();
+    assert!(
+        probs_a.iter().zip(&probs_b).any(|(a, b)| a != b),
+        "fixture models must be distinguishable for version attribution"
+    );
+
+    // Registry: "stable" (default) serves model A forever; "swap" starts
+    // as A and is republished as B mid-flood.
+    let dir = std::env::temp_dir().join("smserve_chaos_reload");
+    let _ = std::fs::remove_dir_all(&dir);
+    let meta = |layer: &str| TrainMeta {
+        split_layer: layer.into(),
+        ..TrainMeta::default()
+    };
+    publish(
+        &dir,
+        "stable",
+        &ModelArtifact::from_trained(&model_a, meta("V8")),
+        true,
+    )
+    .expect("publishes stable");
+    publish(
+        &dir,
+        "swap",
+        &ModelArtifact::from_trained(&model_a, meta("V8")),
+        false,
+    )
+    .expect("publishes swap@A");
+
+    let handle = ServerHandle::bind_source(
+        ModelSource::Registry {
+            dir: dir.clone(),
+            default_model: None,
+        },
+        None,
+        "127.0.0.1:0",
+        chaos_options(5_000, 5_000),
+    )
+    .expect("binds");
+    let addr = handle.addr();
+
+    // Well-behaved flood on the default model for the whole duration:
+    // "stable" keeps serving model A bit-identically across the swap.
+    let addr_str = addr.to_string();
+    let good =
+        std::thread::spawn(move || run_good_client(&addr_str, 30, 6, Duration::from_secs(30)));
+
+    // One *pinned connection* routing to "swap" by id: the same TCP
+    // stream must survive the reload and flip versions exactly once.
+    let mut swap_client = RetryingClient::new(
+        &addr.to_string(),
+        ClientTimeouts {
+            connect_ms: 2_000,
+            io_ms: 5_000,
+        },
+        RetryPolicy {
+            max_attempts: 25,
+            base_backoff_ms: 20,
+            max_backoff_ms: 200,
+            jitter_seed: 0x50A9,
+        },
+    );
+    let score_swap = |client: &mut RetryingClient| -> Vec<f64> {
+        match client
+            .call(&Request::ScorePairs {
+                features: features.clone(),
+                model_id: Some("swap".into()),
+            })
+            .expect("swap-routed request succeeds")
+        {
+            Response::Scores { probs } => probs,
+            other => panic!("unexpected scores reply: {other:?}"),
+        }
+    };
+    let bits = |probs: &[f64]| -> Vec<u64> { probs.iter().map(|p| p.to_bits()).collect() };
+    for round in 0..5 {
+        assert_eq!(
+            bits(&score_swap(&mut swap_client)),
+            bits(&probs_a),
+            "pre-swap round {round} must serve model A"
+        );
+    }
+
+    // Republish "swap" as model B, then reload over the *same pinned
+    // connection* — mid-flood, while the good client keeps hammering.
+    publish(
+        &dir,
+        "swap",
+        &ModelArtifact::from_trained(&model_b, meta("V6")),
+        false,
+    )
+    .expect("republishes swap@B");
+    match swap_client.call(&Request::Reload).expect("reload succeeds") {
+        Response::Reloaded {
+            default_model,
+            models,
+            reloads,
+        } => {
+            assert_eq!(default_model, "stable");
+            assert_eq!(models, vec!["stable".to_owned(), "swap".to_owned()]);
+            assert_eq!(reloads, 1);
+        }
+        other => panic!("unexpected reload reply: {other:?}"),
+    }
+    for round in 0..5 {
+        assert_eq!(
+            bits(&score_swap(&mut swap_client)),
+            bits(&probs_b),
+            "post-swap round {round} must serve model B bit-identically to \
+             loading the new artifact in-process"
+        );
+    }
+    assert_eq!(
+        swap_client.retries(),
+        0,
+        "the pinned connection never needed a reconnect across the swap"
+    );
+
+    let good = good.join().expect("good client thread");
+    let (good_retries, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(good_retries, 0, "no connection was dropped: {stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.reloads, 1, "exactly one catalog swap: {stats:?}");
+    assert_eq!(stats.model_id, "stable", "default unchanged: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

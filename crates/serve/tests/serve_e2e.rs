@@ -52,18 +52,26 @@ fn full_train_store_serve_score_lifecycle() {
     let addr = handle.addr();
     let mut client = Client::connect(addr).expect("connects");
 
-    // Health advertises the hosted model.
+    // Health advertises the hosted model, including its registry
+    // identity (a single-model server publishes itself as "default",
+    // with the checksum its canonical artifact encoding would have).
     match client.call_ok(&Request::Health).expect("health") {
         Response::Health {
             model,
             features,
             trees,
             artifact_version,
+            model_id,
+            checksum,
+            schema_version,
         } => {
             assert_eq!(model, fresh.config().name);
             assert_eq!(features, fresh.config().features.len());
             assert_eq!(trees, fresh.model().num_trees());
             assert_eq!(artifact_version, ARTIFACT_VERSION);
+            assert_eq!(model_id, sm_serve::SINGLE_MODEL_ID);
+            assert!(checksum.starts_with("fnv1a64:"), "{checksum}");
+            assert_eq!(schema_version, ARTIFACT_VERSION);
         }
         other => panic!("unexpected health reply: {other:?}"),
     }
@@ -86,6 +94,7 @@ fn full_train_store_serve_score_lifecycle() {
     let remote = match client
         .call_ok(&Request::ScorePairs {
             features: features.clone(),
+            model_id: None,
         })
         .expect("score_pairs")
     {
@@ -110,6 +119,7 @@ fn full_train_store_serve_score_lifecycle() {
             truth: write_truth(&view),
             threshold: 0.5,
             detail: true,
+            model_id: None,
         })
         .expect("attack")
     {
@@ -132,6 +142,7 @@ fn full_train_store_serve_score_lifecycle() {
     // usable — both garbage JSON and a bad feature-row width.
     match client.call(&Request::ScorePairs {
         features: vec![vec![1.0, 2.0]],
+        model_id: None,
     }) {
         Ok(Response::Error { code, message }) => {
             assert_eq!(code, sm_serve::protocol::ErrorCode::BadRequest);
@@ -141,6 +152,7 @@ fn full_train_store_serve_score_lifecycle() {
     }
     match client.call_ok(&Request::ScorePairs {
         features: vec![vec![0.0; fresh.config().features.len()]],
+        model_id: None,
     }) {
         Ok(Response::Scores { probs }) => assert_eq!(probs.len(), 1),
         other => panic!("connection should survive an error reply: {other:?}"),
@@ -149,6 +161,11 @@ fn full_train_store_serve_score_lifecycle() {
     // Counters reflect what we did.
     match client.call_ok(&Request::Stats).expect("stats") {
         Response::Stats { stats } => {
+            assert_eq!(stats.model_id, sm_serve::SINGLE_MODEL_ID, "{stats:?}");
+            assert!(stats.model_checksum.starts_with("fnv1a64:"), "{stats:?}");
+            assert_eq!(stats.schema_version, ARTIFACT_VERSION, "{stats:?}");
+            assert_eq!(stats.reloads, 0, "{stats:?}");
+            assert!(stats.shadow.is_none(), "no shadow configured: {stats:?}");
             assert!(stats.requests >= 5, "{stats:?}");
             assert_eq!(stats.errors, 1, "{stats:?}");
             assert_eq!(stats.shed, 0, "nothing shed on the happy path: {stats:?}");
@@ -177,6 +194,7 @@ fn full_train_store_serve_score_lifecycle() {
     assert_eq!(report.total_requests, 6);
     assert_eq!(report.total_pairs, 48);
     assert_eq!(report.errors, 0);
+    assert_eq!(report.served_model, sm_serve::SINGLE_MODEL_ID);
     assert_eq!(report.retries, 0, "happy path needs no retries");
     assert!(report.p50_us <= report.p99_us);
     let server_stats = report.server_stats.expect("post-run stats probe");
