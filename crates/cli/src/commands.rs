@@ -14,9 +14,11 @@ use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
 use sm_serve::client::{bench, BenchConfig, Client, ClientError, ClientTimeouts, RetryPolicy};
-use sm_serve::protocol::{Request, Response};
+use sm_serve::protocol::{Request, Response, Wire};
 use sm_serve::registry::{publish, RegistryError, RegistryIndex};
-use sm_serve::server::{pool_size, serve_source, ModelSource, ServeOptions, ShadowConfig};
+use sm_serve::server::{
+    event_loop_count, pool_size, serve_source, ModelSource, ServeOptions, ShadowConfig,
+};
 
 use crate::args::Args;
 
@@ -167,6 +169,8 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "idle-timeout-ms",
                 "max-request-bytes",
                 "max-queue",
+                "event-loops",
+                "batch-linger-us",
             ])?;
             cmd_serve(args)
         }
@@ -185,6 +189,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "retries",
                 "timeout-ms",
                 "model-id",
+                "wire",
             ])?;
             cmd_bench_serve(args)
         }
@@ -228,12 +233,13 @@ pub fn print_help() {
          \x20             [--request-timeout-ms 10000]\n\
          \x20             [--idle-timeout-ms 60000]\n\
          \x20             [--max-request-bytes 67108864]\n\
-         \x20             [--max-queue 0]                             TCP inference server (NDJSON)\n\
+         \x20             [--max-queue 0] [--event-loops 0]\n\
+         \x20             [--batch-linger-us 0]                       TCP inference server (ndjson+binary)\n\
          \x20 models      (--registry DIR | --addr HOST:PORT)         list registry / server models\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
          \x20             [--requests 50] [--batch 64] [--json FILE]\n\
          \x20             [--retries 3] [--timeout-ms 30000]\n\
-         \x20             [--model-id ID]                             load-test a running server\n\
+         \x20             [--model-id ID] [--wire ndjson]             load-test a running server\n\
          \x20 help                                                    this text\n\
          \n\
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
@@ -251,6 +257,12 @@ pub fn print_help() {
          serve timeouts/caps take 0 to disable (--max-queue 0 = 2x pool);\n\
          an overloaded server sheds connections with a Busy reply, which\n\
          bench-serve retries up to --retries times with backoff.\n\
+         the server speaks two wires on one port, detected per connection\n\
+         from the first byte: NDJSON (v1) and length-prefixed binary\n\
+         frames (v2, --wire binary on bench-serve). --event-loops 0 sizes\n\
+         the reactor from the CPU count; --batch-linger-us waits that long\n\
+         for extra same-model requests before scoring a partial batch\n\
+         (scores are bit-identical with batching on or off).\n\
          a registry is a directory of checksummed artifacts plus an index;\n\
          'train --registry' publishes into it atomically, 'serve --registry'\n\
          hosts every entry (requests route with \"model_id\", absent = the\n\
@@ -703,16 +715,21 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         idle_timeout_ms: args.get_or("idle-timeout-ms", defaults.idle_timeout_ms)?,
         max_request_bytes: args.get_or("max-request-bytes", defaults.max_request_bytes)?,
         max_queue: args.get_or("max-queue", defaults.max_queue)?,
+        event_loops: args.get_or("event-loops", defaults.event_loops)?,
+        batch_linger_us: args.get_or("batch-linger-us", defaults.batch_linger_us)?,
     };
     let shadow = shadow_flags(args)?;
     let (source, label) = serve_source_flags(args)?;
     let listener = TcpListener::bind(&addr)?;
     // Scripts parse this line for the resolved (possibly ephemeral) port.
+    // "scoring workers" is the executor pool (`pool_size`); the event
+    // loops are the reactor threads doing connection i/o.
     println!(
-        "serving {} on {} ({} workers)",
+        "serving {} on {} ({} scoring workers, {} event loops)",
         label,
         listener.local_addr()?,
-        pool_size(options.workers)
+        pool_size(options.workers),
+        event_loop_count(&options)
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;
@@ -731,6 +748,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         stats.p95_us,
         stats.p99_us
     );
+    if stats.score_batches > 0 {
+        println!(
+            "batching: {} kernel calls over {} rows ({:.1} rows/call), \
+             {} requests shared a call",
+            stats.score_batches,
+            stats.batched_rows,
+            stats.batched_rows as f64 / stats.score_batches as f64,
+            stats.batched_requests
+        );
+    }
     if let Some(shadow) = &stats.shadow {
         println!(
             "shadow '{}': {} sampled requests, {} pairs compared, max |dp| {:.6}, \
@@ -841,6 +868,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         },
         retry: RetryPolicy::with_retries(args.get_or("retries", 3u32)?),
         model_id: args.get_str("model-id").map(str::to_owned),
+        wire: args.get_or("wire", Wire::Ndjson)?,
     };
     if config.connections == 0 || config.requests_per_connection == 0 || config.batch_size == 0 {
         return Err(CliError::Usage(

@@ -1,7 +1,12 @@
 //! Blocking protocol client, retry policy, and the `bench-serve` load
 //! driver.
+//!
+//! Every entry point speaks either wire format ([`Wire::Ndjson`] or the
+//! length-prefixed [`Wire::Binary`] protocol v2): the server detects the
+//! format per connection from the first byte, so a client just picks one
+//! at connect time and sticks with it.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -9,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{ErrorCode, Request, Response, StatsSnapshot};
+use crate::protocol::{binary, ErrorCode, Request, Response, StatsSnapshot, Wire};
 
 /// Client-side failure talking to a `splitmfg serve` instance.
 #[derive(Debug)]
@@ -97,27 +102,29 @@ impl ClientTimeouts {
     }
 }
 
-/// A persistent connection to a serve instance: one request line out, one
-/// response line back, any number of times.
+/// A persistent connection to a serve instance: one framed request out,
+/// one framed response back, any number of times, over either wire
+/// format.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    wire: Wire,
 }
 
 impl Client {
-    /// Connects to `addr` with no socket deadlines (a dead server can
-    /// block forever; prefer [`Client::connect_with`]).
+    /// Connects to `addr` speaking NDJSON with no socket deadlines (a
+    /// dead server can block forever; prefer [`Client::connect_with`]).
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Io`] if the connection cannot be opened.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
-        Self::from_stream(TcpStream::connect(addr)?, ClientTimeouts::unbounded())
+        Self::connect_wire(addr, ClientTimeouts::unbounded(), Wire::Ndjson)
     }
 
-    /// Connects to `addr` under `timeouts`: the connect itself must
-    /// complete within `connect_ms`, and every subsequent read/write
-    /// within `io_ms`.
+    /// Connects to `addr` speaking NDJSON under `timeouts`: the connect
+    /// itself must complete within `connect_ms`, and every subsequent
+    /// read/write within `io_ms`.
     ///
     /// # Errors
     ///
@@ -125,6 +132,22 @@ impl Client {
     pub fn connect_with<A: ToSocketAddrs>(
         addr: A,
         timeouts: ClientTimeouts,
+    ) -> Result<Self, ClientError> {
+        Self::connect_wire(addr, timeouts, Wire::Ndjson)
+    }
+
+    /// Connects to `addr` under `timeouts`, speaking `wire`. The server
+    /// auto-detects the format from the first byte of the connection, so
+    /// no negotiation round-trip happens — a binary client simply starts
+    /// sending binary frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] if resolution or connection fails.
+    pub fn connect_wire<A: ToSocketAddrs>(
+        addr: A,
+        timeouts: ClientTimeouts,
+        wire: Wire,
     ) -> Result<Self, ClientError> {
         let stream = if timeouts.connect_ms == 0 {
             TcpStream::connect(addr)?
@@ -137,10 +160,14 @@ impl Client {
             })?;
             TcpStream::connect_timeout(&sock_addr, Duration::from_millis(timeouts.connect_ms))?
         };
-        Self::from_stream(stream, timeouts)
+        Self::from_stream(stream, timeouts, wire)
     }
 
-    fn from_stream(stream: TcpStream, timeouts: ClientTimeouts) -> Result<Self, ClientError> {
+    fn from_stream(
+        stream: TcpStream,
+        timeouts: ClientTimeouts,
+        wire: Wire,
+    ) -> Result<Self, ClientError> {
         let _ = stream.set_nodelay(true);
         if timeouts.io_ms > 0 {
             let io = Some(Duration::from_millis(timeouts.io_ms));
@@ -151,7 +178,14 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
+            wire,
         })
+    }
+
+    /// The wire format this connection speaks.
+    #[must_use]
+    pub fn wire(&self) -> Wire {
+        self.wire
     }
 
     /// Sends one request and reads the matching response.
@@ -159,12 +193,20 @@ impl Client {
     /// # Errors
     ///
     /// [`ClientError::Io`] on socket failure or server close,
-    /// [`ClientError::Protocol`] if the reply is not a response line. A
-    /// [`Response::Error`] or [`Response::Busy`] reply is returned as a
-    /// normal `Ok` response so callers can distinguish per-request
-    /// failures from dead connections; use [`Client::call_ok`] to promote
-    /// them to [`ClientError::Remote`] / [`ClientError::Busy`].
+    /// [`ClientError::Protocol`] if the reply is not a well-formed
+    /// response (line or frame). A [`Response::Error`] or
+    /// [`Response::Busy`] reply is returned as a normal `Ok` response so
+    /// callers can distinguish per-request failures from dead
+    /// connections; use [`Client::call_ok`] to promote them to
+    /// [`ClientError::Remote`] / [`ClientError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.wire {
+            Wire::Ndjson => self.call_ndjson(request),
+            Wire::Binary => self.call_binary(request),
+        }
+    }
+
+    fn call_ndjson(&mut self, request: &Request) -> Result<Response, ClientError> {
         let line = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
         self.writer.write_all(line.as_bytes())?;
@@ -180,6 +222,32 @@ impl Client {
         }
         serde_json::from_str(reply.trim_end())
             .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+
+    fn call_binary(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(&binary::encode_request(request))?;
+        self.writer.flush()?;
+        let mut header = [0u8; binary::HEADER_LEN];
+        self.reader.read_exact(&mut header)?;
+        // A shed server answers with an NDJSON Busy line before any wire
+        // detection could happen (it never read our first byte). Spot
+        // the JSON opener and fall back to line framing for this reply.
+        if header[0] == b'{' {
+            let mut reply = Vec::from(header);
+            let mut rest = Vec::new();
+            self.reader.read_until(b'\n', &mut rest)?;
+            reply.extend_from_slice(&rest);
+            let text = std::str::from_utf8(&reply)
+                .map_err(|_| ClientError::Protocol("non-UTF-8 reply line".into()))?;
+            return serde_json::from_str(text.trim_end())
+                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")));
+        }
+        let h = binary::decode_header(header, u64::MAX)
+            .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))?;
+        let mut payload = vec![0u8; h.len as usize];
+        self.reader.read_exact(&mut payload)?;
+        binary::decode_response(h.frame_type, &payload)
+            .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))
     }
 
     /// [`Client::call`], but a [`Response::Error`] reply becomes
@@ -281,20 +349,29 @@ pub struct RetryingClient {
     addr: String,
     timeouts: ClientTimeouts,
     policy: RetryPolicy,
+    wire: Wire,
     conn: Option<Client>,
     retries: u64,
     busy_retries: u64,
 }
 
 impl RetryingClient {
-    /// Creates a lazy client for `addr`; the first [`Self::call`]
+    /// Creates a lazy NDJSON client for `addr`; the first [`Self::call`]
     /// connects.
     #[must_use]
     pub fn new(addr: &str, timeouts: ClientTimeouts, policy: RetryPolicy) -> Self {
+        Self::new_wire(addr, timeouts, policy, Wire::Ndjson)
+    }
+
+    /// [`Self::new`] with an explicit wire format; every connection
+    /// (including reconnects) speaks it.
+    #[must_use]
+    pub fn new_wire(addr: &str, timeouts: ClientTimeouts, policy: RetryPolicy, wire: Wire) -> Self {
         Self {
             addr: addr.to_owned(),
             timeouts,
             policy,
+            wire,
             conn: None,
             retries: 0,
             busy_retries: 0,
@@ -358,7 +435,11 @@ impl RetryingClient {
 
     fn attempt(&mut self, request: &Request) -> Result<Response, ClientError> {
         if self.conn.is_none() {
-            self.conn = Some(Client::connect_with(self.addr.as_str(), self.timeouts)?);
+            self.conn = Some(Client::connect_wire(
+                self.addr.as_str(),
+                self.timeouts,
+                self.wire,
+            )?);
         }
         self.conn
             .as_mut()
@@ -396,6 +477,8 @@ pub struct BenchConfig {
     /// Retry policy for every bench request (the per-connection jitter
     /// seed is further mixed with the connection index).
     pub retry: RetryPolicy,
+    /// Wire format every bench connection speaks.
+    pub wire: Wire,
 }
 
 impl Default for BenchConfig {
@@ -408,6 +491,7 @@ impl Default for BenchConfig {
             model_id: None,
             timeouts: ClientTimeouts::default(),
             retry: RetryPolicy::default(),
+            wire: Wire::Ndjson,
         }
     }
 }
@@ -416,6 +500,8 @@ impl Default for BenchConfig {
 /// perf trajectory files.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
+    /// Wire format the run spoke (`ndjson` or `binary`).
+    pub wire: String,
     /// Connections driven concurrently.
     pub connections: usize,
     /// The catalog id that served the run: the `--model-id` target when
@@ -445,6 +531,11 @@ pub struct BenchReport {
     pub p99_us: u64,
     /// Worst request latency, microseconds.
     pub max_us: u64,
+    /// Mean rows per coalescing scoring invocation *during this run*,
+    /// from the server's `batched_rows`/`score_batches` deltas between
+    /// the pre- and post-run `Stats` probes. `0` when the probes failed
+    /// or no coalescible scoring happened.
+    pub mean_batch_fill: f64,
     /// The server's own counters sampled right after the run (shed /
     /// timed-out / failed connections are visible here), when the final
     /// `Stats` probe succeeded.
@@ -455,8 +546,10 @@ impl std::fmt::Display for BenchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} connections, {} requests ({} pairs), {} errors, {} retries in {:.3} s [model {}]",
+            "{} connections ({}), {} requests ({} pairs), {} errors, {} retries in {:.3} s \
+             [model {}]",
             self.connections,
+            self.wire,
             self.total_requests,
             self.total_pairs,
             self.errors,
@@ -479,6 +572,13 @@ impl std::fmt::Display for BenchReport {
                 f,
                 "\nserver     : {} requests, {} errors, {} io_errors, {} shed, {} timeouts",
                 stats.requests, stats.errors, stats.io_errors, stats.shed, stats.timeouts
+            )?;
+        }
+        if self.mean_batch_fill > 0.0 {
+            write!(
+                f,
+                "\nbatching   : {:.1} rows/kernel call",
+                self.mean_batch_fill
             )?;
         }
         Ok(())
@@ -530,6 +630,13 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
             }
         },
     };
+    // A pre-run Stats sample turns the post-run counters into *this
+    // run's* deltas (batch fill would otherwise smear across runs
+    // against a long-lived server). Best-effort like the post-run probe.
+    let pre_stats = match probe.call_ok(&Request::Stats) {
+        Ok(Response::Stats { stats }) => Some(stats),
+        _ => None,
+    };
     drop(probe);
     let start = Instant::now();
     let per_conn: Vec<(Vec<u64>, u64, u64)> = sm_ml::par_map(
@@ -543,7 +650,7 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
                 jitter_seed: config.retry.jitter_seed ^ ((conn as u64) << 23),
                 ..config.retry
             };
-            let mut client = RetryingClient::new(addr, config.timeouts, policy);
+            let mut client = RetryingClient::new_wire(addr, config.timeouts, policy, config.wire);
             for _ in 0..config.requests_per_connection {
                 let batch: Vec<Vec<f64>> = (0..config.batch_size)
                     .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
@@ -581,7 +688,20 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         Ok(Response::Stats { stats }) => Some(stats),
         _ => None,
     };
+    let mean_batch_fill = match (&pre_stats, &server_stats) {
+        (Some(pre), Some(post)) => {
+            let calls = post.score_batches.saturating_sub(pre.score_batches);
+            let rows = post.batched_rows.saturating_sub(pre.batched_rows);
+            if calls == 0 {
+                0.0
+            } else {
+                rows as f64 / calls as f64
+            }
+        }
+        _ => 0.0,
+    };
     Ok(BenchReport {
+        wire: config.wire.as_str().to_owned(),
         connections: config.connections,
         served_model,
         total_requests,
@@ -595,6 +715,7 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         p95_us: percentile_us(&latencies, 95.0),
         p99_us: percentile_us(&latencies, 99.0),
         max_us: latencies.last().copied().unwrap_or(0),
+        mean_batch_fill,
         server_stats,
     })
 }
@@ -616,6 +737,7 @@ mod tests {
     #[test]
     fn bench_report_renders_every_number() {
         let report = BenchReport {
+            wire: "binary".into(),
             connections: 2,
             served_model: "incumbent".into(),
             total_requests: 10,
@@ -629,6 +751,7 @@ mod tests {
             p95_us: 20,
             p99_us: 30,
             max_us: 40,
+            mean_batch_fill: 96.5,
             server_stats: Some(StatsSnapshot {
                 requests: 11,
                 errors: 1,
@@ -640,7 +763,7 @@ mod tests {
         };
         let text = report.to_string();
         for needle in [
-            "2 connections",
+            "2 connections (binary)",
             "1 errors",
             "3 retries",
             "p95 20 us",
@@ -648,6 +771,7 @@ mod tests {
             "3 shed",
             "4 timeouts",
             "[model incumbent]",
+            "96.5 rows/kernel call",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }

@@ -13,21 +13,30 @@
 //!   in-memory [`registry::Catalog`] that the server hot-swaps atomically
 //!   on `Reload` — deploy a retrained attacker next to the incumbent
 //!   without dropping a connection.
-//! - [`protocol`] — the newline-delimited JSON request/response types the
-//!   server speaks (`score_pairs`, `attack`, `list_models`, `reload`,
-//!   `health`, `stats`, `shutdown`), with per-model routing via an
-//!   optional `model_id` field.
-//! - [`server`] — a `std::net` TCP accept loop with a bounded worker pool
-//!   (sized by [`sm_ml::Parallelism`]), per-request batching, graceful
-//!   shutdown, and running request/latency/error counters. Hardened for
-//!   hostile traffic: idle and mid-request read/write deadlines, a hard
-//!   cap on request-line bytes, `Busy` load shedding when the pool and
-//!   queue are saturated, and exponential backoff on `accept()` errors.
-//! - [`client`] — a blocking protocol client with connect/io deadlines,
-//!   a deterministic [`client::RetryPolicy`] (bounded attempts,
-//!   exponential backoff, seeded jitter; retries only `Io`/`Busy`
-//!   failures), plus the `bench-serve` load driver reporting throughput
-//!   and p50/p95/p99 latency.
+//! - [`protocol`] — the request/response types the server speaks
+//!   (`score_pairs`, `attack`, `list_models`, `reload`, `health`,
+//!   `stats`, `shutdown`) with per-model routing via an optional
+//!   `model_id` field, over two interchangeable wire encodings: NDJSON
+//!   (protocol v1) and length-prefixed binary frames (protocol v2,
+//!   [`protocol::binary`]). The server detects the wire per connection
+//!   from its first byte; no negotiation round-trip.
+//! - [`server`] — an event-driven TCP server: an epoll reactor (the
+//!   vendored `mio` shim) drives every connection as a nonblocking state
+//!   machine, a bounded scoring executor (sized by
+//!   [`sm_ml::Parallelism`]) runs the kernels, and concurrent small
+//!   `ScorePairs` requests for the same model are coalesced into full
+//!   kernel batches (bit-identical by row independence). Hardened for
+//!   hostile traffic: idle and mid-request deadlines, a hard cap on
+//!   request bytes (checked from the binary header before buffering),
+//!   `Busy` load shedding past the admission capacity, graceful
+//!   shutdown, and exponential backoff on `accept()` errors — with
+//!   exact request/latency/error/shed accounting.
+//! - [`client`] — a blocking protocol client for either wire with
+//!   connect/io deadlines, a deterministic [`client::RetryPolicy`]
+//!   (bounded attempts, exponential backoff, seeded jitter; retries
+//!   only `Io`/`Busy` failures), plus the `bench-serve` load driver
+//!   reporting throughput, p50/p95/p99 latency, and observed batch
+//!   fill.
 //!
 //! Everything is offline-buildable: no async runtime, only `std::net`,
 //! `std::sync` and the workspace's vendored crates.
@@ -64,13 +73,13 @@ pub use client::{
     RetryingClient,
 };
 pub use protocol::{
-    AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
+    AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot, Wire,
 };
 pub use registry::{
     publish, validate_model_id, Catalog, IndexEntry, ModelEntry, RegistryError, RegistryIndex,
     REGISTRY_MAGIC, REGISTRY_VERSION, SINGLE_MODEL_ID,
 };
 pub use server::{
-    pool_size, queue_depth, ModelSource, ServeOptions, ServerHandle, ShadowConfig,
-    BUSY_RETRY_AFTER_MS,
+    event_loop_count, pool_size, queue_depth, ModelSource, ServeOptions, ServerHandle,
+    ShadowConfig, BUSY_RETRY_AFTER_MS,
 };

@@ -1,12 +1,33 @@
-//! The newline-delimited JSON protocol spoken by `splitmfg serve`.
+//! The wire protocols spoken by `splitmfg serve`.
 //!
-//! Each request is one JSON document on one line; the server answers with
-//! exactly one JSON response line. Requests and responses use serde's
-//! externally-tagged enum encoding: a unit variant is its name in quotes
-//! (`"Health"`), a data variant wraps its payload
+//! **NDJSON (v1).** Each request is one JSON document on one line; the
+//! server answers with exactly one JSON response line. Requests and
+//! responses use serde's externally-tagged enum encoding: a unit variant
+//! is its name in quotes (`"Health"`), a data variant wraps its payload
 //! (`{"ScorePairs":{"features":[[...]]}}`). A connection may issue any
 //! number of requests; `"Shutdown"` asks the whole server to stop
 //! gracefully after draining queued connections.
+//!
+//! **Binary (v2).** Length-prefixed frames with raw little-endian `f64`
+//! payloads for the hot path, so scores round-trip bit-identically
+//! without text formatting. Every frame starts with an 8-byte header:
+//!
+//! | offset | size | field                                   |
+//! |--------|------|-----------------------------------------|
+//! | 0      | 1    | magic `0xB5`                            |
+//! | 1      | 1    | magic `0x53`                            |
+//! | 2      | 1    | protocol version (`2`)                  |
+//! | 3      | 1    | frame type                              |
+//! | 4      | 4    | payload length, u32 little-endian       |
+//!
+//! Frame types `0x01`/`0x81` carry a JSON-encoded [`Request`]/
+//! [`Response`] payload (the control plane reuses the v1 encoding
+//! verbatim). Types `0x02` (`ScorePairs` request) and `0x82` (`Scores`
+//! response) carry dense binary payloads — see [`binary`]. Both sides of
+//! a connection speak the same wire; the server auto-detects it from the
+//! first byte (`0xB5` is a UTF-8 continuation byte, so it can never
+//! start an NDJSON request line) and the choice is sticky per
+//! connection.
 
 use serde::{Deserialize, Serialize};
 use sm_attack::ScoredView;
@@ -192,6 +213,18 @@ pub struct StatsSnapshot {
     pub timeouts: u64,
     /// Total candidate pairs scored across `ScorePairs` and `Attack`.
     pub pairs_scored: u64,
+    /// Reactor event-loop threads driving connections (the scoring
+    /// executor's size is a separate knob; see `pool_size`).
+    pub event_loops: u64,
+    /// Scoring invocations on the executor's coalescing path — one
+    /// `proba_batch` call each, possibly covering several requests.
+    pub score_batches: u64,
+    /// Feature rows scored through those coalescing invocations
+    /// (`batched_rows / score_batches` is the mean batch fill).
+    pub batched_rows: u64,
+    /// Requests that shared a scoring invocation with at least one
+    /// other request — cross-connection micro-batching actually fired.
+    pub batched_requests: u64,
     /// Median request latency in microseconds (0 until data exists).
     pub p50_us: u64,
     /// 95th-percentile request latency in microseconds.
@@ -301,6 +334,352 @@ pub enum Response {
     },
 }
 
+/// Which wire encoding a client speaks. The server needs no such knob:
+/// it detects the wire per connection from the first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Wire {
+    /// Newline-delimited JSON (protocol v1); the default, spoken by
+    /// every client since PR 2.
+    #[default]
+    Ndjson,
+    /// Length-prefixed binary frames (protocol v2).
+    Binary,
+}
+
+impl Wire {
+    /// The CLI/report name (`ndjson`, `binary`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Wire::Ndjson => "ndjson",
+            Wire::Binary => "binary",
+        }
+    }
+}
+
+impl std::fmt::Display for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Wire {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ndjson" => Ok(Wire::Ndjson),
+            "binary" => Ok(Wire::Binary),
+            other => Err(format!("unknown wire format {other:?} (ndjson|binary)")),
+        }
+    }
+}
+
+/// The length-prefixed binary protocol v2: frame header codec plus the
+/// dense payloads for the two hot-path messages. Everything here is
+/// pure encode/decode — no I/O — so the server's state machine and the
+/// blocking client share one implementation.
+pub mod binary {
+    use super::{Request, Response};
+
+    /// First magic byte. Chosen to be a UTF-8 continuation byte so a
+    /// binary connection can never be mistaken for NDJSON: no valid
+    /// JSON request line can start with `0xB5`.
+    pub const MAGIC0: u8 = 0xB5;
+    /// Second magic byte (`b'S'` for "splitmfg serve").
+    pub const MAGIC1: u8 = 0x53;
+    /// Protocol version carried in every frame header.
+    pub const VERSION: u8 = 2;
+    /// Bytes in a frame header.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Frame type: JSON-encoded [`Request`] payload (control plane).
+    pub const FRAME_JSON_REQUEST: u8 = 0x01;
+    /// Frame type: dense [`Request::ScorePairs`] payload.
+    pub const FRAME_SCORE_PAIRS: u8 = 0x02;
+    /// Frame type: JSON-encoded [`Response`] payload.
+    pub const FRAME_JSON_RESPONSE: u8 = 0x81;
+    /// Frame type: dense [`Response::Scores`] payload.
+    pub const FRAME_SCORES: u8 = 0x82;
+
+    /// In a ScorePairs payload, this `model_id` length sentinel means
+    /// "no model id" (route to the server's default model).
+    pub const NO_MODEL_ID: u32 = u32::MAX;
+
+    /// Why a frame failed to decode. [`FrameError::TooLarge`] maps to
+    /// the `too_large` error code on the server; everything else is
+    /// `bad_request`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum FrameError {
+        /// The first two bytes were not `B5 53`.
+        BadMagic([u8; 2]),
+        /// The version byte was not [`VERSION`].
+        BadVersion(u8),
+        /// The frame type byte was not one this side understands.
+        UnknownType(u8),
+        /// The declared payload length exceeds the receiver's byte cap.
+        /// Detected from the header alone, before reading the payload.
+        TooLarge {
+            /// Payload length the header declared.
+            declared: u64,
+            /// The receiver's cap.
+            cap: u64,
+        },
+        /// The payload did not match its declared structure (truncated
+        /// field, row-count/length mismatch, invalid UTF-8 model id,
+        /// JSON payload that did not parse).
+        Malformed(String),
+    }
+
+    impl std::fmt::Display for FrameError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                FrameError::BadMagic(bytes) => {
+                    write!(f, "bad frame magic {bytes:02x?} (expected [b5, 53])")
+                }
+                FrameError::BadVersion(v) => {
+                    write!(f, "unsupported protocol version {v} (expected {VERSION})")
+                }
+                FrameError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+                FrameError::TooLarge { declared, cap } => {
+                    write!(f, "declared payload of {declared} bytes exceeds cap {cap}")
+                }
+                FrameError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            }
+        }
+    }
+
+    /// A decoded frame header: what follows on the wire is `len` bytes
+    /// of `frame_type` payload.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FrameHeader {
+        /// One of the `FRAME_*` constants.
+        pub frame_type: u8,
+        /// Payload byte length.
+        pub len: u32,
+    }
+
+    /// Encodes a frame header.
+    #[must_use]
+    pub fn encode_header(frame_type: u8, len: u32) -> [u8; HEADER_LEN] {
+        let l = len.to_le_bytes();
+        [MAGIC0, MAGIC1, VERSION, frame_type, l[0], l[1], l[2], l[3]]
+    }
+
+    /// Decodes and validates a frame header against the receiver's
+    /// payload cap. Magic, version, and known-type checks happen here so
+    /// a server can reject a stream as garbage from 8 bytes, and the
+    /// cap check happens *before* any payload is read so an attacker
+    /// declaring a huge length never makes the receiver buffer it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadMagic`], [`FrameError::BadVersion`],
+    /// [`FrameError::UnknownType`], or [`FrameError::TooLarge`].
+    pub fn decode_header(bytes: [u8; HEADER_LEN], cap: u64) -> Result<FrameHeader, FrameError> {
+        if [bytes[0], bytes[1]] != [MAGIC0, MAGIC1] {
+            return Err(FrameError::BadMagic([bytes[0], bytes[1]]));
+        }
+        if bytes[2] != VERSION {
+            return Err(FrameError::BadVersion(bytes[2]));
+        }
+        let frame_type = bytes[3];
+        if !matches!(
+            frame_type,
+            FRAME_JSON_REQUEST | FRAME_SCORE_PAIRS | FRAME_JSON_RESPONSE | FRAME_SCORES
+        ) {
+            return Err(FrameError::UnknownType(frame_type));
+        }
+        let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if u64::from(len) > cap {
+            return Err(FrameError::TooLarge {
+                declared: u64::from(len),
+                cap,
+            });
+        }
+        Ok(FrameHeader { frame_type, len })
+    }
+
+    /// Little-endian cursor over a payload slice.
+    struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn u32(&mut self) -> Result<u32, FrameError> {
+            let bytes: [u8; 4] = self
+                .buf
+                .get(self.pos..self.pos + 4)
+                .ok_or_else(|| FrameError::Malformed("truncated u32 field".into()))?
+                .try_into()
+                .expect("4-byte slice");
+            self.pos += 4;
+            Ok(u32::from_le_bytes(bytes))
+        }
+
+        fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+            let s = self
+                .buf
+                .get(self.pos..self.pos + n)
+                .ok_or_else(|| FrameError::Malformed(format!("truncated {n}-byte field")))?;
+            self.pos += n;
+            Ok(s)
+        }
+
+        fn finish(self) -> Result<(), FrameError> {
+            if self.pos == self.buf.len() {
+                Ok(())
+            } else {
+                Err(FrameError::Malformed(format!(
+                    "{} trailing bytes after payload",
+                    self.buf.len() - self.pos
+                )))
+            }
+        }
+    }
+
+    /// Encodes a complete request frame (header + payload).
+    /// `ScorePairs` uses the dense layout; every other request is a
+    /// JSON payload in a [`FRAME_JSON_REQUEST`] frame.
+    #[must_use]
+    pub fn encode_request(req: &Request) -> Vec<u8> {
+        if let Request::ScorePairs { features, model_id } = req {
+            let cols = features.first().map_or(0, Vec::len);
+            let id_len = model_id.as_ref().map_or(4, |id| 4 + id.len());
+            let mut out = Vec::with_capacity(HEADER_LEN + id_len + 8 + features.len() * cols * 8);
+            out.extend_from_slice(&[0u8; HEADER_LEN]);
+            match model_id {
+                None => out.extend_from_slice(&NO_MODEL_ID.to_le_bytes()),
+                Some(id) => {
+                    out.extend_from_slice(&(id.len() as u32).to_le_bytes());
+                    out.extend_from_slice(id.as_bytes());
+                }
+            }
+            out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(cols as u32).to_le_bytes());
+            for row in features {
+                for &v in row {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let len = (out.len() - HEADER_LEN) as u32;
+            out[..HEADER_LEN].copy_from_slice(&encode_header(FRAME_SCORE_PAIRS, len));
+            return out;
+        }
+        encode_json_frame(
+            FRAME_JSON_REQUEST,
+            &serde_json::to_string(req).expect("requests always serialize"),
+        )
+    }
+
+    /// Encodes a complete response frame (header + payload). `Scores`
+    /// uses the dense layout; every other response is a JSON payload in
+    /// a [`FRAME_JSON_RESPONSE`] frame.
+    #[must_use]
+    pub fn encode_response(resp: &Response) -> Vec<u8> {
+        if let Response::Scores { probs } = resp {
+            let mut out = Vec::with_capacity(HEADER_LEN + 4 + probs.len() * 8);
+            out.extend_from_slice(&encode_header(FRAME_SCORES, (4 + probs.len() * 8) as u32));
+            out.extend_from_slice(&(probs.len() as u32).to_le_bytes());
+            for &p in probs {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+            return out;
+        }
+        encode_json_frame(
+            FRAME_JSON_RESPONSE,
+            &serde_json::to_string(resp).expect("responses always serialize"),
+        )
+    }
+
+    fn encode_json_frame(frame_type: u8, json: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + json.len());
+        out.extend_from_slice(&encode_header(frame_type, json.len() as u32));
+        out.extend_from_slice(json.as_bytes());
+        out
+    }
+
+    /// Decodes a request payload whose header declared `frame_type`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on any structural mismatch, or
+    /// [`FrameError::UnknownType`] for a response-direction type.
+    pub fn decode_request(frame_type: u8, payload: &[u8]) -> Result<Request, FrameError> {
+        match frame_type {
+            FRAME_JSON_REQUEST => serde_json::from_str(
+                std::str::from_utf8(payload)
+                    .map_err(|_| FrameError::Malformed("request JSON is not UTF-8".into()))?,
+            )
+            .map_err(|e| FrameError::Malformed(format!("request JSON: {e}"))),
+            FRAME_SCORE_PAIRS => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                };
+                let id_len = r.u32()?;
+                let model_id = if id_len == NO_MODEL_ID {
+                    None
+                } else {
+                    let raw = r.bytes(id_len as usize)?;
+                    Some(
+                        std::str::from_utf8(raw)
+                            .map_err(|_| {
+                                FrameError::Malformed("model id is not valid UTF-8".into())
+                            })?
+                            .to_string(),
+                    )
+                };
+                let rows = r.u32()? as usize;
+                let cols = r.u32()? as usize;
+                let mut features = Vec::with_capacity(rows.min(payload.len() / 8 + 1));
+                for _ in 0..rows {
+                    let raw = r.bytes(cols * 8)?;
+                    let mut row = Vec::with_capacity(cols);
+                    for c in raw.chunks_exact(8) {
+                        row.push(f64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+                    }
+                    features.push(row);
+                }
+                r.finish()?;
+                Ok(Request::ScorePairs { features, model_id })
+            }
+            other => Err(FrameError::UnknownType(other)),
+        }
+    }
+
+    /// Decodes a response payload whose header declared `frame_type`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on any structural mismatch, or
+    /// [`FrameError::UnknownType`] for a request-direction type.
+    pub fn decode_response(frame_type: u8, payload: &[u8]) -> Result<Response, FrameError> {
+        match frame_type {
+            FRAME_JSON_RESPONSE => serde_json::from_str(
+                std::str::from_utf8(payload)
+                    .map_err(|_| FrameError::Malformed("response JSON is not UTF-8".into()))?,
+            )
+            .map_err(|e| FrameError::Malformed(format!("response JSON: {e}"))),
+            FRAME_SCORES => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                };
+                let count = r.u32()? as usize;
+                let raw = r.bytes(count * 8)?;
+                let probs = raw
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect();
+                r.finish()?;
+                Ok(Response::Scores { probs })
+            }
+            other => Err(FrameError::UnknownType(other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +750,10 @@ mod tests {
                     shed: 3,
                     timeouts: 4,
                     pairs_scored: 1234,
+                    event_loops: 2,
+                    score_batches: 10,
+                    batched_rows: 2048,
+                    batched_requests: 6,
                     p50_us: 40,
                     p95_us: 90,
                     p99_us: 99,
@@ -464,6 +847,188 @@ mod tests {
                 model_id: None,
             }
         );
+    }
+
+    fn frame_roundtrip_request(req: &Request) -> Request {
+        let frame = binary::encode_request(req);
+        let header = binary::decode_header(
+            frame[..binary::HEADER_LEN].try_into().expect("header"),
+            1 << 20,
+        )
+        .expect("valid header");
+        assert_eq!(header.len as usize, frame.len() - binary::HEADER_LEN);
+        binary::decode_request(header.frame_type, &frame[binary::HEADER_LEN..]).expect("decodes")
+    }
+
+    fn frame_roundtrip_response(resp: &Response) -> Response {
+        let frame = binary::encode_response(resp);
+        let header = binary::decode_header(
+            frame[..binary::HEADER_LEN].try_into().expect("header"),
+            1 << 20,
+        )
+        .expect("valid header");
+        assert_eq!(header.len as usize, frame.len() - binary::HEADER_LEN);
+        binary::decode_response(header.frame_type, &frame[binary::HEADER_LEN..]).expect("decodes")
+    }
+
+    #[test]
+    fn binary_frames_roundtrip_every_request_variant() {
+        let reqs = vec![
+            Request::Health,
+            Request::Stats,
+            Request::ListModels,
+            Request::Reload,
+            Request::ScorePairs {
+                features: vec![
+                    vec![1.0, 2.5, -0.0],
+                    vec![f64::MIN_POSITIVE, 3.0, 1.0 / 3.0],
+                ],
+                model_id: None,
+            },
+            Request::ScorePairs {
+                features: vec![],
+                model_id: Some(String::new()),
+            },
+            Request::ScorePairs {
+                features: vec![vec![(0.1f64).sqrt()]],
+                model_id: Some("retrained".into()),
+            },
+            Request::Attack {
+                challenge: "design sb1\n".into(),
+                truth: "0 1\n".into(),
+                threshold: 0.5,
+                detail: true,
+                model_id: Some("incumbent".into()),
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(req, frame_roundtrip_request(&req), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn binary_frames_roundtrip_responses_bit_for_bit() {
+        let probs: Vec<f64> = (0..300).map(|k| (k as f64 / 299.0).sqrt()).collect();
+        let Response::Scores { probs: back } = frame_roundtrip_response(&Response::Scores {
+            probs: probs.clone(),
+        }) else {
+            panic!("wrong variant");
+        };
+        for (a, b) in probs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for resp in [
+            Response::ShuttingDown,
+            Response::Busy { retry_after_ms: 50 },
+            Response::Error {
+                code: ErrorCode::NotFound,
+                message: "no such model".into(),
+            },
+        ] {
+            assert_eq!(resp, frame_roundtrip_response(&resp), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn binary_header_rejects_garbage_and_oversized_declarations() {
+        use binary::FrameError;
+        let ok = binary::encode_header(binary::FRAME_SCORE_PAIRS, 16);
+        assert!(binary::decode_header(ok, 16).is_ok());
+
+        let mut bad_magic = ok;
+        bad_magic[0] = b'{';
+        assert!(matches!(
+            binary::decode_header(bad_magic, 16),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad_version = ok;
+        bad_version[2] = 3;
+        assert_eq!(
+            binary::decode_header(bad_version, 16),
+            Err(FrameError::BadVersion(3))
+        );
+
+        let mut bad_type = ok;
+        bad_type[3] = 0x7f;
+        assert_eq!(
+            binary::decode_header(bad_type, 16),
+            Err(FrameError::UnknownType(0x7f))
+        );
+
+        // The cap is enforced from the header alone: a declared length
+        // one past the cap is rejected before any payload exists.
+        assert_eq!(
+            binary::decode_header(ok, 15),
+            Err(FrameError::TooLarge {
+                declared: 16,
+                cap: 15
+            })
+        );
+        assert_eq!(
+            binary::decode_header(
+                binary::encode_header(binary::FRAME_SCORE_PAIRS, u32::MAX),
+                15
+            ),
+            Err(FrameError::TooLarge {
+                declared: u64::from(u32::MAX),
+                cap: 15
+            })
+        );
+    }
+
+    #[test]
+    fn binary_payload_rejects_structural_mismatches() {
+        use binary::FrameError;
+        // Truncated mid-row: declared 2×2 rows but only 3 f64s present.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&binary::NO_MODEL_ID.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for v in [1.0f64, 2.0, 3.0] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(
+            binary::decode_request(binary::FRAME_SCORE_PAIRS, &payload),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // Trailing junk after a well-formed payload is rejected too.
+        let mut frame = binary::encode_request(&Request::ScorePairs {
+            features: vec![vec![1.0]],
+            model_id: None,
+        });
+        frame.push(0xEE);
+        assert!(matches!(
+            binary::decode_request(binary::FRAME_SCORE_PAIRS, &frame[binary::HEADER_LEN..]),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // A model id that is not UTF-8.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            binary::decode_request(binary::FRAME_SCORE_PAIRS, &payload),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // Response-direction frame type on the request decoder.
+        assert_eq!(
+            binary::decode_request(binary::FRAME_SCORES, &[]),
+            Err(FrameError::UnknownType(binary::FRAME_SCORES))
+        );
+    }
+
+    #[test]
+    fn binary_magic_cannot_start_an_ndjson_line() {
+        // Wire auto-detection hinges on this: 0xB5 is a UTF-8
+        // continuation byte, so no valid JSON text can begin with it.
+        assert!(std::str::from_utf8(&[binary::MAGIC0]).is_err());
+        assert!(std::str::from_utf8(&[binary::MAGIC0, b'{', b'}']).is_err());
     }
 
     #[test]

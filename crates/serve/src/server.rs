@@ -1,24 +1,48 @@
-//! The TCP inference server: a `std::net` accept loop feeding a bounded
-//! worker pool.
+//! The TCP inference server: an epoll reactor feeding a scoring executor.
 //!
-//! Connections are handed to `workers` threads over a bounded channel.
-//! When the pool and its queue are both full the accept loop does **not**
-//! block: the connection is shed with a [`Response::Busy`] reply carrying
-//! a retry hint, so a flood degrades into fast, explicit rejections
-//! instead of unbounded queueing. Each worker speaks the
-//! newline-delimited JSON protocol of [`crate::protocol`] for the life of
-//! its connection, under per-connection deadlines: an *idle* deadline
-//! while waiting for the first byte of a request and a stricter
-//! *mid-request* deadline once one has started (slow-loris defence), with
-//! request lines capped at `max_request_bytes` (a bounded reader rejects
-//! oversized lines with a typed error instead of buffering them). A
-//! `Shutdown` request flips a flag and wakes the accept loop;
-//! already-queued connections drain before [`serve`] returns the final
-//! counter snapshot.
+//! Architecture (three kinds of threads, all scoped):
+//!
+//! - **Acceptor** (the calling thread): a blocking `accept()` loop that
+//!   admission-controls new connections against a fixed capacity
+//!   (`pool_size + queue_depth`, the same head count the pre-reactor
+//!   server could hold in its workers plus its queue). Over capacity, a
+//!   connection is shed with a [`Response::Busy`] reply carrying a retry
+//!   hint — a flood degrades into fast, explicit rejections instead of
+//!   unbounded queueing. Admitted connections are handed round-robin to
+//!   the event loops over a channel plus a reactor wake.
+//! - **Event loops** (`event_loops` threads, auto-sized from the CPU
+//!   count): each runs a nonblocking epoll loop (the vendored `mio`
+//!   shim) over its share of connections. Each connection is a small
+//!   state machine — read buffer → framed request → scoring queue →
+//!   write buffer — with the wire format auto-detected from the first
+//!   byte (`0xB5` means binary v2, anything else NDJSON) and sticky for
+//!   the connection's life. Deadlines are enforced from the loop: an
+//!   *idle* deadline between requests, a stricter *mid-request* deadline
+//!   from the first byte of a request (slow-loris defence), and a
+//!   write-stall deadline while a response is draining. Request payloads
+//!   are capped at `max_request_bytes`; the binary header's declared
+//!   length is checked against the cap before any payload is buffered.
+//!   Control requests (`Health`, `Stats`, `ListModels`, `Reload`,
+//!   `Shutdown`) are answered inline on the loop; scoring requests are
+//!   dispatched to the executor, one in flight per connection (pipelined
+//!   bytes wait in the read buffer, preserving per-connection order, and
+//!   the connection's read interest is dropped for backpressure).
+//! - **Scoring executor** (`pool_size(workers)` threads): pulls
+//!   [`ScorePairs`]/[`Attack`] jobs from a shared queue. On the default
+//!   compiled-sequential path, concurrent small `ScorePairs` jobs that
+//!   target the same model are **coalesced** into one `proba_batch` call
+//!   of up to [`SCORE_BATCH`] rows and the probabilities demultiplexed
+//!   back per request — `proba_batch` is row-independent, so coalesced
+//!   answers are bit-identical to solo ones. By default a worker only
+//!   drains jobs already queued (zero added latency for a lone client);
+//!   `batch_linger_us` optionally waits that long for stragglers.
+//!
+//! [`ScorePairs`]: Request::ScorePairs
+//! [`Attack`]: Request::Attack
 //!
 //! Scoring is bit-identical to in-process use: the server calls the same
-//! [`TrainedAttack`] entry points, and the JSON transport round-trips
-//! `f64` exactly.
+//! [`TrainedAttack`] entry points, the JSON transport round-trips `f64`
+//! exactly, and the binary transport ships raw little-endian `f64` bits.
 //!
 //! The server serves a whole [`Catalog`] of models, not one: requests
 //! route by an optional `model_id` (absent means the default), and a
@@ -30,14 +54,14 @@
 //! fraction of default-routed `ScorePairs` batches against a second
 //! catalog entry and folds an exact divergence report into `Stats`.
 
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sm_attack::attack::{Enumeration, Kernel, ScoreOptions};
+use sm_attack::attack::{Enumeration, Kernel, ScoreOptions, SCORE_BATCH};
 use sm_attack::TrainedAttack;
 use sm_layout::io::read_challenge;
 use sm_ml::{par_chunks, Parallelism};
@@ -45,7 +69,8 @@ use sm_ml::{par_chunks, Parallelism};
 use crate::artifact::ARTIFACT_VERSION;
 use crate::client::percentile_us;
 use crate::protocol::{
-    AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
+    binary, AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
+    Wire,
 };
 use crate::registry::{Catalog, ModelEntry, RegistryError};
 
@@ -66,17 +91,28 @@ const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(1);
 /// Ceiling for the accept-error backoff.
 const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
+/// Socket read granularity of the event loops.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Reactor token reserved for each event loop's waker; connection
+/// tokens are slab indices, which can never reach this value.
+const WAKE_TOKEN: mio::Token = mio::Token(usize::MAX);
+
+/// Upper bound on auto-sized event loops: scoring, not connection
+/// shuffling, is where the CPUs belong.
+const MAX_AUTO_EVENT_LOOPS: usize = 4;
+
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOptions {
-    /// Size of the connection worker pool (via
+    /// Size of the scoring executor pool (via
     /// [`Parallelism::worker_count`]). `Auto` is guarded to a minimum of
-    /// two workers: with a single worker, one held-open idle connection
-    /// occupies the whole pool and new connections queue behind it
-    /// forever — a real starvation mode on 1-CPU hosts.
+    /// two workers so one long-running `Attack` cannot monopolize the
+    /// whole executor on 1-CPU hosts. Connection I/O is handled by the
+    /// event loops, not this pool — see `event_loops`.
     pub workers: Parallelism,
     /// Parallelism applied *within* one `ScorePairs`/`Attack` request
-    /// batch. Sequential by default — the pool already provides
+    /// batch. Sequential by default — the executor already provides
     /// cross-request parallelism; results are identical either way.
     pub batch: Parallelism,
     /// Scoring kernel for `ScorePairs` and `Attack` requests. Results are
@@ -87,24 +123,40 @@ pub struct ServeOptions {
     /// is the memory-bounded default, `AllPairs` the quadratic oracle.
     pub enumeration: Enumeration,
     /// Mid-request deadline in milliseconds: once the first byte of a
-    /// request line has arrived, the full line must arrive (and the
-    /// response must write) within this budget, or the connection is
-    /// closed with an [`ErrorCode::Timeout`] reply. `0` disables the
-    /// deadline.
+    /// request has arrived, the full request must arrive (and the
+    /// response must make write progress) within this budget, or the
+    /// connection is closed with an [`ErrorCode::Timeout`] reply. `0`
+    /// disables the deadline.
     pub request_timeout_ms: u64,
     /// Idle deadline in milliseconds: how long a connection may sit
     /// between requests before the server quietly closes it, freeing
-    /// the worker. `0` disables the deadline.
+    /// its admission slot. `0` disables the deadline.
     pub idle_timeout_ms: u64,
-    /// Hard cap on one request line's bytes. A longer line is answered
-    /// with an [`ErrorCode::TooLarge`] error and the connection is
-    /// closed — the server never buffers more than this per connection.
+    /// Hard cap on one request's bytes (an NDJSON line or a binary
+    /// frame payload). A larger request is answered with an
+    /// [`ErrorCode::TooLarge`] error and the connection is closed — the
+    /// server never buffers more than this (plus one read chunk) per
+    /// connection, and a binary header *declaring* more than this is
+    /// rejected before any payload is read.
     pub max_request_bytes: usize,
-    /// Depth of the pending-connection queue between the accept loop
-    /// and the worker pool. `0` means automatic (twice the pool size).
-    /// When the queue is full, new connections are shed with
-    /// [`Response::Busy`] instead of blocking the accept loop.
+    /// Extra admission slots beyond the executor pool size. `0` means
+    /// automatic (twice the pool size). The server admits at most
+    /// `pool_size + queue_depth` concurrent connections; beyond that,
+    /// new connections are shed with [`Response::Busy`] — the same
+    /// holding capacity the pre-reactor thread-per-connection server
+    /// had, so shed accounting is unchanged. Raise this to serve more
+    /// concurrent connections; the reactor itself has no per-connection
+    /// thread cost.
     pub max_queue: usize,
+    /// Number of reactor event-loop threads. `0` means automatic
+    /// (`min(cpu count, 4)`, at least 1).
+    pub event_loops: usize,
+    /// How long (microseconds) a scoring worker may wait for additional
+    /// coalescible `ScorePairs` jobs before scoring a partial batch.
+    /// `0` (the default) never waits: a worker only coalesces jobs that
+    /// are *already* queued, so a lone client's latency is untouched and
+    /// batching emerges exactly when there is a backlog to amortize.
+    pub batch_linger_us: u64,
 }
 
 impl Default for ServeOptions {
@@ -118,6 +170,8 @@ impl Default for ServeOptions {
             idle_timeout_ms: 60_000,
             max_request_bytes: 64 * 1024 * 1024,
             max_queue: 0,
+            event_loops: 0,
+            batch_linger_us: 0,
         }
     }
 }
@@ -172,10 +226,10 @@ impl ShadowConfig {
     }
 }
 
-/// Resolves the connection pool size, applying the `Auto` >= 2 guard: one
-/// long-lived connection must never monopolize the whole pool, so `Auto`
-/// keeps at least two workers even on 1-CPU hosts. Explicit worker counts
-/// are honored as given.
+/// Resolves the scoring executor pool size, applying the `Auto` >= 2
+/// guard: one long-running request must never monopolize the whole
+/// executor, so `Auto` keeps at least two workers even on 1-CPU hosts.
+/// Explicit worker counts are honored as given.
 pub fn pool_size(workers: Parallelism) -> usize {
     let n = workers.worker_count(usize::MAX);
     match workers {
@@ -184,8 +238,9 @@ pub fn pool_size(workers: Parallelism) -> usize {
     }
 }
 
-/// Resolves the pending-connection queue depth for `options` (`max_queue`
-/// of 0 means twice the worker pool, never less than 1).
+/// Resolves the extra admission slots for `options` (`max_queue` of 0
+/// means twice the executor pool, never less than 1). The server admits
+/// at most `pool_size + queue_depth` concurrent connections.
 pub fn queue_depth(options: &ServeOptions) -> usize {
     if options.max_queue == 0 {
         2 * pool_size(options.workers)
@@ -193,6 +248,19 @@ pub fn queue_depth(options: &ServeOptions) -> usize {
         options.max_queue
     }
     .max(1)
+}
+
+/// Resolves the reactor thread count for `options` (`event_loops` of 0
+/// means `min(cpu count, 4)`, at least 1).
+pub fn event_loop_count(options: &ServeOptions) -> usize {
+    if options.event_loops > 0 {
+        options.event_loops
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, MAX_AUTO_EVENT_LOOPS)
+    }
 }
 
 /// `0` milliseconds means "no deadline".
@@ -275,14 +343,22 @@ struct ServerState {
     shadow_accum: Mutex<ShadowAccum>,
     reloads: AtomicU64,
     options: ServeOptions,
+    /// Resolved reactor thread count (reported in `Stats`).
+    event_loops: usize,
     addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Connections currently admitted (accepted and not yet closed);
+    /// the acceptor sheds once this reaches capacity.
+    active_conns: AtomicUsize,
     requests: AtomicU64,
     errors: AtomicU64,
     io_errors: AtomicU64,
     shed: AtomicU64,
     timeouts: AtomicU64,
     pairs_scored: AtomicU64,
+    score_batches: AtomicU64,
+    batched_rows: AtomicU64,
+    batched_requests: AtomicU64,
     latencies_us: Mutex<LatencyRing>,
 }
 
@@ -330,6 +406,10 @@ impl ServerState {
             shed: self.shed.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
+            event_loops: self.event_loops as u64,
+            score_batches: self.score_batches.load(Ordering::Relaxed),
+            batched_rows: self.batched_rows.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
             p50_us: percentile_us(&lat, 50.0),
             p95_us: percentile_us(&lat, 95.0),
             p99_us: percentile_us(&lat, 99.0),
@@ -374,7 +454,7 @@ pub fn serve(
 }
 
 /// Runs the server on `listener` until a `Shutdown` request arrives,
-/// then drains queued connections and returns the final counters.
+/// then drains live connections and returns the final counters.
 ///
 /// # Errors
 ///
@@ -396,8 +476,8 @@ pub fn serve_source(
 /// A validated catalog + shadow config, ready to serve. Split out of
 /// [`serve_source`] so [`ServerHandle::bind_source`] can do the (possibly
 /// failing) registry load on the caller's thread — configuration errors
-/// surface at bind time — while the accept loop runs on the background
-/// thread.
+/// surface at bind time — while the serving threads run in the
+/// background.
 struct Prepared {
     catalog: Catalog,
     registry_dir: Option<PathBuf>,
@@ -440,12 +520,57 @@ impl Prepared {
     }
 }
 
+/// A scoring job dispatched from an event loop to the executor.
+struct Job {
+    /// Which event loop owns the connection.
+    loop_id: usize,
+    /// Slab index of the connection on that loop.
+    token: usize,
+    /// Connection generation guard: the completion is dropped if the
+    /// slab slot was reused by the time it arrives.
+    conn_seq: u64,
+    /// When the request's last byte arrived (latency clock).
+    start: Instant,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// A `ScorePairs` batch, rows already validated and flattened
+    /// (row-major, `width` columns each).
+    Pairs {
+        catalog: Arc<Catalog>,
+        entry: Arc<ModelEntry>,
+        rows: Vec<f64>,
+        nrows: usize,
+    },
+    /// A full `Attack` run.
+    Attack {
+        entry: Arc<ModelEntry>,
+        challenge: String,
+        truth: String,
+        threshold: f64,
+        detail: bool,
+    },
+}
+
+/// A scored response travelling back from the executor to the owning
+/// event loop.
+struct Completion {
+    token: usize,
+    conn_seq: u64,
+    start: Instant,
+    response: Response,
+}
+
 fn serve_prepared(
     prepared: Prepared,
     listener: TcpListener,
     options: &ServeOptions,
 ) -> std::io::Result<StatsSnapshot> {
     let addr = listener.local_addr()?;
+    let n_loops = event_loop_count(options);
+    let n_workers = pool_size(options.workers);
+    let capacity = n_workers + queue_depth(options);
     let state = ServerState {
         catalog: Mutex::new(Arc::new(prepared.catalog)),
         registry_dir: prepared.registry_dir,
@@ -455,32 +580,70 @@ fn serve_prepared(
         shadow_accum: Mutex::new(ShadowAccum::default()),
         reloads: AtomicU64::new(0),
         options: *options,
+        event_loops: n_loops,
         addr,
         shutdown: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         io_errors: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
         pairs_scored: AtomicU64::new(0),
+        score_batches: AtomicU64::new(0),
+        batched_rows: AtomicU64::new(0),
+        batched_requests: AtomicU64::new(0),
         latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
     };
-    let workers = pool_size(options.workers);
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth(options));
-    let rx = Mutex::new(rx);
+
+    // Per-loop reactor plumbing, built up front so waker/sender clones
+    // can fan out to the acceptor and the executor threads.
+    let mut polls = Vec::with_capacity(n_loops);
+    let mut wakers = Vec::with_capacity(n_loops);
+    let mut intake_txs = Vec::with_capacity(n_loops);
+    let mut intake_rxs = Vec::with_capacity(n_loops);
+    let mut completion_txs = Vec::with_capacity(n_loops);
+    let mut completion_rxs = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        let poll = mio::Poll::new()?;
+        let waker = mio::Waker::new(poll.registry(), WAKE_TOKEN)?;
+        let (itx, irx) = mpsc::channel::<TcpStream>();
+        let (ctx, crx) = mpsc::channel::<Completion>();
+        polls.push(poll);
+        wakers.push(waker);
+        intake_txs.push(itx);
+        intake_rxs.push(irx);
+        completion_txs.push(ctx);
+        completion_rxs.push(crx);
+    }
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let jobs_rx = Mutex::new(jobs_rx);
+
     let state_ref = &state;
-    let rx_ref = &rx;
+    let jobs_rx_ref = &jobs_rx;
     crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(move |_| loop {
-                let next = { rx_ref.lock().expect("connection queue lock").recv() };
-                match next {
-                    Ok(stream) => handle_connection(stream, state_ref),
-                    Err(_) => break,
-                }
+        for _ in 0..n_workers {
+            let txs: Vec<_> = completion_txs.clone();
+            let wks: Vec<_> = wakers.clone();
+            s.spawn(move |_| executor_run(state_ref, jobs_rx_ref, &txs, &wks));
+        }
+        drop(completion_txs);
+        for (loop_id, ((poll, intake), completions)) in polls
+            .into_iter()
+            .zip(intake_rxs)
+            .zip(completion_rxs)
+            .enumerate()
+        {
+            let waker = wakers[loop_id].clone();
+            let jobs = jobs_tx.clone();
+            s.spawn(move |_| {
+                EventLoop::new(state_ref, loop_id, poll, waker, intake, completions, jobs).run();
             });
         }
+        drop(jobs_tx);
+
         let mut accept_failures = 0u32;
+        let mut next_loop = 0usize;
         loop {
             match listener.accept() {
                 Ok((stream, _)) => {
@@ -488,10 +651,19 @@ fn serve_prepared(
                     if state_ref.shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    match tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(stream)) => shed_connection(stream, state_ref),
-                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    if state_ref.active_conns.load(Ordering::Acquire) >= capacity {
+                        shed_connection(stream, state_ref);
+                        continue;
+                    }
+                    state_ref.active_conns.fetch_add(1, Ordering::AcqRel);
+                    let id = next_loop % wakers.len();
+                    next_loop = next_loop.wrapping_add(1);
+                    if intake_txs[id].send(stream).is_ok() {
+                        let _ = wakers[id].wake();
+                    } else {
+                        // The loop died (only possible during teardown).
+                        state_ref.active_conns.fetch_sub(1, Ordering::AcqRel);
+                        break;
                     }
                 }
                 Err(_) => {
@@ -503,19 +675,28 @@ fn serve_prepared(
                 }
             }
         }
-        drop(tx);
+        // No more admissions: close the intake channels, then wake every
+        // loop so each can observe shutdown and drain its connections.
+        drop(intake_txs);
+        for w in &wakers {
+            let _ = w.wake();
+        }
     })
-    .expect("server worker panicked");
+    .expect("server thread panicked");
     Ok(state.snapshot())
 }
 
-/// Load shedding: the pool and queue are full, so answer `stream` with a
+/// Load shedding: the server is at capacity, so answer `stream` with a
 /// `Busy` hint (best-effort, under a short write deadline so a
 /// non-reading client cannot stall the accept loop) and drop it.
 fn shed_connection(stream: TcpStream, state: &ServerState) {
     state.shed.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(BUSY_RETRY_AFTER_MS)));
+    // The shed reply predates wire detection (no bytes have been read),
+    // so it is sent as NDJSON — binary clients resynchronize on the
+    // connection close that follows, and the retrying client treats a
+    // framing error on a fresh connection as retryable i/o anyway.
     let mut line = serde_json::to_string(&Response::Busy {
         retry_after_ms: BUSY_RETRY_AFTER_MS,
     })
@@ -587,279 +768,447 @@ impl ServerHandle {
     }
 }
 
-/// Why [`BoundedLineReader::read_line`] stopped.
-enum LineOutcome {
-    /// A complete line (newline stripped) within the byte cap.
-    Line,
-    /// The line exceeded `max_request_bytes`; its tail is unread.
+/// Where a connection's framing state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between requests; the idle deadline applies.
+    Idle,
+    /// A request's first byte has arrived but the frame is incomplete;
+    /// the mid-request deadline applies from `started`.
+    Receiving(Instant),
+    /// A scoring job is in flight on the executor; reads are paused for
+    /// backpressure and no deadline applies (scoring time is unbounded,
+    /// as it was for the thread-per-connection server).
+    Processing,
+}
+
+/// What the NDJSON scanner found at the front of the read buffer.
+#[derive(Debug, PartialEq, Eq)]
+enum LineScan {
+    /// A full line ends at this byte index (exclusive of the newline).
+    Complete(usize),
+    /// The line already exceeds the byte cap; unrecoverable.
     TooLarge,
-    /// No request started within the idle deadline.
-    IdleTimeout,
-    /// A request started but stalled past the mid-request deadline.
-    RequestTimeout,
-    /// Peer closed the connection; `mid_line` means it died inside a
-    /// request line (a torn frame, counted as an i/o error).
-    Closed {
-        /// Whether unterminated request bytes had already arrived.
-        mid_line: bool,
-    },
-    /// Socket-level read failure.
-    Err,
+    /// No newline yet; keep reading.
+    Incomplete,
 }
 
-/// A line reader with a hard byte cap and idle/mid-request deadlines,
-/// reading directly from the socket so the server never buffers more
-/// than `max_bytes + 4096` per connection — `read_line` into an
-/// unbounded `String` was an OOM lever for hostile clients.
-struct BoundedLineReader<'a> {
-    stream: &'a TcpStream,
-    /// Bytes received but not yet consumed into a line (pipelining).
-    carry: Vec<u8>,
-    max_bytes: usize,
-    idle_timeout: Option<Duration>,
-    request_timeout: Option<Duration>,
+/// Scans for the end of the NDJSON request line at the front of `rbuf`.
+/// A line longer than `cap` is rejected whether or not its newline has
+/// arrived yet — the pre-reactor bounded reader behaved identically.
+fn scan_line(rbuf: &[u8], cap: usize) -> LineScan {
+    match rbuf.iter().position(|&b| b == b'\n') {
+        Some(pos) if pos > cap => LineScan::TooLarge,
+        Some(pos) => LineScan::Complete(pos),
+        None if rbuf.len() > cap => LineScan::TooLarge,
+        None => LineScan::Incomplete,
+    }
 }
 
-impl<'a> BoundedLineReader<'a> {
-    fn new(
-        stream: &'a TcpStream,
-        max_bytes: usize,
-        idle_timeout: Option<Duration>,
-        request_timeout: Option<Duration>,
-    ) -> Self {
+/// One live connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp matching in-flight [`Job::conn_seq`]s.
+    seq: u64,
+    /// Detected wire format; `None` until the first byte arrives.
+    wire: Option<Wire>,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    phase: Phase,
+    /// When the connection last became idle (start of the idle window).
+    idle_since: Instant,
+    /// Deadline for the current response drain; `None` when `wbuf` is
+    /// empty or the mid-request deadline is disabled. Reset on write
+    /// progress, mirroring the per-syscall write timeout of the
+    /// blocking server.
+    write_deadline: Option<Instant>,
+    /// Close once `wbuf` drains (set by `Shutdown`, `TooLarge`,
+    /// `Timeout`, and unrecoverable framing errors).
+    close_after_flush: bool,
+    /// Peer sent EOF; serve out buffered complete requests, then close.
+    eof: bool,
+    /// Whether a write failure should count as an `io_error` (true when
+    /// a normal response is pending; the closing `TooLarge`/`Timeout`
+    /// replies are best-effort and already counted).
+    io_on_write_fail: bool,
+    /// Interest currently registered with the reactor, as
+    /// `(readable, writable)`; `None` when deregistered.
+    registered: Option<(bool, bool)>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, seq: u64) -> Self {
         Self {
             stream,
-            carry: Vec::new(),
-            max_bytes,
-            idle_timeout,
-            request_timeout,
+            seq,
+            wire: None,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            phase: Phase::Idle,
+            idle_since: Instant::now(),
+            write_deadline: None,
+            close_after_flush: false,
+            eof: false,
+            io_on_write_fail: false,
+            registered: None,
         }
     }
 
-    /// Reads one `\n`-terminated line into `line` (cleared first,
-    /// newline stripped). The idle deadline applies until the first byte
-    /// of the line arrives; from then on the whole line must complete
-    /// within the mid-request deadline.
-    fn read_line(&mut self, line: &mut Vec<u8>) -> LineOutcome {
-        line.clear();
-        let mut started_at: Option<Instant> = None;
+    fn wants_read(&self) -> bool {
+        !self.eof && !self.close_after_flush && self.phase != Phase::Processing
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// One reactor thread: an epoll loop over a slab of connections.
+struct EventLoop<'a> {
+    state: &'a ServerState,
+    loop_id: usize,
+    poll: mio::Poll,
+    waker: mio::Waker,
+    intake: mpsc::Receiver<TcpStream>,
+    completions: mpsc::Receiver<Completion>,
+    jobs: mpsc::Sender<Job>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_seq: u64,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(
+        state: &'a ServerState,
+        loop_id: usize,
+        poll: mio::Poll,
+        waker: mio::Waker,
+        intake: mpsc::Receiver<TcpStream>,
+        completions: mpsc::Receiver<Completion>,
+        jobs: mpsc::Sender<Job>,
+    ) -> Self {
+        Self {
+            state,
+            loop_id,
+            poll,
+            waker,
+            intake,
+            completions,
+            jobs,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = mio::Events::with_capacity(256);
         loop {
-            if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
-                if line.len() + pos > self.max_bytes {
-                    return LineOutcome::TooLarge;
+            // Channels are drained every iteration: the waker guarantees
+            // a wakeup *after* each send, so nothing is ever stranded.
+            let intake_closed = self.drain_intake();
+            self.drain_completions();
+            if intake_closed && self.live == 0 && self.state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let timeout = self.next_deadline().map(|d| {
+                let now = Instant::now();
+                // +1ms so a just-expired deadline doesn't busy-poll on
+                // millisecond truncation.
+                d.saturating_duration_since(now) + Duration::from_millis(1)
+            });
+            if self.poll.poll(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable for this loop;
+                // shed everything rather than spin.
+                self.close_all();
+                return;
+            }
+            for event in events.iter() {
+                if event.token() == WAKE_TOKEN {
+                    self.waker.drain();
+                } else {
+                    self.dispatch_io(event);
                 }
-                line.extend_from_slice(&self.carry[..pos]);
-                self.carry.drain(..=pos);
-                return LineOutcome::Line;
             }
-            line.append(&mut self.carry);
-            if line.len() > self.max_bytes {
-                return LineOutcome::TooLarge;
+            self.sweep_deadlines();
+        }
+    }
+
+    /// Pulls newly accepted connections into the slab. Returns true when
+    /// the acceptor has hung up (no more connections will ever arrive).
+    fn drain_intake(&mut self) -> bool {
+        loop {
+            match self.intake.try_recv() {
+                Ok(stream) => self.admit(stream),
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => return true,
             }
-            if !line.is_empty() && started_at.is_none() {
-                started_at = Some(Instant::now());
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.state.active_conns.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let conn = Conn::new(stream, seq);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
             }
-            let timeout = match started_at {
-                None => self.idle_timeout,
-                Some(t0) => match self.request_timeout {
-                    None => None,
-                    Some(budget) => match budget.checked_sub(t0.elapsed()) {
-                        Some(left) if !left.is_zero() => Some(left),
-                        _ => return LineOutcome::RequestTimeout,
-                    },
-                },
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        self.live += 1;
+        self.update_interest(idx);
+        // The socket may already hold a request; level-triggered epoll
+        // would tell us, but serving it now saves a syscall round.
+        self.do_read(idx);
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(c) = self.completions.try_recv() {
+            self.apply_completion(c);
+        }
+    }
+
+    fn apply_completion(&mut self, c: Completion) {
+        let Some(conn) = self.conns.get_mut(c.token).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.seq != c.conn_seq {
+            return; // the slot was reused; the requester is long gone
+        }
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(c.response, Response::Error { .. }) {
+            self.state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        conn.phase = Phase::Idle;
+        conn.idle_since = Instant::now();
+        self.enqueue_response(c.token, &c.response, false);
+        let us = u64::try_from(c.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.state.record_latency(us);
+        // Pipelined bytes may already hold the next request.
+        self.process_rbuf(c.token);
+        self.after_touch(c.token);
+    }
+
+    fn dispatch_io(&mut self, event: mio::Event) {
+        let idx = event.token().0;
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return; // stale event for a closed connection
+        };
+        if event.is_writable() && conn.wants_write() {
+            self.try_flush(idx);
+        }
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            if event.is_readable() && conn.wants_read() {
+                self.do_read(idx);
+            } else {
+                self.after_touch(idx);
+            }
+        }
+    }
+
+    /// Drains the socket into the read buffer (bounded), then processes
+    /// whatever complete requests arrived.
+    fn do_read(&mut self, idx: usize) {
+        let cap = self.state.options.max_request_bytes;
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
             };
-            let _ = self.stream.set_read_timeout(timeout);
-            let mut buf = [0u8; 4096];
-            match self.stream.read(&mut buf) {
+            // Backpressure: never buffer more than one request's cap
+            // (plus a frame header) ahead of processing.
+            if conn.rbuf.len() > cap + binary::HEADER_LEN {
+                break;
+            }
+            match (&conn.stream).read(&mut buf) {
                 Ok(0) => {
-                    return LineOutcome::Closed {
-                        mid_line: !line.is_empty(),
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&buf[..n]);
+                    // A request has started; the mid-request clock runs.
+                    if conn.phase == Phase::Idle {
+                        conn.phase = Phase::Receiving(Instant::now());
                     }
                 }
-                Ok(n) => self.carry.extend_from_slice(&buf[..n]),
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    return if started_at.is_some() {
-                        LineOutcome::RequestTimeout
-                    } else {
-                        LineOutcome::IdleTimeout
-                    };
-                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return LineOutcome::Err,
+                Err(_) => {
+                    self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.close(idx);
+                    return;
+                }
             }
+        }
+        self.process_rbuf(idx);
+        self.after_touch(idx);
+    }
+
+    /// Consumes complete requests from the front of the read buffer
+    /// until it runs dry, a scoring job goes in flight, or the
+    /// connection turns unrecoverable.
+    fn process_rbuf(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.phase == Phase::Processing || conn.close_after_flush {
+                return;
+            }
+            if conn.rbuf.is_empty() {
+                conn.phase = Phase::Idle;
+                return;
+            }
+            let wire = *conn.wire.get_or_insert_with(|| match conn.rbuf.first() {
+                Some(&binary::MAGIC0) => Wire::Binary,
+                _ => Wire::Ndjson,
+            });
+            let cap = self.state.options.max_request_bytes;
+            match wire {
+                Wire::Ndjson => match scan_line(&conn.rbuf, cap) {
+                    LineScan::TooLarge => {
+                        self.reject_too_large(idx);
+                        return;
+                    }
+                    LineScan::Incomplete => break,
+                    LineScan::Complete(pos) => {
+                        let line: Vec<u8> = conn.rbuf.drain(..=pos).take(pos).collect();
+                        self.handle_line(idx, &line);
+                    }
+                },
+                Wire::Binary => {
+                    if conn.rbuf.len() < binary::HEADER_LEN {
+                        break;
+                    }
+                    let header_bytes: [u8; binary::HEADER_LEN] =
+                        conn.rbuf[..binary::HEADER_LEN].try_into().expect("8 bytes");
+                    match binary::decode_header(header_bytes, cap as u64) {
+                        Err(binary::FrameError::TooLarge { .. }) => {
+                            self.reject_too_large(idx);
+                            return;
+                        }
+                        Err(e) => {
+                            // Bad magic/version/type: the stream cannot
+                            // be re-framed; reply and close, like a
+                            // garbage NDJSON line that also lost sync.
+                            self.state.requests.fetch_add(1, Ordering::Relaxed);
+                            self.state.errors.fetch_add(1, Ordering::Relaxed);
+                            let resp = Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: e.to_string(),
+                            };
+                            self.enqueue_response(idx, &resp, true);
+                            if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                                conn.io_on_write_fail = true;
+                            }
+                            return;
+                        }
+                        Ok(h) => {
+                            let total = binary::HEADER_LEN + h.len as usize;
+                            if conn.rbuf.len() < total {
+                                break;
+                            }
+                            let payload: Vec<u8> =
+                                conn.rbuf.drain(..total).skip(binary::HEADER_LEN).collect();
+                            self.handle_binary_frame(idx, h.frame_type, &payload);
+                        }
+                    }
+                }
+            }
+        }
+        // Ran dry (or frame incomplete): settle the phase.
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.phase == Phase::Processing || conn.close_after_flush {
+            return;
+        }
+        if conn.rbuf.is_empty() {
+            if !matches!(conn.phase, Phase::Idle) {
+                conn.phase = Phase::Idle;
+                conn.idle_since = Instant::now();
+            }
+        } else if !matches!(conn.phase, Phase::Receiving(_)) {
+            conn.phase = Phase::Receiving(Instant::now());
         }
     }
-}
 
-/// Per-connection scratch reused across requests so a long-lived
-/// connection stops paying an allocation tax on every request (the p99
-/// spikes in `BENCH_serve.json` tracked allocator churn, not compute).
-#[derive(Default)]
-struct ConnScratch {
-    /// Serialized response bytes (JSON plus the trailing newline).
-    out: String,
-    /// Flattened feature rows for the compiled `ScorePairs` path.
-    rows: Vec<f64>,
-    /// Probability buffer, recycled out of `Response::Scores` after the
-    /// response is serialized.
-    probs: Vec<f64>,
-}
-
-/// Serializes `response` into the scratch buffer and writes it; `false`
-/// means the peer is unwritable (counted by the caller).
-fn write_response(
-    writer: &mut BufWriter<TcpStream>,
-    scratch: &mut ConnScratch,
-    response: &Response,
-) -> bool {
-    serde_json::to_string_buf(response, &mut scratch.out).expect("responses always serialize");
-    scratch.out.push('\n');
-    writer
-        .write_all(scratch.out.as_bytes())
-        .and_then(|()| writer.flush())
-        .is_ok()
-}
-
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_nodelay(true);
-    let opts = &state.options;
-    // A response write shares the mid-request budget: a peer that stops
-    // reading is indistinguishable from one that stops writing.
-    let _ = stream.set_write_timeout(timeout_of(opts.request_timeout_ms));
-    let Ok(write_half) = stream.try_clone() else {
-        state.io_errors.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let mut writer = BufWriter::new(write_half);
-    let mut reader = BoundedLineReader::new(
-        &stream,
-        opts.max_request_bytes,
-        timeout_of(opts.idle_timeout_ms),
-        timeout_of(opts.request_timeout_ms),
-    );
-    let mut line = Vec::new();
-    let mut scratch = ConnScratch::default();
-    loop {
-        match reader.read_line(&mut line) {
-            LineOutcome::Line => {}
-            LineOutcome::TooLarge => {
-                // Typed rejection, then close: the rest of the oversized
-                // line is unread, so the stream cannot be resynchronized.
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(
-                    &mut writer,
-                    &mut scratch,
-                    &Response::Error {
-                        code: ErrorCode::TooLarge,
-                        message: format!(
-                            "request line exceeds the {} byte cap",
-                            state.options.max_request_bytes
-                        ),
-                    },
-                );
-                break;
-            }
-            LineOutcome::IdleTimeout => break,
-            LineOutcome::RequestTimeout => {
-                state.timeouts.fetch_add(1, Ordering::Relaxed);
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(
-                    &mut writer,
-                    &mut scratch,
-                    &Response::Error {
-                        code: ErrorCode::Timeout,
-                        message: format!(
-                            "request stalled past the {} ms mid-request deadline",
-                            state.options.request_timeout_ms
-                        ),
-                    },
-                );
-                break;
-            }
-            LineOutcome::Closed { mid_line } => {
-                if mid_line {
-                    state.io_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                break;
-            }
-            LineOutcome::Err => {
-                state.io_errors.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-        }
-        let Ok(text) = std::str::from_utf8(&line) else {
-            state.requests.fetch_add(1, Ordering::Relaxed);
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            let ok = write_response(
-                &mut writer,
-                &mut scratch,
-                &Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: "request line is not valid UTF-8".into(),
-                },
-            );
-            if ok {
-                continue;
-            }
-            state.io_errors.fetch_add(1, Ordering::Relaxed);
-            break;
+    /// One NDJSON request line (newline stripped).
+    fn handle_line(&mut self, idx: usize, line: &[u8]) {
+        let start = Instant::now();
+        let Ok(text) = std::str::from_utf8(line) else {
+            self.state.requests.fetch_add(1, Ordering::Relaxed);
+            self.state.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "request line is not valid UTF-8".into(),
+            };
+            self.enqueue_response(idx, &resp, false);
+            return;
         };
         if text.trim().is_empty() {
-            continue;
+            return; // blank keep-alive lines are free
         }
-        let start = Instant::now();
-        let (response, is_shutdown) = respond(state, text, &mut scratch);
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        if matches!(response, Response::Error { .. }) {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let ok = write_response(&mut writer, &mut scratch, &response);
-        if let Response::Scores { probs } = response {
-            scratch.probs = probs;
-        }
-        if !ok {
-            state.io_errors.fetch_add(1, Ordering::Relaxed);
-            break;
-        }
-        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        state.record_latency(us);
-        if is_shutdown {
-            initiate_shutdown(state);
-            break;
-        }
-    }
-}
-
-/// Flags shutdown and wakes the (possibly blocked) accept loop with a
-/// throwaway local connection.
-fn initiate_shutdown(state: &ServerState) {
-    state.shutdown.store(true, Ordering::Release);
-    let _ = TcpStream::connect(state.addr);
-}
-
-fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Response, bool) {
-    let request: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            return (
-                Response::Error {
+        match serde_json::from_str::<Request>(text) {
+            Err(e) => {
+                self.state.requests.fetch_add(1, Ordering::Relaxed);
+                self.state.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
                     code: ErrorCode::BadRequest,
                     message: format!("bad request: {e}"),
-                },
-                false,
-            )
+                };
+                self.enqueue_response(idx, &resp, false);
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.state.record_latency(us);
+            }
+            Ok(request) => self.handle_request(idx, request, start),
         }
-    };
-    match request {
-        Request::Health => {
-            let catalog = state.catalog();
-            let entry = catalog.default_entry();
-            (
-                Response::Health {
+    }
+
+    /// One binary v2 frame (header already validated and stripped).
+    fn handle_binary_frame(&mut self, idx: usize, frame_type: u8, payload: &[u8]) {
+        let start = Instant::now();
+        match binary::decode_request(frame_type, payload) {
+            Err(e) => {
+                // The frame was well-delimited, so framing survives: as
+                // with a garbage NDJSON line, reply and keep serving.
+                self.state.requests.fetch_add(1, Ordering::Relaxed);
+                self.state.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("bad request: {e}"),
+                };
+                self.enqueue_response(idx, &resp, false);
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.state.record_latency(us);
+            }
+            Ok(request) => self.handle_request(idx, request, start),
+        }
+    }
+
+    fn handle_request(&mut self, idx: usize, request: Request, start: Instant) {
+        match request {
+            Request::Health => {
+                let catalog = self.state.catalog();
+                let entry = catalog.default_entry();
+                let resp = Response::Health {
                     model: entry.model.config().name.clone(),
                     features: entry.model.config().features.len(),
                     trees: entry.model.model().num_trees(),
@@ -867,20 +1216,21 @@ fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Respo
                     model_id: entry.model_id.clone(),
                     checksum: entry.checksum.clone(),
                     schema_version: entry.schema_version,
-                },
-                false,
-            )
-        }
-        Request::Stats => (
-            Response::Stats {
-                stats: state.snapshot(),
-            },
-            false,
-        ),
-        Request::ListModels => {
-            let catalog = state.catalog();
-            (
-                Response::Models {
+                };
+                self.finish_inline(idx, resp, start);
+            }
+            Request::Stats => {
+                // Snapshot before counting this request, so `Stats`
+                // reports the world *before* itself (exact-accounting
+                // tests rely on this).
+                let resp = Response::Stats {
+                    stats: self.state.snapshot(),
+                };
+                self.finish_inline(idx, resp, start);
+            }
+            Request::ListModels => {
+                let catalog = self.state.catalog();
+                let resp = Response::Models {
                     default_model: catalog.default_id().to_owned(),
                     models: catalog
                         .entries()
@@ -895,42 +1245,602 @@ fn respond(state: &ServerState, line: &str, scratch: &mut ConnScratch) -> (Respo
                             split_layer: e.meta.split_layer.clone(),
                         })
                         .collect(),
-                },
-                false,
-            )
-        }
-        Request::Reload => (reload(state), false),
-        Request::ScorePairs { features, model_id } => {
-            let catalog = state.catalog();
-            match catalog.resolve(model_id.as_deref()) {
-                Err(e) => (not_found(&e), false),
-                Ok(entry) => {
-                    let response = score_pairs(state, entry, &features, scratch);
-                    if let Response::Scores { probs } = &response {
-                        shadow_compare(state, &catalog, entry, &features, probs);
+                };
+                self.finish_inline(idx, resp, start);
+            }
+            Request::Reload => {
+                let resp = reload(self.state);
+                self.finish_inline(idx, resp, start);
+            }
+            Request::Shutdown => {
+                self.state.requests.fetch_add(1, Ordering::Relaxed);
+                self.enqueue_response(idx, &Response::ShuttingDown, true);
+                if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                    // A failed ShuttingDown write counted as io before.
+                    conn.io_on_write_fail = true;
+                }
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.state.record_latency(us);
+                initiate_shutdown(self.state);
+            }
+            Request::ScorePairs { features, model_id } => {
+                let catalog = self.state.catalog();
+                match catalog.resolve(model_id.as_deref()) {
+                    Err(e) => self.finish_inline(idx, not_found(&e), start),
+                    Ok(entry) => {
+                        let expected = entry.model.config().features.len();
+                        if let Some(bad) = features.iter().position(|row| row.len() != expected) {
+                            let resp = Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!(
+                                    "feature row {bad} has {} values, model expects {expected}",
+                                    features[bad].len()
+                                ),
+                            };
+                            self.finish_inline(idx, resp, start);
+                            return;
+                        }
+                        let nrows = features.len();
+                        let mut rows = Vec::with_capacity(nrows * expected);
+                        for row in &features {
+                            rows.extend_from_slice(row);
+                        }
+                        let entry = entry.clone();
+                        self.dispatch_job(
+                            idx,
+                            start,
+                            JobKind::Pairs {
+                                catalog,
+                                entry,
+                                rows,
+                                nrows,
+                            },
+                        );
                     }
-                    (response, false)
+                }
+            }
+            Request::Attack {
+                challenge,
+                truth,
+                threshold,
+                detail,
+                model_id,
+            } => {
+                let catalog = self.state.catalog();
+                match catalog.resolve(model_id.as_deref()) {
+                    Err(e) => self.finish_inline(idx, not_found(&e), start),
+                    Ok(entry) => {
+                        let entry = entry.clone();
+                        self.dispatch_job(
+                            idx,
+                            start,
+                            JobKind::Attack {
+                                entry,
+                                challenge,
+                                truth,
+                                threshold,
+                                detail,
+                            },
+                        );
+                    }
                 }
             }
         }
-        Request::Attack {
-            challenge,
-            truth,
-            threshold,
-            detail,
-            model_id,
-        } => {
-            let catalog = state.catalog();
-            match catalog.resolve(model_id.as_deref()) {
-                Err(e) => (not_found(&e), false),
-                Ok(entry) => (
-                    run_attack(state, entry, &challenge, &truth, threshold, detail),
-                    false,
-                ),
+    }
+
+    /// Books and enqueues an inline (non-executor) response.
+    fn finish_inline(&mut self, idx: usize, resp: Response, start: Instant) {
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(resp, Response::Error { .. }) {
+            self.state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enqueue_response(idx, &resp, false);
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.state.record_latency(us);
+    }
+
+    /// Hands a scoring job to the executor and pauses this connection's
+    /// request intake until the completion returns.
+    fn dispatch_job(&mut self, idx: usize, start: Instant, kind: JobKind) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.phase = Phase::Processing;
+        let job = Job {
+            loop_id: self.loop_id,
+            token: idx,
+            conn_seq: conn.seq,
+            start,
+            kind,
+        };
+        if self.jobs.send(job).is_err() {
+            // Executor gone: only reachable during teardown.
+            self.close(idx);
+        }
+    }
+
+    /// The oversized-request rejection: typed reply, then close — the
+    /// rest of the request is unread, so the stream cannot be
+    /// resynchronized. Not counted as a request (the request never
+    /// finished arriving), matching the blocking server.
+    fn reject_too_large(&mut self, idx: usize) {
+        self.state.errors.fetch_add(1, Ordering::Relaxed);
+        let resp = Response::Error {
+            code: ErrorCode::TooLarge,
+            message: format!(
+                "request exceeds the {} byte cap",
+                self.state.options.max_request_bytes
+            ),
+        };
+        self.enqueue_response(idx, &resp, true);
+    }
+
+    /// Serializes `resp` for the connection's wire into its write buffer
+    /// and schedules the flush. `closing` also marks the connection to
+    /// close once the buffer drains.
+    fn enqueue_response(&mut self, idx: usize, resp: &Response, closing: bool) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        match conn.wire.unwrap_or(Wire::Ndjson) {
+            Wire::Ndjson => {
+                let mut line = serde_json::to_string(resp).expect("responses always serialize");
+                line.push('\n');
+                conn.wbuf.extend_from_slice(line.as_bytes());
+            }
+            Wire::Binary => {
+                conn.wbuf.extend_from_slice(&binary::encode_response(resp));
             }
         }
-        Request::Shutdown => (Response::ShuttingDown, true),
+        if closing {
+            conn.close_after_flush = true;
+        } else {
+            conn.io_on_write_fail = true;
+        }
+        if conn.write_deadline.is_none() {
+            conn.write_deadline =
+                timeout_of(self.state.options.request_timeout_ms).map(|t| Instant::now() + t);
+        }
     }
+
+    /// Writes as much buffered response as the socket accepts.
+    fn try_flush(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    if conn.io_on_write_fail {
+                        self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => {
+                    conn.wpos += n;
+                    // Progress restarts the stall clock, mirroring the
+                    // blocking server's per-syscall write timeout.
+                    conn.write_deadline = timeout_of(self.state.options.request_timeout_ms)
+                        .map(|t| Instant::now() + t);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if conn.io_on_write_fail {
+                        self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            conn.write_deadline = None;
+            conn.io_on_write_fail = false;
+        }
+    }
+
+    /// Post-activity settlement: flush pending bytes, apply close
+    /// decisions, refresh reactor interest.
+    fn after_touch(&mut self, idx: usize) {
+        if self
+            .conns
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .is_some_and(|c| c.wants_write())
+        {
+            self.try_flush(idx);
+        }
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let flushed = !conn.wants_write();
+        if conn.close_after_flush && flushed {
+            self.close(idx);
+            return;
+        }
+        if conn.eof && conn.phase != Phase::Processing && flushed && !conn.close_after_flush {
+            // EOF with no response in flight: any leftover bytes are a
+            // torn frame (the peer died mid-request); an empty buffer is
+            // a normal goodbye.
+            if !conn.rbuf.is_empty() {
+                self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.close(idx);
+            return;
+        }
+        self.update_interest(idx);
+    }
+
+    /// Syncs the connection's epoll registration with what it currently
+    /// wants. A connection wanting neither direction (scoring in
+    /// flight, nothing to write) is deregistered outright so a hung-up
+    /// peer cannot spin the level-triggered loop.
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let desired = (conn.wants_read(), conn.wants_write());
+        if conn.registered == Some(desired) {
+            return;
+        }
+        let interest = match desired {
+            (true, true) => Some(mio::Interest::READABLE | mio::Interest::WRITABLE),
+            (true, false) => Some(mio::Interest::READABLE),
+            (false, true) => Some(mio::Interest::WRITABLE),
+            (false, false) => None,
+        };
+        let registry = self.poll.registry();
+        let result = match (conn.registered.is_some(), interest) {
+            (false, None) => Ok(()),
+            (false, Some(i)) => registry.register(&conn.stream, mio::Token(idx), i),
+            (true, Some(i)) => registry.reregister(&conn.stream, mio::Token(idx), i),
+            (true, None) => registry.deregister(&conn.stream),
+        };
+        match result {
+            Ok(()) => conn.registered = interest.map(|_| desired),
+            Err(_) => {
+                self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+                self.close(idx);
+            }
+        }
+    }
+
+    /// The earliest deadline across all connections (poll timeout).
+    fn next_deadline(&self) -> Option<Instant> {
+        let opts = &self.state.options;
+        let idle = timeout_of(opts.idle_timeout_ms);
+        let request = timeout_of(opts.request_timeout_ms);
+        let mut min: Option<Instant> = None;
+        let mut fold = |d: Instant| min = Some(min.map_or(d, |m| m.min(d)));
+        for conn in self.conns.iter().flatten() {
+            match conn.phase {
+                Phase::Idle => {
+                    if let Some(t) = idle {
+                        fold(conn.idle_since + t);
+                    }
+                }
+                Phase::Receiving(started) => {
+                    if let Some(t) = request {
+                        fold(started + t);
+                    }
+                }
+                Phase::Processing => {}
+            }
+            if let Some(d) = conn.write_deadline {
+                fold(d);
+            }
+        }
+        min
+    }
+
+    /// Fires expired idle / mid-request / write-stall deadlines.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let opts = self.state.options;
+        let idle = timeout_of(opts.idle_timeout_ms);
+        let request = timeout_of(opts.request_timeout_ms);
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if let Some(d) = conn.write_deadline {
+                if now >= d {
+                    // The peer stopped draining its response.
+                    if conn.io_on_write_fail {
+                        self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.close(idx);
+                    continue;
+                }
+            }
+            match conn.phase {
+                Phase::Idle => {
+                    if idle.is_some_and(|t| now >= conn.idle_since + t) && !conn.close_after_flush {
+                        // Idle expiry is a normal lifecycle event.
+                        self.close(idx);
+                    }
+                }
+                Phase::Receiving(started) => {
+                    if request.is_some_and(|t| now >= started + t) {
+                        self.state.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.state.errors.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::Error {
+                            code: ErrorCode::Timeout,
+                            message: format!(
+                                "request stalled past the {} ms mid-request deadline",
+                                opts.request_timeout_ms
+                            ),
+                        };
+                        self.enqueue_response(idx, &resp, true);
+                        self.after_touch(idx);
+                    }
+                }
+                Phase::Processing => {}
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if conn.registered.is_some() {
+            let _ = self.poll.registry().deregister(&conn.stream);
+        }
+        drop(conn);
+        self.free.push(idx);
+        self.live -= 1;
+        self.state.active_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn close_all(&mut self) {
+        for idx in 0..self.conns.len() {
+            self.close(idx);
+        }
+    }
+}
+
+/// One scoring executor thread: drains the shared job queue, coalescing
+/// compatible `ScorePairs` jobs into full [`SCORE_BATCH`]-row kernel
+/// calls, and posts completions back to the owning event loops.
+fn executor_run(
+    state: &ServerState,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    completion_txs: &[mpsc::Sender<Completion>],
+    wakers: &[mio::Waker],
+) {
+    let mut stash: Option<Job> = None;
+    loop {
+        let first = match stash.take() {
+            Some(job) => job,
+            None => match jobs.lock().expect("job queue lock").recv() {
+                Ok(job) => job,
+                Err(_) => return, // all event loops exited
+            },
+        };
+        match first.kind {
+            JobKind::Attack {
+                ref entry,
+                ref challenge,
+                ref truth,
+                threshold,
+                detail,
+            } => {
+                let response = run_attack(state, entry, challenge, truth, threshold, detail);
+                post(state, completion_txs, wakers, &first, response);
+            }
+            JobKind::Pairs { .. } => {
+                stash = score_coalesced(state, jobs, completion_txs, wakers, first);
+            }
+        }
+    }
+}
+
+/// Scores a `Pairs` job, coalescing it with queued jobs that target the
+/// same model on the compiled-sequential path. Returns a popped job that
+/// did not fit the batch (to be processed next).
+fn score_coalesced(
+    state: &ServerState,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    completion_txs: &[mpsc::Sender<Completion>],
+    wakers: &[mio::Waker],
+    first: Job,
+) -> Option<Job> {
+    let opts = &state.options;
+    let (first_entry, first_nrows) = match &first.kind {
+        JobKind::Pairs { entry, nrows, .. } => (entry.clone(), *nrows),
+        JobKind::Attack { .. } => unreachable!("caller matched Pairs"),
+    };
+    // Coalescing applies only to the hot default path: the compiled
+    // kernel with no intra-batch parallelism. Anything else is scored
+    // exactly as the blocking server scored it, one request at a time.
+    let coalescible = |nrows: usize| {
+        matches!(opts.kernel, Kernel::Compiled) && opts.batch.worker_count(nrows.max(1)) <= 1
+    };
+    if !coalescible(first_nrows) {
+        let response = score_single(state, &first);
+        post(state, completion_txs, wakers, &first, response);
+        return None;
+    }
+
+    let mut batch = vec![first];
+    let mut total_rows = first_nrows;
+    let mut stash = None;
+    let linger = Duration::from_micros(opts.batch_linger_us);
+    let linger_until = (opts.batch_linger_us > 0).then(|| Instant::now() + linger);
+    while total_rows < SCORE_BATCH {
+        // `try_lock`, never `lock`: an idle sibling worker parks *inside*
+        // `recv()` while holding the queue mutex, so blocking here would
+        // deadlock the batch against a worker that is waiting for work.
+        // A contended lock just means another worker owns the queue —
+        // there is nothing to coalesce that belongs to this batch.
+        let Ok(rx) = jobs.try_lock() else { break };
+        let next = match rx.try_recv() {
+            Ok(job) => Some(job),
+            Err(mpsc::TryRecvError::Disconnected) => None,
+            Err(mpsc::TryRecvError::Empty) => match linger_until {
+                None => None,
+                Some(deadline) => {
+                    // Bounded linger for stragglers. The queue lock is
+                    // held while waiting, which serializes executor
+                    // intake for at most `batch_linger_us` — the
+                    // documented cost of trading latency for fill.
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        None
+                    } else {
+                        rx.recv_timeout(left).ok()
+                    }
+                }
+            },
+        };
+        drop(rx);
+        let Some(job) = next else { break };
+        let fits = match &job.kind {
+            JobKind::Pairs { entry, nrows, .. } => {
+                Arc::ptr_eq(entry, &first_entry) && coalescible(*nrows)
+            }
+            JobKind::Attack { .. } => false,
+        };
+        if fits {
+            total_rows += match &job.kind {
+                JobKind::Pairs { nrows, .. } => *nrows,
+                JobKind::Attack { .. } => 0,
+            };
+            batch.push(job);
+        } else {
+            stash = Some(job);
+            break;
+        }
+    }
+
+    // One kernel call over the concatenated rows; `proba_batch` is
+    // row-independent, so each request's slice is bit-identical to a
+    // solo call.
+    let width = first_entry.model.config().features.len();
+    let mut all_rows = Vec::with_capacity(total_rows * width);
+    for job in &batch {
+        if let JobKind::Pairs { rows, .. } = &job.kind {
+            all_rows.extend_from_slice(rows);
+        }
+    }
+    let mut all_probs = vec![0.0; total_rows];
+    first_entry
+        .compiled
+        .proba_batch(&all_rows, width, &mut all_probs);
+    state.score_batches.fetch_add(1, Ordering::Relaxed);
+    state
+        .batched_rows
+        .fetch_add(total_rows as u64, Ordering::Relaxed);
+    if batch.len() > 1 {
+        state
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+
+    let mut offset = 0usize;
+    for job in batch {
+        let JobKind::Pairs {
+            ref catalog,
+            ref entry,
+            ref rows,
+            nrows,
+        } = job.kind
+        else {
+            continue;
+        };
+        let probs = all_probs[offset..offset + nrows].to_vec();
+        offset += nrows;
+        state
+            .pairs_scored
+            .fetch_add(nrows as u64, Ordering::Relaxed);
+        shadow_compare(state, catalog, entry, rows, width, &probs);
+        post(
+            state,
+            completion_txs,
+            wakers,
+            &job,
+            Response::Scores { probs },
+        );
+    }
+    stash
+}
+
+/// Scores one `Pairs` job without coalescing — the reference kernel and
+/// intra-batch parallel paths, exactly as the blocking server ran them.
+fn score_single(state: &ServerState, job: &Job) -> Response {
+    let JobKind::Pairs {
+        catalog,
+        entry,
+        rows,
+        nrows,
+    } = &job.kind
+    else {
+        unreachable!("caller matched Pairs");
+    };
+    let (nrows, width) = (*nrows, entry.model.config().features.len());
+    let mut probs = vec![0.0; nrows];
+    if state.options.batch.worker_count(nrows) <= 1 {
+        match state.options.kernel {
+            Kernel::Compiled => entry.compiled.proba_batch(rows, width, &mut probs),
+            Kernel::Reference => {
+                for (slot, row) in probs.iter_mut().zip(rows.chunks_exact(width.max(1))) {
+                    *slot = entry.model.model().proba(row);
+                }
+            }
+        }
+    } else {
+        let parts = par_chunks(state.options.batch, nrows, |range| {
+            let sub = &rows[range.start * width..range.end * width];
+            let mut out = vec![0.0; range.len()];
+            match state.options.kernel {
+                Kernel::Compiled => entry.compiled.proba_batch(sub, width, &mut out),
+                Kernel::Reference => {
+                    for (slot, row) in out.iter_mut().zip(sub.chunks_exact(width.max(1))) {
+                        *slot = entry.model.model().proba(row);
+                    }
+                }
+            }
+            out
+        });
+        probs = parts.into_iter().flatten().collect();
+    }
+    state
+        .pairs_scored
+        .fetch_add(probs.len() as u64, Ordering::Relaxed);
+    shadow_compare(state, catalog, entry, rows, width, &probs);
+    Response::Scores { probs }
+}
+
+/// Posts a completion back to the job's event loop and wakes it.
+fn post(
+    state: &ServerState,
+    completion_txs: &[mpsc::Sender<Completion>],
+    wakers: &[mio::Waker],
+    job: &Job,
+    response: Response,
+) {
+    let _ = state; // counters already booked by the scoring paths
+    let completion = Completion {
+        token: job.token,
+        conn_seq: job.conn_seq,
+        start: job.start,
+        response,
+    };
+    if completion_txs[job.loop_id].send(completion).is_ok() {
+        let _ = wakers[job.loop_id].wake();
+    }
+}
+
+/// Flags shutdown and wakes the (possibly blocked) accept loop with a
+/// throwaway local connection.
+fn initiate_shutdown(state: &ServerState) {
+    state.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect(state.addr);
 }
 
 /// The `not_found` reply for a `model_id` that is not in the catalog.
@@ -982,11 +1892,13 @@ fn reload(state: &ServerState) -> Response {
 /// fraction of default-routed `ScorePairs` batches against the shadow
 /// entry of the *same catalog snapshot* and folds exact divergence
 /// totals into the accumulator. Never alters the primary response.
+/// `rows` is the flattened row-major feature matrix (`width` columns).
 fn shadow_compare(
     state: &ServerState,
     catalog: &Catalog,
     entry: &ModelEntry,
-    features: &[Vec<f64>],
+    rows: &[f64],
+    width: usize,
     probs: &[f64],
 ) {
     let Some(cfg) = &state.shadow else { return };
@@ -1002,7 +1914,7 @@ fn shadow_compare(
     }
     let shadow_entry = catalog
         .get(&cfg.model_id)
-        .filter(|s| s.model.config().features.len() == entry.model.config().features.len());
+        .filter(|s| s.model.config().features.len() == width);
     let mut accum = state.shadow_accum.lock().expect("shadow lock");
     accum.sampled_requests += 1;
     let Some(shadow_entry) = shadow_entry else {
@@ -1011,15 +1923,10 @@ fn shadow_compare(
         accum.shadow_missing += 1;
         return;
     };
-    let width = entry.model.config().features.len();
-    let mut rows = Vec::with_capacity(features.len() * width);
-    for row in features {
-        rows.extend_from_slice(row);
-    }
-    let mut shadow_probs = vec![0.0; features.len()];
+    let mut shadow_probs = vec![0.0; probs.len()];
     shadow_entry
         .compiled
-        .proba_batch(&rows, width, &mut shadow_probs);
+        .proba_batch(rows, width, &mut shadow_probs);
     for (&p, &q) in probs.iter().zip(&shadow_probs) {
         let dp = (p - q).abs();
         accum.sum_abs_dp += dp;
@@ -1030,71 +1937,7 @@ fn shadow_compare(
             accum.disagreements += 1;
         }
     }
-    accum.compared_pairs += features.len() as u64;
-}
-
-fn score_pairs(
-    state: &ServerState,
-    entry: &ModelEntry,
-    features: &[Vec<f64>],
-    scratch: &mut ConnScratch,
-) -> Response {
-    let expected = entry.model.config().features.len();
-    if let Some(bad) = features.iter().position(|row| row.len() != expected) {
-        return Response::Error {
-            code: ErrorCode::BadRequest,
-            message: format!(
-                "feature row {bad} has {} values, model expects {expected}",
-                features[bad].len()
-            ),
-        };
-    }
-    let mut probs = std::mem::take(&mut scratch.probs);
-    probs.clear();
-    if state.options.batch.worker_count(features.len()) <= 1 {
-        // Hot path: one worker, reuse the connection-scoped buffers.
-        probs.resize(features.len(), 0.0);
-        match state.options.kernel {
-            Kernel::Compiled => {
-                scratch.rows.clear();
-                for row in features {
-                    scratch.rows.extend_from_slice(row);
-                }
-                entry
-                    .compiled
-                    .proba_batch(&scratch.rows, expected, &mut probs);
-            }
-            Kernel::Reference => {
-                for (slot, row) in probs.iter_mut().zip(features) {
-                    *slot = entry.model.model().proba(row);
-                }
-            }
-        }
-    } else {
-        let parts = par_chunks(state.options.batch, features.len(), |range| {
-            let mut out = vec![0.0; range.len()];
-            match state.options.kernel {
-                Kernel::Compiled => {
-                    let mut rows = Vec::with_capacity(range.len() * expected);
-                    for k in range.clone() {
-                        rows.extend_from_slice(&features[k]);
-                    }
-                    entry.compiled.proba_batch(&rows, expected, &mut out);
-                }
-                Kernel::Reference => {
-                    for (slot, k) in out.iter_mut().zip(range) {
-                        *slot = entry.model.model().proba(&features[k]);
-                    }
-                }
-            }
-            out
-        });
-        probs.extend(parts.into_iter().flatten());
-    }
-    state
-        .pairs_scored
-        .fetch_add(probs.len() as u64, Ordering::Relaxed);
-    Response::Scores { probs }
+    accum.compared_pairs += probs.len() as u64;
 }
 
 fn run_attack(
@@ -1156,12 +1999,14 @@ mod tests {
         assert!(opts.idle_timeout_ms >= opts.request_timeout_ms);
         assert!(opts.max_request_bytes >= 1 << 20);
         assert_eq!(opts.max_queue, 0, "0 = auto queue depth");
+        assert_eq!(opts.event_loops, 0, "0 = auto event loops");
+        assert_eq!(opts.batch_linger_us, 0, "no linger: drain-only batching");
     }
 
     #[test]
     fn auto_pool_never_collapses_to_one_worker() {
         // Regression: on a 1-CPU host, Auto used to resolve to a single
-        // worker, so one held-open idle connection starved every other
+        // worker, so one long-running request starved every other
         // client forever. Explicit `Threads(1)` still means one worker —
         // only the implicit default is guarded.
         assert!(pool_size(Parallelism::Auto) >= 2);
@@ -1181,6 +2026,15 @@ mod tests {
         opts.workers = Parallelism::Threads(1);
         opts.max_queue = 0;
         assert_eq!(queue_depth(&opts), 2);
+    }
+
+    #[test]
+    fn event_loop_count_resolves_auto_and_explicit() {
+        let mut opts = ServeOptions::default();
+        let auto = event_loop_count(&opts);
+        assert!((1..=MAX_AUTO_EVENT_LOOPS).contains(&auto), "auto in range");
+        opts.event_loops = 7;
+        assert_eq!(event_loop_count(&opts), 7, "explicit counts are honored");
     }
 
     #[test]
@@ -1249,88 +2103,26 @@ mod tests {
         assert_eq!(timeout_of(250), Some(Duration::from_millis(250)));
     }
 
-    /// A connected localhost TCP pair for exercising the reader.
-    fn tcp_pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
-        let addr = listener.local_addr().expect("addr");
-        let client = TcpStream::connect(addr).expect("connects");
-        let (server, _) = listener.accept().expect("accepts");
-        (client, server)
-    }
-
     #[test]
-    fn bounded_reader_splits_pipelined_lines_and_detects_torn_frames() {
-        let (mut client, server) = tcp_pair();
-        let mut reader = BoundedLineReader::new(
-            &server,
-            1024,
-            Some(Duration::from_millis(500)),
-            Some(Duration::from_millis(500)),
-        );
-        client.write_all(b"first\nsecond\npartial").expect("writes");
-        let mut line = Vec::new();
-        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
-        assert_eq!(line, b"first");
-        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
-        assert_eq!(line, b"second");
-        drop(client);
-        assert!(matches!(
-            reader.read_line(&mut line),
-            LineOutcome::Closed { mid_line: true }
-        ));
-    }
-
-    #[test]
-    fn bounded_reader_rejects_oversized_lines_without_buffering_them() {
-        let (mut client, server) = tcp_pair();
-        let mut reader = BoundedLineReader::new(
-            &server,
-            64,
-            Some(Duration::from_millis(500)),
-            Some(Duration::from_millis(500)),
-        );
-        // Well over the cap, no newline: the reader must give up as soon
-        // as the cap is crossed, not slurp the rest.
-        client.write_all(&vec![b'x'; 512]).expect("writes");
-        client.flush().expect("flushes");
-        let mut line = Vec::new();
-        assert!(matches!(reader.read_line(&mut line), LineOutcome::TooLarge));
-        assert!(line.len() <= 64 + 4096, "bounded retention");
-
-        // A line that is exactly at the cap (terminated) is fine.
-        let (mut client, server) = tcp_pair();
-        let mut reader = BoundedLineReader::new(&server, 64, None, None);
-        let mut msg = vec![b'y'; 64];
-        msg.push(b'\n');
-        client.write_all(&msg).expect("writes");
-        assert!(matches!(reader.read_line(&mut line), LineOutcome::Line));
-        assert_eq!(line.len(), 64);
-    }
-
-    #[test]
-    fn bounded_reader_distinguishes_idle_from_mid_request_timeouts() {
-        let (mut client, server) = tcp_pair();
-        let mut reader = BoundedLineReader::new(
-            &server,
-            1024,
-            Some(Duration::from_millis(40)),
-            Some(Duration::from_millis(120)),
-        );
-        // Nothing sent: the idle deadline fires.
-        let mut line = Vec::new();
-        let t0 = Instant::now();
-        assert!(matches!(
-            reader.read_line(&mut line),
-            LineOutcome::IdleTimeout
-        ));
-        assert!(t0.elapsed() < Duration::from_millis(2000));
-
-        // Half a request then silence: the mid-request deadline fires.
-        client.write_all(b"{\"ScorePairs\"").expect("writes");
-        client.flush().expect("flushes");
-        assert!(matches!(
-            reader.read_line(&mut line),
-            LineOutcome::RequestTimeout
-        ));
+    fn line_scanner_matches_bounded_reader_semantics() {
+        // Complete line within the cap.
+        assert_eq!(scan_line(b"{\"Health\"}\nrest", 64), LineScan::Complete(10));
+        // Empty line is complete at 0 (blank keep-alives stay free).
+        assert_eq!(scan_line(b"\nx", 64), LineScan::Complete(0));
+        // No newline yet, under the cap: keep reading.
+        assert_eq!(scan_line(b"partial", 64), LineScan::Incomplete);
+        // A line exactly at the cap is fine; one past is rejected, with
+        // or without its terminator in the buffer yet.
+        let at_cap = vec![b'y'; 64];
+        let mut terminated = at_cap.clone();
+        terminated.push(b'\n');
+        assert_eq!(scan_line(&terminated, 64), LineScan::Complete(64));
+        assert_eq!(scan_line(&[b'y'; 65], 64), LineScan::TooLarge);
+        let mut over = vec![b'y'; 65];
+        over.push(b'\n');
+        assert_eq!(scan_line(&over, 64), LineScan::TooLarge);
+        // At the cap but unterminated: could still become TooLarge or
+        // Complete — must keep reading.
+        assert_eq!(scan_line(&at_cap, 64), LineScan::Incomplete);
     }
 }

@@ -12,6 +12,11 @@
 //!    deadline;
 //! 3. the final [`StatsSnapshot`] accounts for every shed, timeout and
 //!    torn frame — nothing disappears from the counters.
+//!
+//! The matrix runs twice: once against the NDJSON wire (protocol v1)
+//! and once against the length-prefixed binary wire (protocol v2),
+//! whose framing faults have their own shapes — torn length prefixes,
+//! headers declaring payloads past the cap, frames that lose sync.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -23,7 +28,7 @@ use sm_attack::Parallelism;
 use sm_layout::{SplitLayer, Suite};
 use sm_serve::artifact::{ModelArtifact, TrainMeta};
 use sm_serve::client::{ClientTimeouts, RetryPolicy, RetryingClient};
-use sm_serve::protocol::{Request, Response, StatsSnapshot};
+use sm_serve::protocol::{binary, ErrorCode, Request, Response, StatsSnapshot, Wire};
 use sm_serve::registry::publish;
 use sm_serve::server::{ModelSource, ServeOptions, ServerHandle};
 
@@ -87,11 +92,24 @@ fn chaos_options(request_timeout_ms: u64, idle_timeout_ms: u64) -> ServeOptions 
 /// longer than `deadline` — "available" means answering, not eventually
 /// answering.
 fn run_good_client(addr: &str, requests: usize, rows: usize, deadline: Duration) -> RetryingClient {
+    run_good_client_wire(addr, requests, rows, deadline, Wire::Ndjson)
+}
+
+/// [`run_good_client`] over an explicit wire format, so every fault in
+/// the matrix can be witnessed by a well-behaved client speaking either
+/// protocol version.
+fn run_good_client_wire(
+    addr: &str,
+    requests: usize,
+    rows: usize,
+    deadline: Duration,
+    wire: Wire,
+) -> RetryingClient {
     let fx = fixture();
     let rows = rows.min(fx.features.len());
     let features = fx.features[..rows].to_vec();
     let expected = &fx.local_probs[..rows];
-    let mut client = RetryingClient::new(
+    let mut client = RetryingClient::new_wire(
         addr,
         ClientTimeouts {
             connect_ms: 2_000,
@@ -103,6 +121,7 @@ fn run_good_client(addr: &str, requests: usize, rows: usize, deadline: Duration)
             max_backoff_ms: 200,
             jitter_seed: 0xC4A05,
         },
+        wire,
     );
     let start = Instant::now();
     for round in 0..requests {
@@ -182,6 +201,18 @@ impl FaultStream {
             let _ = self.stream.flush();
             std::thread::sleep(pause);
         }
+    }
+
+    /// Reads one binary-framed reply and decodes it. `None` means EOF,
+    /// reset or read timeout — the server closed (or never answered)
+    /// this connection.
+    fn read_binary_response(&mut self) -> Option<Response> {
+        let mut header = [0u8; binary::HEADER_LEN];
+        self.stream.read_exact(&mut header).ok()?;
+        let h = binary::decode_header(header, u64::MAX).expect("server sends valid headers");
+        let mut payload = vec![0u8; h.len as usize];
+        self.stream.read_exact(&mut payload).ok()?;
+        Some(binary::decode_response(h.frame_type, &payload).expect("server frames decode"))
     }
 
     /// Reads one reply line. `None` means EOF, reset or read timeout —
@@ -521,6 +552,247 @@ fn connect_flood_past_the_queue_bound_is_shed_and_fully_accounted() {
 
     // Every Busy the server handed out was received by someone we control:
     // the flood counted theirs, the good client counted its own.
+    assert_eq!(
+        stats.shed,
+        flood_busy + client_busy,
+        "every shed connection must be accounted: {stats:?}, flood_busy={flood_busy}, client_busy={client_busy}"
+    );
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+}
+
+// ---------------------------------------------------------------------
+// The same fault matrix against the binary wire (protocol v2). Framing
+// faults look different here — a torn length prefix, a header declaring
+// a payload past the cap, a frame that loses sync — and each one has
+// its own contract entry in the counter table.
+// ---------------------------------------------------------------------
+
+#[test]
+fn binary_slow_loris_is_cut_off_by_the_request_deadline() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(300, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    // The loris drips the first half of a valid binary header (starting
+    // with the 0xB5 magic, so the wire is detected as binary) and then
+    // stalls. The mid-request deadline must cut it off with a typed
+    // Timeout reply — framed as binary, because that is this
+    // connection's wire.
+    let frame = binary::encode_request(&Request::Health);
+    let loris = std::thread::spawn(move || {
+        let mut s = FaultStream::connect(addr);
+        s.drip(&frame[..4], Duration::from_millis(50));
+        s.read_binary_response()
+    });
+
+    // Meanwhile a binary good client keeps getting bit-exact scores.
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        10,
+        6,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+
+    let reply = loris.join().expect("loris thread");
+    match reply.expect("loris gets a binary reply before the close") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Timeout, "{message}");
+        }
+        other => panic!("unexpected loris reply: {other:?}"),
+    }
+
+    let (retries, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert_eq!(
+        stats.errors, 1,
+        "the timeout reply is the only error: {stats:?}"
+    );
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(retries, 0, "nothing should have needed a retry");
+}
+
+#[test]
+fn binary_torn_length_prefix_is_counted_not_fatal() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(2_000, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    // A valid frame minus its last three bytes, then a vanishing peer:
+    // the declared length never arrives, exactly like an NDJSON line
+    // that never saw its newline.
+    let frame = binary::encode_request(&Request::Health);
+    let mut torn = FaultStream::connect(addr);
+    torn.blast(&frame[..frame.len() - 3]);
+    drop(torn);
+
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        10,
+        6,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(
+        stats.io_errors, 1,
+        "torn binary frame must be accounted: {stats:?}"
+    );
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn binary_header_declaring_past_the_cap_is_rejected_before_buffering() {
+    let mut options = chaos_options(5_000, 5_000);
+    options.max_request_bytes = 1_024;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    // Eight header bytes declaring a megabyte: the binary wire rejects
+    // from the length prefix alone — no payload byte is ever buffered,
+    // unlike NDJSON which must swallow a full cap's worth first.
+    let mut big = FaultStream::connect(addr);
+    big.blast(&binary::encode_header(binary::FRAME_JSON_REQUEST, 1 << 20));
+    match big
+        .read_binary_response()
+        .expect("typed rejection before the close")
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::TooLarge, "{message}");
+            assert!(message.contains("1024"), "cap in message: {message}");
+        }
+        other => panic!("unexpected oversize reply: {other:?}"),
+    }
+    assert!(
+        big.read_binary_response().is_none(),
+        "an over-cap connection cannot be resynchronized and must be closed"
+    );
+    drop(big);
+
+    // 1 row of binary ScorePairs fits far under the tiny cap.
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        10,
+        1,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.errors, 1, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn binary_garbage_frames_follow_the_framing_contract() {
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", chaos_options(2_000, 2_000))
+        .expect("binds");
+    let addr = handle.addr();
+
+    // A well-delimited frame with a garbage payload: framing survives,
+    // so — like a garbage NDJSON line — the reply is BadRequest and the
+    // connection keeps serving.
+    let mut garbage = FaultStream::connect(addr);
+    let junk = b"definitely not a request";
+    let mut frame = binary::encode_header(binary::FRAME_JSON_REQUEST, junk.len() as u32).to_vec();
+    frame.extend_from_slice(junk);
+    garbage.blast(&frame);
+    match garbage
+        .read_binary_response()
+        .expect("reply to garbage payload")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("unexpected garbage reply: {other:?}"),
+    }
+    // Same socket, now well-formed: still serviced.
+    garbage.blast(&binary::encode_request(&Request::Health));
+    match garbage
+        .read_binary_response()
+        .expect("health reply after garbage")
+    {
+        Response::Health { .. } => {}
+        other => panic!("unexpected health reply: {other:?}"),
+    }
+    drop(garbage);
+
+    // A corrupt *header* (bad protocol version) loses frame sync: the
+    // stream cannot be re-framed, so the reply closes the connection.
+    let mut desync = FaultStream::connect(addr);
+    desync.blast(&[binary::MAGIC0, binary::MAGIC1, 9, 0x01, 0, 0, 0, 0]);
+    match desync
+        .read_binary_response()
+        .expect("reply to bad version header")
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest, "{message}");
+        }
+        other => panic!("unexpected bad-header reply: {other:?}"),
+    }
+    assert!(
+        desync.read_binary_response().is_none(),
+        "a desynced binary stream must be closed after the reply"
+    );
+    drop(desync);
+
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        10,
+        6,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(stats.errors, 2, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
+fn connect_flood_sheds_binary_clients_with_full_accounting() {
+    let mut options = chaos_options(2_000, 500);
+    options.max_queue = 2;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    // The good client speaks binary; a shed `Busy` still arrives as an
+    // NDJSON line (shedding happens before the first byte, so the server
+    // cannot know the wire yet) and the client must cope.
+    let addr_str = addr.to_string();
+    let good = std::thread::spawn(move || {
+        run_good_client_wire(&addr_str, 25, 6, Duration::from_secs(30), Wire::Binary)
+    });
+
+    let mut flood: Vec<FaultStream> = (0..12).map(|_| FaultStream::connect(addr)).collect();
+    let mut flood_busy = 0u64;
+    for conn in &mut flood {
+        match conn.read_line() {
+            Some(line) if line.contains("\"Busy\"") => {
+                assert!(line.contains("retry_after_ms"), "{line}");
+                flood_busy += 1;
+            }
+            Some(line) => panic!("unexpected flood reply: {line}"),
+            None => {}
+        }
+    }
+    drop(flood);
+    assert!(
+        flood_busy >= 8,
+        "12 connections into 2 workers + queue of 2 must shed most: {flood_busy}"
+    );
+
+    let good = good.join().expect("good client thread");
+    std::thread::sleep(Duration::from_millis(600));
+    let (_, client_busy, stats) = shutdown_and_join(good, handle);
+
     assert_eq!(
         stats.shed,
         flood_busy + client_busy,

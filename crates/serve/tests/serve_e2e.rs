@@ -8,8 +8,8 @@ use sm_attack::Parallelism;
 use sm_layout::io::{write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ModelArtifact, TrainMeta};
-use sm_serve::client::{bench, BenchConfig, Client, ClientError};
-use sm_serve::protocol::{Request, Response};
+use sm_serve::client::{bench, BenchConfig, Client, ClientError, ClientTimeouts};
+use sm_serve::protocol::{Request, Response, Wire};
 use sm_serve::server::{ServeOptions, ServerHandle};
 use sm_serve::ARTIFACT_VERSION;
 
@@ -209,6 +209,116 @@ fn full_train_store_serve_score_lifecycle() {
     let final_stats = handle.join().expect("clean server exit");
     assert!(final_stats.requests >= 12, "{final_stats:?}");
     assert_eq!(final_stats.errors, 1, "{final_stats:?}");
+}
+
+#[test]
+fn ndjson_and_binary_wires_are_bit_identical_end_to_end() {
+    let (model, view) = trained_and_test_view();
+    let local_scored = model.score(&view, &ScoreOptions::default());
+    let handle = ServerHandle::bind(
+        ModelArtifact::from_trained(&model, TrainMeta::default())
+            .into_trained()
+            .expect("artifact round-trips"),
+        "127.0.0.1:0",
+        test_options(),
+    )
+    .expect("binds");
+    let addr = handle.addr();
+
+    // One connection per wire, held open side by side against the same
+    // server: the wire is a per-connection property, detected from the
+    // first byte, and must never leak into the answers.
+    let timeouts = ClientTimeouts {
+        connect_ms: 2_000,
+        io_ms: 30_000,
+    };
+    let mut ndjson = Client::connect_wire(addr, timeouts, Wire::Ndjson).expect("ndjson connects");
+    let mut binary = Client::connect_wire(addr, timeouts, Wire::Binary).expect("binary connects");
+    assert_eq!(ndjson.wire(), Wire::Ndjson);
+    assert_eq!(binary.wire(), Wire::Binary);
+
+    // Identical ScorePairs through both wires: every probability must be
+    // bit-identical to the in-process model — and therefore to each other.
+    let vpins = view.vpins();
+    let cap = vpins.len().min(12);
+    let features: Vec<Vec<f64>> = (0..cap)
+        .flat_map(|i| ((i + 1)..cap).map(move |j| (i, j)))
+        .map(|(i, j)| model.config().features.compute(&vpins[i], &vpins[j]))
+        .collect();
+    let local: Vec<f64> = features.iter().map(|x| model.model().proba(x)).collect();
+    let score_req = Request::ScorePairs {
+        features: features.clone(),
+        model_id: None,
+    };
+    let probs_of = |resp: Response| -> Vec<f64> {
+        match resp {
+            Response::Scores { probs } => probs,
+            other => panic!("unexpected scores reply: {other:?}"),
+        }
+    };
+    let via_ndjson = probs_of(ndjson.call_ok(&score_req).expect("ndjson score"));
+    let via_binary = probs_of(binary.call_ok(&score_req).expect("binary score"));
+    assert_eq!(via_ndjson.len(), local.len());
+    assert_eq!(via_binary.len(), local.len());
+    for (k, ((l, n), b)) in local.iter().zip(&via_ndjson).zip(&via_binary).enumerate() {
+        assert_eq!(
+            l.to_bits(),
+            n.to_bits(),
+            "pair {k}: ndjson wire must be bit-identical to in-process"
+        );
+        assert_eq!(
+            n.to_bits(),
+            b.to_bits(),
+            "pair {k}: binary wire must be bit-identical to ndjson"
+        );
+    }
+
+    // A whole-challenge Attack with detail: the full ScoredView — LoC
+    // histogram included — must be the same value on both wires.
+    let attack_req = Request::Attack {
+        challenge: write_challenge(&view),
+        truth: write_truth(&view),
+        threshold: 0.5,
+        detail: true,
+        model_id: None,
+    };
+    let a = ndjson.call_ok(&attack_req).expect("ndjson attack");
+    let b = binary.call_ok(&attack_req).expect("binary attack");
+    assert_eq!(a, b, "attack result must not depend on the wire");
+    match a {
+        Response::AttackResult { summary, scored } => {
+            assert_eq!(summary.pairs_scored, local_scored.pairs_scored);
+            assert_eq!(
+                summary.accuracy.to_bits(),
+                local_scored.accuracy_at(0.5).to_bits()
+            );
+            let scored = scored.expect("detail=true returns the scored view");
+            assert_eq!(scored.hist, local_scored.hist, "LoC histogram over TCP");
+            assert_eq!(scored, local_scored, "full scored view over TCP");
+        }
+        other => panic!("unexpected attack reply: {other:?}"),
+    }
+
+    // Control-plane requests agree too: Health is the same answer, and
+    // Stats over the binary wire accounts for both connections' traffic.
+    let health_n = ndjson.call_ok(&Request::Health).expect("ndjson health");
+    let health_b = binary.call_ok(&Request::Health).expect("binary health");
+    assert_eq!(health_n, health_b, "health must not depend on the wire");
+    match binary.call_ok(&Request::Stats).expect("binary stats") {
+        Response::Stats { stats } => {
+            assert!(stats.requests >= 6, "{stats:?}");
+            assert_eq!(stats.errors, 0, "{stats:?}");
+            assert_eq!(stats.io_errors, 0, "{stats:?}");
+        }
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+
+    drop(ndjson);
+    match binary.call_ok(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    handle.join().expect("clean exit");
 }
 
 #[test]
