@@ -3,11 +3,16 @@
 use std::fs;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use sm_attack::attack::{
-    AttackConfig, Enumeration, Kernel, ScoreOptions, TrainOptions, TrainedAttack,
+    AttackConfig, Enumeration, Kernel, ScoreOptions, ScoredView, TrainOptions, TrainedAttack,
 };
+use sm_attack::checkpoint::{
+    score_resumable_as, CheckpointError, CheckpointSpec, Resume, ScoreOutcome,
+    DEFAULT_CHECKPOINT_EVERY,
+};
+use sm_attack::interrupt;
 use sm_attack::proximity::{proximity_attack, validate_pa_fraction_opt, DEFAULT_PA_FRACTIONS};
 use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
@@ -15,9 +20,10 @@ use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
 use sm_serve::client::{bench, BenchConfig, Client, ClientError, ClientTimeouts, RetryPolicy};
 use sm_serve::protocol::{Request, Response, Wire};
-use sm_serve::registry::{publish, RegistryError, RegistryIndex};
+use sm_serve::registry::{publish, verify, RegistryError, RegistryIndex};
 use sm_serve::server::{
-    event_loop_count, pool_size, serve_source, ModelSource, ServeOptions, ShadowConfig,
+    event_loop_count, pool_size, serve_source_with, ModelSource, ServeOptions, ShadowConfig,
+    ShutdownHandle,
 };
 
 use crate::args::Args;
@@ -39,6 +45,16 @@ pub enum CliError {
     Client(ClientError),
     /// A model registry failed to load, validate, or accept a publish.
     Registry(RegistryError),
+    /// A checkpoint failed to load, verify, or save.
+    Checkpoint(CheckpointError),
+    /// The run was interrupted (SIGTERM/SIGINT) and drained cleanly;
+    /// `main` maps this to exit code 3 so schedulers can tell a drained
+    /// run from a failed one.
+    Interrupted {
+        /// Where the final checkpoint was written, if the interrupted
+        /// stage had checkpointable state.
+        checkpoint: Option<PathBuf>,
+    },
     /// User-level misuse (unknown command, missing target, ...).
     Usage(String),
 }
@@ -53,6 +69,15 @@ impl std::fmt::Display for CliError {
             CliError::Artifact(e) => write!(f, "{e}"),
             CliError::Client(e) => write!(f, "{e}"),
             CliError::Registry(e) => write!(f, "registry: {e}"),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Interrupted { checkpoint } => match checkpoint {
+                Some(path) => write!(
+                    f,
+                    "interrupted; resume from the checkpoint at {} with --resume true",
+                    path.display()
+                ),
+                None => write!(f, "interrupted before any checkpointable state existed"),
+            },
             CliError::Usage(m) => write!(f, "{m}"),
         }
     }
@@ -95,6 +120,17 @@ impl From<RegistryError> for CliError {
         CliError::Registry(e)
     }
 }
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            // Unwrap the layers the CLI already has variants for, so an
+            // attack failure inside a resumable run prints identically to
+            // one outside it.
+            CheckpointError::Attack(e) => CliError::Attack(e),
+            other => CliError::Checkpoint(other),
+        }
+    }
+}
 
 /// Routes a parsed command line to its implementation.
 ///
@@ -122,6 +158,10 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "kernel",
                 "enumeration",
                 "tree-backend",
+                "checkpoint-dir",
+                "checkpoint-every",
+                "resume",
+                "json",
             ])?;
             cmd_attack(args)
         }
@@ -136,6 +176,9 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "kernel",
                 "enumeration",
                 "tree-backend",
+                "checkpoint-dir",
+                "checkpoint-every",
+                "resume",
             ])?;
             cmd_pa(args)
         }
@@ -175,7 +218,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             cmd_serve(args)
         }
         "models" => {
-            args.check_known(&["registry", "addr"])?;
+            args.check_known(&["registry", "addr", "verify"])?;
             cmd_models(args)
         }
         "bench-serve" => {
@@ -215,11 +258,16 @@ pub fn print_help() {
          \x20             [--model FILE] [--threshold 0.5]\n\
          \x20             [--threads auto] [--kernel compiled]\n\
          \x20             [--enumeration spatial]\n\
-         \x20             [--tree-backend binned]                     leave-one-out ML attack\n\
+         \x20             [--tree-backend binned]\n\
+         \x20             [--checkpoint-dir DIR]\n\
+         \x20             [--checkpoint-every 2048] [--resume false]\n\
+         \x20             [--json FILE]                               leave-one-out ML attack\n\
          \x20 pa          --dir DIR --target NAME [--config imp-9]\n\
          \x20             [--model FILE] [--threads auto]\n\
          \x20             [--kernel compiled] [--enumeration spatial]\n\
-         \x20             [--tree-backend binned]                     validated proximity attack\n\
+         \x20             [--tree-backend binned]\n\
+         \x20             [--checkpoint-dir DIR]\n\
+         \x20             [--checkpoint-every 2048] [--resume false]  validated proximity attack\n\
          \x20 train       --dir DIR (--out FILE | --registry DIR --model-id ID\n\
          \x20             [--make-default false]) [--target NAME]\n\
          \x20             [--config imp-11] [--threads auto]\n\
@@ -235,7 +283,8 @@ pub fn print_help() {
          \x20             [--max-request-bytes 67108864]\n\
          \x20             [--max-queue 0] [--event-loops 0]\n\
          \x20             [--batch-linger-us 0]                       TCP inference server (ndjson+binary)\n\
-         \x20 models      (--registry DIR | --addr HOST:PORT)         list registry / server models\n\
+         \x20 models      (--registry DIR [--verify true]\n\
+         \x20             | --addr HOST:PORT)                         list / verify models\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
          \x20             [--requests 50] [--batch 64] [--json FILE]\n\
          \x20             [--retries 3] [--timeout-ms 30000]\n\
@@ -268,7 +317,18 @@ pub fn print_help() {
          hosts every entry (requests route with \"model_id\", absent = the\n\
          default), a Reload request hot-swaps the catalog without dropping\n\
          connections, and --shadow-model scores a fraction of default-routed\n\
-         traffic against a challenger, reporting exact divergence in Stats."
+         traffic against a challenger, reporting exact divergence in Stats.\n\
+         'models --registry DIR --verify true' sweeps every artifact offline\n\
+         (index checksum + per-file hash + decode), nonzero exit on corruption.\n\
+         crash safety: --checkpoint-dir makes attack/pa checkpoint every\n\
+         --checkpoint-every targets (atomic, checksummed); --resume true\n\
+         continues from the checkpoint, bit-identical to an uninterrupted\n\
+         run (a mismatched config/model/view is a typed refusal). SIGTERM\n\
+         drains the in-flight shard, writes a final checkpoint, and exits\n\
+         with code 3 (0 = success, 1 = error, 2 = bad flags); 'attack\n\
+         --json FILE' dumps the scored slots/hist/curve for comparison.\n\
+         SIGTERM on serve stops accepting, drains in-flight requests, and\n\
+         prints the final stats line, like a protocol Shutdown."
     );
 }
 
@@ -398,6 +458,86 @@ fn load_model_flag(args: &Args) -> Result<Option<TrainedAttack>, CliError> {
     Ok(Some(model))
 }
 
+/// Validates the `--checkpoint-dir` / `--checkpoint-every` / `--resume`
+/// flag family: values must parse, the dependent flags require
+/// `--checkpoint-dir`, and `--checkpoint-every` must be at least 1.
+/// Returns the resolved spec (checkpoint file `<file_name>` inside the
+/// directory) plus the resume mode, or `None` when checkpointing is off.
+fn checkpoint_flags(
+    args: &Args,
+    file_name: &str,
+) -> Result<Option<(CheckpointSpec, Resume)>, CliError> {
+    // Parse values first so garbage fails typed even when the combination
+    // is also wrong.
+    let every: usize = args.get_or("checkpoint-every", DEFAULT_CHECKPOINT_EVERY)?;
+    let resume: bool = args.get_or("resume", false)?;
+    let Some(dir) = args.get_str("checkpoint-dir") else {
+        for flag in ["checkpoint-every", "resume"] {
+            if args.get_str(flag).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} requires --checkpoint-dir"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    if every == 0 {
+        return Err(CliError::Usage("--checkpoint-every must be >= 1".into()));
+    }
+    fs::create_dir_all(dir)?;
+    Ok(Some((
+        CheckpointSpec {
+            path: Path::new(dir).join(file_name),
+            every,
+        },
+        if resume {
+            Resume::IfPresent
+        } else {
+            Resume::Fresh
+        },
+    )))
+}
+
+/// Scores `test`, either directly or through the crash-safe resumable
+/// driver when `--checkpoint-dir` is set. In checkpointing mode
+/// SIGTERM/SIGINT drain the in-flight shard, persist a final checkpoint,
+/// and surface as [`CliError::Interrupted`] (exit code 3).
+fn score_maybe_resumable(
+    kind: &str,
+    model: &TrainedAttack,
+    test: &SplitView,
+    options: &ScoreOptions,
+    checkpoint: Option<&(CheckpointSpec, Resume)>,
+) -> Result<ScoredView, CliError> {
+    let Some((spec, resume)) = checkpoint else {
+        return Ok(model.score(test, options));
+    };
+    interrupt::install_handlers();
+    match score_resumable_as(
+        kind,
+        model,
+        test,
+        options,
+        spec,
+        *resume,
+        &interrupt::requested,
+    )? {
+        ScoreOutcome::Complete(scored) => Ok(scored),
+        ScoreOutcome::Interrupted {
+            targets_done,
+            num_targets,
+        } => {
+            eprintln!(
+                "drained after {targets_done}/{num_targets} targets; checkpoint at {}",
+                spec.path.display()
+            );
+            Err(CliError::Interrupted {
+                checkpoint: Some(spec.path.clone()),
+            })
+        }
+    }
+}
+
 fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let dir: String = args
         .get_str("dir")
@@ -409,6 +549,7 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
     let enumeration: Enumeration = args.get_or("enumeration", Enumeration::Spatial)?;
     let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
+    let checkpoint = checkpoint_flags(args, &format!("attack-{target}.ckpt"))?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -428,7 +569,9 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         model.num_training_samples(),
         model.radius()
     );
-    let scored = model.score(
+    let scored = score_maybe_resumable(
+        "attack",
+        &model,
         test,
         &ScoreOptions {
             parallelism,
@@ -436,7 +579,21 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
             enumeration,
             ..ScoreOptions::default()
         },
-    );
+        checkpoint.as_ref(),
+    )?;
+    if let Some(path) = args.get_str("json") {
+        // Deterministic dump of the full scoring result: serde_json
+        // round-trips f64 exactly, so byte-identical files mean
+        // bit-identical slots/hists/curves (what the kill-and-resume
+        // smoke compares with `cmp`).
+        let json = format!(
+            "{{\"scored\":{},\"curve\":{}}}\n",
+            serde_json::to_string(&scored).expect("scored views always serialize"),
+            serde_json::to_string(&scored.curve()).expect("curves always serialize"),
+        );
+        fs::write(path, json)?;
+        eprintln!("wrote {path}");
+    }
     println!("pairs evaluated : {}", scored.pairs_scored);
     println!("threshold       : {threshold}");
     println!("mean |LoC|      : {:.2}", scored.mean_loc_at(threshold));
@@ -474,6 +631,7 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
     let kernel: Kernel = args.get_or("kernel", Kernel::Compiled)?;
     let enumeration: Enumeration = args.get_or("enumeration", Enumeration::Spatial)?;
     let backend: TreeBackend = args.get_or("tree-backend", TreeBackend::Binned)?;
+    let checkpoint = checkpoint_flags(args, &format!("pa-{target}.ckpt"))?;
 
     let views = load_dir(&dir)?;
     let (train, test) = split_target(&views, &target)?;
@@ -486,6 +644,12 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
             parse_config(args.get_str("config").unwrap_or("imp-9"))?.with_parallelism(parallelism)
         }
     };
+    if checkpoint.is_some() {
+        // Install early so a SIGTERM during the (non-checkpointable)
+        // validation/training stages is honoured at the next stage
+        // boundary instead of being lost.
+        interrupt::install_handlers();
+    }
     eprintln!("validating PA-LoC fractions on {} designs ...", train.len());
     let val = validate_pa_fraction_opt(
         &config,
@@ -502,11 +666,18 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
         );
     }
     println!("selected fraction: {:.3}%", val.best_fraction * 100.0);
+    if checkpoint.is_some() && interrupt::requested() {
+        // Stage boundary: validation is pure recomputation, so there is
+        // nothing durable to write yet — a resume re-runs it identically.
+        return Err(CliError::Interrupted { checkpoint: None });
+    }
     let model = match preloaded {
         Some(model) => model,
         None => TrainedAttack::train_opt(&config, &train, None, TrainOptions { backend })?,
     };
-    let scored = model.score(
+    let scored = score_maybe_resumable(
+        "pa",
+        &model,
         test,
         &ScoreOptions {
             parallelism,
@@ -514,7 +685,8 @@ fn cmd_pa(args: &Args) -> Result<(), CliError> {
             enumeration,
             ..ScoreOptions::default()
         },
-    );
+        checkpoint.as_ref(),
+    )?;
     let outcome = proximity_attack(&scored, test, val.best_fraction, seed ^ 1);
     println!("proximity attack on {}: {}", test.name, outcome);
     Ok(())
@@ -733,7 +905,22 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;
-    let stats = serve_source(source, shadow, listener, &options)?;
+    // SIGTERM/SIGINT drain the server exactly like a protocol Shutdown:
+    // the handler only sets a flag; this watcher thread notices and pokes
+    // the accept loop awake (glibc installs handlers with SA_RESTART, so
+    // a blocked accept() would never otherwise observe the signal). The
+    // thread is left running at exit — process teardown reaps it.
+    interrupt::install_handlers();
+    let shutdown = ShutdownHandle::new();
+    let watcher = shutdown.clone();
+    std::thread::spawn(move || loop {
+        if interrupt::requested() {
+            watcher.request();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+    let stats = serve_source_with(source, shadow, listener, &options, Some(&shutdown))?;
     println!(
         "shutdown after {} requests ({} errors, {} io errors, {} shed, {} timeouts, \
          {} pairs scored, {} reloads); latency p50 {} us, p95 {} us, p99 {} us",
@@ -775,7 +962,34 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `models --verify`: offline integrity sweep of a registry directory,
+/// one OK/CORRUPT line per model, typed error (nonzero exit) if anything
+/// fails.
+fn models_verify(dir: &str) -> Result<(), CliError> {
+    let report = verify(Path::new(dir))?;
+    let mut corrupt = 0usize;
+    for model in &report {
+        match &model.status {
+            Ok(checksum) => println!("{:<20} OK      {checksum}", model.model_id),
+            Err(reason) => {
+                corrupt += 1;
+                println!("{:<20} CORRUPT {reason}", model.model_id);
+            }
+        }
+    }
+    if corrupt > 0 {
+        return Err(CliError::Usage(format!(
+            "registry {dir} failed verification: {corrupt} of {} models corrupt",
+            report.len()
+        )));
+    }
+    println!("registry {dir} verified: {} models OK", report.len());
+    Ok(())
+}
+
 fn cmd_models(args: &Args) -> Result<(), CliError> {
+    // Parse --verify up front so garbage fails typed for either source.
+    let verify_requested: bool = args.get_or("verify", false)?;
     match (args.get_str("registry"), args.get_str("addr")) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--registry and --addr are mutually exclusive; inspect a directory \
@@ -785,6 +999,7 @@ fn cmd_models(args: &Args) -> Result<(), CliError> {
         (None, None) => Err(CliError::Usage(
             "--registry DIR or --addr HOST:PORT required".into(),
         )),
+        (Some(dir), None) if verify_requested => models_verify(dir),
         (Some(dir), None) => {
             let index = RegistryIndex::load(Path::new(dir))?;
             println!(
@@ -814,6 +1029,11 @@ fn cmd_models(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         (None, Some(addr)) => {
+            if args.get_str("verify").is_some() {
+                return Err(CliError::Usage(
+                    "--verify requires --registry (it is an offline filesystem sweep)".into(),
+                ));
+            }
             let mut client = Client::connect(addr)?;
             match client.call_ok(&Request::ListModels)? {
                 Response::Models {
@@ -1443,6 +1663,187 @@ mod tests {
         )
         .expect("parses");
         assert!(matches!(dispatch(&attack), Err(CliError::Usage(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flags_reject_garbage_with_typed_errors() {
+        // Garbage values must die on flag parsing — before combination
+        // validation and before any challenge file is read, so the
+        // diagnostic names the malformed flag even when the combo is
+        // also wrong.
+        for (tokens, flag) in [
+            (
+                &[
+                    "attack",
+                    "--dir",
+                    "x",
+                    "--target",
+                    "sb1",
+                    "--checkpoint-dir",
+                    "ck",
+                    "--checkpoint-every",
+                    "banana",
+                ][..],
+                "checkpoint-every",
+            ),
+            (
+                &[
+                    "pa",
+                    "--dir",
+                    "x",
+                    "--target",
+                    "sb1",
+                    "--checkpoint-dir",
+                    "ck",
+                    "--resume",
+                    "maybe",
+                ][..],
+                "resume",
+            ),
+            (
+                &[
+                    "attack", "--dir", "x", "--target", "sb1", "--resume", "perhaps",
+                ][..],
+                "resume",
+            ),
+            (
+                &["models", "--registry", "r", "--verify", "junk"][..],
+                "verify",
+            ),
+        ] {
+            let err = dispatch_tokens(tokens).expect_err("must reject");
+            assert!(
+                matches!(
+                    err,
+                    CliError::Args(crate::args::ParseArgsError::BadValue { flag: ref f, .. })
+                        if f == flag
+                ),
+                "{tokens:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_flag_combinations_fail_closed_as_usage_errors() {
+        for tokens in [
+            // --resume / --checkpoint-every are meaningless without a
+            // checkpoint directory to act on.
+            &[
+                "attack", "--dir", "x", "--target", "sb1", "--resume", "true",
+            ][..],
+            &[
+                "attack",
+                "--dir",
+                "x",
+                "--target",
+                "sb1",
+                "--checkpoint-every",
+                "10",
+            ][..],
+            &["pa", "--dir", "x", "--target", "sb1", "--resume", "true"][..],
+            &[
+                "pa",
+                "--dir",
+                "x",
+                "--target",
+                "sb1",
+                "--checkpoint-every",
+                "10",
+            ][..],
+            // A zero-target shard can never make progress.
+            &[
+                "attack",
+                "--dir",
+                "x",
+                "--target",
+                "sb1",
+                "--checkpoint-dir",
+                "ck",
+                "--checkpoint-every",
+                "0",
+            ][..],
+            // --verify is an offline registry sweep; it cannot ride a
+            // network listing.
+            &["models", "--addr", "127.0.0.1:1", "--verify", "true"][..],
+        ] {
+            let err = dispatch_tokens(tokens).expect_err("must reject");
+            assert!(matches!(err, CliError::Usage(_)), "{tokens:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn attack_with_checkpoint_completes_removes_checkpoint_and_writes_json() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_checkpoint_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().expect("utf8");
+        dispatch_tokens(&["gen", "--out", dir_s, "--scale", "0.01", "--split", "8"])
+            .expect("gen runs");
+        let ck = dir.join("ck");
+        let json = dir.join("out.json");
+        dispatch_tokens(&[
+            "attack",
+            "--dir",
+            dir_s,
+            "--target",
+            "sb1",
+            "--config",
+            "imp-9",
+            "--checkpoint-dir",
+            ck.to_str().expect("utf8"),
+            "--checkpoint-every",
+            "2",
+            "--json",
+            json.to_str().expect("utf8"),
+        ])
+        .expect("checkpointed attack runs");
+        assert!(
+            !ck.join("attack-sb1.ckpt").exists(),
+            "checkpoint must be removed once the run completes"
+        );
+        let dump = fs::read_to_string(&json).expect("json dump written");
+        assert!(dump.starts_with("{\"scored\":"), "{dump:.40}");
+        assert!(dump.contains("\"curve\":"), "{dump:.40}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn models_verify_passes_a_good_registry_and_fails_a_corrupt_one() {
+        let dir = std::env::temp_dir().join("splitmfg_cli_verify_sweep");
+        let _ = fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().expect("utf8");
+        dispatch_tokens(&["gen", "--out", dir_s, "--scale", "0.01", "--split", "8"])
+            .expect("gen runs");
+        let reg = dir.join("registry");
+        let reg_s = reg.to_str().expect("utf8");
+        dispatch_tokens(&[
+            "train",
+            "--dir",
+            dir_s,
+            "--target",
+            "sb1",
+            "--config",
+            "imp-9",
+            "--registry",
+            reg_s,
+            "--model-id",
+            "m1",
+        ])
+        .expect("publish runs");
+        dispatch_tokens(&["models", "--registry", reg_s, "--verify", "true"])
+            .expect("a freshly published registry verifies clean");
+
+        // Flip one byte in the artifact: the sweep must report the model
+        // corrupt and exit nonzero.
+        let artifact = reg.join("m1.model");
+        let mut bytes = fs::read(&artifact).expect("artifact exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&artifact, &bytes).expect("corrupts");
+        let err = dispatch_tokens(&["models", "--registry", reg_s, "--verify", "true"])
+            .expect_err("a corrupt registry must fail verification");
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("1 of 1"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -25,11 +25,18 @@ mod commands;
 
 use args::Args;
 
+/// Exit codes: 0 = success, 1 = error, 2 = bad command line, 3 = the run
+/// was interrupted (SIGTERM/SIGINT) and drained cleanly — any checkpoint
+/// on disk is complete and resumable with `--resume true`.
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match Args::parse(argv) {
         Ok(args) => match commands::dispatch(&args) {
             Ok(()) => 0,
+            Err(e @ commands::CliError::Interrupted { .. }) => {
+                eprintln!("{e}");
+                3
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 1

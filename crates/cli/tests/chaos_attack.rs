@@ -1,0 +1,255 @@
+//! Process-level crash/chaos tests of the `splitmfg attack` pipeline: kill
+//! the binary at injected fail points (`SM_FAILPOINTS`), resume, and
+//! require the resumed output to be *byte-identical* to an uninterrupted
+//! golden run. Companion to the in-process proofs in
+//! `crates/core/tests/checkpoint_resume.rs`.
+#![cfg(unix)]
+
+use std::os::unix::process::ExitStatusExt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+const SIGKILL: i32 = 9;
+
+fn run_in(dir: &Path, args: &[&str], failpoints: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_splitmfg"));
+    cmd.args(args).current_dir(dir).env_remove("SM_FAILPOINTS");
+    if let Some(spec) = failpoints {
+        cmd.env("SM_FAILPOINTS", spec);
+    }
+    cmd.output().expect("binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Shared fixture: a generated challenge suite, a trained model artifact,
+/// and the golden (uninterrupted) attack output — built once, read by
+/// every test.
+struct Fixture {
+    dir: PathBuf,
+    golden: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join("smattack_chaos_fixture");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_in(
+            &dir,
+            &["gen", "--out", "suite", "--scale", "0.02", "--split", "8"],
+            None,
+        );
+        assert_eq!(out.status.code(), Some(0), "gen: {}", stderr_of(&out));
+        let out = run_in(
+            &dir,
+            &[
+                "train",
+                "--dir",
+                "suite",
+                "--target",
+                "sb1",
+                "--out",
+                "model.bin",
+            ],
+            None,
+        );
+        assert_eq!(out.status.code(), Some(0), "train: {}", stderr_of(&out));
+        let out = run_in(
+            &dir,
+            &[
+                "attack",
+                "--dir",
+                "suite",
+                "--target",
+                "sb1",
+                "--model",
+                "model.bin",
+                "--json",
+                "golden.json",
+            ],
+            None,
+        );
+        assert_eq!(out.status.code(), Some(0), "golden: {}", stderr_of(&out));
+        let golden = std::fs::read(dir.join("golden.json")).expect("golden json");
+        Fixture { dir, golden }
+    })
+}
+
+/// One killed-then-resumed cycle in its own checkpoint dir; returns the
+/// output of the killed run so callers can assert how it died.
+fn kill_and_resume(tag: &str, failpoints: &str) -> (Output, PathBuf) {
+    let fx = fixture();
+    let ck = format!("ck_{tag}");
+    let _ = std::fs::remove_dir_all(fx.dir.join(&ck));
+    let killed = run_in(
+        &fx.dir,
+        &[
+            "attack",
+            "--dir",
+            "suite",
+            "--target",
+            "sb1",
+            "--model",
+            "model.bin",
+            "--checkpoint-dir",
+            &ck,
+            "--checkpoint-every",
+            "2",
+        ],
+        Some(failpoints),
+    );
+    (killed, fx.dir.join(ck))
+}
+
+fn resume_and_compare(tag: &str, ck: &Path) {
+    let fx = fixture();
+    let json = format!("resumed_{tag}.json");
+    // No --checkpoint-every here: the resume runs with the (much larger)
+    // default shard size, so the persisted cursor lands mid-shard — the
+    // realign path must score the tail, not skip it.
+    let out = run_in(
+        &fx.dir,
+        &[
+            "attack",
+            "--dir",
+            "suite",
+            "--target",
+            "sb1",
+            "--model",
+            "model.bin",
+            "--checkpoint-dir",
+            ck.to_str().expect("utf8 path"),
+            "--resume",
+            "true",
+            "--json",
+            &json,
+        ],
+        None,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{tag} resume: {}",
+        stderr_of(&out)
+    );
+    let resumed = std::fs::read(fx.dir.join(&json)).expect("resumed json");
+    assert_eq!(
+        resumed, fx.golden,
+        "{tag}: resumed output differs from the uninterrupted golden run"
+    );
+    assert!(
+        !ck.join("attack-sb1.ckpt").exists(),
+        "{tag}: checkpoint must be removed after a completed resume"
+    );
+}
+
+/// SIGKILL at three distinct checkpoint-write sites — before the tmp file
+/// exists, after the tmp is written but before the rename, and after the
+/// rename but before the directory fsync. Every site must leave either no
+/// checkpoint or a valid one, and resuming must reproduce the golden
+/// bytes exactly.
+#[test]
+fn sigkill_at_every_checkpoint_write_site_resumes_byte_identical() {
+    for (tag, failpoints) in [
+        ("before_tmp", "checkpoint.before_tmp=kill@2"),
+        ("after_tmp", "checkpoint.after_tmp=kill@2"),
+        ("after_rename", "checkpoint.after_rename=kill@2"),
+        ("after_dir_sync", "checkpoint.after_dir_sync=kill@1"),
+    ] {
+        let (killed, ck) = kill_and_resume(tag, failpoints);
+        assert_eq!(
+            killed.status.signal(),
+            Some(SIGKILL),
+            "{tag}: expected death by SIGKILL, got {:?}",
+            killed.status
+        );
+        resume_and_compare(tag, &ck);
+    }
+}
+
+/// SIGTERM mid-run drains the in-flight shard, writes a final checkpoint,
+/// and exits with the documented code 3; the checkpoint then resumes to
+/// the golden bytes.
+#[test]
+fn sigterm_drains_to_a_resumable_checkpoint_and_exits_three() {
+    let (out, ck) = kill_and_resume("term", "checkpoint.after_rename=term@1");
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("--resume true"), "{stderr}");
+    assert!(
+        ck.join("attack-sb1.ckpt").exists(),
+        "a drained run must leave its checkpoint"
+    );
+    resume_and_compare("term", &ck);
+}
+
+#[test]
+fn corrupt_checkpoint_refuses_to_resume_with_exit_one() {
+    let (killed, ck) = kill_and_resume("corrupt", "checkpoint.after_rename=kill@2");
+    assert_eq!(killed.status.signal(), Some(SIGKILL));
+    let path = ck.join("attack-sb1.ckpt");
+    let mut bytes = std::fs::read(&path).expect("checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("corrupts");
+    let fx = fixture();
+    let out = run_in(
+        &fx.dir,
+        &[
+            "attack",
+            "--dir",
+            "suite",
+            "--target",
+            "sb1",
+            "--model",
+            "model.bin",
+            "--checkpoint-dir",
+            ck.to_str().expect("utf8 path"),
+            "--resume",
+            "true",
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(1), "must refuse, not resume");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("checksum"), "{stderr}");
+    assert!(path.exists(), "refusal must leave the evidence in place");
+}
+
+/// `--resume true` with no checkpoint on disk is simply a fresh run.
+#[test]
+fn resume_with_no_checkpoint_is_a_fresh_start() {
+    let fx = fixture();
+    let ck = fx.dir.join("ck_fresh");
+    let _ = std::fs::remove_dir_all(&ck);
+    let json = "fresh.json";
+    let out = run_in(
+        &fx.dir,
+        &[
+            "attack",
+            "--dir",
+            "suite",
+            "--target",
+            "sb1",
+            "--model",
+            "model.bin",
+            "--checkpoint-dir",
+            ck.to_str().expect("utf8 path"),
+            "--resume",
+            "true",
+            "--json",
+            json,
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert_eq!(
+        std::fs::read(fx.dir.join(json)).expect("json written"),
+        fx.golden
+    );
+}

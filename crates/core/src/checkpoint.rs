@@ -1,0 +1,661 @@
+//! Versioned, checksummed attack checkpoints and the resumable scoring
+//! driver.
+//!
+//! A checkpoint is a two-line UTF-8 file with the same framing
+//! discipline as the model artifact store:
+//!
+//! ```text
+//! {"magic":"SPLITMFG-CHECKPOINT","version":1,"checksum":"fnv1a64:<16 hex>"}
+//! {"fingerprint":{...},"state":{...}}
+//! ```
+//!
+//! Line 1 is the header (magic, format version, FNV-1a-64 checksum of the
+//! payload line's bytes); line 2 the payload: a [`Fingerprint`] of the
+//! run the state belongs to, plus the [`RunState`] — either the partial
+//! scoring of one view (completed per-v-pin top-K slots, the partial
+//! candidate histogram, the pair count and the target cursor) or a
+//! cross-validation cursor (completed folds plus the partial
+//! [`LocCurveBuilder`] accumulators).
+//!
+//! ## Resume is bit-identical
+//!
+//! [`score_resumable`] cuts the target list into deterministic shards
+//! ([`sm_ml::parallel::shard_ranges`]) and scores each with
+//! `ScoreOptions { targets: Some(shard) }`. Per-target work depends only
+//! on the model, the view and `top_k` — and `top_k` is computed from the
+//! *view's* v-pin count, never from the target list — so concatenating
+//! per-shard slots in target order, adding the per-shard `u64` histograms
+//! and summing the pair counts reproduces a whole-view scoring call bit
+//! for bit. This is exactly the in-order-merge discipline
+//! `sm_ml::parallel::par_chunks` already applies *within* one call,
+//! lifted to a boundary that can be persisted: the state at a shard
+//! boundary is a pure function of which shards completed, so a process
+//! killed anywhere and resumed from its last checkpoint converges to the
+//! same bytes as an uninterrupted run (proven by the `chaos_attack`
+//! suite and the parity tests in `tests/checkpoint_resume.rs`).
+//!
+//! Because the fingerprint covers only result-affecting inputs, a resume
+//! may legally change `--threads`, `--kernel`, `--enumeration` and
+//! `--checkpoint-every` — all proven bit-identical knobs — while a
+//! different config, model, view or top-K shape is a typed
+//! [`CheckpointError::Mismatch`] refusal.
+//!
+//! ## Version-bump policy
+//!
+//! Any change to the serialized shape of [`Fingerprint`], [`RunState`],
+//! [`VpinScore`]/[`Cand`], the [`LocCurveBuilder`] accumulators, or the
+//! histogram convention requires bumping [`CHECKPOINT_VERSION`]; readers
+//! reject other versions with a typed error. Checkpoints are short-lived
+//! (they are deleted when a run completes), so no cross-version
+//! migration is provided — an old checkpoint after an upgrade is a
+//! refusal, and the run restarts from scratch.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use sm_layout::SplitView;
+use sm_ml::parallel::shard_ranges;
+
+use crate::attack::{ScoreOptions, ScoredView, TrainedAttack, VpinScore, HIST_BINS};
+use crate::durable::{atomic_write, fnv1a64};
+use crate::error::AttackError;
+use crate::loc::LocCurveBuilder;
+
+/// First token of every checkpoint header.
+pub const CHECKPOINT_MAGIC: &str = "SPLITMFG-CHECKPOINT";
+
+/// Current checkpoint format version (bump policy: see the module docs).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Default targets per shard between checkpoint writes.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 2048;
+
+/// Typed checkpoint failure. Loading a corrupt, stale or mismatched
+/// checkpoint is always one of these — never a panic and never a partial
+/// resume.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io(std::io::Error),
+    /// The file is not a two-line header+payload document, or the header
+    /// line is not valid JSON of the expected shape.
+    Malformed(String),
+    /// The header's magic string is wrong — not a checkpoint.
+    BadMagic {
+        /// What the header contained instead of [`CHECKPOINT_MAGIC`].
+        found: String,
+    },
+    /// The checkpoint was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The single version this build supports.
+        supported: u32,
+    },
+    /// The payload bytes do not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: String,
+        /// Checksum of the payload actually present.
+        found: String,
+    },
+    /// The payload passed the checksum but does not decode, or decodes
+    /// into an internally inconsistent state (cursor past the end, wrong
+    /// histogram arity, ...).
+    Payload(String),
+    /// The checkpoint belongs to a different run: resuming would splice
+    /// state from one computation into another.
+    Mismatch {
+        /// Which fingerprint field disagreed.
+        field: &'static str,
+        /// The running configuration's value.
+        expected: String,
+        /// The checkpoint's value.
+        found: String,
+    },
+    /// A checkpoint file already exists and `resume` was not requested;
+    /// starting fresh would clobber resumable state.
+    Exists(PathBuf),
+    /// The requested operation cannot be checkpointed.
+    Unsupported(&'static str),
+    /// The underlying attack computation failed (training a fold, ...).
+    Attack(AttackError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint (magic '{found}')")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} unsupported (this build reads {supported})"
+            ),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected}, payload hashes to {found}"
+            ),
+            CheckpointError::Payload(m) => {
+                write!(f, "checkpoint payload does not decode: {m}")
+            }
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint belongs to a different run: {field} is {found}, \
+                 this run has {expected}"
+            ),
+            CheckpointError::Exists(path) => write!(
+                f,
+                "checkpoint {} already exists; resume it or delete it to start fresh",
+                path.display()
+            ),
+            CheckpointError::Unsupported(m) => write!(f, "cannot checkpoint: {m}"),
+            CheckpointError::Attack(e) => write!(f, "attack: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<AttackError> for CheckpointError {
+    fn from(e: AttackError) -> Self {
+        CheckpointError::Attack(e)
+    }
+}
+
+/// Identity of one view as far as resume safety is concerned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewId {
+    /// Design name.
+    pub name: String,
+    /// Number of v-pins (also pins `top_k`, which derives from it).
+    pub num_vpins: usize,
+}
+
+impl ViewId {
+    fn of(view: &SplitView) -> Self {
+        Self {
+            name: view.name.clone(),
+            num_vpins: view.num_vpins(),
+        }
+    }
+}
+
+/// What a checkpoint's state is a function of: everything that affects
+/// the *bytes* of the final result. Deliberately excluded — and therefore
+/// free to change across a resume — are parallelism, kernel, enumeration
+/// and the shard size, all proven bit-identical knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Run kind: `"attack"`, `"pa"`, or `"xval"` — resuming an attack
+    /// checkpoint into a pa run is a refusal even with equal configs.
+    pub kind: String,
+    /// FNV-1a-64 of the serialized [`crate::attack::AttackConfig`].
+    pub config_hash: String,
+    /// FNV-1a-64 of the serialized [`crate::attack::TrainedParts`], or
+    /// `"-"` when no single model spans the run (cross-validation trains
+    /// one per fold).
+    pub model_hash: String,
+    /// The views the run scores, in order.
+    pub views: Vec<ViewId>,
+    /// [`ScoreOptions::top_fraction`] — changes the retained top-K.
+    pub top_fraction: f64,
+    /// [`ScoreOptions::top_floor`] — changes the retained top-K.
+    pub top_floor: usize,
+}
+
+impl Fingerprint {
+    /// Fingerprint of a single-view scoring run (`attack` / `pa`).
+    #[must_use]
+    pub fn for_scoring(
+        kind: &str,
+        model: &TrainedAttack,
+        view: &SplitView,
+        options: &ScoreOptions,
+    ) -> Self {
+        let config =
+            serde_json::to_string(model.config()).expect("config serialization is infallible");
+        let parts =
+            serde_json::to_string(&model.to_parts()).expect("model serialization is infallible");
+        Self {
+            kind: kind.to_owned(),
+            config_hash: fnv1a64(config.as_bytes()),
+            model_hash: fnv1a64(parts.as_bytes()),
+            views: vec![ViewId::of(view)],
+            top_fraction: options.top_fraction,
+            top_floor: options.top_floor,
+        }
+    }
+
+    /// Fingerprint of a cross-validation run over `views` (the model is
+    /// per-fold, so only the config is pinned).
+    #[must_use]
+    pub fn for_xval(
+        config: &crate::attack::AttackConfig,
+        views: &[SplitView],
+        options: &ScoreOptions,
+    ) -> Self {
+        let config = serde_json::to_string(config).expect("config serialization is infallible");
+        Self {
+            kind: "xval".to_owned(),
+            config_hash: fnv1a64(config.as_bytes()),
+            model_hash: "-".to_owned(),
+            views: views.iter().map(ViewId::of).collect(),
+            top_fraction: options.top_fraction,
+            top_floor: options.top_floor,
+        }
+    }
+
+    /// Verifies a loaded checkpoint's fingerprint against this run's,
+    /// reporting the first disagreeing field.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] naming the field.
+    pub fn verify(&self, found: &Fingerprint) -> Result<(), CheckpointError> {
+        let fail = |field, expected: String, found: String| {
+            Err(CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            })
+        };
+        if self.kind != found.kind {
+            return fail("run kind", self.kind.clone(), found.kind.clone());
+        }
+        if self.config_hash != found.config_hash {
+            return fail(
+                "config",
+                self.config_hash.clone(),
+                found.config_hash.clone(),
+            );
+        }
+        if self.model_hash != found.model_hash {
+            return fail("model", self.model_hash.clone(), found.model_hash.clone());
+        }
+        if self.views != found.views {
+            let show = |v: &[ViewId]| {
+                v.iter()
+                    .map(|v| format!("{}({} v-pins)", v.name, v.num_vpins))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            return fail("views", show(&self.views), show(&found.views));
+        }
+        if self.top_fraction.to_bits() != found.top_fraction.to_bits() {
+            return fail(
+                "top_fraction",
+                self.top_fraction.to_string(),
+                found.top_fraction.to_string(),
+            );
+        }
+        if self.top_floor != found.top_floor {
+            return fail(
+                "top_floor",
+                self.top_floor.to_string(),
+                found.top_floor.to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Partial scoring of one view: the first `targets_done` targets are
+/// complete, everything else has not started (shards are sequential, so
+/// there is no in-between).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoringState {
+    /// Targets completed (== `slots.len()`; the resume cursor).
+    pub targets_done: usize,
+    /// Per-target records of the completed targets, in target order.
+    pub slots: Vec<VpinScore>,
+    /// Partial candidate histogram (contributions of completed targets).
+    pub hist: Vec<u64>,
+    /// Candidate pairs evaluated so far.
+    pub pairs_scored: u64,
+    /// Total v-pins in the view (denominator of LoC fractions).
+    pub num_view_vpins: usize,
+}
+
+/// Cross-validation cursor: the first `folds_done` folds are complete
+/// and folded into the curve accumulators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XvalState {
+    /// Folds completed (the resume cursor).
+    pub folds_done: usize,
+    /// Test-design names of the completed folds, in fold order.
+    pub fold_names: Vec<String>,
+    /// Partial LoC-curve accumulators over the completed folds.
+    pub curve: LocCurveBuilder,
+}
+
+/// The resumable state a checkpoint carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunState {
+    /// Partial scoring of a single view.
+    Scoring(ScoringState),
+    /// Partial cross-validation sweep.
+    Xval(XvalState),
+}
+
+/// The checksummed payload line of a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Which run this state belongs to.
+    pub fingerprint: Fingerprint,
+    /// The resumable state.
+    pub state: RunState,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    checksum: String,
+}
+
+impl Checkpoint {
+    /// Serializes to the two-line on-disk format.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let payload = serde_json::to_string(self).expect("checkpoint serialization is infallible");
+        let header = Header {
+            magic: CHECKPOINT_MAGIC.to_owned(),
+            version: CHECKPOINT_VERSION,
+            checksum: fnv1a64(payload.as_bytes()),
+        };
+        let header = serde_json::to_string(&header).expect("header serialization is infallible");
+        format!("{header}\n{payload}\n")
+    }
+
+    /// Parses and fully validates the two-line format.
+    ///
+    /// # Errors
+    ///
+    /// The first failing check as a typed [`CheckpointError`]: malformed
+    /// structure, bad magic, unsupported version, checksum mismatch, or
+    /// an undecodable/inconsistent payload.
+    pub fn decode(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed("empty file".into()))?;
+        let payload_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed("missing payload line".into()))?;
+        if lines.next().is_some_and(|l| !l.trim().is_empty()) {
+            return Err(CheckpointError::Malformed(
+                "unexpected content after payload line".into(),
+            ));
+        }
+        let header: Header = serde_json::from_str(header_line)
+            .map_err(|e| CheckpointError::Malformed(format!("header does not parse: {e}")))?;
+        if header.magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: header.magic,
+            });
+        }
+        if header.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: header.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let found = fnv1a64(payload_line.as_bytes());
+        if header.checksum != found {
+            return Err(CheckpointError::ChecksumMismatch {
+                expected: header.checksum,
+                found,
+            });
+        }
+        let checkpoint: Checkpoint = serde_json::from_str(payload_line)
+            .map_err(|e| CheckpointError::Payload(e.to_string()))?;
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+
+    /// Internal consistency of the decoded state (checksummed corruption
+    /// is already excluded; this catches a payload written by a buggy or
+    /// foreign producer).
+    fn validate(&self) -> Result<(), CheckpointError> {
+        match &self.state {
+            RunState::Scoring(s) => {
+                if s.slots.len() != s.targets_done {
+                    return Err(CheckpointError::Payload(format!(
+                        "cursor says {} targets done but {} slots are recorded",
+                        s.targets_done,
+                        s.slots.len()
+                    )));
+                }
+                if s.hist.len() != HIST_BINS {
+                    return Err(CheckpointError::Payload(format!(
+                        "histogram has {} bins, this build uses {HIST_BINS}",
+                        s.hist.len()
+                    )));
+                }
+                let total: usize = self.fingerprint.views.first().map_or(0, |v| v.num_vpins);
+                if s.targets_done > total {
+                    return Err(CheckpointError::Payload(format!(
+                        "cursor {} is past the view's {total} v-pins",
+                        s.targets_done
+                    )));
+                }
+            }
+            RunState::Xval(x) => {
+                if x.fold_names.len() != x.folds_done {
+                    return Err(CheckpointError::Payload(format!(
+                        "cursor says {} folds done but {} fold names are recorded",
+                        x.folds_done,
+                        x.fold_names.len()
+                    )));
+                }
+                if x.folds_done > self.fingerprint.views.len() {
+                    return Err(CheckpointError::Payload(format!(
+                        "cursor {} is past the run's {} folds",
+                        x.folds_done,
+                        self.fingerprint.views.len()
+                    )));
+                }
+                if x.folds_done == 0 || x.curve.num_views() != x.folds_done {
+                    return Err(CheckpointError::Payload(format!(
+                        "curve accumulators cover {} views, cursor says {}",
+                        x.curve.num_views(),
+                        x.folds_done
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint crash-durably (tmp + fsync + rename +
+    /// parent-dir fsync, fail-point site family `checkpoint`).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        atomic_write(path, self.encode().as_bytes(), "checkpoint").map_err(CheckpointError::Io)
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure (including a missing
+    /// file), otherwise the typed validation errors of
+    /// [`Checkpoint::decode`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::decode(&text)
+    }
+}
+
+/// Where and how often a resumable driver checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (created/replaced atomically, deleted on
+    /// completion).
+    pub path: PathBuf,
+    /// Targets per shard between checkpoint writes (folds always
+    /// checkpoint once per fold). Clamped to at least 1. May differ
+    /// between the interrupted and the resuming process.
+    pub every: usize,
+}
+
+/// Outcome of a resumable scoring run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreOutcome {
+    /// The run finished; the checkpoint file has been removed.
+    Complete(ScoredView),
+    /// The run stopped at a shard boundary after `should_stop` turned
+    /// true; the final checkpoint is on disk.
+    Interrupted {
+        /// Targets completed and persisted.
+        targets_done: usize,
+        /// Total targets of the run.
+        num_targets: usize,
+    },
+}
+
+/// How a resumable driver should start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// Start from scratch; an existing checkpoint file is a typed
+    /// [`CheckpointError::Exists`] refusal (never silently clobbered).
+    Fresh,
+    /// Resume from the checkpoint file if present (fingerprint-verified),
+    /// start fresh if absent.
+    IfPresent,
+}
+
+/// Scores `view` like [`TrainedAttack::score`], checkpointing after every
+/// [`CheckpointSpec::every`] targets and stopping cleanly at the next
+/// shard boundary once `should_stop` returns true.
+///
+/// The result is bit-identical to an uninterrupted
+/// `model.score(view, options)` call, for any interleaving of kills and
+/// resumes and any `every` (see the module docs for the argument and
+/// `tests/checkpoint_resume.rs` for the proof).
+///
+/// # Errors
+///
+/// Typed [`CheckpointError`]s: i/o, a corrupt checkpoint (refused, never
+/// partially applied), a fingerprint mismatch, or
+/// [`CheckpointError::Exists`] when `resume` is [`Resume::Fresh`] but a
+/// checkpoint file is present. `options.targets` must be `None` — the
+/// driver owns the target cursor — otherwise
+/// [`CheckpointError::Unsupported`].
+pub fn score_resumable(
+    model: &TrainedAttack,
+    view: &SplitView,
+    options: &ScoreOptions,
+    spec: &CheckpointSpec,
+    resume: Resume,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<ScoreOutcome, CheckpointError> {
+    score_resumable_as("attack", model, view, options, spec, resume, should_stop)
+}
+
+/// [`score_resumable`] with an explicit run kind (`"attack"` / `"pa"`),
+/// so a proximity-attack checkpoint can never resume a plain attack run.
+#[allow(clippy::too_many_arguments)]
+pub fn score_resumable_as(
+    kind: &str,
+    model: &TrainedAttack,
+    view: &SplitView,
+    options: &ScoreOptions,
+    spec: &CheckpointSpec,
+    resume: Resume,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<ScoreOutcome, CheckpointError> {
+    if options.targets.is_some() {
+        return Err(CheckpointError::Unsupported(
+            "explicit score targets (the resumable driver owns the target cursor)",
+        ));
+    }
+    let fingerprint = Fingerprint::for_scoring(kind, model, view, options);
+    let n = view.num_vpins();
+    let mut state = match (resume, spec.path.exists()) {
+        (Resume::Fresh, true) => return Err(CheckpointError::Exists(spec.path.clone())),
+        (_, false) => ScoringState {
+            targets_done: 0,
+            slots: Vec::new(),
+            hist: vec![0u64; HIST_BINS],
+            pairs_scored: 0,
+            num_view_vpins: n,
+        },
+        (Resume::IfPresent, true) => {
+            let checkpoint = Checkpoint::load(&spec.path)?;
+            fingerprint.verify(&checkpoint.fingerprint)?;
+            match checkpoint.state {
+                RunState::Scoring(s) => s,
+                RunState::Xval(_) => {
+                    return Err(CheckpointError::Mismatch {
+                        field: "state kind",
+                        expected: "scoring".into(),
+                        found: "xval".into(),
+                    })
+                }
+            }
+        }
+    };
+    for range in shard_ranges(n, spec.every) {
+        if range.end <= state.targets_done {
+            continue; // shard fully completed before the interruption
+        }
+        // A resume with a different `every` may land mid-shard; realign
+        // the shard start to the persisted cursor.
+        let start = state.targets_done;
+        let targets: Vec<u32> = (start as u32..range.end as u32).collect();
+        if !targets.is_empty() {
+            let part = model.score(
+                view,
+                &ScoreOptions {
+                    targets: Some(targets),
+                    ..options.clone()
+                },
+            );
+            state.targets_done = range.end;
+            state.slots.extend(part.slots);
+            for (acc, add) in state.hist.iter_mut().zip(&part.hist) {
+                *acc += add;
+            }
+            state.pairs_scored += part.pairs_scored;
+        }
+        Checkpoint {
+            fingerprint: fingerprint.clone(),
+            state: RunState::Scoring(state.clone()),
+        }
+        .save(&spec.path)?;
+        if state.targets_done < n && should_stop() {
+            return Ok(ScoreOutcome::Interrupted {
+                targets_done: state.targets_done,
+                num_targets: n,
+            });
+        }
+    }
+    match std::fs::remove_file(&spec.path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(CheckpointError::Io(e)),
+    }
+    Ok(ScoreOutcome::Complete(ScoredView {
+        slots: state.slots,
+        hist: state.hist,
+        num_view_vpins: state.num_view_vpins,
+        pairs_scored: state.pairs_scored,
+    }))
+}

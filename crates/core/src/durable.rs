@@ -1,0 +1,140 @@
+//! Crash-durable file writes shared by every durable store in the
+//! workspace (model artifacts, registry indexes, attack checkpoints).
+//!
+//! [`atomic_write`] follows the full crash-safety discipline:
+//!
+//! 1. write the bytes to a `.tmp` sibling,
+//! 2. `fsync` the staging file (the data must be durable *before* the
+//!    rename publishes it, or a crash could atomically install an empty
+//!    file),
+//! 3. atomically `rename` it over the destination,
+//! 4. `fsync` the parent directory (the rename itself lives in the
+//!    directory; without this a power cut after the rename can roll the
+//!    directory entry back to the old file — the rename was atomic but
+//!    not yet durable).
+//!
+//! A crash at any instant therefore leaves either the previous file or
+//! the complete new one at the destination — never a truncation — and
+//! once `atomic_write` returns, the new file survives power loss.
+//!
+//! Every stage is bracketed by [`crate::failpoint`] sites named
+//! `<site>.before_tmp`, `<site>.after_tmp`, `<site>.after_rename` and
+//! `<site>.after_dir_sync`, so chaos tests can kill the process in each
+//! distinct on-disk state and assert recovery.
+
+use std::io;
+use std::path::Path;
+
+use crate::failpoint;
+
+/// FNV-1a 64-bit hash of `bytes`, formatted as the checksum string used
+/// by artifact headers, registry index entries and checkpoint headers
+/// (`fnv1a64:<16 hex>`).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a64:{hash:016x}")
+}
+
+/// Writes `bytes` to `path` crash-durably (see the module docs for the
+/// four-stage discipline). `site` names the [`crate::failpoint`] site
+/// family bracketing each stage (`"checkpoint"`, `"artifact"`,
+/// `"registry_index"`).
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`]; the `.tmp` sibling is removed
+/// best-effort on the error path. A path without a file name is
+/// [`io::ErrorKind::InvalidInput`].
+pub fn atomic_write(path: &Path, bytes: &[u8], site: &str) -> io::Result<()> {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("path {} has no file name", path.display()),
+        ));
+    };
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    failpoint::hit(&format!("{site}.before_tmp"));
+    let write_then_sync = (|| {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        failpoint::hit(&format!("{site}.after_tmp"));
+        std::fs::rename(&tmp, path)?;
+        failpoint::hit(&format!("{site}.after_rename"));
+        // The rename is atomic but only durable once the directory entry
+        // is on disk. An unwritable parent (rare filesystems) is not a
+        // correctness failure for readers — they still see old-or-new —
+        // so sync errors here are real errors, not ignored.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+        failpoint::hit(&format!("{site}.after_dir_sync"));
+        Ok(())
+    })();
+    if let Err(e) = write_then_sync {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_stable_and_position_dependent() {
+        assert_eq!(fnv1a64(b""), "fnv1a64:cbf29ce484222325");
+        assert_eq!(fnv1a64(b"a"), "fnv1a64:af63dc4c8601ec8c");
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_staging_file() {
+        let dir = std::env::temp_dir().join("smattack_durable_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("file");
+        atomic_write(&path, b"one", "test").expect("writes");
+        assert_eq!(std::fs::read(&path).expect("reads"), b"one");
+        atomic_write(&path, b"two", "test").expect("replaces");
+        assert_eq!(std::fs::read(&path).expect("reads"), b"two");
+        assert!(!dir.join("file.tmp").exists(), "staging file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pathological_paths_are_typed_io_errors() {
+        assert_eq!(
+            atomic_write(Path::new("/"), b"x", "test")
+                .expect_err("no file name")
+                .kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(atomic_write(Path::new("/nonexistent-parent-dir/file"), b"x", "test").is_err());
+    }
+
+    #[test]
+    fn relative_paths_without_a_parent_sync_the_cwd() {
+        // `path.parent()` is Some("") for a bare file name; the directory
+        // fsync must fall back to "." instead of failing.
+        let dir = std::env::temp_dir().join("smattack_durable_cwd_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let prev = std::env::current_dir().expect("cwd");
+        std::env::set_current_dir(&dir).expect("chdir");
+        let res = atomic_write(Path::new("bare-file"), b"x", "test");
+        std::env::set_current_dir(prev).expect("chdir back");
+        res.expect("bare relative path writes");
+        assert_eq!(std::fs::read(dir.join("bare-file")).expect("reads"), b"x");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

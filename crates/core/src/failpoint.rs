@@ -1,0 +1,210 @@
+//! Named fail points for crash testing, activated by the `SM_FAILPOINTS`
+//! environment variable.
+//!
+//! A fail point is a named call to [`hit`] placed at an interesting
+//! instant of a durable operation (between writing a staging file and
+//! renaming it, say). In production the call is a single relaxed atomic
+//! load of a lazily-initialised empty table — effectively free. Under
+//! test, `SM_FAILPOINTS` arms selected sites with an action:
+//!
+//! ```text
+//! SM_FAILPOINTS=site=action[@count][,site=action[@count]...]
+//! ```
+//!
+//! | action  | effect when the site fires                                  |
+//! |---------|-------------------------------------------------------------|
+//! | `panic` | `panic!` (unwinds; a thread dies, the process may survive)  |
+//! | `abort` | `std::process::abort()` (SIGABRT, no destructors)           |
+//! | `exit`  | `std::process::exit(86)` (no destructors past this frame)   |
+//! | `kill`  | `SIGKILL` to self — the kernel stops the process mid-write, |
+//! |         | the closest a test gets to a power cut                      |
+//! | `term`  | `SIGTERM` to self, then *continue* — exercises the graceful |
+//! |         | drain path deterministically instead of racing a timer      |
+//!
+//! `@count` arms the site to fire on exactly its `count`-th hit
+//! (1-based, default 1) and never again — so `checkpoint.after_tmp=kill@3`
+//! kills the process during the third checkpoint write, leaving the
+//! second checkpoint published on disk.
+//!
+//! The well-known sites are the four stages of
+//! [`crate::durable::atomic_write`] (`<prefix>.before_tmp`,
+//! `<prefix>.after_tmp`, `<prefix>.after_rename`,
+//! `<prefix>.after_dir_sync` for the `checkpoint`, `artifact` and
+//! `registry_index` prefixes) plus `registry.after_artifact`, the window
+//! between a registry publish's two atomic writes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Panic,
+    Abort,
+    Exit,
+    Kill,
+    Term,
+}
+
+#[derive(Debug)]
+struct Site {
+    name: String,
+    action: Action,
+    /// 1-based hit index the site fires on.
+    fire_on: u64,
+    hits: AtomicU64,
+}
+
+static SITES: OnceLock<Vec<Site>> = OnceLock::new();
+
+/// Parses one `site=action[@count]` clause.
+fn parse_clause(clause: &str) -> Result<Site, String> {
+    let (name, rhs) = clause
+        .split_once('=')
+        .ok_or_else(|| format!("'{clause}' is not of the form site=action"))?;
+    let (action, count) = match rhs.split_once('@') {
+        Some((a, n)) => {
+            let n: u64 = n
+                .parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("'{clause}' has a bad @count (need an integer >= 1)"))?;
+            (a, n)
+        }
+        None => (rhs, 1),
+    };
+    let action = match action {
+        "panic" => Action::Panic,
+        "abort" => Action::Abort,
+        "exit" => Action::Exit,
+        "kill" => Action::Kill,
+        "term" => Action::Term,
+        other => {
+            return Err(format!(
+                "'{clause}' has unknown action '{other}' \
+                 (known: panic, abort, exit, kill, term)"
+            ))
+        }
+    };
+    if name.is_empty() {
+        return Err(format!("'{clause}' has an empty site name"));
+    }
+    Ok(Site {
+        name: name.to_owned(),
+        action,
+        fire_on: count,
+        hits: AtomicU64::new(0),
+    })
+}
+
+fn parse_spec(spec: &str) -> Result<Vec<Site>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .map(parse_clause)
+        .collect()
+}
+
+fn sites() -> &'static [Site] {
+    SITES.get_or_init(|| match std::env::var("SM_FAILPOINTS") {
+        Err(_) => Vec::new(),
+        // Fail loud: a typo'd spec silently disarming a chaos test would
+        // make the test pass for the wrong reason.
+        Ok(spec) => {
+            parse_spec(&spec).unwrap_or_else(|e| panic!("SM_FAILPOINTS does not parse: {e}"))
+        }
+    })
+}
+
+/// Sends `sig` to the current process without a libc crate: std already
+/// links libc, so the raw symbols are available.
+fn raise(sig: i32) {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(getpid(), sig);
+    }
+}
+
+/// Marks a named fail point. A no-op unless `SM_FAILPOINTS` arms `site`,
+/// in which case the configured action runs on the configured hit.
+pub fn hit(site: &str) {
+    let sites = sites();
+    if sites.is_empty() {
+        return;
+    }
+    for s in sites {
+        if s.name != site {
+            continue;
+        }
+        let n = s.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if n != s.fire_on {
+            continue;
+        }
+        eprintln!("failpoint {site} firing (hit {n}): {:?}", s.action);
+        match s.action {
+            Action::Panic => panic!("failpoint {site} triggered"),
+            Action::Abort => std::process::abort(),
+            Action::Exit => std::process::exit(86),
+            Action::Kill => {
+                raise(9); // SIGKILL
+                          // The kernel delivers SIGKILL before this returns, but
+                          // don't fall through if something is deeply wrong.
+                std::process::abort();
+            }
+            Action::Term => raise(15), // SIGTERM, then continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clauses_parse_into_sites() {
+        let sites =
+            parse_spec("checkpoint.after_tmp=kill,artifact.before_tmp=panic@3").expect("parses");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].name, "checkpoint.after_tmp");
+        assert_eq!(sites[0].action, Action::Kill);
+        assert_eq!(sites[0].fire_on, 1);
+        assert_eq!(sites[1].name, "artifact.before_tmp");
+        assert_eq!(sites[1].action, Action::Panic);
+        assert_eq!(sites[1].fire_on, 3);
+    }
+
+    #[test]
+    fn empty_clauses_and_whitespace_are_tolerated() {
+        let sites = parse_spec(" a=abort , ,b=exit@2,").expect("parses");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].action, Action::Abort);
+        assert_eq!(sites[1].action, Action::Exit);
+        assert!(parse_spec("").expect("parses").is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_the_offending_clause() {
+        for bad in [
+            "no-equals",
+            "site=",
+            "=panic",
+            "site=explode",
+            "site=kill@0",
+            "site=kill@soon",
+        ] {
+            let err = parse_spec(bad).expect_err("must reject");
+            assert!(err.contains(bad.split(',').next().unwrap_or(bad)), "{err}");
+        }
+    }
+
+    #[test]
+    fn unarmed_hits_are_no_ops() {
+        // SM_FAILPOINTS is unset in the test environment; any site name
+        // must pass through untouched.
+        hit("checkpoint.before_tmp");
+        hit("not.a.site");
+    }
+}

@@ -1,0 +1,72 @@
+//! Graceful-interruption flag: a process-wide "please stop at the next
+//! safe boundary" bit, settable from a Unix signal handler.
+//!
+//! The resumable drivers in [`crate::checkpoint`] and [`crate::xval`]
+//! poll [`requested`] at shard/fold boundaries; the CLI installs
+//! SIGTERM/SIGINT handlers with [`install_handlers`] so an operator's
+//! `kill <pid>` (or a scheduler's preemption notice) drains the in-flight
+//! shard, writes a final checkpoint, and exits cleanly instead of losing
+//! the run.
+//!
+//! The handler only performs an atomic store — the one thing that is
+//! async-signal-safe — and everything else happens on the normal control
+//! path. Registration uses the raw libc `signal` symbol (std already
+//! links libc; no external crate needed).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// SIGINT signal number (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// SIGTERM signal number (polite kill).
+pub const SIGTERM: i32 = 15;
+
+/// Has an interrupt been requested (by a signal or [`trigger`])?
+#[must_use]
+pub fn requested() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Requests an interrupt from ordinary code — what the signal handler
+/// does, callable directly by tests and in-process drivers.
+pub fn trigger() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests only; a real process exits after draining).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only an atomic store: async-signal-safe by construction.
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs [`trigger`]-equivalent handlers for SIGTERM and SIGINT.
+/// Idempotent; later installations simply re-register the same handler.
+pub fn install_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_sets_and_reset_clears() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

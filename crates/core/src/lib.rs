@@ -41,9 +41,13 @@
 
 pub mod attack;
 pub mod baseline;
+pub mod checkpoint;
 pub mod defenses;
+pub mod durable;
 pub mod error;
+pub mod failpoint;
 pub mod features;
+pub mod interrupt;
 pub mod loc;
 pub mod matching;
 pub mod neighborhood;
@@ -57,6 +61,9 @@ pub mod xval;
 pub use attack::{
     AttackConfig, BaseClassifier, Enumeration, Kernel, ScoreOptions, ScoredView, TrainOptions,
     TrainedAttack, TrainedParts,
+};
+pub use checkpoint::{
+    score_resumable, Checkpoint, CheckpointError, CheckpointSpec, Fingerprint, Resume, ScoreOutcome,
 };
 pub use error::AttackError;
 pub use features::{FeatureSet, PairFeature, PairKernel, ALL_FEATURES};

@@ -85,7 +85,12 @@ impl ScoredView {
 /// exactly the batch function's inner loop. Memory is bounded by the three
 /// `HIST_BINS` accumulator arrays instead of every scored view at once —
 /// what the paper-scale streaming cross-validation drivers rely on.
-#[derive(Debug, Clone)]
+///
+/// Serializes for checkpointing: the accumulators are plain `f64` sums
+/// and `serde_json` round-trips `f64` exactly (shortest-roundtrip
+/// printing), so a builder restored from a checkpoint continues
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LocCurveBuilder {
     num_views: usize,
     acc: Vec<f64>,

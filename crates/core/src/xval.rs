@@ -24,7 +24,11 @@ use sm_ml::parallel::par_map;
 use sm_ml::Dataset;
 
 use crate::attack::{AttackConfig, ScoreOptions, ScoredView, TrainOptions, TrainedAttack};
+use crate::checkpoint::{
+    Checkpoint, CheckpointError, CheckpointSpec, Fingerprint, Resume, RunState, XvalState,
+};
 use crate::error::AttackError;
+use crate::loc::{LocCurve, LocCurveBuilder};
 use crate::neighborhood::neighborhood_radius;
 use crate::samples::{generate_view_samples, sample_base_seed, view_sample_seed};
 
@@ -193,27 +197,171 @@ where
         return Err(AttackError::NoTrainingData);
     }
     for t in 0..views.len() {
-        let test = &views[t];
-        let train: Vec<&SplitView> = views
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != t)
-            .map(|(_, v)| v)
-            .collect();
-        let t0 = Instant::now();
-        let model = TrainedAttack::train_opt(config, &train, None, train_options)?;
-        let train_time = t0.elapsed();
-        let t1 = Instant::now();
-        let scored = model.score(test, score_options);
-        let score_time = t1.elapsed();
-        visit(FoldResult {
-            test_name: test.name.clone(),
-            scored,
-            train_time,
-            score_time,
-        });
+        visit(run_fold(config, views, t, score_options, train_options)?);
     }
     Ok(())
+}
+
+/// Trains and scores fold `t` from scratch — the shared unit of work of
+/// [`for_each_fold`] and [`for_each_fold_resumable`].
+fn run_fold(
+    config: &AttackConfig,
+    views: &[SplitView],
+    t: usize,
+    score_options: &ScoreOptions,
+    train_options: TrainOptions,
+) -> Result<FoldResult, AttackError> {
+    let test = &views[t];
+    let train: Vec<&SplitView> = views
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != t)
+        .map(|(_, v)| v)
+        .collect();
+    let t0 = Instant::now();
+    let model = TrainedAttack::train_opt(config, &train, None, train_options)?;
+    let train_time = t0.elapsed();
+    let t1 = Instant::now();
+    let scored = model.score(test, score_options);
+    let score_time = t1.elapsed();
+    Ok(FoldResult {
+        test_name: test.name.clone(),
+        scored,
+        train_time,
+        score_time,
+    })
+}
+
+/// Outcome of a resumable cross-validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XvalOutcome {
+    /// Every fold ran; the checkpoint file has been removed.
+    Complete {
+        /// Averaged LoC curve over all folds (what an uninterrupted
+        /// [`LocCurveBuilder`] sweep over [`for_each_fold`] produces, bit
+        /// for bit).
+        curve: LocCurve,
+        /// Total folds.
+        folds: usize,
+    },
+    /// `should_stop` turned true at a fold boundary; the final checkpoint
+    /// is on disk.
+    Interrupted {
+        /// Folds completed and persisted.
+        folds_done: usize,
+        /// Total folds of the run.
+        folds_total: usize,
+    },
+}
+
+/// Crash-safe [`for_each_fold`]: checkpoints the fold cursor and the
+/// partial [`LocCurveBuilder`] accumulators after every fold, resuming
+/// from the last completed fold after a crash.
+///
+/// The checkpoint granularity is one **fold** — training is an in-memory
+/// ensemble fit and is not itself checkpointable, so a process killed
+/// mid-fold resumes from that fold's start and re-trains it. Completed
+/// folds are never recomputed, and the final curve is bit-identical to an
+/// uninterrupted sweep because [`LocCurveBuilder`] accumulates per-view
+/// sums in fold order and its `f64` state round-trips exactly through the
+/// checkpoint (`serde_json` shortest-roundtrip printing).
+///
+/// `visit` observes each fold as it completes — only newly computed folds
+/// on a resume, not replayed ones.
+///
+/// # Errors
+///
+/// Typed [`CheckpointError`]s: checkpoint i/o or corruption (a refuse, not
+/// a partial resume), fingerprint mismatch against a foreign checkpoint,
+/// [`CheckpointError::Exists`] when starting fresh over a leftover
+/// checkpoint, [`CheckpointError::Unsupported`] for explicit
+/// `score_options.targets`, and fold failures as
+/// [`CheckpointError::Attack`] (including
+/// [`AttackError::NoTrainingData`] for fewer than two views).
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_fold_resumable<F>(
+    config: &AttackConfig,
+    views: &[SplitView],
+    score_options: &ScoreOptions,
+    train_options: TrainOptions,
+    spec: &CheckpointSpec,
+    resume: Resume,
+    should_stop: &dyn Fn() -> bool,
+    mut visit: F,
+) -> Result<XvalOutcome, CheckpointError>
+where
+    F: FnMut(FoldResult),
+{
+    if views.len() < 2 {
+        return Err(CheckpointError::Attack(AttackError::NoTrainingData));
+    }
+    if score_options.targets.is_some() {
+        return Err(CheckpointError::Unsupported(
+            "explicit score targets (cross-validation scores whole views)",
+        ));
+    }
+    let fingerprint = Fingerprint::for_xval(config, views, score_options);
+    let (folds_done, mut fold_names, mut builder) = match (resume, spec.path.exists()) {
+        (Resume::Fresh, true) => return Err(CheckpointError::Exists(spec.path.clone())),
+        (_, false) => (0, Vec::new(), LocCurveBuilder::new()),
+        (Resume::IfPresent, true) => {
+            let checkpoint = Checkpoint::load(&spec.path)?;
+            fingerprint.verify(&checkpoint.fingerprint)?;
+            let state = match checkpoint.state {
+                RunState::Xval(x) => x,
+                RunState::Scoring(_) => {
+                    return Err(CheckpointError::Mismatch {
+                        field: "state kind",
+                        expected: "xval".into(),
+                        found: "scoring".into(),
+                    })
+                }
+            };
+            let expected: Vec<&str> = views[..state.folds_done]
+                .iter()
+                .map(|v| v.name.as_str())
+                .collect();
+            if state.fold_names != expected {
+                return Err(CheckpointError::Mismatch {
+                    field: "completed folds",
+                    expected: expected.join(","),
+                    found: state.fold_names.join(","),
+                });
+            }
+            (state.folds_done, state.fold_names, state.curve)
+        }
+    };
+    for t in folds_done..views.len() {
+        let fold = run_fold(config, views, t, score_options, train_options)?;
+        builder.add_view(&fold.scored);
+        fold_names.push(fold.test_name.clone());
+        let done = t + 1;
+        visit(fold);
+        Checkpoint {
+            fingerprint: fingerprint.clone(),
+            state: RunState::Xval(XvalState {
+                folds_done: done,
+                fold_names: fold_names.clone(),
+                curve: builder.clone(),
+            }),
+        }
+        .save(&spec.path)?;
+        if done < views.len() && should_stop() {
+            return Ok(XvalOutcome::Interrupted {
+                folds_done: done,
+                folds_total: views.len(),
+            });
+        }
+    }
+    match std::fs::remove_file(&spec.path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(CheckpointError::Io(e)),
+    }
+    Ok(XvalOutcome::Complete {
+        curve: builder.finish(),
+        folds: views.len(),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,442 @@
+//! Resume bit-identity and corruption-refusal proofs for the crash-safe
+//! attack pipeline (`sm_attack::checkpoint` / `xval::for_each_fold_resumable`).
+//!
+//! The central claims, proven the way `enumeration_parity` proves spatial
+//! == all-pairs:
+//!
+//! 1. an uninterrupted resumable run equals a plain `score` call bit for
+//!    bit, for any shard size and parallelism;
+//! 2. a run interrupted at *every possible shard boundary* and resumed —
+//!    even with a different shard size and thread count — converges to
+//!    the same bytes;
+//! 3. a corrupt, truncated, or foreign checkpoint is a typed refusal,
+//!    never a partial resume.
+
+use sm_attack::attack::{AttackConfig, ScoreOptions, TrainOptions, TrainedAttack};
+use sm_attack::checkpoint::{
+    score_resumable, score_resumable_as, Checkpoint, CheckpointError, CheckpointSpec, Resume,
+    ScoreOutcome,
+};
+use sm_attack::xval::{for_each_fold, for_each_fold_resumable, XvalOutcome};
+use sm_attack::{LocCurveBuilder, Parallelism};
+use sm_layout::{SplitLayer, SplitView, Suite};
+
+fn views() -> Vec<SplitView> {
+    Suite::ispd2011_like(0.02)
+        .expect("valid scale")
+        .split_all(SplitLayer::new(8).expect("valid layer"))
+}
+
+fn train(config: &AttackConfig, views: &[SplitView], target: usize) -> TrainedAttack {
+    let train: Vec<&SplitView> = views
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != target)
+        .map(|(_, v)| v)
+        .collect();
+    TrainedAttack::train_opt(config, &train, None, TrainOptions::default()).expect("trains")
+}
+
+fn temp_spec(tag: &str, every: usize) -> CheckpointSpec {
+    let dir = std::env::temp_dir().join(format!("smattack_ckpt_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    CheckpointSpec {
+        path: dir.join("run.ckpt"),
+        every,
+    }
+}
+
+fn cleanup(spec: &CheckpointSpec) {
+    if let Some(parent) = spec.path.parent() {
+        let _ = std::fs::remove_dir_all(parent);
+    }
+}
+
+#[test]
+fn uninterrupted_resumable_run_matches_plain_score_bit_for_bit() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let direct = model.score(&views[0], &ScoreOptions::default());
+    for (i, (every, parallelism)) in [
+        (1, Parallelism::Sequential),
+        (7, Parallelism::Threads(3)),
+        (64, Parallelism::Sequential),
+        (usize::MAX, Parallelism::Threads(2)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = temp_spec(&format!("complete_{i}"), every);
+        let options = ScoreOptions {
+            parallelism,
+            ..ScoreOptions::default()
+        };
+        let outcome = score_resumable(&model, &views[0], &options, &spec, Resume::Fresh, &|| false)
+            .expect("runs");
+        match outcome {
+            ScoreOutcome::Complete(scored) => {
+                assert_eq!(scored, direct, "every={every} {parallelism:?} diverged");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(
+            !spec.path.exists(),
+            "checkpoint must be removed on completion"
+        );
+        cleanup(&spec);
+    }
+}
+
+/// Kill-at-every-boundary: stop after each shard in turn, resume with a
+/// *different* shard size and parallelism, and require the final result
+/// to match an uninterrupted run exactly.
+#[test]
+fn stepwise_interruption_and_resume_converges_bit_for_bit() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let direct = model.score(&views[0], &ScoreOptions::default());
+    let spec = temp_spec("stepwise", 3);
+    let seq = ScoreOptions {
+        parallelism: Parallelism::Sequential,
+        ..ScoreOptions::default()
+    };
+    // First leg: stop at the very first shard boundary.
+    let outcome =
+        score_resumable(&model, &views[0], &seq, &spec, Resume::Fresh, &|| true).expect("runs");
+    let ScoreOutcome::Interrupted {
+        targets_done,
+        num_targets,
+    } = outcome
+    else {
+        panic!("a single shard must not finish the view");
+    };
+    assert_eq!(targets_done, 3);
+    assert!(spec.path.exists(), "interruption must leave a checkpoint");
+    // Remaining legs: a different shard size and parallelism per resume,
+    // stopping at every boundary until done.
+    let resumed_spec = CheckpointSpec {
+        path: spec.path.clone(),
+        every: 2,
+    };
+    let par = ScoreOptions {
+        parallelism: Parallelism::Threads(2),
+        ..ScoreOptions::default()
+    };
+    let mut done = targets_done;
+    let mut legs = 0;
+    let scored = loop {
+        legs += 1;
+        assert!(legs < 10_000, "resume loop does not converge");
+        match score_resumable(
+            &model,
+            &views[0],
+            &par,
+            &resumed_spec,
+            Resume::IfPresent,
+            &|| true,
+        )
+        .expect("resumes")
+        {
+            ScoreOutcome::Complete(scored) => break scored,
+            ScoreOutcome::Interrupted { targets_done, .. } => {
+                assert!(targets_done > done, "the cursor must advance every leg");
+                done = targets_done;
+            }
+        }
+    };
+    assert!(num_targets > 0 && done < num_targets);
+    assert_eq!(scored, direct, "stepwise resume diverged from direct run");
+    assert!(!spec.path.exists());
+    cleanup(&spec);
+}
+
+/// Regression: resuming with a shard size *larger* than the one that
+/// wrote the checkpoint puts the cursor mid-way into the first (and
+/// possibly only) shard. That shard must be realigned and scored, not
+/// skipped — the original skip test (`range.start < cursor`) dropped
+/// the whole tail and reported a 3-of-20-targets run as complete.
+#[test]
+fn resume_with_a_larger_shard_size_scores_the_tail() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let direct = model.score(&views[0], &ScoreOptions::default());
+    let spec = temp_spec("larger_every", 3);
+    let opts = ScoreOptions::default();
+    // Interrupt with cursor = 3 ...
+    score_resumable(&model, &views[0], &opts, &spec, Resume::Fresh, &|| true).expect("first leg");
+    // ... then resume with one giant shard covering the whole view: the
+    // cursor sits mid-shard and the remaining targets must all score.
+    let giant = CheckpointSpec {
+        path: spec.path.clone(),
+        every: usize::MAX,
+    };
+    let outcome = score_resumable(&model, &views[0], &opts, &giant, Resume::IfPresent, &|| {
+        false
+    })
+    .expect("resumes");
+    match outcome {
+        ScoreOutcome::Complete(scored) => {
+            assert_eq!(scored, direct, "tail targets were dropped on resume");
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    assert!(!spec.path.exists());
+    cleanup(&spec);
+}
+
+#[test]
+fn fresh_run_refuses_to_clobber_an_existing_checkpoint() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let spec = temp_spec("clobber", 5);
+    score_resumable(
+        &model,
+        &views[0],
+        &ScoreOptions::default(),
+        &spec,
+        Resume::Fresh,
+        &|| true,
+    )
+    .expect("first leg runs");
+    let before = std::fs::read(&spec.path).expect("checkpoint exists");
+    let err = score_resumable(
+        &model,
+        &views[0],
+        &ScoreOptions::default(),
+        &spec,
+        Resume::Fresh,
+        &|| false,
+    )
+    .expect_err("must refuse");
+    assert!(matches!(err, CheckpointError::Exists(_)), "{err:?}");
+    assert_eq!(
+        std::fs::read(&spec.path).expect("still there"),
+        before,
+        "a refused fresh start must not touch the checkpoint"
+    );
+    cleanup(&spec);
+}
+
+#[test]
+fn mismatched_runs_are_typed_refusals_naming_the_field() {
+    let views = views();
+    let imp9 = train(&AttackConfig::imp9(), &views, 0);
+    let spec = temp_spec("mismatch", 5);
+    let opts = ScoreOptions::default();
+    score_resumable(&imp9, &views[0], &opts, &spec, Resume::Fresh, &|| true).expect("first leg");
+
+    let mismatch_field = |err: CheckpointError| match err {
+        CheckpointError::Mismatch { field, .. } => field,
+        other => panic!("expected a mismatch, got {other:?}"),
+    };
+    // Different config (and therefore a different model too).
+    let imp7 = train(&AttackConfig::imp7(), &views, 0);
+    let err = score_resumable(&imp7, &views[0], &opts, &spec, Resume::IfPresent, &|| false)
+        .expect_err("foreign config must refuse");
+    assert_eq!(mismatch_field(err), "config");
+    // Different view.
+    let err = score_resumable(&imp9, &views[1], &opts, &spec, Resume::IfPresent, &|| false)
+        .expect_err("foreign view must refuse");
+    assert_eq!(mismatch_field(err), "views");
+    // Different top-K shape.
+    let wider = ScoreOptions {
+        top_floor: opts.top_floor + 1,
+        ..opts.clone()
+    };
+    let err = score_resumable(&imp9, &views[0], &wider, &spec, Resume::IfPresent, &|| {
+        false
+    })
+    .expect_err("different top_floor must refuse");
+    assert_eq!(mismatch_field(err), "top_floor");
+    // Different run kind: a pa checkpoint cannot resume an attack run.
+    let err = score_resumable_as(
+        "pa",
+        &imp9,
+        &views[0],
+        &opts,
+        &spec,
+        Resume::IfPresent,
+        &|| false,
+    )
+    .expect_err("foreign kind must refuse");
+    assert_eq!(mismatch_field(err), "run kind");
+    // The intended owner still resumes fine after all those refusals.
+    let outcome = score_resumable(&imp9, &views[0], &opts, &spec, Resume::IfPresent, &|| false)
+        .expect("owner resumes");
+    assert!(matches!(outcome, ScoreOutcome::Complete(_)));
+    cleanup(&spec);
+}
+
+#[test]
+fn explicit_targets_are_rejected_by_the_resumable_driver() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let spec = temp_spec("targets", 5);
+    let opts = ScoreOptions {
+        targets: Some(vec![0, 1]),
+        ..ScoreOptions::default()
+    };
+    let err = score_resumable(&model, &views[0], &opts, &spec, Resume::Fresh, &|| false)
+        .expect_err("must reject");
+    assert!(matches!(err, CheckpointError::Unsupported(_)), "{err:?}");
+    cleanup(&spec);
+}
+
+/// Mirrors the PR 4 artifact truncation test: cut the checkpoint at every
+/// framing boundary and flip payload bits; every variant must be a typed
+/// [`CheckpointError`] and a clean refuse-to-resume.
+#[test]
+fn corrupt_checkpoints_are_typed_errors_and_refuse_to_resume() {
+    let views = views();
+    let model = train(&AttackConfig::imp9(), &views, 0);
+    let spec = temp_spec("corrupt", 5);
+    let opts = ScoreOptions::default();
+    score_resumable(&model, &views[0], &opts, &spec, Resume::Fresh, &|| true).expect("first leg");
+    let good = std::fs::read_to_string(&spec.path).expect("checkpoint exists");
+    let (header, payload) = good.split_once('\n').expect("two-line format");
+
+    // Still-valid baseline: a missing trailing newline parses fine.
+    assert!(Checkpoint::decode(good.trim_end()).is_ok());
+
+    let truncations: Vec<(String, &str)> = vec![
+        (String::new(), "empty file"),
+        (header[..header.len() / 2].to_owned(), "mid-header cut"),
+        (format!("{header}\n"), "header only"),
+        (
+            format!("{header}\n{}", &payload[..payload.len() / 2]),
+            "mid-payload cut",
+        ),
+    ];
+    for (text, what) in &truncations {
+        let err = Checkpoint::decode(text).expect_err(what);
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Malformed(_) | CheckpointError::ChecksumMismatch { .. }
+            ),
+            "{what}: {err:?}"
+        );
+    }
+    // Bit-flips in the payload: every flipped position must trip the
+    // checksum (the payload is covered end to end).
+    let flip = |s: &str, i: usize| {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes[i] ^= 0x01;
+        String::from_utf8(bytes).expect("ascii payloads survive single-bit flips")
+    };
+    for i in [0, payload.len() / 3, payload.len() - 2] {
+        let text = format!("{header}\n{}", flip(payload, i));
+        let err = Checkpoint::decode(&text).expect_err("flipped payload");
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "flip at {i}: {err:?}"
+        );
+    }
+    // Foreign magic and version are their own typed refusals.
+    let foreign = good.replace("SPLITMFG-CHECKPOINT", "SPLITMFG-CHECKPOINX");
+    assert!(matches!(
+        Checkpoint::decode(&foreign).expect_err("bad magic"),
+        CheckpointError::BadMagic { .. }
+    ));
+    let vnext = good.replace("\"version\":1", "\"version\":999");
+    assert!(matches!(
+        Checkpoint::decode(&vnext).expect_err("future version"),
+        CheckpointError::UnsupportedVersion {
+            found: 999,
+            supported: 1
+        }
+    ));
+
+    // And end to end: a corrupt file on disk refuses to resume — typed,
+    // with the corrupt checkpoint left in place for forensics.
+    std::fs::write(&spec.path, format!("{header}\n{}", flip(payload, 10))).expect("writes");
+    let err = score_resumable(&model, &views[0], &opts, &spec, Resume::IfPresent, &|| {
+        false
+    })
+    .expect_err("must refuse");
+    assert!(
+        matches!(err, CheckpointError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+    assert!(spec.path.exists(), "refusal must not delete the evidence");
+    cleanup(&spec);
+}
+
+#[test]
+fn xval_resume_reproduces_the_uninterrupted_curve_bit_for_bit() {
+    let views = views();
+    let config = AttackConfig::imp9();
+    let opts = ScoreOptions::default();
+    // Reference: the plain streaming driver folded into a curve builder.
+    let mut reference = LocCurveBuilder::new();
+    let mut reference_names = Vec::new();
+    for_each_fold(&config, &views, &opts, TrainOptions::default(), |fold| {
+        reference.add_view(&fold.scored);
+        reference_names.push(fold.test_name.clone());
+    })
+    .expect("streaming xval runs");
+    let reference_curve = reference.finish();
+
+    // Uninterrupted resumable sweep.
+    let spec = temp_spec("xval_complete", 1);
+    let outcome = for_each_fold_resumable(
+        &config,
+        &views,
+        &opts,
+        TrainOptions::default(),
+        &spec,
+        Resume::Fresh,
+        &|| false,
+        |_| {},
+    )
+    .expect("resumable xval runs");
+    match outcome {
+        XvalOutcome::Complete { curve, folds } => {
+            assert_eq!(folds, views.len());
+            assert_eq!(curve, reference_curve, "uninterrupted sweep diverged");
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    assert!(!spec.path.exists());
+
+    // Interrupted at every fold boundary; each fold visited exactly once
+    // across all legs.
+    let spec = temp_spec("xval_stepwise", 1);
+    let mut visited = Vec::new();
+    let mut legs = 0;
+    let curve = loop {
+        legs += 1;
+        assert!(legs <= views.len() + 1, "must converge in one leg per fold");
+        let resume = if legs == 1 {
+            Resume::Fresh
+        } else {
+            Resume::IfPresent
+        };
+        match for_each_fold_resumable(
+            &config,
+            &views,
+            &opts,
+            TrainOptions::default(),
+            &spec,
+            resume,
+            &|| true,
+            |fold| visited.push(fold.test_name.clone()),
+        )
+        .expect("leg runs")
+        {
+            XvalOutcome::Complete { curve, .. } => break curve,
+            XvalOutcome::Interrupted {
+                folds_done,
+                folds_total,
+            } => {
+                assert_eq!(folds_done, legs);
+                assert_eq!(folds_total, views.len());
+            }
+        }
+    };
+    assert_eq!(visited, reference_names, "folds replayed or skipped");
+    assert_eq!(curve, reference_curve, "stepwise xval resume diverged");
+    assert!(!spec.path.exists());
+    cleanup(&spec);
+}

@@ -137,6 +137,22 @@ where
     .expect("crossbeam scope")
 }
 
+/// Splits `0..n_items` into consecutive shards of `shard` items (the last
+/// one possibly shorter), in index order.
+///
+/// This is the persistence-boundary counterpart of [`par_chunks`]'s
+/// worker split: a resumable driver scores one shard at a time and
+/// checkpoints between shards, so the state at a shard boundary is a pure
+/// function of which shards completed — independent of parallelism *and*
+/// of the shard size itself (a resume may use a different `shard` than
+/// the interrupted run). `shard` is clamped to at least 1.
+pub fn shard_ranges(n_items: usize, shard: usize) -> impl Iterator<Item = Range<usize>> {
+    let shard = shard.max(1);
+    (0..n_items)
+        .step_by(shard)
+        .map(move |start| start..(start + shard).min(n_items))
+}
+
 /// Maps `f` over `0..n_items`, returning the results in index order.
 /// Parallel per [`par_chunks`]; bit-identical to a sequential map.
 pub fn par_map<T, F>(par: Parallelism, n_items: usize, f: F) -> Vec<T>
@@ -207,6 +223,21 @@ mod tests {
     fn par_chunks_empty_input_spawns_nothing() {
         let parts = par_chunks(Parallelism::Threads(4), 0, |r| r.len());
         assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_index_space_exactly_once() {
+        for (n, shard) in [(10, 3), (10, 10), (10, 100), (10, 1), (1, 4), (7, 7)] {
+            let ranges: Vec<Range<usize>> = shard_ranges(n, shard).collect();
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<usize>>(), "n={n} shard={shard}");
+            for r in &ranges {
+                assert!(r.len() <= shard, "n={n} shard={shard} range {r:?}");
+            }
+        }
+        assert_eq!(shard_ranges(0, 4).count(), 0);
+        // A zero shard is clamped, not an infinite loop.
+        assert_eq!(shard_ranges(3, 0).count(), 3);
     }
 
     #[test]

@@ -157,42 +157,20 @@ struct Header {
 
 /// FNV-1a 64-bit hash of `bytes`, formatted as the checksum string used
 /// by both artifact headers and registry index entries
-/// (`fnv1a64:<16 hex>`).
-pub(crate) fn fnv1a64(bytes: &[u8]) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("fnv1a64:{hash:016x}")
-}
+/// (`fnv1a64:<16 hex>`). Re-exported from the workspace-wide durability
+/// helper so artifacts, registry indexes and attack checkpoints share one
+/// definition.
+pub(crate) use sm_attack::durable::fnv1a64;
 
-/// Writes `bytes` to `path` crash-safely: `.tmp` sibling, fsync, atomic
-/// rename. Shared by artifact saves and registry index saves so every
-/// durable file in the store obeys the same "previous version or staging
-/// file, never a truncation" guarantee.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
-    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-        return Err(ArtifactError::Io(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("path {} has no file name", path.display()),
-        )));
-    };
-    let tmp = path.with_file_name(format!("{name}.tmp"));
-    let write_then_sync = (|| {
-        use std::io::Write as _;
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        // Data must be durable *before* the rename publishes it, or
-        // a crash could atomically install an empty file.
-        file.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if let Err(e) = write_then_sync {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(ArtifactError::Io(e));
-    }
-    Ok(())
+/// Writes `bytes` to `path` crash-durably via
+/// [`sm_attack::durable::atomic_write`] (`.tmp` sibling, fsync, atomic
+/// rename, **parent-directory fsync** — the last step was missing here
+/// before the durability fix: the rename was atomic but a power cut could
+/// roll the directory entry back). `site` names the fail-point family
+/// (`"artifact"` or `"registry_index"`) so chaos tests can kill the
+/// process at each stage.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8], site: &str) -> Result<(), ArtifactError> {
+    sm_attack::durable::atomic_write(path, bytes, site).map_err(ArtifactError::Io)
 }
 
 impl ModelArtifact {
@@ -320,20 +298,21 @@ impl ModelArtifact {
         Ok(artifact)
     }
 
-    /// Writes the artifact to `path` crash-safely: the bytes go to a
-    /// `.tmp` sibling first, are fsynced, and only then atomically
-    /// renamed over `path`. A crash mid-save therefore leaves either the
-    /// previous artifact or a stray `.tmp` — never a truncated file at
-    /// `path` (and even a truncated file fails loading with a typed
-    /// checksum/structure error, see
-    /// [`ModelArtifact::decode`]).
+    /// Writes the artifact to `path` crash-durably: the bytes go to a
+    /// `.tmp` sibling first, are fsynced, atomically renamed over `path`,
+    /// and the parent directory is fsynced so the rename itself survives
+    /// power loss. A crash mid-save therefore leaves either the previous
+    /// artifact or a stray `.tmp` — never a truncated file at `path` (and
+    /// even a truncated file fails loading with a typed checksum/structure
+    /// error, see [`ModelArtifact::decode`]). Fail-point site family:
+    /// `artifact`.
     ///
     /// # Errors
     ///
     /// Returns [`ArtifactError::Io`] on filesystem failure; the `.tmp`
     /// sibling is removed best-effort on the error path.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        write_atomic(path, self.encode().as_bytes())
+        write_atomic(path, self.encode().as_bytes(), "artifact")
     }
 
     /// Reads and validates an artifact from `path`.

@@ -76,10 +76,10 @@ pub use protocol::{
     AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot, Wire,
 };
 pub use registry::{
-    publish, validate_model_id, Catalog, IndexEntry, ModelEntry, RegistryError, RegistryIndex,
-    REGISTRY_MAGIC, REGISTRY_VERSION, SINGLE_MODEL_ID,
+    publish, validate_model_id, verify, Catalog, IndexEntry, ModelEntry, RegistryError,
+    RegistryIndex, VerifiedModel, REGISTRY_MAGIC, REGISTRY_VERSION, SINGLE_MODEL_ID,
 };
 pub use server::{
-    event_loop_count, pool_size, queue_depth, ModelSource, ServeOptions, ServerHandle,
-    ShadowConfig, BUSY_RETRY_AFTER_MS,
+    event_loop_count, pool_size, queue_depth, serve_source_with, ModelSource, ServeOptions,
+    ServerHandle, ShadowConfig, ShutdownHandle, BUSY_RETRY_AFTER_MS,
 };

@@ -358,7 +358,8 @@ impl RegistryIndex {
         Self::decode(&text)
     }
 
-    /// Writes the index into `dir` crash-safely (tmp + fsync + rename).
+    /// Writes the index into `dir` crash-durably (tmp + fsync + rename +
+    /// parent-dir fsync; fail-point site family `registry_index`).
     ///
     /// # Errors
     ///
@@ -366,7 +367,12 @@ impl RegistryIndex {
     /// an incoherent index can never be published.
     pub fn save(&self, dir: &Path) -> Result<(), RegistryError> {
         self.validate()?;
-        write_atomic(&dir.join(INDEX_FILE), self.encode().as_bytes()).map_err(|e| match e {
+        write_atomic(
+            &dir.join(INDEX_FILE),
+            self.encode().as_bytes(),
+            "registry_index",
+        )
+        .map_err(|e| match e {
             ArtifactError::Io(io) => RegistryError::Io(io),
             other => RegistryError::Malformed(other.to_string()),
         })
@@ -404,6 +410,10 @@ pub fn publish(
                 error: other,
             },
         })?;
+    // The window between publish's two atomic writes: a crash here leaves
+    // the artifact on disk but not yet in the index — readers never see
+    // it, and a re-publish simply overwrites it.
+    sm_attack::failpoint::hit("registry.after_artifact");
     let entry = IndexEntry {
         model_id: model_id.to_owned(),
         path: file_name,
@@ -429,6 +439,63 @@ pub fn publish(
     }
     index.save(dir)?;
     Ok(entry)
+}
+
+/// One model's verdict from [`verify`]: `Ok(checksum)` when the artifact
+/// file hashes to the index's recorded checksum, decodes, and matches
+/// this build's schema version; `Err(reason)` otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedModel {
+    /// The index entry's model id.
+    pub model_id: String,
+    /// Per-model verdict.
+    pub status: Result<String, String>,
+}
+
+/// Offline integrity sweep of the registry at `dir` (the `models
+/// --verify` command): validates the index (magic, version, checksum,
+/// coherence), then checks **every** artifact — file readable, bytes hash
+/// to the index's recorded checksum, payload decodes, schema version
+/// supported — reporting per model instead of failing at the first
+/// corruption the way the fail-fast [`Catalog::load`] does.
+///
+/// # Errors
+///
+/// A typed [`RegistryError`] when the index itself is unreadable or
+/// corrupt (there is nothing meaningful to sweep). Per-artifact problems
+/// are *not* errors — they come back as `Err` statuses in the report.
+pub fn verify(dir: &Path) -> Result<Vec<VerifiedModel>, RegistryError> {
+    let index = RegistryIndex::load(dir)?;
+    let mut report = Vec::with_capacity(index.entries.len());
+    for entry in &index.entries {
+        let status = (|| {
+            if entry.schema_version != crate::ARTIFACT_VERSION {
+                return Err(format!(
+                    "schema version {} unsupported (this build reads {})",
+                    entry.schema_version,
+                    crate::ARTIFACT_VERSION
+                ));
+            }
+            let bytes = std::fs::read(dir.join(&entry.path))
+                .map_err(|e| format!("artifact {} unreadable: {e}", entry.path))?;
+            let found = fnv1a64(&bytes);
+            if found != entry.checksum {
+                return Err(format!(
+                    "checksum mismatch: index records {}, file hashes to {found}",
+                    entry.checksum
+                ));
+            }
+            let text =
+                String::from_utf8(bytes).map_err(|e| format!("artifact is not UTF-8: {e}"))?;
+            ModelArtifact::decode(&text).map_err(|e| format!("artifact does not decode: {e}"))?;
+            Ok(entry.checksum.clone())
+        })();
+        report.push(VerifiedModel {
+            model_id: entry.model_id.clone(),
+            status,
+        });
+    }
+    Ok(report)
 }
 
 /// One servable model: the decoded ensemble, its load-time-compiled form,

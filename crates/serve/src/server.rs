@@ -470,7 +470,80 @@ pub fn serve_source(
     listener: TcpListener,
     options: &ServeOptions,
 ) -> std::io::Result<StatsSnapshot> {
-    serve_prepared(Prepared::new(source, shadow)?, listener, options)
+    serve_prepared(Prepared::new(source, shadow)?, listener, options, None)
+}
+
+/// [`serve_source`] with an external [`ShutdownHandle`], so an operator
+/// signal (SIGTERM on the CLI) can stop the server as gracefully as a
+/// protocol `Shutdown` request: stop accepting, drain in-flight requests
+/// through the reactors, return the final stats.
+pub fn serve_source_with(
+    source: ModelSource,
+    shadow: Option<ShadowConfig>,
+    listener: TcpListener,
+    options: &ServeOptions,
+    shutdown: Option<&ShutdownHandle>,
+) -> std::io::Result<StatsSnapshot> {
+    serve_prepared(Prepared::new(source, shadow)?, listener, options, shutdown)
+}
+
+/// External shutdown lever for a running server — the out-of-band
+/// counterpart of the protocol's `Shutdown` request, used by the CLI's
+/// SIGTERM handler.
+///
+/// [`ShutdownHandle::request`] is safe to call from any thread at any
+/// time (before, during, or after the server runs; repeat calls are
+/// idempotent). It flags the request and pokes the server's accept loop
+/// awake with a throwaway local connection — the same wake-up the
+/// in-protocol shutdown path uses — after which the server stops
+/// accepting, drains every in-flight request through the reactors, and
+/// returns its final [`StatsSnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownHandle {
+    inner: Arc<ShutdownInner>,
+}
+
+#[derive(Debug, Default)]
+struct ShutdownInner {
+    requested: AtomicBool,
+    /// Bound address of the server this handle is attached to; recorded
+    /// by `serve_prepared` so a request can wake the blocking acceptor.
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl ShutdownHandle {
+    /// A fresh, unrequested handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Has a shutdown been requested?
+    #[must_use]
+    pub fn requested(&self) -> bool {
+        self.inner.requested.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful shutdown (idempotent, thread-safe,
+    /// signal-watcher friendly).
+    pub fn request(&self) {
+        self.inner.requested.store(true, Ordering::Release);
+        let addr = *self.inner.addr.lock().expect("shutdown handle poisoned");
+        if let Some(addr) = addr {
+            // Wake the acceptor the way initiate_shutdown does; glibc
+            // installs SIGTERM handlers with SA_RESTART, so a blocked
+            // accept() would otherwise never observe the flag.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn attach(&self, addr: SocketAddr) {
+        *self.inner.addr.lock().expect("shutdown handle poisoned") = Some(addr);
+        if self.requested() {
+            // Request raced attach: the acceptor may already be blocked.
+            let _ = TcpStream::connect(addr);
+        }
+    }
 }
 
 /// A validated catalog + shadow config, ready to serve. Split out of
@@ -566,8 +639,12 @@ fn serve_prepared(
     prepared: Prepared,
     listener: TcpListener,
     options: &ServeOptions,
+    shutdown_handle: Option<&ShutdownHandle>,
 ) -> std::io::Result<StatsSnapshot> {
     let addr = listener.local_addr()?;
+    if let Some(handle) = shutdown_handle {
+        handle.attach(addr);
+    }
     let n_loops = event_loop_count(options);
     let n_workers = pool_size(options.workers);
     let capacity = n_workers + queue_depth(options);
@@ -645,10 +722,21 @@ fn serve_prepared(
         let mut accept_failures = 0u32;
         let mut next_loop = 0usize;
         loop {
+            // An external shutdown (SIGTERM via a ShutdownHandle) behaves
+            // exactly like a protocol Shutdown: flag the reactors and stop
+            // accepting; the drain below finishes in-flight requests.
+            if shutdown_handle.is_some_and(ShutdownHandle::requested) {
+                state_ref.shutdown.store(true, Ordering::Release);
+                break;
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
                     accept_failures = 0;
                     if state_ref.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if shutdown_handle.is_some_and(ShutdownHandle::requested) {
+                        state_ref.shutdown.store(true, Ordering::Release);
                         break;
                     }
                     if state_ref.active_conns.load(Ordering::Acquire) >= capacity {
@@ -745,7 +833,7 @@ impl ServerHandle {
         let listener = TcpListener::bind(addr_spec)?;
         let addr = listener.local_addr()?;
         let prepared = Prepared::new(source, shadow)?;
-        let thread = std::thread::spawn(move || serve_prepared(prepared, listener, &options));
+        let thread = std::thread::spawn(move || serve_prepared(prepared, listener, &options, None));
         Ok(Self { addr, thread })
     }
 

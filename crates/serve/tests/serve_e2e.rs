@@ -398,3 +398,55 @@ fn bench_against_a_dead_port_fails_fast_with_a_typed_error() {
         .expect_err("no server is listening");
     assert!(matches!(err, ClientError::Io(_)), "{err}");
 }
+
+#[test]
+fn shutdown_handle_drains_the_server_like_sigterm_would() {
+    // `splitmfg serve` wires SIGTERM/SIGINT to ShutdownHandle::request
+    // from a watcher thread; this exercises that exact path in-process.
+    let (model, _view) = trained_and_test_view();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = sm_serve::server::ShutdownHandle::new();
+    let server = {
+        let shutdown = shutdown.clone();
+        let options = test_options();
+        std::thread::spawn(move || {
+            sm_serve::server::serve_source_with(
+                sm_serve::server::ModelSource::Single(model),
+                None,
+                listener,
+                &options,
+                Some(&shutdown),
+            )
+        })
+    };
+    // The server answers real work before the drain...
+    let mut client = Client::connect(addr).expect("connects");
+    match client.call_ok(&Request::Health).expect("health") {
+        Response::Health { model_id, .. } => assert_eq!(model_id, "default"),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    drop(client);
+    // ... then an out-of-band request (as the signal watcher sends it)
+    // stops the accept loop and drains to a final snapshot.
+    shutdown.request();
+    let stats = server
+        .join()
+        .expect("server thread exits")
+        .expect("serves cleanly");
+    assert!(stats.requests >= 1, "drained stats must count the work");
+    assert_eq!(stats.model_id, "default");
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    assert!(
+        std::net::TcpStream::connect(addr).is_err() || {
+            // A connect may succeed against the OS backlog even after the
+            // listener closes on some kernels; a read must then see EOF.
+            use std::io::Read;
+            let mut s = std::net::TcpStream::connect(addr).expect("raced");
+            s.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+                .expect("timeout");
+            matches!(s.read(&mut [0u8; 1]), Ok(0) | Err(_))
+        },
+        "the drained server must not accept new work"
+    );
+}
