@@ -18,12 +18,14 @@ use sm_attack::{Parallelism, TreeBackend};
 use sm_layout::io::{read_challenge, write_challenge, write_truth};
 use sm_layout::{SplitLayer, SplitView, Suite};
 use sm_serve::artifact::{ArtifactError, ModelArtifact, TrainMeta};
-use sm_serve::client::{bench, BenchConfig, Client, ClientError, ClientTimeouts, RetryPolicy};
+use sm_serve::client::{
+    bench, AttackWorkload, BenchConfig, Client, ClientError, ClientTimeouts, RetryPolicy,
+};
 use sm_serve::protocol::{Request, Response, Wire};
 use sm_serve::registry::{publish, verify, RegistryError, RegistryIndex};
 use sm_serve::server::{
-    event_loop_count, pool_size, serve_source_with, ModelSource, ServeOptions, ShadowConfig,
-    ShutdownHandle,
+    event_loop_count, pool_size, serve_source_with, BatchLinger, ModelSource, ServeOptions,
+    ShadowConfig, ShutdownHandle,
 };
 
 use crate::args::Args;
@@ -233,6 +235,12 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 "timeout-ms",
                 "model-id",
                 "wire",
+                "pipeline",
+                "json-payload",
+                "attack-dir",
+                "attack-target",
+                "attack-detail",
+                "attack-threshold",
             ])?;
             cmd_bench_serve(args)
         }
@@ -282,13 +290,17 @@ pub fn print_help() {
          \x20             [--idle-timeout-ms 60000]\n\
          \x20             [--max-request-bytes 67108864]\n\
          \x20             [--max-queue 0] [--event-loops 0]\n\
-         \x20             [--batch-linger-us 0]                       TCP inference server (ndjson+binary)\n\
+         \x20             [--batch-linger-us 0|auto]                  TCP inference server (ndjson+binary)\n\
          \x20 models      (--registry DIR [--verify true]\n\
          \x20             | --addr HOST:PORT)                         list / verify models\n\
          \x20 bench-serve --addr HOST:PORT [--connections 4]\n\
          \x20             [--requests 50] [--batch 64] [--json FILE]\n\
          \x20             [--retries 3] [--timeout-ms 30000]\n\
-         \x20             [--model-id ID] [--wire ndjson]             load-test a running server\n\
+         \x20             [--model-id ID] [--wire ndjson]\n\
+         \x20             [--pipeline 1] [--json-payload false]\n\
+         \x20             [--attack-dir DIR --attack-target NAME\n\
+         \x20             [--attack-detail false]\n\
+         \x20             [--attack-threshold 0.5]]                   load-test a running server\n\
          \x20 help                                                    this text\n\
          \n\
          configs: ml-9, imp-9, imp-7, imp-11, and Y variants (imp-9y, ...)\n\
@@ -310,8 +322,14 @@ pub fn print_help() {
          from the first byte: NDJSON (v1) and length-prefixed binary\n\
          frames (v2, --wire binary on bench-serve). --event-loops 0 sizes\n\
          the reactor from the CPU count; --batch-linger-us waits that long\n\
-         for extra same-model requests before scoring a partial batch\n\
-         (scores are bit-identical with batching on or off).\n\
+         for extra same-model requests before scoring a partial batch, or\n\
+         'auto' to linger only while recent batches ran under-full with\n\
+         concurrent requests (scores are bit-identical with batching on\n\
+         or off). bench-serve --pipeline N keeps N requests in flight per\n\
+         connection; --attack-dir/--attack-target switch the workload to\n\
+         whole-challenge Attack requests (--attack-detail true returns the\n\
+         full scored view), and --json-payload true forces JSON framing on\n\
+         the binary wire for dense-vs-JSON comparisons.\n\
          a registry is a directory of checksummed artifacts plus an index;\n\
          'train --registry' publishes into it atomically, 'serve --registry'\n\
          hosts every entry (requests route with \"model_id\", absent = the\n\
@@ -888,7 +906,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         max_request_bytes: args.get_or("max-request-bytes", defaults.max_request_bytes)?,
         max_queue: args.get_or("max-queue", defaults.max_queue)?,
         event_loops: args.get_or("event-loops", defaults.event_loops)?,
-        batch_linger_us: args.get_or("batch-linger-us", defaults.batch_linger_us)?,
+        batch_linger: args.get_or("batch-linger-us", defaults.batch_linger)?,
     };
     let shadow = shadow_flags(args)?;
     let (source, label) = serve_source_flags(args)?;
@@ -903,6 +921,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         pool_size(options.workers),
         event_loop_count(&options)
     );
+    match options.batch_linger {
+        BatchLinger::Fixed(0) => {}
+        BatchLinger::Fixed(us) => println!("batch linger: fixed {us} us"),
+        BatchLinger::Auto => {
+            println!("batch linger: adaptive (lingers only while batches run under-full)");
+        }
+    }
     use std::io::Write as _;
     std::io::stdout().flush()?;
     // SIGTERM/SIGINT drain the server exactly like a protocol Shutdown:
@@ -938,11 +963,12 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     if stats.score_batches > 0 {
         println!(
             "batching: {} kernel calls over {} rows ({:.1} rows/call), \
-             {} requests shared a call",
+             {} requests shared a call [linger {}]",
             stats.score_batches,
             stats.batched_rows,
             stats.batched_rows as f64 / stats.score_batches as f64,
-            stats.batched_requests
+            stats.batched_requests,
+            options.batch_linger
         );
     }
     if let Some(shadow) = &stats.shadow {
@@ -1077,6 +1103,30 @@ fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         .into();
     let defaults = BenchConfig::default();
     let io_ms: u64 = args.get_or("timeout-ms", defaults.timeouts.io_ms)?;
+    let attack = match (args.get_str("attack-dir"), args.get_str("attack-target")) {
+        (None, None) => None,
+        (Some(dir), Some(target)) => {
+            let base = Path::new(dir).join(target);
+            Some(AttackWorkload {
+                challenge: fs::read_to_string(base.with_extension("challenge"))?,
+                truth: fs::read_to_string(base.with_extension("truth"))?,
+                threshold: args.get_or("attack-threshold", 0.5)?,
+                detail: args.get_or("attack-detail", false)?,
+            })
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "--attack-dir and --attack-target go together".into(),
+            ))
+        }
+    };
+    if attack.is_none()
+        && (args.get_str("attack-threshold").is_some() || args.get_str("attack-detail").is_some())
+    {
+        return Err(CliError::Usage(
+            "--attack-threshold/--attack-detail require --attack-dir and --attack-target".into(),
+        ));
+    }
     let config = BenchConfig {
         connections: args.get_or("connections", defaults.connections)?,
         requests_per_connection: args.get_or("requests", defaults.requests_per_connection)?,
@@ -1089,10 +1139,17 @@ fn cmd_bench_serve(args: &Args) -> Result<(), CliError> {
         retry: RetryPolicy::with_retries(args.get_or("retries", 3u32)?),
         model_id: args.get_str("model-id").map(str::to_owned),
         wire: args.get_or("wire", Wire::Ndjson)?,
+        pipeline: args.get_or("pipeline", defaults.pipeline)?,
+        json_payload: args.get_or("json-payload", defaults.json_payload)?,
+        attack,
     };
-    if config.connections == 0 || config.requests_per_connection == 0 || config.batch_size == 0 {
+    if config.connections == 0
+        || config.requests_per_connection == 0
+        || config.batch_size == 0
+        || config.pipeline == 0
+    {
         return Err(CliError::Usage(
-            "--connections, --requests, and --batch must all be >= 1".into(),
+            "--connections, --requests, --batch, and --pipeline must all be >= 1".into(),
         ));
     }
     let report = bench(&addr, &config)?;
@@ -1374,12 +1431,32 @@ mod tests {
                 "max-queue",
             ),
             (
+                &["serve", "--model", "x", "--batch-linger-us", "soonish"][..],
+                "batch-linger-us",
+            ),
+            (
+                &["serve", "--model", "x", "--batch-linger-us", "-5"][..],
+                "batch-linger-us",
+            ),
+            (
+                &["serve", "--model", "x", "--batch-linger-us", "100us"][..],
+                "batch-linger-us",
+            ),
+            (
                 &["bench-serve", "--addr", "x", "--retries", "forever"][..],
                 "retries",
             ),
             (
                 &["bench-serve", "--addr", "x", "--timeout-ms", "never"][..],
                 "timeout-ms",
+            ),
+            (
+                &["bench-serve", "--addr", "x", "--pipeline", "wide"][..],
+                "pipeline",
+            ),
+            (
+                &["bench-serve", "--addr", "x", "--json-payload", "yep"][..],
+                "json-payload",
             ),
         ] {
             let err = dispatch_tokens(tokens).expect_err("must reject");
@@ -1392,6 +1469,23 @@ mod tests {
                 "{tokens:?} -> {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn bench_attack_flags_travel_as_a_pair() {
+        // The workload flags are validated before any socket is opened.
+        let err = dispatch_tokens(&["bench-serve", "--addr", "x", "--attack-dir", "d"])
+            .expect_err("must reject");
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("go together")),
+            "{err:?}"
+        );
+        let err = dispatch_tokens(&["bench-serve", "--addr", "x", "--attack-detail", "true"])
+            .expect_err("must reject");
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("require")),
+            "{err:?}"
+        );
     }
 
     #[test]

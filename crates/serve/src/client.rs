@@ -109,6 +109,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     wire: Wire,
+    json_payload: bool,
 }
 
 impl Client {
@@ -179,6 +180,7 @@ impl Client {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
             wire,
+            json_payload: false,
         })
     }
 
@@ -186,6 +188,16 @@ impl Client {
     #[must_use]
     pub fn wire(&self) -> Wire {
         self.wire
+    }
+
+    /// On a [`Wire::Binary`] connection, frame every request as a JSON
+    /// payload (frame `0x01`) even when a dense layout exists — exactly
+    /// what a pre-dense binary client sends. The server mirrors the
+    /// request framing in its reply, so this measures the JSON
+    /// encode/parse tax over the same socket discipline. No effect on
+    /// NDJSON connections.
+    pub fn set_json_payload(&mut self, on: bool) {
+        self.json_payload = on;
     }
 
     /// Sends one request and reads the matching response.
@@ -200,18 +212,55 @@ impl Client {
     /// connections; use [`Client::call_ok`] to promote them to
     /// [`ClientError::Remote`] / [`ClientError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes one framed request and flushes it, without waiting for the
+    /// reply. Callers may pipeline: issue several `send`s back to back,
+    /// then [`Client::recv`] the same number of responses — the server
+    /// answers strictly in request order on one connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Protocol`]
+    /// if the request cannot be encoded.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         match self.wire {
-            Wire::Ndjson => self.call_ndjson(request),
-            Wire::Binary => self.call_binary(request),
+            Wire::Ndjson => {
+                let line = serde_json::to_string(request)
+                    .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            Wire::Binary => {
+                let frame = if self.json_payload {
+                    binary::encode_request_json(request)
+                } else {
+                    binary::encode_request(request)
+                };
+                self.writer.write_all(&frame)?;
+            }
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next framed response — the reply to the oldest
+    /// [`Client::send`] that has not been answered yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure or server close,
+    /// [`ClientError::Protocol`] on a malformed reply.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match self.wire {
+            Wire::Ndjson => self.recv_ndjson(),
+            Wire::Binary => self.recv_binary(),
         }
     }
 
-    fn call_ndjson(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let line = serde_json::to_string(request)
-            .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+    fn recv_ndjson(&mut self) -> Result<Response, ClientError> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
@@ -224,9 +273,7 @@ impl Client {
             .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
     }
 
-    fn call_binary(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.writer.write_all(&binary::encode_request(request))?;
-        self.writer.flush()?;
+    fn recv_binary(&mut self) -> Result<Response, ClientError> {
         let mut header = [0u8; binary::HEADER_LEN];
         self.reader.read_exact(&mut header)?;
         // A shed server answers with an NDJSON Busy line before any wire
@@ -350,6 +397,7 @@ pub struct RetryingClient {
     timeouts: ClientTimeouts,
     policy: RetryPolicy,
     wire: Wire,
+    json_payload: bool,
     conn: Option<Client>,
     retries: u64,
     busy_retries: u64,
@@ -372,9 +420,19 @@ impl RetryingClient {
             timeouts,
             policy,
             wire,
+            json_payload: false,
             conn: None,
             retries: 0,
             busy_retries: 0,
+        }
+    }
+
+    /// See [`Client::set_json_payload`]; applies to the current
+    /// connection and to every reconnect.
+    pub fn set_json_payload(&mut self, on: bool) {
+        self.json_payload = on;
+        if let Some(conn) = self.conn.as_mut() {
+            conn.set_json_payload(on);
         }
     }
 
@@ -435,11 +493,9 @@ impl RetryingClient {
 
     fn attempt(&mut self, request: &Request) -> Result<Response, ClientError> {
         if self.conn.is_none() {
-            self.conn = Some(Client::connect_wire(
-                self.addr.as_str(),
-                self.timeouts,
-                self.wire,
-            )?);
+            let mut conn = Client::connect_wire(self.addr.as_str(), self.timeouts, self.wire)?;
+            conn.set_json_payload(self.json_payload);
+            self.conn = Some(conn);
         }
         self.conn
             .as_mut()
@@ -454,8 +510,44 @@ pub fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    sorted[percentile_rank(sorted.len(), pct)]
+}
+
+/// The sorted-order rank [`percentile_us`] reads for `pct` over `len`
+/// samples. Shared with the server's latency ring so its select-nth
+/// quantiles land on the very same element a full sort would pick.
+pub(crate) fn percentile_rank(len: usize, pct: f64) -> usize {
+    debug_assert!(len > 0);
+    let idx = ((pct / 100.0) * (len - 1) as f64).round() as usize;
+    idx.min(len - 1)
+}
+
+/// Whole-challenge `Attack` workload for [`bench`], replacing the default
+/// synthetic `ScorePairs` stream. The challenge/truth strings are file
+/// *contents* (the same text `splitmfg gen` writes), sent verbatim with
+/// every request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackWorkload {
+    /// `.challenge` file contents (the attacker-visible FEOL view).
+    pub challenge: String,
+    /// `.truth` file contents (for the server-side accuracy summary).
+    pub truth: String,
+    /// Summary threshold sent with every request.
+    pub threshold: f64,
+    /// Request the complete scored view (`detail: true`) — much larger
+    /// responses, exercising the dense `ScoredView` encoding.
+    pub detail: bool,
+}
+
+impl Default for AttackWorkload {
+    fn default() -> Self {
+        Self {
+            challenge: String::new(),
+            truth: String::new(),
+            threshold: 0.5,
+            detail: false,
+        }
+    }
 }
 
 /// Load-test shape for [`bench`].
@@ -463,9 +555,10 @@ pub fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
 pub struct BenchConfig {
     /// Concurrent client connections.
     pub connections: usize,
-    /// `ScorePairs` requests issued per connection.
+    /// Requests issued per connection.
     pub requests_per_connection: usize,
-    /// Feature vectors per request (the per-request batch size).
+    /// Feature vectors per request (the per-request batch size for the
+    /// `ScorePairs` workload; ignored for an attack workload).
     pub batch_size: usize,
     /// Seed for the synthetic feature vectors.
     pub seed: u64,
@@ -475,10 +568,24 @@ pub struct BenchConfig {
     /// Socket deadlines for every bench connection.
     pub timeouts: ClientTimeouts,
     /// Retry policy for every bench request (the per-connection jitter
-    /// seed is further mixed with the connection index).
+    /// seed is further mixed with the connection index). Only the
+    /// lockstep path (`pipeline == 1`) retries individual requests;
+    /// pipelined connections reconnect and press on instead.
     pub retry: RetryPolicy,
     /// Wire format every bench connection speaks.
     pub wire: Wire,
+    /// Requests kept in flight per connection. `1` (the default) is the
+    /// classic lockstep loop; higher values send ahead through
+    /// [`Client::send`] and drain replies in order, measuring the
+    /// server's pipelining behavior.
+    pub pipeline: usize,
+    /// Force JSON payload framing on binary connections
+    /// ([`Client::set_json_payload`]) — benches the pre-dense framing
+    /// for apples-to-apples dense-vs-JSON comparisons.
+    pub json_payload: bool,
+    /// When set, every request is a whole-challenge `Attack` instead of
+    /// a synthetic `ScorePairs` batch.
+    pub attack: Option<AttackWorkload>,
 }
 
 impl Default for BenchConfig {
@@ -492,6 +599,9 @@ impl Default for BenchConfig {
             timeouts: ClientTimeouts::default(),
             retry: RetryPolicy::default(),
             wire: Wire::Ndjson,
+            pipeline: 1,
+            json_payload: false,
+            attack: None,
         }
     }
 }
@@ -504,6 +614,11 @@ pub struct BenchReport {
     pub wire: String,
     /// Connections driven concurrently.
     pub connections: usize,
+    /// Requests kept in flight per connection (1 = lockstep).
+    pub pipeline: usize,
+    /// Workload the run issued: `score_pairs` or `attack`, with a
+    /// `+json` suffix when binary connections forced JSON payloads.
+    pub workload: String,
     /// The catalog id that served the run: the `--model-id` target when
     /// one was set, otherwise the server default reported by the `Health`
     /// probe.
@@ -544,12 +659,19 @@ pub struct BenchReport {
 
 impl std::fmt::Display for BenchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pipe = if self.pipeline > 1 {
+            format!(", pipeline {}", self.pipeline)
+        } else {
+            String::new()
+        };
         writeln!(
             f,
-            "{} connections ({}), {} requests ({} pairs), {} errors, {} retries in {:.3} s \
+            "{} connections ({}, {}{}), {} requests ({} pairs), {} errors, {} retries in {:.3} s \
              [model {}]",
             self.connections,
             self.wire,
+            self.workload,
+            pipe,
             self.total_requests,
             self.total_pairs,
             self.errors,
@@ -585,10 +707,12 @@ impl std::fmt::Display for BenchReport {
     }
 }
 
-/// Drives `connections` concurrent retrying clients against a running
-/// server, each issuing `requests_per_connection` `ScorePairs` batches of
-/// deterministic synthetic feature vectors, and reports throughput,
-/// latency percentiles, retries, and the server's post-run counters.
+/// Drives `connections` concurrent clients against a running server,
+/// each issuing `requests_per_connection` requests of the configured
+/// workload (synthetic `ScorePairs` batches by default, whole-challenge
+/// `Attack`s via [`BenchConfig::attack`]), lockstep or pipelined, and
+/// reports throughput, latency percentiles, retries, and the server's
+/// post-run counters.
 ///
 /// # Errors
 ///
@@ -639,49 +763,31 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
     };
     drop(probe);
     let start = Instant::now();
-    let per_conn: Vec<(Vec<u64>, u64, u64)> = sm_ml::par_map(
+    let per_conn: Vec<ConnOutcome> = sm_ml::par_map(
         sm_ml::Parallelism::Threads(config.connections.max(1)),
         config.connections,
         |conn| {
-            let mut latencies = Vec::with_capacity(config.requests_per_connection);
-            let mut errors = 0u64;
             let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ ((conn as u64) << 17));
-            let policy = RetryPolicy {
-                jitter_seed: config.retry.jitter_seed ^ ((conn as u64) << 23),
-                ..config.retry
-            };
-            let mut client = RetryingClient::new_wire(addr, config.timeouts, policy, config.wire);
-            for _ in 0..config.requests_per_connection {
-                let batch: Vec<Vec<f64>> = (0..config.batch_size)
-                    .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
-                    .collect();
-                let t = Instant::now();
-                let request = Request::ScorePairs {
-                    features: batch,
-                    model_id: config.model_id.clone(),
-                };
-                match client.call(&request) {
-                    Ok(Response::Scores { .. }) => {
-                        latencies.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
-                    }
-                    Ok(_) | Err(_) => errors += 1,
-                }
+            if config.pipeline <= 1 {
+                bench_conn_lockstep(addr, config, conn, features, &mut rng)
+            } else {
+                bench_conn_pipelined(addr, config, features, &mut rng)
             }
-            (latencies, errors, client.retries())
         },
     );
     let wall_s = start.elapsed().as_secs_f64();
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0u64;
     let mut retries = 0u64;
-    for (lat, err, ret) in per_conn {
-        latencies.extend(lat);
-        errors += err;
-        retries += ret;
+    let mut total_pairs = 0u64;
+    for out in per_conn {
+        latencies.extend(out.latencies);
+        errors += out.errors;
+        retries += out.retries;
+        total_pairs += out.pairs;
     }
     latencies.sort_unstable();
     let total_requests = latencies.len() as u64;
-    let total_pairs = total_requests * config.batch_size as u64;
     let server_stats = match Client::connect_with(addr, config.timeouts)
         .and_then(|mut c| c.call_ok(&Request::Stats))
     {
@@ -700,9 +806,19 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         }
         _ => 0.0,
     };
+    let mut workload = if config.attack.is_some() {
+        "attack".to_owned()
+    } else {
+        "score_pairs".to_owned()
+    };
+    if config.json_payload && config.wire == Wire::Binary {
+        workload.push_str("+json");
+    }
     Ok(BenchReport {
         wire: config.wire.as_str().to_owned(),
         connections: config.connections,
+        pipeline: config.pipeline.max(1),
+        workload,
         served_model,
         total_requests,
         total_pairs,
@@ -718,6 +834,164 @@ pub fn bench(addr: &str, config: &BenchConfig) -> Result<BenchReport, ClientErro
         mean_batch_fill,
         server_stats,
     })
+}
+
+/// What one bench connection produced: per-request latencies for the
+/// successful requests, plus error/retry/pair totals.
+struct ConnOutcome {
+    latencies: Vec<u64>,
+    errors: u64,
+    retries: u64,
+    pairs: u64,
+}
+
+/// Builds the next request of the configured workload.
+fn build_request(config: &BenchConfig, features: usize, rng: &mut ChaCha8Rng) -> Request {
+    match &config.attack {
+        None => Request::ScorePairs {
+            features: (0..config.batch_size)
+                .map(|_| (0..features).map(|_| rng.gen_range(0.0..5000.0)).collect())
+                .collect(),
+            model_id: config.model_id.clone(),
+        },
+        Some(w) => Request::Attack {
+            challenge: w.challenge.clone(),
+            truth: w.truth.clone(),
+            threshold: w.threshold,
+            detail: w.detail,
+            model_id: config.model_id.clone(),
+        },
+    }
+}
+
+/// Pairs credited by a successful reply of the configured workload, or
+/// `None` when the reply does not answer that workload (an error, a
+/// `Busy`, or a mismatched variant).
+fn reply_pairs(config: &BenchConfig, response: &Response) -> Option<u64> {
+    match (response, &config.attack) {
+        (Response::Scores { probs }, None) => Some(probs.len() as u64),
+        (Response::AttackResult { summary, .. }, Some(_)) => Some(summary.pairs_scored),
+        _ => None,
+    }
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The classic lockstep loop: one request in flight, full retry policy.
+fn bench_conn_lockstep(
+    addr: &str,
+    config: &BenchConfig,
+    conn: usize,
+    features: usize,
+    rng: &mut ChaCha8Rng,
+) -> ConnOutcome {
+    let mut out = ConnOutcome {
+        latencies: Vec::with_capacity(config.requests_per_connection),
+        errors: 0,
+        retries: 0,
+        pairs: 0,
+    };
+    let policy = RetryPolicy {
+        jitter_seed: config.retry.jitter_seed ^ ((conn as u64) << 23),
+        ..config.retry
+    };
+    let mut client = RetryingClient::new_wire(addr, config.timeouts, policy, config.wire);
+    client.set_json_payload(config.json_payload);
+    for _ in 0..config.requests_per_connection {
+        let request = build_request(config, features, rng);
+        let t = Instant::now();
+        match client.call(&request) {
+            Ok(reply) => match reply_pairs(config, &reply) {
+                Some(pairs) => {
+                    out.pairs += pairs;
+                    out.latencies.push(elapsed_us(t));
+                }
+                None => out.errors += 1,
+            },
+            Err(_) => out.errors += 1,
+        }
+    }
+    out.retries = client.retries();
+    out
+}
+
+/// The pipelined loop: up to `config.pipeline` requests in flight on one
+/// connection, replies drained strictly in order. A transport failure
+/// voids every in-flight request (their replies will never arrive),
+/// reconnects, and presses on — individual requests are not retried, so
+/// the measured stream stays back-to-back.
+fn bench_conn_pipelined(
+    addr: &str,
+    config: &BenchConfig,
+    features: usize,
+    rng: &mut ChaCha8Rng,
+) -> ConnOutcome {
+    let mut out = ConnOutcome {
+        latencies: Vec::with_capacity(config.requests_per_connection),
+        errors: 0,
+        retries: 0,
+        pairs: 0,
+    };
+    let total = config.requests_per_connection;
+    let window = config.pipeline.max(1);
+    let mut issued = 0usize;
+    loop {
+        let mut client = match Client::connect_wire(addr, config.timeouts, config.wire) {
+            Ok(c) => c,
+            Err(_) => {
+                // A refused connect burns one request slot so a dead
+                // server terminates the loop instead of spinning.
+                out.errors += 1;
+                issued += 1;
+                if issued >= total {
+                    return out;
+                }
+                continue;
+            }
+        };
+        client.set_json_payload(config.json_payload);
+        let mut inflight: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+        let mut broken = false;
+        while issued < total || !inflight.is_empty() {
+            // Fill the window before draining the oldest reply.
+            if issued < total && inflight.len() < window {
+                let request = build_request(config, features, rng);
+                issued += 1;
+                if client.send(&request).is_err() {
+                    // The failed send plus everything in flight dies.
+                    out.errors += 1 + inflight.len() as u64;
+                    inflight.clear();
+                    broken = true;
+                    break;
+                }
+                inflight.push_back(Instant::now());
+                continue;
+            }
+            let t = inflight.pop_front().expect("drain implies in-flight");
+            match client.recv() {
+                Ok(reply) => match reply_pairs(config, &reply) {
+                    Some(pairs) => {
+                        out.pairs += pairs;
+                        out.latencies.push(elapsed_us(t));
+                    }
+                    None => out.errors += 1,
+                },
+                Err(_) => {
+                    // Everything still in flight dies with the stream.
+                    out.errors += 1 + inflight.len() as u64;
+                    inflight.clear();
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if !broken || issued >= total {
+            return out;
+        }
+        out.retries += 1; // one reconnect consumed
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +1013,8 @@ mod tests {
         let report = BenchReport {
             wire: "binary".into(),
             connections: 2,
+            pipeline: 8,
+            workload: "attack+json".into(),
             served_model: "incumbent".into(),
             total_requests: 10,
             total_pairs: 640,
@@ -763,7 +1039,7 @@ mod tests {
         };
         let text = report.to_string();
         for needle in [
-            "2 connections (binary)",
+            "2 connections (binary, attack+json, pipeline 8)",
             "1 errors",
             "3 retries",
             "p95 20 us",
@@ -778,6 +1054,49 @@ mod tests {
         let back: BenchReport =
             serde_json::from_str(&serde_json::to_string(&report).expect("ser")).expect("de");
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn send_recv_pipelines_replies_in_request_order() {
+        // An NDJSON peer that answers each line with an identifying
+        // Scores reply: three pipelined sends must drain as replies
+        // 0, 1, 2 — the ordering contract the pipelined bench rests on.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            for k in 0..u32::MAX {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let reply = Response::Scores {
+                    probs: vec![f64::from(k)],
+                };
+                let mut out = serde_json::to_string(&reply).expect("ser");
+                out.push('\n');
+                if (&stream).write_all(out.as_bytes()).is_err() {
+                    return;
+                }
+            }
+        });
+        let timeouts = ClientTimeouts {
+            connect_ms: 2_000,
+            io_ms: 2_000,
+        };
+        let mut client = Client::connect_with(addr.to_string(), timeouts).expect("connects");
+        for _ in 0..3 {
+            client.send(&Request::Health).expect("pipelined send");
+        }
+        for k in 0..3u32 {
+            match client.recv().expect("reply arrives") {
+                Response::Scores { probs } => assert_eq!(probs, vec![f64::from(k)]),
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub mod server;
 
 pub use artifact::{ArtifactError, ModelArtifact, TrainMeta, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use client::{
-    percentile_us, BenchConfig, BenchReport, Client, ClientError, ClientTimeouts, RetryPolicy,
-    RetryingClient,
+    percentile_us, AttackWorkload, BenchConfig, BenchReport, Client, ClientError, ClientTimeouts,
+    RetryPolicy, RetryingClient,
 };
 pub use protocol::{
     AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot, Wire,
@@ -80,6 +80,6 @@ pub use registry::{
     RegistryIndex, VerifiedModel, REGISTRY_MAGIC, REGISTRY_VERSION, SINGLE_MODEL_ID,
 };
 pub use server::{
-    event_loop_count, pool_size, queue_depth, serve_source_with, ModelSource, ServeOptions,
-    ServerHandle, ShadowConfig, ShutdownHandle, BUSY_RETRY_AFTER_MS,
+    event_loop_count, pool_size, queue_depth, serve_source_with, BatchLinger, ModelSource,
+    ServeOptions, ServerHandle, ShadowConfig, ShutdownHandle, BUSY_RETRY_AFTER_MS,
 };

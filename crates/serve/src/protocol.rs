@@ -22,12 +22,15 @@
 //!
 //! Frame types `0x01`/`0x81` carry a JSON-encoded [`Request`]/
 //! [`Response`] payload (the control plane reuses the v1 encoding
-//! verbatim). Types `0x02` (`ScorePairs` request) and `0x82` (`Scores`
+//! verbatim). Types `0x02` (`ScorePairs` request), `0x03` (`Attack`
+//! request), `0x82` (`Scores` response) and `0x83` (`AttackResult`
 //! response) carry dense binary payloads — see [`binary`]. Both sides of
 //! a connection speak the same wire; the server auto-detects it from the
 //! first byte (`0xB5` is a UTF-8 continuation byte, so it can never
 //! start an NDJSON request line) and the choice is sticky per
-//! connection.
+//! connection. Responses mirror the request's framing: a JSON-framed
+//! `Attack` is answered with a JSON-framed `AttackResult`, a dense one
+//! densely, so pre-0x03 binary clients keep working unchanged.
 
 use serde::{Deserialize, Serialize};
 use sm_attack::ScoredView;
@@ -380,6 +383,8 @@ impl std::str::FromStr for Wire {
 /// blocking client share one implementation.
 pub mod binary {
     use super::{Request, Response};
+    use sm_attack::attack::{Cand, VpinScore};
+    use sm_attack::ScoredView;
 
     /// First magic byte. Chosen to be a UTF-8 continuation byte so a
     /// binary connection can never be mistaken for NDJSON: no valid
@@ -396,10 +401,14 @@ pub mod binary {
     pub const FRAME_JSON_REQUEST: u8 = 0x01;
     /// Frame type: dense [`Request::ScorePairs`] payload.
     pub const FRAME_SCORE_PAIRS: u8 = 0x02;
+    /// Frame type: dense [`Request::Attack`] payload.
+    pub const FRAME_ATTACK: u8 = 0x03;
     /// Frame type: JSON-encoded [`Response`] payload.
     pub const FRAME_JSON_RESPONSE: u8 = 0x81;
     /// Frame type: dense [`Response::Scores`] payload.
     pub const FRAME_SCORES: u8 = 0x82;
+    /// Frame type: dense [`Response::AttackResult`] payload.
+    pub const FRAME_ATTACK_RESULT: u8 = 0x83;
 
     /// In a ScorePairs payload, this `model_id` length sentinel means
     /// "no model id" (route to the server's default model).
@@ -485,7 +494,12 @@ pub mod binary {
         let frame_type = bytes[3];
         if !matches!(
             frame_type,
-            FRAME_JSON_REQUEST | FRAME_SCORE_PAIRS | FRAME_JSON_RESPONSE | FRAME_SCORES
+            FRAME_JSON_REQUEST
+                | FRAME_SCORE_PAIRS
+                | FRAME_ATTACK
+                | FRAME_JSON_RESPONSE
+                | FRAME_SCORES
+                | FRAME_ATTACK_RESULT
         ) {
             return Err(FrameError::UnknownType(frame_type));
         }
@@ -506,6 +520,15 @@ pub mod binary {
     }
 
     impl<'a> Reader<'a> {
+        fn u8(&mut self) -> Result<u8, FrameError> {
+            let b = *self
+                .buf
+                .get(self.pos)
+                .ok_or_else(|| FrameError::Malformed("truncated u8 field".into()))?;
+            self.pos += 1;
+            Ok(b)
+        }
+
         fn u32(&mut self) -> Result<u32, FrameError> {
             let bytes: [u8; 4] = self
                 .buf
@@ -517,6 +540,25 @@ pub mod binary {
             Ok(u32::from_le_bytes(bytes))
         }
 
+        fn u64(&mut self) -> Result<u64, FrameError> {
+            let bytes: [u8; 8] = self
+                .buf
+                .get(self.pos..self.pos + 8)
+                .ok_or_else(|| FrameError::Malformed("truncated u64 field".into()))?
+                .try_into()
+                .expect("8-byte slice");
+            self.pos += 8;
+            Ok(u64::from_le_bytes(bytes))
+        }
+
+        fn i64(&mut self) -> Result<i64, FrameError> {
+            self.u64().map(|v| v as i64)
+        }
+
+        fn f64(&mut self) -> Result<f64, FrameError> {
+            self.u64().map(f64::from_bits)
+        }
+
         fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
             let s = self
                 .buf
@@ -524,6 +566,28 @@ pub mod binary {
                 .ok_or_else(|| FrameError::Malformed(format!("truncated {n}-byte field")))?;
             self.pos += n;
             Ok(s)
+        }
+
+        /// A `u32` length-prefixed UTF-8 string field.
+        fn str_field(&mut self, what: &str) -> Result<&'a str, FrameError> {
+            let len = self.u32()? as usize;
+            let raw = self.bytes(len)?;
+            std::str::from_utf8(raw)
+                .map_err(|_| FrameError::Malformed(format!("{what} is not valid UTF-8")))
+        }
+
+        /// The optional model id convention shared by the dense request
+        /// payloads: a length of [`NO_MODEL_ID`] means "route to the
+        /// default model", anything else prefixes that many id bytes.
+        fn opt_model_id(&mut self) -> Result<Option<&'a str>, FrameError> {
+            let id_len = self.u32()?;
+            if id_len == NO_MODEL_ID {
+                return Ok(None);
+            }
+            let raw = self.bytes(id_len as usize)?;
+            std::str::from_utf8(raw)
+                .map(Some)
+                .map_err(|_| FrameError::Malformed("model id is not valid UTF-8".into()))
         }
 
         fn finish(self) -> Result<(), FrameError> {
@@ -538,34 +602,127 @@ pub mod binary {
         }
     }
 
+    /// Appends a `u32` length-prefixed byte string.
+    fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+
+    /// Appends the optional-model-id field (see [`Reader::opt_model_id`]).
+    fn put_opt_model_id(out: &mut Vec<u8>, model_id: Option<&str>) {
+        match model_id {
+            None => out.extend_from_slice(&NO_MODEL_ID.to_le_bytes()),
+            Some(id) => put_bytes(out, id.as_bytes()),
+        }
+    }
+
+    /// A borrowed view of a dense `ScorePairs` payload: the header fields
+    /// decoded, the `f64` row bytes still sitting in the input buffer.
+    /// The server's hot path decodes rows straight from the connection
+    /// buffer into the kernel batch through this view — no intermediate
+    /// `Vec<Vec<f64>>`, no payload copy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScorePairsView<'a> {
+        /// Routing id, borrowed from the payload; `None` routes to the
+        /// server's default model.
+        pub model_id: Option<&'a str>,
+        /// Feature rows in the payload.
+        pub rows: usize,
+        /// Columns per row (must equal the model's feature count).
+        pub cols: usize,
+        /// `rows * cols` little-endian `f64`s, exactly `rows * cols * 8`
+        /// bytes.
+        data: &'a [u8],
+    }
+
+    impl ScorePairsView<'_> {
+        /// Appends the payload's `rows x cols` values to `out` in
+        /// row-major order, bit-exactly.
+        pub fn extend_rows_into(&self, out: &mut Vec<f64>) {
+            out.reserve(self.rows * self.cols);
+            for c in self.data.chunks_exact(8) {
+                out.push(f64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            }
+        }
+    }
+
+    /// Decodes a dense `ScorePairs` payload into a borrowed
+    /// [`ScorePairsView`] without copying the row bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on any structural mismatch.
+    pub fn decode_score_pairs(payload: &[u8]) -> Result<ScorePairsView<'_>, FrameError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let model_id = r.opt_model_id()?;
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let need = rows
+            .checked_mul(cols)
+            .and_then(|cells| cells.checked_mul(8))
+            .ok_or_else(|| FrameError::Malformed("row/col counts overflow".into()))?;
+        let data = r.bytes(need)?;
+        r.finish()?;
+        Ok(ScorePairsView {
+            model_id,
+            rows,
+            cols,
+            data,
+        })
+    }
+
     /// Encodes a complete request frame (header + payload).
-    /// `ScorePairs` uses the dense layout; every other request is a
-    /// JSON payload in a [`FRAME_JSON_REQUEST`] frame.
+    /// `ScorePairs` and `Attack` use their dense layouts; every other
+    /// request is a JSON payload in a [`FRAME_JSON_REQUEST`] frame.
     #[must_use]
     pub fn encode_request(req: &Request) -> Vec<u8> {
-        if let Request::ScorePairs { features, model_id } = req {
-            let cols = features.first().map_or(0, Vec::len);
-            let id_len = model_id.as_ref().map_or(4, |id| 4 + id.len());
-            let mut out = Vec::with_capacity(HEADER_LEN + id_len + 8 + features.len() * cols * 8);
-            out.extend_from_slice(&[0u8; HEADER_LEN]);
-            match model_id {
-                None => out.extend_from_slice(&NO_MODEL_ID.to_le_bytes()),
-                Some(id) => {
-                    out.extend_from_slice(&(id.len() as u32).to_le_bytes());
-                    out.extend_from_slice(id.as_bytes());
+        match req {
+            Request::ScorePairs { features, model_id } => {
+                let cols = features.first().map_or(0, Vec::len);
+                let id_len = model_id.as_ref().map_or(4, |id| 4 + id.len());
+                let mut out =
+                    Vec::with_capacity(HEADER_LEN + id_len + 8 + features.len() * cols * 8);
+                out.extend_from_slice(&[0u8; HEADER_LEN]);
+                put_opt_model_id(&mut out, model_id.as_deref());
+                out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(cols as u32).to_le_bytes());
+                for row in features {
+                    for &v in row {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
                 }
+                seal_frame(out, FRAME_SCORE_PAIRS)
             }
-            out.extend_from_slice(&(features.len() as u32).to_le_bytes());
-            out.extend_from_slice(&(cols as u32).to_le_bytes());
-            for row in features {
-                for &v in row {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
+            Request::Attack {
+                challenge,
+                truth,
+                threshold,
+                detail,
+                model_id,
+            } => {
+                let mut out =
+                    Vec::with_capacity(HEADER_LEN + 32 + challenge.len() + truth.len() + 64);
+                out.extend_from_slice(&[0u8; HEADER_LEN]);
+                put_opt_model_id(&mut out, model_id.as_deref());
+                out.extend_from_slice(&threshold.to_le_bytes());
+                out.push(u8::from(*detail));
+                put_bytes(&mut out, challenge.as_bytes());
+                put_bytes(&mut out, truth.as_bytes());
+                seal_frame(out, FRAME_ATTACK)
             }
-            let len = (out.len() - HEADER_LEN) as u32;
-            out[..HEADER_LEN].copy_from_slice(&encode_header(FRAME_SCORE_PAIRS, len));
-            return out;
+            other => encode_request_json(other),
         }
+    }
+
+    /// Encodes a request as a JSON payload in a [`FRAME_JSON_REQUEST`]
+    /// frame even when a dense layout exists — the compatibility framing
+    /// pre-0x03 clients send, kept callable for cross-framing tests and
+    /// benchmarks.
+    #[must_use]
+    pub fn encode_request_json(req: &Request) -> Vec<u8> {
         encode_json_frame(
             FRAME_JSON_REQUEST,
             &serde_json::to_string(req).expect("requests always serialize"),
@@ -573,23 +730,61 @@ pub mod binary {
     }
 
     /// Encodes a complete response frame (header + payload). `Scores`
-    /// uses the dense layout; every other response is a JSON payload in
-    /// a [`FRAME_JSON_RESPONSE`] frame.
+    /// and `AttackResult` use their dense layouts; every other response
+    /// is a JSON payload in a [`FRAME_JSON_RESPONSE`] frame.
     #[must_use]
     pub fn encode_response(resp: &Response) -> Vec<u8> {
-        if let Response::Scores { probs } = resp {
-            let mut out = Vec::with_capacity(HEADER_LEN + 4 + probs.len() * 8);
-            out.extend_from_slice(&encode_header(FRAME_SCORES, (4 + probs.len() * 8) as u32));
-            out.extend_from_slice(&(probs.len() as u32).to_le_bytes());
-            for &p in probs {
-                out.extend_from_slice(&p.to_le_bytes());
+        match resp {
+            Response::Scores { probs } => {
+                let mut out = Vec::with_capacity(HEADER_LEN + 4 + probs.len() * 8);
+                out.extend_from_slice(&encode_header(FRAME_SCORES, (4 + probs.len() * 8) as u32));
+                out.extend_from_slice(&(probs.len() as u32).to_le_bytes());
+                for &p in probs {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+                out
             }
-            return out;
+            Response::AttackResult { summary, scored } => {
+                let mut out = Vec::with_capacity(HEADER_LEN + 128);
+                out.extend_from_slice(&[0u8; HEADER_LEN]);
+                put_bytes(&mut out, summary.design.as_bytes());
+                out.extend_from_slice(&(summary.num_vpins as u64).to_le_bytes());
+                out.extend_from_slice(&summary.pairs_scored.to_le_bytes());
+                out.extend_from_slice(&summary.threshold.to_le_bytes());
+                out.extend_from_slice(&summary.accuracy.to_le_bytes());
+                out.extend_from_slice(&summary.mean_loc.to_le_bytes());
+                out.extend_from_slice(&summary.max_accuracy.to_le_bytes());
+                match scored {
+                    None => out.push(0),
+                    Some(view) => {
+                        out.push(1);
+                        put_scored_view(&mut out, view);
+                    }
+                }
+                seal_frame(out, FRAME_ATTACK_RESULT)
+            }
+            other => encode_response_json(other),
         }
+    }
+
+    /// Encodes a response as a JSON payload in a [`FRAME_JSON_RESPONSE`]
+    /// frame even when a dense layout exists. The server answers
+    /// JSON-framed `Attack` requests through this, mirroring the
+    /// client's framing.
+    #[must_use]
+    pub fn encode_response_json(resp: &Response) -> Vec<u8> {
         encode_json_frame(
             FRAME_JSON_RESPONSE,
             &serde_json::to_string(resp).expect("responses always serialize"),
         )
+    }
+
+    /// Fills in the header of a frame built with a zeroed header
+    /// placeholder, now that the payload length is known.
+    fn seal_frame(mut out: Vec<u8>, frame_type: u8) -> Vec<u8> {
+        let len = (out.len() - HEADER_LEN) as u32;
+        out[..HEADER_LEN].copy_from_slice(&encode_header(frame_type, len));
+        out
     }
 
     fn encode_json_frame(frame_type: u8, json: &str) -> Vec<u8> {
@@ -597,6 +792,83 @@ pub mod binary {
         out.extend_from_slice(&encode_header(frame_type, json.len() as u32));
         out.extend_from_slice(json.as_bytes());
         out
+    }
+
+    /// Dense [`ScoredView`] layout: the scalar fields, the histogram,
+    /// then each slot (`vpin`, optional `true_prob`, candidate list).
+    /// All integers little-endian fixed width, all `f64`s raw bits.
+    fn put_scored_view(out: &mut Vec<u8>, view: &ScoredView) {
+        out.extend_from_slice(&(view.num_view_vpins as u64).to_le_bytes());
+        out.extend_from_slice(&view.pairs_scored.to_le_bytes());
+        out.extend_from_slice(&(view.hist.len() as u32).to_le_bytes());
+        for &count in &view.hist {
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out.extend_from_slice(&(view.slots.len() as u32).to_le_bytes());
+        for slot in &view.slots {
+            out.extend_from_slice(&slot.vpin.to_le_bytes());
+            match slot.true_prob {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(slot.top.len() as u32).to_le_bytes());
+            for cand in &slot.top {
+                out.extend_from_slice(&cand.p.to_le_bytes());
+                out.extend_from_slice(&cand.index.to_le_bytes());
+                out.extend_from_slice(&cand.dist.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes a `0`/`1` presence byte; anything else is malformed (the
+    /// flag doubles as a frame-desync detector).
+    fn flag(r: &mut Reader<'_>, what: &str) -> Result<bool, FrameError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(FrameError::Malformed(format!(
+                "{what} flag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    fn read_scored_view(r: &mut Reader<'_>) -> Result<ScoredView, FrameError> {
+        let num_view_vpins = r.u64()? as usize;
+        let pairs_scored = r.u64()?;
+        let hist_len = r.u32()? as usize;
+        let mut hist = Vec::with_capacity(hist_len.min(r.buf.len() / 8 + 1));
+        for _ in 0..hist_len {
+            hist.push(r.u64()?);
+        }
+        let num_slots = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(num_slots.min(r.buf.len() / 9 + 1));
+        for _ in 0..num_slots {
+            let vpin = r.u32()?;
+            let true_prob = flag(r, "true_prob")?.then(|| r.f64()).transpose()?;
+            let top_len = r.u32()? as usize;
+            let mut top = Vec::with_capacity(top_len.min(r.buf.len() / 20 + 1));
+            for _ in 0..top_len {
+                top.push(Cand {
+                    p: r.f64()?,
+                    index: r.u32()?,
+                    dist: r.i64()?,
+                });
+            }
+            slots.push(VpinScore {
+                vpin,
+                true_prob,
+                top,
+            });
+        }
+        Ok(ScoredView {
+            slots,
+            hist,
+            num_view_vpins,
+            pairs_scored,
+        })
     }
 
     /// Decodes a request payload whose header declared `frame_type`.
@@ -613,36 +885,37 @@ pub mod binary {
             )
             .map_err(|e| FrameError::Malformed(format!("request JSON: {e}"))),
             FRAME_SCORE_PAIRS => {
+                let view = decode_score_pairs(payload)?;
+                let features = if view.cols == 0 {
+                    vec![Vec::new(); view.rows]
+                } else {
+                    let mut flat = Vec::new();
+                    view.extend_rows_into(&mut flat);
+                    flat.chunks_exact(view.cols).map(<[f64]>::to_vec).collect()
+                };
+                Ok(Request::ScorePairs {
+                    features,
+                    model_id: view.model_id.map(str::to_owned),
+                })
+            }
+            FRAME_ATTACK => {
                 let mut r = Reader {
                     buf: payload,
                     pos: 0,
                 };
-                let id_len = r.u32()?;
-                let model_id = if id_len == NO_MODEL_ID {
-                    None
-                } else {
-                    let raw = r.bytes(id_len as usize)?;
-                    Some(
-                        std::str::from_utf8(raw)
-                            .map_err(|_| {
-                                FrameError::Malformed("model id is not valid UTF-8".into())
-                            })?
-                            .to_string(),
-                    )
-                };
-                let rows = r.u32()? as usize;
-                let cols = r.u32()? as usize;
-                let mut features = Vec::with_capacity(rows.min(payload.len() / 8 + 1));
-                for _ in 0..rows {
-                    let raw = r.bytes(cols * 8)?;
-                    let mut row = Vec::with_capacity(cols);
-                    for c in raw.chunks_exact(8) {
-                        row.push(f64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-                    }
-                    features.push(row);
-                }
+                let model_id = r.opt_model_id()?.map(str::to_owned);
+                let threshold = r.f64()?;
+                let detail = flag(&mut r, "detail")?;
+                let challenge = r.str_field("challenge")?.to_owned();
+                let truth = r.str_field("truth")?.to_owned();
                 r.finish()?;
-                Ok(Request::ScorePairs { features, model_id })
+                Ok(Request::Attack {
+                    challenge,
+                    truth,
+                    threshold,
+                    detail,
+                    model_id,
+                })
             }
             other => Err(FrameError::UnknownType(other)),
         }
@@ -674,6 +947,35 @@ pub mod binary {
                     .collect();
                 r.finish()?;
                 Ok(Response::Scores { probs })
+            }
+            FRAME_ATTACK_RESULT => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                };
+                let design = r.str_field("design")?.to_owned();
+                let num_vpins = r.u64()? as usize;
+                let pairs_scored = r.u64()?;
+                let threshold = r.f64()?;
+                let accuracy = r.f64()?;
+                let mean_loc = r.f64()?;
+                let max_accuracy = r.f64()?;
+                let scored = flag(&mut r, "scored")?
+                    .then(|| read_scored_view(&mut r))
+                    .transpose()?;
+                r.finish()?;
+                Ok(Response::AttackResult {
+                    summary: super::AttackSummary {
+                        design,
+                        num_vpins,
+                        pairs_scored,
+                        threshold,
+                        accuracy,
+                        mean_loc,
+                        max_accuracy,
+                    },
+                    scored,
+                })
             }
             other => Err(FrameError::UnknownType(other)),
         }
@@ -927,6 +1229,242 @@ mod tests {
             },
         ] {
             assert_eq!(resp, frame_roundtrip_response(&resp), "{resp:?}");
+        }
+    }
+
+    fn sample_scored_view() -> ScoredView {
+        use sm_attack::attack::{Cand, VpinScore};
+        ScoredView {
+            slots: vec![
+                VpinScore {
+                    vpin: 0,
+                    true_prob: Some((0.3f64).sqrt()),
+                    top: vec![
+                        Cand {
+                            p: 0.875,
+                            index: 3,
+                            dist: -1200,
+                        },
+                        Cand {
+                            p: 1.0 / 3.0,
+                            index: 1,
+                            dist: i64::MAX,
+                        },
+                    ],
+                },
+                VpinScore {
+                    vpin: 7,
+                    true_prob: None,
+                    top: vec![],
+                },
+            ],
+            hist: vec![0, 3, u64::MAX, 42],
+            num_view_vpins: 9,
+            pairs_scored: 1234,
+        }
+    }
+
+    #[test]
+    fn dense_attack_request_roundtrips_on_its_own_frame_type() {
+        let req = Request::Attack {
+            challenge: "design sb1\nvpin 0 10 20\n".into(),
+            truth: "0 1\n".into(),
+            threshold: 0.65,
+            detail: true,
+            model_id: Some("incumbent".into()),
+        };
+        let frame = binary::encode_request(&req);
+        let header =
+            binary::decode_header(frame[..binary::HEADER_LEN].try_into().expect("header"), 1 << 20)
+                .expect("valid header");
+        assert_eq!(
+            header.frame_type,
+            binary::FRAME_ATTACK,
+            "Attack must ride its dense frame, not JSON"
+        );
+        assert_eq!(req, frame_roundtrip_request(&req));
+        // No model id and no detail also roundtrip.
+        let req = Request::Attack {
+            challenge: String::new(),
+            truth: String::new(),
+            threshold: f64::MIN_POSITIVE,
+            detail: false,
+            model_id: None,
+        };
+        assert_eq!(req, frame_roundtrip_request(&req));
+    }
+
+    #[test]
+    fn dense_attack_result_roundtrips_scored_view_bit_for_bit() {
+        let resp = Response::AttackResult {
+            summary: AttackSummary {
+                design: "sb1".into(),
+                num_vpins: 9,
+                pairs_scored: 1234,
+                threshold: 0.65,
+                accuracy: (0.7f64).sqrt(),
+                mean_loc: 3.5,
+                max_accuracy: 0.875,
+            },
+            scored: Some(sample_scored_view()),
+        };
+        let frame = binary::encode_response(&resp);
+        let header =
+            binary::decode_header(frame[..binary::HEADER_LEN].try_into().expect("header"), 1 << 20)
+                .expect("valid header");
+        assert_eq!(header.frame_type, binary::FRAME_ATTACK_RESULT);
+        let back = frame_roundtrip_response(&resp);
+        // PartialEq on f64 treats -0.0 == 0.0; check the bits explicitly
+        // for the fields that travel as raw f64.
+        let (Response::AttackResult { summary, scored }, Response::AttackResult { summary: s2, scored: sc2 }) =
+            (&resp, &back)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(summary.accuracy.to_bits(), s2.accuracy.to_bits());
+        let (a, b) = (scored.as_ref().expect("view"), sc2.as_ref().expect("view"));
+        assert_eq!(a.hist, b.hist);
+        assert_eq!(a.num_view_vpins, b.num_view_vpins);
+        assert_eq!(a.slots.len(), b.slots.len());
+        for (sa, sb) in a.slots.iter().zip(&b.slots) {
+            assert_eq!(sa.vpin, sb.vpin);
+            assert_eq!(
+                sa.true_prob.map(f64::to_bits),
+                sb.true_prob.map(f64::to_bits)
+            );
+            for (ca, cb) in sa.top.iter().zip(&sb.top) {
+                assert_eq!(ca.p.to_bits(), cb.p.to_bits());
+                assert_eq!(ca.index, cb.index);
+                assert_eq!(ca.dist, cb.dist);
+            }
+        }
+        assert_eq!(resp, back);
+
+        // A summary-only result (detail=false) roundtrips too.
+        let lean = Response::AttackResult {
+            summary: AttackSummary {
+                design: "sb1".into(),
+                num_vpins: 9,
+                pairs_scored: 1234,
+                threshold: 0.65,
+                accuracy: 0.5,
+                mean_loc: 3.5,
+                max_accuracy: 0.875,
+            },
+            scored: None,
+        };
+        assert_eq!(lean, frame_roundtrip_response(&lean));
+    }
+
+    #[test]
+    fn json_forced_framing_mirrors_for_compat_clients() {
+        // A pre-0x03 client sends Attack as a JSON frame; both forced
+        // encoders must produce JSON frame types that still decode.
+        let req = Request::Attack {
+            challenge: "c".into(),
+            truth: "t".into(),
+            threshold: 0.5,
+            detail: false,
+            model_id: None,
+        };
+        let frame = binary::encode_request_json(&req);
+        let header =
+            binary::decode_header(frame[..binary::HEADER_LEN].try_into().expect("header"), 1 << 20)
+                .expect("valid header");
+        assert_eq!(header.frame_type, binary::FRAME_JSON_REQUEST);
+        assert_eq!(
+            binary::decode_request(header.frame_type, &frame[binary::HEADER_LEN..])
+                .expect("decodes"),
+            req
+        );
+        let resp = Response::AttackResult {
+            summary: AttackSummary {
+                design: "sb1".into(),
+                num_vpins: 9,
+                pairs_scored: 12,
+                threshold: 0.5,
+                accuracy: 0.25,
+                mean_loc: 2.0,
+                max_accuracy: 0.5,
+            },
+            scored: Some(sample_scored_view()),
+        };
+        let frame = binary::encode_response_json(&resp);
+        let header =
+            binary::decode_header(frame[..binary::HEADER_LEN].try_into().expect("header"), 1 << 20)
+                .expect("valid header");
+        assert_eq!(header.frame_type, binary::FRAME_JSON_RESPONSE);
+        assert_eq!(
+            binary::decode_response(header.frame_type, &frame[binary::HEADER_LEN..])
+                .expect("decodes"),
+            resp
+        );
+    }
+
+    #[test]
+    fn dense_attack_rejects_structural_garbage() {
+        use binary::FrameError;
+        // A presence flag outside {0,1} is a desync, not a bool.
+        let req = Request::Attack {
+            challenge: "c".into(),
+            truth: "t".into(),
+            threshold: 0.5,
+            detail: true,
+            model_id: None,
+        };
+        let frame = binary::encode_request(&req);
+        let mut payload = frame[binary::HEADER_LEN..].to_vec();
+        payload[4 + 8] = 2; // the detail flag, after model-id sentinel + threshold
+        assert!(matches!(
+            binary::decode_request(binary::FRAME_ATTACK, &payload),
+            Err(FrameError::Malformed(_))
+        ));
+        // Truncated challenge field.
+        let mut short = frame[binary::HEADER_LEN..].to_vec();
+        short.truncate(short.len() - 1);
+        assert!(matches!(
+            binary::decode_request(binary::FRAME_ATTACK, &short),
+            Err(FrameError::Malformed(_))
+        ));
+        // Trailing junk after a well-formed result payload.
+        let resp = Response::AttackResult {
+            summary: AttackSummary {
+                design: "sb1".into(),
+                num_vpins: 9,
+                pairs_scored: 12,
+                threshold: 0.5,
+                accuracy: 0.25,
+                mean_loc: 2.0,
+                max_accuracy: 0.5,
+            },
+            scored: Some(sample_scored_view()),
+        };
+        let frame = binary::encode_response(&resp);
+        let mut payload = frame[binary::HEADER_LEN..].to_vec();
+        payload.push(0xEE);
+        assert!(matches!(
+            binary::decode_response(binary::FRAME_ATTACK_RESULT, &payload),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn score_pairs_view_borrows_rows_without_copying() {
+        let req = Request::ScorePairs {
+            features: vec![vec![1.5, -2.25], vec![0.0, 1.0 / 3.0]],
+            model_id: Some("m".into()),
+        };
+        let frame = binary::encode_request(&req);
+        let view =
+            binary::decode_score_pairs(&frame[binary::HEADER_LEN..]).expect("view decodes");
+        assert_eq!(view.model_id, Some("m"));
+        assert_eq!((view.rows, view.cols), (2, 2));
+        let mut flat = Vec::new();
+        view.extend_rows_into(&mut flat);
+        let expect = [1.5f64, -2.25, 0.0, 1.0 / 3.0];
+        assert_eq!(flat.len(), 4);
+        for (a, b) in flat.iter().zip(expect.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

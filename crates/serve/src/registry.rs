@@ -438,7 +438,34 @@ pub fn publish(
         index.default_model = model_id.to_owned();
     }
     index.save(dir)?;
+    // The index is durable; anything it no longer references is garbage.
+    gc_unreferenced(dir, &index);
     Ok(entry)
+}
+
+/// Best-effort sweep of `*.model` files in `dir` that no index entry
+/// references — the leftovers of a publish that crashed between its two
+/// atomic writes (artifact on disk, index never updated; see the
+/// `registry.after_artifact` fail point). Runs after every successful
+/// [`publish`] index save, so orphans survive at most until the next
+/// publish. Only files ending in `.model` are candidates; the index and
+/// any unrelated files are never touched. Deletion failures are ignored
+/// — the next publish simply retries.
+fn gc_unreferenced(dir: &Path, index: &RegistryIndex) {
+    let live: std::collections::HashSet<&str> =
+        index.entries.iter().map(|e| e.path.as_str()).collect();
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for item in listing.flatten() {
+        let name = item.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if name.ends_with(".model") && !live.contains(name) {
+            let _ = std::fs::remove_file(item.path());
+        }
+    }
 }
 
 /// One model's verdict from [`verify`]: `Ok(checksum)` when the artifact
@@ -927,6 +954,27 @@ mod tests {
                 .as_bytes(),
         );
         assert_eq!(catalog.default_entry().checksum, canonical);
+    }
+
+    #[test]
+    fn publish_garbage_collects_unreferenced_artifacts() {
+        let dir = tmp_registry("gc");
+        let artifact = ModelArtifact::from_trained(&small_model(), TrainMeta::default());
+        publish(&dir, "live", &artifact, true).expect("publishes");
+        // An orphan from a crashed publish (artifact written, index never
+        // updated) and an unrelated stray file.
+        std::fs::write(dir.join("orphan.model"), b"leftover bytes").expect("writes orphan");
+        std::fs::write(dir.join("notes.txt"), b"keep me").expect("writes stray");
+        publish(&dir, "second", &artifact, false).expect("publishes again");
+        assert!(!dir.join("orphan.model").exists(), "stale artifact removed");
+        assert!(dir.join("live.model").exists(), "live artifact survives");
+        assert!(dir.join("second.model").exists(), "new artifact survives");
+        assert!(dir.join("notes.txt").exists(), "non-artifact files untouched");
+        // The swept registry still verifies clean end to end.
+        let report = verify(&dir).expect("verifies");
+        assert_eq!(report.len(), 2);
+        assert!(report.iter().all(|m| m.status.is_ok()), "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,22 +11,33 @@
 //!   unbounded queueing. Admitted connections are handed round-robin to
 //!   the event loops over a channel plus a reactor wake.
 //! - **Event loops** (`event_loops` threads, auto-sized from the CPU
-//!   count): each runs a nonblocking epoll loop (the vendored `mio`
-//!   shim) over its share of connections. Each connection is a small
-//!   state machine — read buffer → framed request → scoring queue →
-//!   write buffer — with the wire format auto-detected from the first
-//!   byte (`0xB5` means binary v2, anything else NDJSON) and sticky for
-//!   the connection's life. Deadlines are enforced from the loop: an
-//!   *idle* deadline between requests, a stricter *mid-request* deadline
-//!   from the first byte of a request (slow-loris defence), and a
-//!   write-stall deadline while a response is draining. Request payloads
-//!   are capped at `max_request_bytes`; the binary header's declared
-//!   length is checked against the cap before any payload is buffered.
-//!   Control requests (`Health`, `Stats`, `ListModels`, `Reload`,
-//!   `Shutdown`) are answered inline on the loop; scoring requests are
-//!   dispatched to the executor, one in flight per connection (pipelined
-//!   bytes wait in the read buffer, preserving per-connection order, and
-//!   the connection's read interest is dropped for backpressure).
+//!   count): each runs a nonblocking **edge-triggered** epoll loop (the
+//!   vendored `mio` shim) over its share of connections. A connection is
+//!   registered exactly once, at admission, for both interests — no
+//!   `epoll_ctl` churn on the hot path — and the loop caches readiness
+//!   itself (`read_ready`/`write_ready`, cleared only on `WouldBlock`).
+//!   Connections with cached readiness or buffered work sit on a ready
+//!   list; each gets **one bounded service turn per loop iteration**
+//!   (read to `WouldBlock` or the buffer cap, process at most
+//!   [`FRAME_BUDGET`] frames, flush to `WouldBlock`), so one connection
+//!   pipelining thousands of frames cannot starve its siblings. Each
+//!   connection is a small state machine — read buffer → framed request
+//!   → scoring queue → write buffer — with the wire format auto-detected
+//!   from the first byte (`0xB5` means binary v2, anything else NDJSON)
+//!   and sticky for the connection's life. Framing is zero-copy: requests
+//!   are parsed from borrowed slices of the read buffer behind a cursor,
+//!   and the buffer compacts once per service turn (at most one partial
+//!   frame moves), not once per request. Deadlines are enforced from the
+//!   loop: an *idle* deadline between requests, a stricter *mid-request*
+//!   deadline from the first byte of a request (slow-loris defence), and
+//!   a write-stall deadline while a response is draining. Request
+//!   payloads are capped at `max_request_bytes`; the binary header's
+//!   declared length is checked against the cap before any payload is
+//!   buffered. Control requests (`Health`, `Stats`, `ListModels`,
+//!   `Reload`, `Shutdown`) are answered inline on the loop; scoring
+//!   requests are dispatched to the executor, one in flight per
+//!   connection (pipelined bytes wait in the read buffer, preserving
+//!   per-connection order, and reads pause for backpressure).
 //! - **Scoring executor** (`pool_size(workers)` threads): pulls
 //!   [`ScorePairs`]/[`Attack`] jobs from a shared queue. On the default
 //!   compiled-sequential path, concurrent small `ScorePairs` jobs that
@@ -35,7 +46,10 @@
 //!   back per request — `proba_batch` is row-independent, so coalesced
 //!   answers are bit-identical to solo ones. By default a worker only
 //!   drains jobs already queued (zero added latency for a lone client);
-//!   `batch_linger_us` optionally waits that long for stragglers.
+//!   [`BatchLinger::Fixed`] waits that many microseconds for stragglers,
+//!   and [`BatchLinger::Auto`] lingers only while the recent window
+//!   shows under-full batches *that were actually coalescing* — a lone
+//!   client never pays the wait.
 //!
 //! [`ScorePairs`]: Request::ScorePairs
 //! [`Attack`]: Request::Attack
@@ -54,6 +68,7 @@
 //! fraction of default-routed `ScorePairs` batches against a second
 //! catalog entry and folds an exact divergence report into `Stats`.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -67,7 +82,7 @@ use sm_layout::io::read_challenge;
 use sm_ml::{par_chunks, Parallelism};
 
 use crate::artifact::ARTIFACT_VERSION;
-use crate::client::percentile_us;
+use crate::client::percentile_rank;
 use crate::protocol::{
     binary, AttackSummary, ErrorCode, ModelInfo, Request, Response, ShadowReport, StatsSnapshot,
     Wire,
@@ -101,6 +116,25 @@ const WAKE_TOKEN: mio::Token = mio::Token(usize::MAX);
 /// Upper bound on auto-sized event loops: scoring, not connection
 /// shuffling, is where the CPUs belong.
 const MAX_AUTO_EVENT_LOOPS: usize = 4;
+
+/// Fairness budget: the most frames one connection may consume in a
+/// single service turn. A connection with more buffered frames goes to
+/// the back of the ready list so its siblings get a turn between
+/// budgets — one pipelining client cannot starve a loop.
+const FRAME_BUDGET: usize = 32;
+
+/// How long [`BatchLinger::Auto`] waits for stragglers while the recent
+/// fill window says batches are under-full *and* coalescing.
+const AUTO_LINGER_US: u64 = 100;
+
+/// Minimum batches in the fill window before `Auto` trusts it; below
+/// this the controller never lingers (cold start favors latency).
+const AUTO_LINGER_MIN_BATCHES: u64 = 8;
+
+/// Size of the batch-fill observation window: once this many batches
+/// accumulate, all three fill counters are halved, so the controller
+/// tracks an exponentially-weighted recent past rather than all time.
+const FILL_WINDOW: u64 = 64;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,12 +185,74 @@ pub struct ServeOptions {
     /// Number of reactor event-loop threads. `0` means automatic
     /// (`min(cpu count, 4)`, at least 1).
     pub event_loops: usize,
-    /// How long (microseconds) a scoring worker may wait for additional
-    /// coalescible `ScorePairs` jobs before scoring a partial batch.
-    /// `0` (the default) never waits: a worker only coalesces jobs that
-    /// are *already* queued, so a lone client's latency is untouched and
-    /// batching emerges exactly when there is a backlog to amortize.
-    pub batch_linger_us: u64,
+    /// How long a scoring worker may wait for additional coalescible
+    /// `ScorePairs` jobs before scoring a partial batch. The default,
+    /// [`BatchLinger::Fixed`]`(0)`, never waits: a worker only coalesces
+    /// jobs that are *already* queued, so a lone client's latency is
+    /// untouched and batching emerges exactly when there is a backlog to
+    /// amortize. [`BatchLinger::Auto`] turns a short linger on and off
+    /// from the observed batch fill.
+    pub batch_linger: BatchLinger,
+}
+
+/// The `--batch-linger-us` policy: a fixed microsecond budget, or an
+/// adaptive controller driven by the observed mean batch fill.
+///
+/// `Auto` lingers [`AUTO_LINGER_US`] only while the recent window shows
+/// batches that were **under-full** (mean rows/batch below
+/// [`SCORE_BATCH`]) *and* **actually coalescing** (mean requests/batch
+/// above one). The second condition is what protects a lone client: its
+/// batches carry exactly one request each, so `Auto` never holds its
+/// requests hostage waiting for siblings that do not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchLinger {
+    /// Wait exactly this many microseconds (`0` = never wait).
+    Fixed(u64),
+    /// Linger only while recent batches were under-full and coalescing.
+    Auto,
+}
+
+impl Default for BatchLinger {
+    fn default() -> Self {
+        BatchLinger::Fixed(0)
+    }
+}
+
+impl std::str::FromStr for BatchLinger {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(BatchLinger::Auto);
+        }
+        s.parse::<u64>()
+            .map(BatchLinger::Fixed)
+            .map_err(|_| format!("expected 'auto' or a microsecond count, got '{s}'"))
+    }
+}
+
+impl std::fmt::Display for BatchLinger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchLinger::Fixed(us) => write!(f, "{us}"),
+            BatchLinger::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// The `Auto` linger decision, pure for testing: given the fill window's
+/// totals, how many microseconds should the next partial batch wait?
+fn auto_linger_us(batches: u64, rows: u64, requests: u64) -> u64 {
+    if batches < AUTO_LINGER_MIN_BATCHES {
+        return 0;
+    }
+    let under_full = rows < batches.saturating_mul(SCORE_BATCH as u64);
+    let coalescing = requests > batches;
+    if under_full && coalescing {
+        AUTO_LINGER_US
+    } else {
+        0
+    }
 }
 
 impl Default for ServeOptions {
@@ -171,7 +267,7 @@ impl Default for ServeOptions {
             max_request_bytes: 64 * 1024 * 1024,
             max_queue: 0,
             event_loops: 0,
-            batch_linger_us: 0,
+            batch_linger: BatchLinger::Fixed(0),
         }
     }
 }
@@ -284,6 +380,10 @@ struct LatencyRing {
     cap: usize,
     /// Next slot to overwrite once the ring is full.
     next: usize,
+    /// Reused working copy for [`Self::quantiles`]: a `Stats` probe must
+    /// not allocate (and free) a full ring's worth of samples — at
+    /// capacity that was ~8 MiB of churn per monitoring poll.
+    scratch: Vec<u64>,
 }
 
 impl LatencyRing {
@@ -292,6 +392,7 @@ impl LatencyRing {
             samples: Vec::new(),
             cap: cap.max(1),
             next: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -304,8 +405,48 @@ impl LatencyRing {
         }
     }
 
+    ///`[p50, p95, p99, max]` over the retained samples — the exact
+    /// elements a full sort + [`percentile_us`] would pick, found with
+    /// chained `select_nth_unstable` partitions over the reused scratch
+    /// buffer instead of an O(n log n) sort of a fresh allocation.
+    ///
+    /// Ranks are selected in ascending order; each selection partitions
+    /// the scratch so the next one only touches the tail above the
+    /// previous rank, and the max is a linear scan of the final tail.
+    fn quantiles(&mut self) -> [u64; 4] {
+        let n = self.samples.len();
+        if n == 0 {
+            return [0; 4];
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.samples);
+        let ranks = [
+            percentile_rank(n, 50.0),
+            percentile_rank(n, 95.0),
+            percentile_rank(n, 99.0),
+        ];
+        let mut out = [0u64; 4];
+        let mut done = 0usize;
+        let mut prev: Option<(usize, u64)> = None;
+        for (slot, &rank) in ranks.iter().enumerate() {
+            if let Some((r, v)) = prev {
+                if r == rank {
+                    out[slot] = v;
+                    continue;
+                }
+            }
+            let (_, nth, _) = self.scratch[done..].select_nth_unstable(rank - done);
+            out[slot] = *nth;
+            prev = Some((rank, *nth));
+            done = rank;
+        }
+        out[3] = self.scratch[done..].iter().copied().max().unwrap_or(0);
+        out
+    }
+
     /// The retained samples, sorted ascending (a copy; the ring order is
-    /// an implementation detail).
+    /// an implementation detail). Test-only oracle for `quantiles`.
+    #[cfg(test)]
     fn sorted(&self) -> Vec<u64> {
         let mut out = self.samples.clone();
         out.sort_unstable();
@@ -359,12 +500,45 @@ struct ServerState {
     score_batches: AtomicU64,
     batched_rows: AtomicU64,
     batched_requests: AtomicU64,
+    /// Batch-fill observation window for [`BatchLinger::Auto`]: batches,
+    /// rows, and member requests seen recently (all three halved together
+    /// every [`FILL_WINDOW`] batches — an exponential decay, so the
+    /// controller follows the current traffic shape).
+    fill_batches: AtomicU64,
+    fill_rows: AtomicU64,
+    fill_requests: AtomicU64,
     latencies_us: Mutex<LatencyRing>,
 }
 
 impl ServerState {
     fn record_latency(&self, us: u64) {
         self.latencies_us.lock().expect("latency lock").push(us);
+    }
+
+    /// Feeds one coalesced batch into the fill window. Racing decays can
+    /// perturb the window by a batch or two; the controller only reads
+    /// coarse ratios, so that is harmless.
+    fn note_batch_fill(&self, rows: u64, requests: u64) {
+        let batches = self.fill_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        let rows = self.fill_rows.fetch_add(rows, Ordering::Relaxed) + rows;
+        let reqs = self.fill_requests.fetch_add(requests, Ordering::Relaxed) + requests;
+        if batches >= FILL_WINDOW {
+            self.fill_batches.store(batches / 2, Ordering::Relaxed);
+            self.fill_rows.store(rows / 2, Ordering::Relaxed);
+            self.fill_requests.store(reqs / 2, Ordering::Relaxed);
+        }
+    }
+
+    /// Microseconds the next partial batch may linger for stragglers.
+    fn linger_budget_us(&self) -> u64 {
+        match self.options.batch_linger {
+            BatchLinger::Fixed(us) => us,
+            BatchLinger::Auto => auto_linger_us(
+                self.fill_batches.load(Ordering::Relaxed),
+                self.fill_rows.load(Ordering::Relaxed),
+                self.fill_requests.load(Ordering::Relaxed),
+            ),
+        }
     }
 
     /// The current catalog snapshot. One clone of the `Arc`; holders keep
@@ -374,7 +548,8 @@ impl ServerState {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let lat = self.latencies_us.lock().expect("latency lock").sorted();
+        let [p50_us, p95_us, p99_us, max_us] =
+            self.latencies_us.lock().expect("latency lock").quantiles();
         let catalog = self.catalog();
         let entry = catalog.default_entry();
         let shadow = self.shadow.as_ref().map(|cfg| {
@@ -410,10 +585,10 @@ impl ServerState {
             score_batches: self.score_batches.load(Ordering::Relaxed),
             batched_rows: self.batched_rows.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            p50_us: percentile_us(&lat, 50.0),
-            p95_us: percentile_us(&lat, 95.0),
-            p99_us: percentile_us(&lat, 99.0),
-            max_us: lat.last().copied().unwrap_or(0),
+            p50_us,
+            p95_us,
+            p99_us,
+            max_us,
         }
     }
 }
@@ -623,6 +798,10 @@ enum JobKind {
         truth: String,
         threshold: f64,
         detail: bool,
+        /// Whether the request arrived as a dense `ATTACK` frame. The
+        /// response mirrors the request's framing: dense in, dense out;
+        /// JSON-framed in (a pre-0x03 binary client), JSON-framed out.
+        dense: bool,
     },
 }
 
@@ -633,6 +812,10 @@ struct Completion {
     conn_seq: u64,
     start: Instant,
     response: Response,
+    /// On the binary wire, force the JSON-payload response frame even
+    /// where a dense encoding exists — set for `Attack` requests that
+    /// arrived JSON-framed, so old clients can decode the reply.
+    prefer_json: bool,
 }
 
 fn serve_prepared(
@@ -670,6 +853,9 @@ fn serve_prepared(
         score_batches: AtomicU64::new(0),
         batched_rows: AtomicU64::new(0),
         batched_requests: AtomicU64::new(0),
+        fill_batches: AtomicU64::new(0),
+        fill_rows: AtomicU64::new(0),
+        fill_requests: AtomicU64::new(0),
         latencies_us: Mutex::new(LatencyRing::with_capacity(MAX_LATENCY_SAMPLES)),
     };
 
@@ -921,9 +1107,17 @@ struct Conn {
     /// a normal response is pending; the closing `TooLarge`/`Timeout`
     /// replies are best-effort and already counted).
     io_on_write_fail: bool,
-    /// Interest currently registered with the reactor, as
-    /// `(readable, writable)`; `None` when deregistered.
-    registered: Option<(bool, bool)>,
+    /// Registered with the reactor (edge-triggered, both interests,
+    /// exactly once at admission — never reregistered).
+    registered: bool,
+    /// Cached readiness under edge triggering: the kernel reports each
+    /// readiness transition once, so the loop remembers it until a read
+    /// or write actually returns `WouldBlock`. Both start true — a fresh
+    /// socket is writable and may already hold bytes.
+    read_ready: bool,
+    write_ready: bool,
+    /// On the loop's ready list (deduplicates scheduling).
+    queued: bool,
 }
 
 impl Conn {
@@ -941,7 +1135,10 @@ impl Conn {
             close_after_flush: false,
             eof: false,
             io_on_write_fail: false,
-            registered: None,
+            registered: false,
+            read_ready: true,
+            write_ready: true,
+            queued: false,
         }
     }
 
@@ -967,6 +1164,11 @@ struct EventLoop<'a> {
     free: Vec<usize>,
     live: usize,
     next_seq: u64,
+    /// Ready list: connections with cached readiness or buffered work.
+    /// Each gets one bounded service turn per loop iteration and
+    /// re-queues at the back if still runnable — round-robin fairness
+    /// under edge triggering.
+    pending: VecDeque<usize>,
 }
 
 impl<'a> EventLoop<'a> {
@@ -991,6 +1193,7 @@ impl<'a> EventLoop<'a> {
             free: Vec::new(),
             live: 0,
             next_seq: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -1001,15 +1204,42 @@ impl<'a> EventLoop<'a> {
             // a wakeup *after* each send, so nothing is ever stranded.
             let intake_closed = self.drain_intake();
             self.drain_completions();
+            // One bounded service turn per currently-ready connection;
+            // a turn that leaves work behind re-queues at the back, so
+            // this round visits each ready connection exactly once.
+            let turns = self.pending.len();
+            for _ in 0..turns {
+                let Some(idx) = self.pending.pop_front() else {
+                    break;
+                };
+                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                    continue; // stale entry for a closed connection
+                };
+                conn.queued = false;
+                self.service(idx);
+            }
+            // The exit check sits *after* the service turns: the final
+            // wake and the last connection's EOF can arrive in one poll
+            // return, and checking before servicing would see live > 0,
+            // close the connection, then block forever with no further
+            // wake coming. Anything that flips the condition after this
+            // point also fires the waker, so the blocking poll below
+            // still returns.
             if intake_closed && self.live == 0 && self.state.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            let timeout = self.next_deadline().map(|d| {
-                let now = Instant::now();
-                // +1ms so a just-expired deadline doesn't busy-poll on
-                // millisecond truncation.
-                d.saturating_duration_since(now) + Duration::from_millis(1)
-            });
+            let timeout = if self.pending.is_empty() {
+                self.next_deadline().map(|d| {
+                    let now = Instant::now();
+                    // +1ms so a just-expired deadline doesn't busy-poll
+                    // on millisecond truncation.
+                    d.saturating_duration_since(now) + Duration::from_millis(1)
+                })
+            } else {
+                // Buffered work remains: collect any new readiness
+                // without blocking and keep servicing.
+                Some(Duration::ZERO)
+            };
             if self.poll.poll(&mut events, timeout).is_err() {
                 // epoll itself failing is unrecoverable for this loop;
                 // shed everything rather than spin.
@@ -1020,7 +1250,7 @@ impl<'a> EventLoop<'a> {
                 if event.token() == WAKE_TOKEN {
                     self.waker.drain();
                 } else {
-                    self.dispatch_io(event);
+                    self.note_event(event);
                 }
             }
             self.sweep_deadlines();
@@ -1060,10 +1290,27 @@ impl<'a> EventLoop<'a> {
             }
         };
         self.live += 1;
-        self.update_interest(idx);
-        // The socket may already hold a request; level-triggered epoll
-        // would tell us, but serving it now saves a syscall round.
-        self.do_read(idx);
+        // One registration for the connection's whole life: both
+        // interests, edge-triggered. Readiness transitions arrive as
+        // events; the cached `read_ready`/`write_ready` flags carry them
+        // between service turns, so there is no rearm traffic at all.
+        let interest = (mio::Interest::READABLE | mio::Interest::WRITABLE).edge();
+        let registered = {
+            let conn = self.conns[idx].as_ref().expect("just inserted");
+            self.poll
+                .registry()
+                .register(&conn.stream, mio::Token(idx), interest)
+                .is_ok()
+        };
+        if !registered {
+            self.state.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.close(idx);
+            return;
+        }
+        self.conns[idx].as_mut().expect("just inserted").registered = true;
+        // The socket may already hold a request (and its initial
+        // readiness edges may predate registration); service it now.
+        self.service(idx);
     }
 
     fn drain_completions(&mut self) {
@@ -1085,33 +1332,90 @@ impl<'a> EventLoop<'a> {
         }
         conn.phase = Phase::Idle;
         conn.idle_since = Instant::now();
-        self.enqueue_response(c.token, &c.response, false);
+        self.enqueue_response_framed(c.token, &c.response, false, c.prefer_json);
         let us = u64::try_from(c.start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.state.record_latency(us);
         // Pipelined bytes may already hold the next request.
-        self.process_rbuf(c.token);
-        self.after_touch(c.token);
+        let more = self.process_rbuf(c.token);
+        self.settle(c.token, more);
     }
 
-    fn dispatch_io(&mut self, event: mio::Event) {
+    /// Records an edge-triggered readiness transition and puts the
+    /// connection on the ready list. No I/O happens here — the service
+    /// turn does it, under the fairness budget.
+    fn note_event(&mut self, event: mio::Event) {
         let idx = event.token().0;
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return; // stale event for a closed connection
         };
-        if event.is_writable() && conn.wants_write() {
-            self.try_flush(idx);
+        if event.is_readable() {
+            conn.read_ready = true;
         }
-        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-            if event.is_readable() && conn.wants_read() {
-                self.do_read(idx);
-            } else {
-                self.after_touch(idx);
-            }
+        if event.is_writable() {
+            conn.write_ready = true;
+        }
+        self.schedule(idx);
+    }
+
+    /// Puts a connection on the ready list (idempotent).
+    fn schedule(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if !conn.queued {
+            conn.queued = true;
+            self.pending.push_back(idx);
         }
     }
 
-    /// Drains the socket into the read buffer (bounded), then processes
-    /// whatever complete requests arrived.
+    /// One bounded service turn: flush what the socket will take, read
+    /// until `WouldBlock` or the backpressure cap, process up to
+    /// [`FRAME_BUDGET`] buffered frames, then settle (which re-queues
+    /// the connection if it can still make progress without a new
+    /// readiness event).
+    fn service(&mut self, idx: usize) {
+        if self
+            .conns
+            .get(idx)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c.write_ready && c.wants_write())
+        {
+            self.try_flush(idx);
+        }
+        if self
+            .conns
+            .get(idx)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c.read_ready && c.wants_read())
+        {
+            self.do_read(idx);
+        }
+        let more = self.process_rbuf(idx);
+        self.settle(idx, more);
+    }
+
+    /// Post-turn settlement: flush, apply close decisions, and re-queue
+    /// the connection if it can still make progress *without* waiting
+    /// for a new readiness event. Under edge triggering this re-queue is
+    /// load-bearing: a turn that stops for any reason other than
+    /// `WouldBlock` (fairness budget, backpressure, an in-flight job
+    /// that just completed) would otherwise strand cached readiness.
+    fn settle(&mut self, idx: usize, more_frames: bool) {
+        self.after_touch(idx);
+        let Some(conn) = self.conns.get(idx).and_then(Option::as_ref) else {
+            return;
+        };
+        let runnable = more_frames
+            || (conn.read_ready && conn.wants_read())
+            || (conn.write_ready && conn.wants_write());
+        if runnable {
+            self.schedule(idx);
+        }
+    }
+
+    /// Drains the socket into the read buffer until `WouldBlock` (which
+    /// clears the cached readiness — the edge-triggered contract), EOF,
+    /// or the backpressure cap.
     fn do_read(&mut self, idx: usize) {
         let cap = self.state.options.max_request_bytes;
         let mut buf = [0u8; READ_CHUNK];
@@ -1120,7 +1424,9 @@ impl<'a> EventLoop<'a> {
                 return;
             };
             // Backpressure: never buffer more than one request's cap
-            // (plus a frame header) ahead of processing.
+            // (plus a frame header) ahead of processing. `read_ready`
+            // stays true — the bytes are still there; the next turn
+            // resumes after the buffer drains.
             if conn.rbuf.len() > cap + binary::HEADER_LEN {
                 break;
             }
@@ -1136,7 +1442,10 @@ impl<'a> EventLoop<'a> {
                         conn.phase = Phase::Receiving(Instant::now());
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.read_ready = false;
+                    break;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => {
                     self.state.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -1145,52 +1454,83 @@ impl<'a> EventLoop<'a> {
                 }
             }
         }
-        self.process_rbuf(idx);
-        self.after_touch(idx);
     }
 
     /// Consumes complete requests from the front of the read buffer
-    /// until it runs dry, a scoring job goes in flight, or the
-    /// connection turns unrecoverable.
-    fn process_rbuf(&mut self, idx: usize) {
+    /// until it runs dry, a scoring job goes in flight, the fairness
+    /// budget is spent, or the connection turns unrecoverable.
+    ///
+    /// Zero-copy: the buffer is taken out of the connection and walked
+    /// with a cursor; every frame (NDJSON line or binary payload) is
+    /// handed to its handler as a borrowed slice, and the leftover tail
+    /// compacts **once** at the end of the walk — at most one partial
+    /// frame moves per turn, where the old `drain().collect()` copied
+    /// every frame and memmoved the whole tail per request (quadratic
+    /// under pipelining). Handlers never touch `conn.rbuf`, which sits
+    /// empty while the walk borrows from the taken buffer.
+    ///
+    /// Returns true when complete frames may remain buffered (the budget
+    /// ran out) — the caller must keep the connection on the ready list.
+    fn process_rbuf(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return false;
+        };
+        if conn.phase == Phase::Processing || conn.close_after_flush {
+            return false;
+        }
+        if conn.rbuf.is_empty() {
+            conn.phase = Phase::Idle;
+            return false;
+        }
+        let wire = *conn.wire.get_or_insert_with(|| match conn.rbuf.first() {
+            Some(&binary::MAGIC0) => Wire::Binary,
+            _ => Wire::Ndjson,
+        });
+        let cap = self.state.options.max_request_bytes;
+        let buf = std::mem::take(&mut conn.rbuf);
+        let mut rpos = 0usize;
+        let mut budget = FRAME_BUDGET;
+        let mut more = false;
         loop {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                return;
+                return false; // closed mid-walk; the buffer dies with it
             };
             if conn.phase == Phase::Processing || conn.close_after_flush {
-                return;
+                break;
             }
-            if conn.rbuf.is_empty() {
-                conn.phase = Phase::Idle;
-                return;
+            if rpos >= buf.len() {
+                break;
             }
-            let wire = *conn.wire.get_or_insert_with(|| match conn.rbuf.first() {
-                Some(&binary::MAGIC0) => Wire::Binary,
-                _ => Wire::Ndjson,
-            });
-            let cap = self.state.options.max_request_bytes;
+            if budget == 0 {
+                more = true;
+                break;
+            }
             match wire {
-                Wire::Ndjson => match scan_line(&conn.rbuf, cap) {
+                Wire::Ndjson => match scan_line(&buf[rpos..], cap) {
                     LineScan::TooLarge => {
                         self.reject_too_large(idx);
-                        return;
+                        break;
                     }
                     LineScan::Incomplete => break,
                     LineScan::Complete(pos) => {
-                        let line: Vec<u8> = conn.rbuf.drain(..=pos).take(pos).collect();
-                        self.handle_line(idx, &line);
+                        let line = &buf[rpos..rpos + pos];
+                        rpos += pos + 1;
+                        budget -= 1;
+                        self.handle_line(idx, line);
                     }
                 },
                 Wire::Binary => {
-                    if conn.rbuf.len() < binary::HEADER_LEN {
+                    if buf.len() - rpos < binary::HEADER_LEN {
                         break;
                     }
-                    let header_bytes: [u8; binary::HEADER_LEN] =
-                        conn.rbuf[..binary::HEADER_LEN].try_into().expect("8 bytes");
+                    let header_bytes: [u8; binary::HEADER_LEN] = buf
+                        [rpos..rpos + binary::HEADER_LEN]
+                        .try_into()
+                        .expect("8 bytes");
                     match binary::decode_header(header_bytes, cap as u64) {
                         Err(binary::FrameError::TooLarge { .. }) => {
                             self.reject_too_large(idx);
-                            return;
+                            break;
                         }
                         Err(e) => {
                             // Bad magic/version/type: the stream cannot
@@ -1206,27 +1546,36 @@ impl<'a> EventLoop<'a> {
                             if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
                                 conn.io_on_write_fail = true;
                             }
-                            return;
+                            break;
                         }
                         Ok(h) => {
                             let total = binary::HEADER_LEN + h.len as usize;
-                            if conn.rbuf.len() < total {
+                            if buf.len() - rpos < total {
                                 break;
                             }
-                            let payload: Vec<u8> =
-                                conn.rbuf.drain(..total).skip(binary::HEADER_LEN).collect();
-                            self.handle_binary_frame(idx, h.frame_type, &payload);
+                            let payload = &buf[rpos + binary::HEADER_LEN..rpos + total];
+                            rpos += total;
+                            budget -= 1;
+                            self.handle_binary_frame(idx, h.frame_type, payload);
                         }
                     }
                 }
             }
         }
-        // Ran dry (or frame incomplete): settle the phase.
+        // Put the unconsumed tail back: one compaction per turn.
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-            return;
+            return false;
         };
+        let mut buf = buf;
+        if rpos >= buf.len() {
+            buf.clear();
+        } else if rpos > 0 {
+            buf.copy_within(rpos.., 0);
+            buf.truncate(buf.len() - rpos);
+        }
+        conn.rbuf = buf;
         if conn.phase == Phase::Processing || conn.close_after_flush {
-            return;
+            return false;
         }
         if conn.rbuf.is_empty() {
             if !matches!(conn.phase, Phase::Idle) {
@@ -1236,6 +1585,7 @@ impl<'a> EventLoop<'a> {
         } else if !matches!(conn.phase, Phase::Receiving(_)) {
             conn.phase = Phase::Receiving(Instant::now());
         }
+        more
     }
 
     /// One NDJSON request line (newline stripped).
@@ -1266,13 +1616,19 @@ impl<'a> EventLoop<'a> {
                 let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 self.state.record_latency(us);
             }
-            Ok(request) => self.handle_request(idx, request, start),
+            Ok(request) => self.handle_request(idx, request, start, false),
         }
     }
 
     /// One binary v2 frame (header already validated and stripped).
     fn handle_binary_frame(&mut self, idx: usize, frame_type: u8, payload: &[u8]) {
         let start = Instant::now();
+        if frame_type == binary::FRAME_SCORE_PAIRS {
+            // The hot frame skips `decode_request`'s nested-Vec
+            // materialization: rows go straight from the borrowed
+            // payload into the flat kernel batch.
+            return self.handle_score_pairs_dense(idx, payload, start);
+        }
         match binary::decode_request(frame_type, payload) {
             Err(e) => {
                 // The frame was well-delimited, so framing survives: as
@@ -1287,11 +1643,65 @@ impl<'a> EventLoop<'a> {
                 let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 self.state.record_latency(us);
             }
-            Ok(request) => self.handle_request(idx, request, start),
+            Ok(request) => {
+                self.handle_request(idx, request, start, frame_type == binary::FRAME_ATTACK);
+            }
         }
     }
 
-    fn handle_request(&mut self, idx: usize, request: Request, start: Instant) {
+    /// A dense `SCORE_PAIRS` frame: decode a borrowed row view over the
+    /// connection buffer and copy the f64 rows directly into the flat
+    /// kernel batch — no intermediate `Vec<Vec<f64>>`.
+    fn handle_score_pairs_dense(&mut self, idx: usize, payload: &[u8], start: Instant) {
+        let view = match binary::decode_score_pairs(payload) {
+            Ok(view) => view,
+            Err(e) => {
+                self.state.requests.fetch_add(1, Ordering::Relaxed);
+                self.state.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("bad request: {e}"),
+                };
+                self.enqueue_response(idx, &resp, false);
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.state.record_latency(us);
+                return;
+            }
+        };
+        let catalog = self.state.catalog();
+        match catalog.resolve(view.model_id) {
+            Err(e) => self.finish_inline(idx, not_found(&e), start),
+            Ok(entry) => {
+                let expected = entry.model.config().features.len();
+                if view.rows > 0 && view.cols != expected {
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "feature row 0 has {} values, model expects {expected}",
+                            view.cols
+                        ),
+                    };
+                    self.finish_inline(idx, resp, start);
+                    return;
+                }
+                let mut rows = Vec::with_capacity(view.rows * view.cols);
+                view.extend_rows_into(&mut rows);
+                let entry = entry.clone();
+                self.dispatch_job(
+                    idx,
+                    start,
+                    JobKind::Pairs {
+                        catalog,
+                        entry,
+                        rows,
+                        nrows: view.rows,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_request(&mut self, idx: usize, request: Request, start: Instant, dense: bool) {
         match request {
             Request::Health => {
                 let catalog = self.state.catalog();
@@ -1408,6 +1818,7 @@ impl<'a> EventLoop<'a> {
                                 truth,
                                 threshold,
                                 detail,
+                                dense,
                             },
                         );
                     }
@@ -1467,6 +1878,20 @@ impl<'a> EventLoop<'a> {
     /// and schedules the flush. `closing` also marks the connection to
     /// close once the buffer drains.
     fn enqueue_response(&mut self, idx: usize, resp: &Response, closing: bool) {
+        self.enqueue_response_framed(idx, resp, closing, false);
+    }
+
+    /// [`Self::enqueue_response`] with the binary framing pinned:
+    /// `prefer_json` forces the JSON-payload response frame so a
+    /// JSON-framed `Attack` gets a reply its (possibly pre-dense) client
+    /// can decode — responses mirror the request's framing.
+    fn enqueue_response_framed(
+        &mut self,
+        idx: usize,
+        resp: &Response,
+        closing: bool,
+        prefer_json: bool,
+    ) {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
@@ -1475,6 +1900,10 @@ impl<'a> EventLoop<'a> {
                 let mut line = serde_json::to_string(resp).expect("responses always serialize");
                 line.push('\n');
                 conn.wbuf.extend_from_slice(line.as_bytes());
+            }
+            Wire::Binary if prefer_json => {
+                conn.wbuf
+                    .extend_from_slice(&binary::encode_response_json(resp));
             }
             Wire::Binary => {
                 conn.wbuf.extend_from_slice(&binary::encode_response(resp));
@@ -1512,7 +1941,10 @@ impl<'a> EventLoop<'a> {
                     conn.write_deadline = timeout_of(self.state.options.request_timeout_ms)
                         .map(|t| Instant::now() + t);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.write_ready = false;
+                    break;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => {
                     if conn.io_on_write_fail {
@@ -1531,14 +1963,15 @@ impl<'a> EventLoop<'a> {
         }
     }
 
-    /// Post-activity settlement: flush pending bytes, apply close
-    /// decisions, refresh reactor interest.
+    /// Post-activity settlement: flush pending bytes and apply close
+    /// decisions. No registration churn — the edge-triggered interest
+    /// set at admission covers the connection's whole life.
     fn after_touch(&mut self, idx: usize) {
         if self
             .conns
             .get_mut(idx)
             .and_then(Option::as_mut)
-            .is_some_and(|c| c.wants_write())
+            .is_some_and(|c| c.write_ready && c.wants_write())
         {
             self.try_flush(idx);
         }
@@ -1558,42 +1991,6 @@ impl<'a> EventLoop<'a> {
                 self.state.io_errors.fetch_add(1, Ordering::Relaxed);
             }
             self.close(idx);
-            return;
-        }
-        self.update_interest(idx);
-    }
-
-    /// Syncs the connection's epoll registration with what it currently
-    /// wants. A connection wanting neither direction (scoring in
-    /// flight, nothing to write) is deregistered outright so a hung-up
-    /// peer cannot spin the level-triggered loop.
-    fn update_interest(&mut self, idx: usize) {
-        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-            return;
-        };
-        let desired = (conn.wants_read(), conn.wants_write());
-        if conn.registered == Some(desired) {
-            return;
-        }
-        let interest = match desired {
-            (true, true) => Some(mio::Interest::READABLE | mio::Interest::WRITABLE),
-            (true, false) => Some(mio::Interest::READABLE),
-            (false, true) => Some(mio::Interest::WRITABLE),
-            (false, false) => None,
-        };
-        let registry = self.poll.registry();
-        let result = match (conn.registered.is_some(), interest) {
-            (false, None) => Ok(()),
-            (false, Some(i)) => registry.register(&conn.stream, mio::Token(idx), i),
-            (true, Some(i)) => registry.reregister(&conn.stream, mio::Token(idx), i),
-            (true, None) => registry.deregister(&conn.stream),
-        };
-        match result {
-            Ok(()) => conn.registered = interest.map(|_| desired),
-            Err(_) => {
-                self.state.io_errors.fetch_add(1, Ordering::Relaxed);
-                self.close(idx);
-            }
         }
     }
 
@@ -1676,7 +2073,7 @@ impl<'a> EventLoop<'a> {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
             return;
         };
-        if conn.registered.is_some() {
+        if conn.registered {
             let _ = self.poll.registry().deregister(&conn.stream);
         }
         drop(conn);
@@ -1717,9 +2114,13 @@ fn executor_run(
                 ref truth,
                 threshold,
                 detail,
+                dense,
             } => {
                 let response = run_attack(state, entry, challenge, truth, threshold, detail);
-                post(state, completion_txs, wakers, &first, response);
+                // Mirror the request framing: a JSON-framed Attack gets a
+                // JSON-framed reply (pre-dense clients), a dense one the
+                // dense AttackResult frame.
+                post_framed(state, completion_txs, wakers, &first, response, !dense);
             }
             JobKind::Pairs { .. } => {
                 stash = score_coalesced(state, jobs, completion_txs, wakers, first);
@@ -1758,8 +2159,8 @@ fn score_coalesced(
     let mut batch = vec![first];
     let mut total_rows = first_nrows;
     let mut stash = None;
-    let linger = Duration::from_micros(opts.batch_linger_us);
-    let linger_until = (opts.batch_linger_us > 0).then(|| Instant::now() + linger);
+    let linger_us = state.linger_budget_us();
+    let linger_until = (linger_us > 0).then(|| Instant::now() + Duration::from_micros(linger_us));
     while total_rows < SCORE_BATCH {
         // `try_lock`, never `lock`: an idle sibling worker parks *inside*
         // `recv()` while holding the queue mutex, so blocking here would
@@ -1829,6 +2230,7 @@ fn score_coalesced(
             .batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
     }
+    state.note_batch_fill(total_rows as u64, batch.len() as u64);
 
     let mut offset = 0usize;
     for job in batch {
@@ -1912,12 +2314,25 @@ fn post(
     job: &Job,
     response: Response,
 ) {
+    post_framed(state, completion_txs, wakers, job, response, false);
+}
+
+/// [`post`] with the response framing pinned (see [`Completion::prefer_json`]).
+fn post_framed(
+    state: &ServerState,
+    completion_txs: &[mpsc::Sender<Completion>],
+    wakers: &[mio::Waker],
+    job: &Job,
+    response: Response,
+    prefer_json: bool,
+) {
     let _ = state; // counters already booked by the scoring paths
     let completion = Completion {
         token: job.token,
         conn_seq: job.conn_seq,
         start: job.start,
         response,
+        prefer_json,
     };
     if completion_txs[job.loop_id].send(completion).is_ok() {
         let _ = wakers[job.loop_id].wake();
@@ -2075,6 +2490,7 @@ fn run_attack(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::percentile_us;
 
     #[test]
     fn default_options_pool_with_sequential_batches() {
@@ -2088,7 +2504,68 @@ mod tests {
         assert!(opts.max_request_bytes >= 1 << 20);
         assert_eq!(opts.max_queue, 0, "0 = auto queue depth");
         assert_eq!(opts.event_loops, 0, "0 = auto event loops");
-        assert_eq!(opts.batch_linger_us, 0, "no linger: drain-only batching");
+        assert_eq!(
+            opts.batch_linger,
+            BatchLinger::Fixed(0),
+            "no linger: drain-only batching"
+        );
+    }
+
+    #[test]
+    fn batch_linger_parses_auto_and_numbers_and_rejects_garbage() {
+        assert_eq!("auto".parse::<BatchLinger>(), Ok(BatchLinger::Auto));
+        assert_eq!("AUTO".parse::<BatchLinger>(), Ok(BatchLinger::Auto));
+        assert_eq!("0".parse::<BatchLinger>(), Ok(BatchLinger::Fixed(0)));
+        assert_eq!("250".parse::<BatchLinger>(), Ok(BatchLinger::Fixed(250)));
+        for garbage in ["soonish", "-5", "1.5", "", "100us"] {
+            let err = garbage.parse::<BatchLinger>().unwrap_err();
+            assert!(err.contains(garbage), "error names the input: {err}");
+        }
+        assert_eq!(BatchLinger::Auto.to_string(), "auto");
+        assert_eq!(BatchLinger::Fixed(42).to_string(), "42");
+    }
+
+    #[test]
+    fn auto_linger_waits_only_for_underfull_coalescing_traffic() {
+        let full = SCORE_BATCH as u64;
+        // Cold start: too few batches observed, never linger.
+        assert_eq!(auto_linger_us(0, 0, 0), 0);
+        assert_eq!(auto_linger_us(AUTO_LINGER_MIN_BATCHES - 1, 8, 32), 0);
+        // A lone client: one request per batch, rows far under full —
+        // must NOT linger (its latency would buy nothing).
+        assert_eq!(auto_linger_us(100, 100 * 8, 100), 0);
+        // Under-full batches that are actually coalescing: linger.
+        assert_eq!(auto_linger_us(100, 100 * 8, 400), AUTO_LINGER_US);
+        // Batches already running full: lingering cannot help.
+        assert_eq!(auto_linger_us(100, 100 * full, 400), 0);
+    }
+
+    #[test]
+    fn ring_quantiles_match_the_full_sort_oracle() {
+        let mut ring = LatencyRing::with_capacity(512);
+        assert_eq!(ring.quantiles(), [0; 4], "empty ring is all zero");
+        // A deterministic scramble with duplicates and a rollover.
+        for i in 0u64..700 {
+            ring.push((i * 7919) % 257);
+        }
+        let sorted = ring.sorted();
+        let expect = [
+            percentile_us(&sorted, 50.0),
+            percentile_us(&sorted, 95.0),
+            percentile_us(&sorted, 99.0),
+            *sorted.last().unwrap(),
+        ];
+        assert_eq!(ring.quantiles(), expect);
+        // The scratch buffer is reused, not re-sorted state: a second
+        // probe after more pushes still matches.
+        ring.push(u64::MAX);
+        let sorted = ring.sorted();
+        assert_eq!(ring.quantiles()[3], u64::MAX);
+        assert_eq!(ring.quantiles()[0], percentile_us(&sorted, 50.0));
+        // Single sample: every quantile is that sample.
+        let mut one = LatencyRing::with_capacity(4);
+        one.push(17);
+        assert_eq!(one.quantiles(), [17, 17, 17, 17]);
     }
 
     #[test]

@@ -757,6 +757,142 @@ fn binary_garbage_frames_follow_the_framing_contract() {
 }
 
 #[test]
+fn pipelined_flood_on_one_connection_cannot_starve_the_reactor() {
+    // One connection blasts 10k pipelined binary frames at a server with a
+    // SINGLE event loop — fairness must come from the per-turn frame
+    // budget, not from reactor parallelism. A well-behaved client sharing
+    // that loop must keep getting bit-exact answers within its deadline,
+    // and every frame must land in the counters exactly once.
+    const FRAMES: usize = 10_000;
+    let mut options = chaos_options(30_000, 30_000);
+    options.event_loops = 1;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    let pipeliner = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("pipeliner connects");
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut write_half = stream.try_clone().expect("clone");
+        // Writer and reader run concurrently: the server is entitled to
+        // exert backpressure mid-blast, so a single-threaded
+        // write-everything-then-read could deadlock on full buffers.
+        let writer = std::thread::spawn(move || {
+            let frame = binary::encode_request(&Request::Health);
+            let mut blob = Vec::with_capacity(frame.len() * FRAMES);
+            for _ in 0..FRAMES {
+                blob.extend_from_slice(&frame);
+            }
+            write_half.write_all(&blob).expect("pipelined frames land");
+            write_half.flush().expect("flush");
+        });
+        let mut reader = std::io::BufReader::new(stream);
+        for k in 0..FRAMES {
+            let mut header = [0u8; binary::HEADER_LEN];
+            reader
+                .read_exact(&mut header)
+                .unwrap_or_else(|e| panic!("reply {k} header: {e}"));
+            let h = binary::decode_header(header, u64::MAX).expect("server sends valid headers");
+            let mut payload = vec![0u8; h.len as usize];
+            reader
+                .read_exact(&mut payload)
+                .unwrap_or_else(|e| panic!("reply {k} payload: {e}"));
+            match binary::decode_response(h.frame_type, &payload).expect("server frames decode") {
+                Response::Health { .. } => {}
+                other => panic!("reply {k}: unexpected {other:?}"),
+            }
+        }
+        writer.join().expect("writer thread");
+    });
+
+    // Shares the single event loop with the flood for its whole run.
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        15,
+        6,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+    pipeliner.join().expect("pipeliner thread");
+
+    let (retries, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(retries, 0, "no retry needed: {stats:?}");
+    assert_eq!(
+        stats.requests,
+        FRAMES as u64 + 15 + 1,
+        "every pipelined frame, good-client request, and the shutdown \
+         counted exactly once: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+}
+
+#[test]
+fn edge_triggered_reads_survive_dripped_and_coalesced_frames() {
+    // The edge-triggered rearm hazards, provoked from userspace: a frame
+    // dripped byte by byte (every readiness edge delivers a fragment), two
+    // frames in one write (one edge, two frames — a level-triggered
+    // one-frame-per-event habit would wedge the second forever), and a
+    // frame split exactly at the header boundary (read returns WouldBlock
+    // with a decoded header and no payload).
+    let mut options = chaos_options(30_000, 30_000);
+    options.event_loops = 1;
+    let handle = ServerHandle::bind(served_model(), "127.0.0.1:0", options).expect("binds");
+    let addr = handle.addr();
+
+    let mut s = FaultStream::connect(addr);
+    let frame = binary::encode_request(&Request::Health);
+    s.drip(&frame, Duration::from_millis(5));
+    match s.read_binary_response().expect("dripped frame answered") {
+        Response::Health { .. } => {}
+        other => panic!("unexpected dripped reply: {other:?}"),
+    }
+
+    let mut two = frame.clone();
+    two.extend_from_slice(&binary::encode_request(&Request::ListModels));
+    s.blast(&two);
+    match s.read_binary_response().expect("first coalesced reply") {
+        Response::Health { .. } => {}
+        other => panic!("unexpected first reply: {other:?}"),
+    }
+    match s.read_binary_response().expect("second coalesced reply") {
+        Response::Models { .. } => {}
+        other => panic!("unexpected second reply: {other:?}"),
+    }
+
+    s.blast(&frame[..binary::HEADER_LEN]);
+    std::thread::sleep(Duration::from_millis(100));
+    s.blast(&frame[binary::HEADER_LEN..]);
+    match s.read_binary_response().expect("split-at-header reply") {
+        Response::Health { .. } => {}
+        other => panic!("unexpected split reply: {other:?}"),
+    }
+    drop(s);
+
+    let good = run_good_client_wire(
+        &addr.to_string(),
+        5,
+        6,
+        Duration::from_secs(20),
+        Wire::Binary,
+    );
+    let (_, _, stats) = shutdown_and_join(good, handle);
+    assert_eq!(
+        stats.requests,
+        4 + 5 + 1,
+        "dripped + coalesced + split + good client + shutdown: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+}
+
+#[test]
 fn connect_flood_sheds_binary_clients_with_full_accounting() {
     let mut options = chaos_options(2_000, 500);
     options.max_queue = 2;

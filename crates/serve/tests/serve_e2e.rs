@@ -322,6 +322,94 @@ fn ndjson_and_binary_wires_are_bit_identical_end_to_end() {
 }
 
 #[test]
+fn dense_and_json_framed_binary_attacks_match_ndjson_bit_for_bit() {
+    // Three framings of the same Attack against one server: the NDJSON
+    // wire, the dense binary frames (0x03/0x83), and a binary connection
+    // forced to JSON payload framing (0x01/0x81, what a pre-dense binary
+    // client sends). The full detail=true ScoredView must be the same
+    // value everywhere, bit for bit.
+    let (model, view) = trained_and_test_view();
+    let local_scored = model.score(&view, &ScoreOptions::default());
+    let handle = ServerHandle::bind(model, "127.0.0.1:0", test_options()).expect("binds");
+    let addr = handle.addr();
+    let timeouts = ClientTimeouts {
+        connect_ms: 2_000,
+        io_ms: 30_000,
+    };
+    let mut ndjson = Client::connect_wire(addr, timeouts, Wire::Ndjson).expect("ndjson connects");
+    let mut dense = Client::connect_wire(addr, timeouts, Wire::Binary).expect("dense connects");
+    let mut json_framed =
+        Client::connect_wire(addr, timeouts, Wire::Binary).expect("json-framed connects");
+    json_framed.set_json_payload(true);
+
+    // ScorePairs first: the dense request path decodes feature rows
+    // straight into the kernel batch, the JSON framings parse text — the
+    // probabilities must not care.
+    let features: Vec<Vec<f64>> = vec![vec![0.0; 9], vec![1.5; 9], vec![4000.0; 9]];
+    let score_req = Request::ScorePairs {
+        features,
+        model_id: None,
+    };
+    let probs_of = |resp: Response| -> Vec<f64> {
+        match resp {
+            Response::Scores { probs } => probs,
+            other => panic!("unexpected scores reply: {other:?}"),
+        }
+    };
+    let via_ndjson = probs_of(ndjson.call_ok(&score_req).expect("ndjson score"));
+    let via_dense = probs_of(dense.call_ok(&score_req).expect("dense score"));
+    let via_json = probs_of(json_framed.call_ok(&score_req).expect("json-framed score"));
+    assert_eq!(via_ndjson.len(), 3);
+    for (k, ((n, d), j)) in via_ndjson.iter().zip(&via_dense).zip(&via_json).enumerate() {
+        assert_eq!(n.to_bits(), d.to_bits(), "row {k}: dense vs ndjson");
+        assert_eq!(d.to_bits(), j.to_bits(), "row {k}: json-framed vs dense");
+    }
+
+    let attack_req = Request::Attack {
+        challenge: write_challenge(&view),
+        truth: write_truth(&view),
+        threshold: 0.5,
+        detail: true,
+        model_id: None,
+    };
+    let a = ndjson.call_ok(&attack_req).expect("ndjson attack");
+    let b = dense.call_ok(&attack_req).expect("dense attack");
+    let c = json_framed.call_ok(&attack_req).expect("json-framed attack");
+    assert_eq!(a, b, "dense binary attack must equal ndjson");
+    assert_eq!(b, c, "json-framed binary attack must equal dense");
+    match b {
+        Response::AttackResult { summary, scored } => {
+            assert_eq!(summary.pairs_scored, local_scored.pairs_scored);
+            assert_eq!(
+                summary.accuracy.to_bits(),
+                local_scored.accuracy_at(0.5).to_bits()
+            );
+            let scored = scored.expect("detail=true returns the scored view");
+            assert_eq!(scored.hist, local_scored.hist, "LoC histogram");
+            assert_eq!(scored, local_scored, "full scored view over every framing");
+        }
+        other => panic!("unexpected attack reply: {other:?}"),
+    }
+
+    // No framing confused the server's accounting.
+    match dense.call_ok(&Request::Stats).expect("stats") {
+        Response::Stats { stats } => {
+            assert_eq!(stats.errors, 0, "{stats:?}");
+            assert_eq!(stats.io_errors, 0, "{stats:?}");
+            assert!(stats.requests >= 6, "{stats:?}");
+        }
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+    drop(ndjson);
+    drop(json_framed);
+    match dense.call_ok(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    handle.join().expect("clean exit");
+}
+
+#[test]
 fn garbage_lines_get_error_replies_without_killing_the_connection() {
     use std::io::{BufRead, BufReader, Write};
 

@@ -12,14 +12,24 @@
 //!   (an acceptor, a scoring executor) can interrupt a blocked
 //!   [`Poll::poll`];
 //! - read/write/closed readiness classification (`EPOLLIN`, `EPOLLOUT`,
-//!   `EPOLLHUP`/`EPOLLERR`/`EPOLLRDHUP`).
+//!   `EPOLLHUP`/`EPOLLERR`/`EPOLLRDHUP`);
+//! - edge-triggered mode per registration via [`Interest::edge`]
+//!   (`EPOLLET`), the rearm-free discipline upstream mio defaults to: the
+//!   kernel reports a source once per readiness *transition*, and the
+//!   caller must drain it to `WouldBlock` before the next event can
+//!   arrive. Level-triggered remains the default for sources where
+//!   re-reporting undrained readiness is the simpler contract (e.g. the
+//!   [`Waker`] eventfd).
 //!
-//! Not implemented: edge-triggered mode, `mio::net` wrapper types, and
-//! non-Linux selectors. Upstream mio defaults to edge triggering;
-//! level-triggered was chosen here because it makes rearm bookkeeping
-//! unnecessary — a readiness the server does not fully drain is simply
-//! reported again — and the throughput difference is unobservable at the
-//! connection counts this workspace benchmarks.
+//! Not implemented: `mio::net` wrapper types and non-Linux selectors.
+//!
+//! Choosing a trigger mode: level-triggered needs no rearm bookkeeping —
+//! readiness not fully drained is simply reported again — but a source
+//! that stays ready re-fires on every poll, so a server must mutate its
+//! registration (`reregister`) to mute interests it cannot act on yet.
+//! Edge-triggered inverts the cost: one `epoll_ctl` per connection ever,
+//! no interest churn on the hot path, in exchange for the caller caching
+//! readiness itself and never abandoning a drain before `WouldBlock`.
 
 #![cfg(target_os = "linux")]
 
@@ -39,6 +49,7 @@ const EPOLLOUT: u32 = 0x004;
 const EPOLLERR: u32 = 0x008;
 const EPOLLHUP: u32 = 0x010;
 const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
 
 const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o0004000;
@@ -96,6 +107,22 @@ impl Interest {
     #[must_use]
     pub fn is_writable(self) -> bool {
         self.0 & EPOLLOUT != 0
+    }
+
+    /// This interest in edge-triggered mode (`EPOLLET`): the kernel
+    /// reports the source once per readiness *transition* instead of on
+    /// every poll while ready. The caller owns the rearm discipline — it
+    /// must drain the source to `WouldBlock` (caching the readiness it
+    /// could not act on) or the next event never arrives.
+    #[must_use]
+    pub const fn edge(self) -> Interest {
+        Interest(self.0 | EPOLLET)
+    }
+
+    /// Whether this interest requests edge-triggered delivery.
+    #[must_use]
+    pub fn is_edge_triggered(self) -> bool {
+        self.0 & EPOLLET != 0
     }
 }
 
@@ -474,6 +501,80 @@ mod tests {
             .expect("polls");
         assert!(events.iter().all(|e| !e.is_writable() || e.is_closed()));
         poll.registry().deregister(&server).expect("deregisters");
+    }
+
+    #[test]
+    fn edge_triggered_reports_once_per_readiness_transition() {
+        let mut poll = Poll::new().expect("epoll");
+        let mut events = Events::with_capacity(8);
+        let (mut client, server) = tcp_pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let interest = (Interest::READABLE | Interest::WRITABLE).edge();
+        assert!(interest.is_edge_triggered());
+        assert!(interest.is_readable() && interest.is_writable());
+        poll.registry()
+            .register(&server, CONN, interest)
+            .expect("registers");
+
+        // A fresh socket's writability is itself an edge: exactly one
+        // report, then silence until writability is lost and regained.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("polls");
+        assert!(
+            events.iter().any(|e| e.token() == CONN && e.is_writable()),
+            "initial writable edge"
+        );
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .expect("polls");
+        assert!(
+            events.is_empty(),
+            "no repeat report without a new transition"
+        );
+
+        // Unread data arriving is a readable edge ...
+        client.write_all(b"ping").expect("writes");
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("polls");
+        let ev = events.iter().next().expect("readable edge");
+        assert_eq!(ev.token(), CONN);
+        assert!(ev.is_readable());
+
+        // ... reported once: leaving the bytes in the socket does NOT
+        // re-report (the level-triggered behavior would).
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .expect("polls");
+        assert!(events.is_empty(), "undrained readiness is not re-reported");
+
+        // More bytes arriving is a fresh transition: a new event fires
+        // even though the previous payload was never read.
+        client.write_all(b"pong").expect("writes");
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("polls");
+        assert!(
+            events.iter().any(|e| e.token() == CONN && e.is_readable()),
+            "new data is a new edge"
+        );
+
+        let mut buf = [0u8; 16];
+        let n = (&server).read(&mut buf).expect("reads");
+        assert_eq!(&buf[..n], b"pingpong");
+    }
+
+    #[test]
+    fn edge_triggered_peer_close_still_reports_closed() {
+        let mut poll = Poll::new().expect("epoll");
+        let mut events = Events::with_capacity(8);
+        let (client, server) = tcp_pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        poll.registry()
+            .register(&server, CONN, Interest::READABLE.edge())
+            .expect("registers");
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("polls");
+        let ev = events.iter().next().expect("close edge");
+        assert!(ev.is_readable(), "EOF must read as readable");
+        assert!(ev.is_closed());
     }
 
     #[test]
